@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper artefact (table or figure),
+asserts its qualitative shape, and archives the regenerated rows under
+``benchmarks/out/`` so the numbers are inspectable after a
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def archive(name: str, text: str) -> None:
+    """Write a regenerated table to benchmarks/out/<name>.txt."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}] archived to {path}\n{text}")

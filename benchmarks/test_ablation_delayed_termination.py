@@ -1,0 +1,89 @@
+"""Ablation bench: delayed vs immediate termination (paper XII-A).
+
+Runs the Figure 14 one-past-the-end idiom — ubiquitous in real code —
+under both policies, plus the true-overflow kernel, showing that
+delayed termination removes the false positives without losing any
+true positives.
+"""
+
+from conftest import archive
+
+from repro.compiler import CmpKind, KernelBuilder, run_lmi_pass
+from repro.exec import GpuExecutor
+from repro.mechanisms import LmiMechanism
+
+
+def _one_past_the_end_module():
+    """for (p = start; p < end; p++) *p += 1;  with end = start+size."""
+    b = KernelBuilder("fig14")
+    start = b.malloc(256)
+    b.ptradd(start, 256, name="end")  # one past the end: poisoned only
+    i = b.alloca(8)
+    b.store(i, 0, width=8)
+    b.jump("head")
+    b.new_block("head")
+    iv = b.load(i, width=8)
+    b.branch(b.cmp(CmpKind.LT, iv, 64), "body", "exit")
+    b.new_block("body")
+    slot = b.ptradd(start, b.mul(iv, 4))
+    b.store(slot, b.add(b.load(slot, width=4), 1), width=4)
+    b.store(i, b.add(iv, 1), width=8)
+    b.jump("head")
+    b.new_block("exit")
+    b.ret()
+    module = b.module()
+    run_lmi_pass(module)
+    return module
+
+
+def _true_overflow_module():
+    b = KernelBuilder("overflow")
+    h = b.malloc(256)
+    b.store(b.ptradd(h, 256), 1, width=4)
+    b.ret()
+    module = b.module()
+    run_lmi_pass(module)
+    return module
+
+
+def test_ablation_delayed_termination(benchmark):
+    def run():
+        benign_delayed = GpuExecutor(
+            _one_past_the_end_module(), LmiMechanism()
+        ).launch({})
+        benign_immediate = GpuExecutor(
+            _one_past_the_end_module(),
+            LmiMechanism(delayed_termination=False),
+        ).launch({})
+        evil_delayed = GpuExecutor(
+            _true_overflow_module(), LmiMechanism()
+        ).launch({})
+        evil_immediate = GpuExecutor(
+            _true_overflow_module(), LmiMechanism(delayed_termination=False)
+        ).launch({})
+        return benign_delayed, benign_immediate, evil_delayed, evil_immediate
+
+    benign_delayed, benign_immediate, evil_delayed, evil_immediate = (
+        benchmark.pedantic(run, iterations=1, rounds=1)
+    )
+    archive(
+        "ablation_delayed_termination",
+        "\n".join(
+            [
+                "one-past-the-end loop (benign, Figure 14):",
+                f"  delayed termination:   detected={benign_delayed.detected} "
+                f"(false positive: {benign_delayed.false_positive})",
+                f"  immediate termination: detected={benign_immediate.detected} "
+                f"(false positive: {benign_immediate.false_positive})",
+                "true overflow store:",
+                f"  delayed termination:   detected={evil_delayed.detected}",
+                f"  immediate termination: detected={evil_immediate.detected}",
+            ]
+        ),
+    )
+    # Delayed termination: no false positive, true positive kept.
+    assert not benign_delayed.detected
+    assert evil_delayed.true_positive
+    # Immediate termination: false positive on the benign idiom.
+    assert benign_immediate.false_positive
+    assert evil_immediate.detected

@@ -1,0 +1,20 @@
+"""Bench: regenerate the section XII-B feasibility study."""
+
+from conftest import archive
+
+from repro.experiments import run_feasibility_study
+
+
+def test_feasibility_study(benchmark):
+    study = benchmark(run_feasibility_study)
+    archive("feasibility_study", study.format_table())
+
+    # The paper: 57 kernel files, zero inttoptr/ptrtoint in kernel
+    # code.  Our executable corpus is likewise entirely clean; only
+    # the deliberate negative control trips the scan.
+    assert study.clean_modules == study.total_modules - 1
+    control = study.reports[-1]
+    assert not control.is_feasible
+    for report in study.reports[:-1]:
+        assert report.is_feasible, report.module
+        assert report.total_violations == 0

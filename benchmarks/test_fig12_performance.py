@@ -1,0 +1,45 @@
+"""Bench: regenerate Figure 12 — Baggy Bounds vs GPUShield vs LMI."""
+
+from conftest import archive
+
+from repro.experiments import run_fig12
+
+
+def test_fig12_performance(benchmark):
+    result = benchmark.pedantic(
+        run_fig12,
+        kwargs=dict(warps=16, instructions_per_warp=1200),
+        iterations=1,
+        rounds=1,
+    )
+    archive("fig12_performance", result.format_table())
+
+    # LMI: near-zero overhead across the board (paper: 0.22 % mean).
+    assert result.mean_overhead("lmi") < 0.02
+    for row in result.rows:
+        assert row.overhead("lmi") < 0.05, row.benchmark
+
+    # GPUShield: competitive on average but spiky on needle and LSTM
+    # (RCache misses under uncoalesced access; paper: 42.5 % / 24.0 %).
+    assert result.row("needle").overhead("gpushield") > 0.15
+    assert result.row("LSTM").overhead("gpushield") > 0.15
+    quiet = [
+        row.overhead("gpushield")
+        for row in result.rows
+        if row.benchmark not in ("needle", "LSTM", "GRU")
+    ]
+    assert sum(quiet) / len(quiet) < 0.05
+
+    # Baggy Bounds: large overheads, ~5x peak on a compute-bound kernel
+    # (paper: 87 % mean, 503 % peak).
+    assert 0.4 < result.mean_overhead("baggy") < 1.5
+    worst, overhead = result.max_overhead("baggy")
+    assert worst == "gaussian"
+    assert overhead > 3.0
+
+    # Ranking: LMI < GPUShield < Baggy on geomean normalized time.
+    assert (
+        result.geomean_normalized("lmi")
+        < result.geomean_normalized("gpushield") + 0.01
+        < result.geomean_normalized("baggy")
+    )

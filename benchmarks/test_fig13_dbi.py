@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 13 — DBI-LMI vs Compute Sanitizer memcheck."""
+
+import pytest
+from conftest import archive
+
+from repro.experiments import run_fig13
+
+
+def test_fig13_dbi(benchmark):
+    result = benchmark(run_fig13)
+    archive("fig13_dbi", result.format_table())
+
+    # Paper geomeans: LMI-by-DBI x72.95, memcheck x32.98.
+    assert result.geomean("lmi_dbi") == pytest.approx(72.95, rel=0.10)
+    assert result.geomean("memcheck") == pytest.approx(32.98, rel=0.10)
+
+    # The per-benchmark winner flips with the check/LD-ST ratio:
+    # memcheck wins gaussian (ratio 67.14), LMI-DBI wins swin (28.13).
+    assert result.row("gaussian").winner == "memcheck"
+    assert result.row("swin").winner == "lmi_dbi"
+
+    # AD benchmarks excluded, as in the paper's footnote.
+    assert len(result.rows) == 24
+    assert all(r.benchmark not in ("BEVerse", "DETR", "MOTR", "segformer")
+               for r in result.rows)

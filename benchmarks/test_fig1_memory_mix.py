@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 1 — memory-instruction ratio per region."""
+
+from conftest import archive
+
+from repro.experiments import run_fig1
+
+
+def test_fig1_memory_mix(benchmark):
+    result = benchmark(run_fig1)
+    archive("fig1_memory_mix", result.format_table())
+
+    # Paper shapes: FT inference kernels are global-dominated...
+    assert result.row("bert").global_frac > 0.9
+    assert result.row("decoding").global_frac > 0.9
+    # ...while lud_cuda and needle exceed 80 % shared-memory accesses.
+    assert result.row("lud_cuda").shared_frac > 0.8
+    assert result.row("needle").shared_frac > 0.75
+    # Every benchmark's fractions are a proper distribution.
+    for row in result.rows:
+        assert abs(row.global_frac + row.shared_frac + row.local_frac - 1) < 1e-9
+    assert len(result.rows) == 28

@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 4 — memory overhead of 2^n-aligned buffers."""
+
+import pytest
+from conftest import archive
+
+from repro.experiments import run_fig4
+
+
+def test_fig4_fragmentation(benchmark):
+    result = benchmark(run_fig4)
+    archive("fig4_fragmentation", result.format_table())
+
+    # Exact-power-of-two workloads pay nothing.
+    assert result.row("hotspot").overhead == pytest.approx(0.0)
+    assert result.row("srad_v1").overhead == pytest.approx(0.0)
+    assert result.row("srad_v2").overhead == pytest.approx(0.0)
+    # The two pathological workloads (2^n + header allocations).
+    assert result.row("backprop").overhead == pytest.approx(0.859, abs=0.02)
+    assert result.row("needle").overhead == pytest.approx(0.929, abs=0.02)
+    # The suite-wide geometric mean stays low (paper: 18.73 %).
+    assert result.geomean_overhead() == pytest.approx(0.1873, abs=0.03)

@@ -1,0 +1,77 @@
+"""Microbenchmarks of the library's hot substrate paths.
+
+Not a paper artefact — these are the library-quality benchmarks a
+downstream user needs to size their own experiments: pointer
+encode/decode throughput, buddy alloc/free churn, functional-executor
+instruction rate, and timing-simulator issue rate.
+"""
+
+from repro.allocator import AlignedAllocator
+from repro.compiler import CmpKind, IRType, KernelBuilder, run_lmi_pass
+from repro.exec import GpuExecutor
+from repro.mechanisms import LmiMechanism
+from repro.pointer import PointerCodec
+from repro.sim import BaselineTiming, simulate
+from repro.workloads import synthesize_trace
+
+
+def test_codec_encode_decode(benchmark):
+    codec = PointerCodec()
+
+    def run():
+        total = 0
+        for slot in range(1000):
+            pointer = codec.encode(slot * 1024, 1000)
+            total += codec.decode(pointer).base
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_buddy_alloc_free_churn(benchmark):
+    def run():
+        allocator = AlignedAllocator(0x1000_0000, 1 << 26)
+        live = []
+        for index in range(800):
+            live.append(allocator.alloc(64 + (index % 4000)).base)
+            if len(live) > 32:
+                allocator.free(live.pop(0))
+        return len(live)
+
+    assert benchmark(run) == 32
+
+
+def test_executor_instruction_rate(benchmark):
+    b = KernelBuilder("spin", params=[("out", IRType.PTR)])
+    i = b.alloca(8)
+    b.store(i, 0, width=8)
+    b.jump("head")
+    b.new_block("head")
+    iv = b.load(i, width=8)
+    b.branch(b.cmp(CmpKind.LT, iv, 500), "body", "exit")
+    b.new_block("body")
+    b.store(i, b.add(iv, 1), width=8)
+    b.jump("head")
+    b.new_block("exit")
+    b.store(b.param("out"), b.load(i, width=8), width=8)
+    b.ret()
+    module = b.module()
+    run_lmi_pass(module)
+
+    def run():
+        executor = GpuExecutor(module, LmiMechanism())
+        out = executor.host_alloc(256)
+        result = executor.launch({"out": out})
+        assert result.completed
+        return result.steps
+
+    assert benchmark(run) > 2000
+
+
+def test_timing_simulator_issue_rate(benchmark):
+    trace = synthesize_trace("bert", warps=8, instructions_per_warp=500)
+
+    def run():
+        return simulate(trace, BaselineTiming()).stats.instructions
+
+    assert benchmark(run) == trace.total_instructions

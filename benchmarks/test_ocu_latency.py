@@ -1,0 +1,56 @@
+"""Bench: section XI-C — OCU synthesis timing and functional throughput."""
+
+import pytest
+from conftest import archive
+
+from repro.experiments import (
+    PAPER_CRITICAL_PATH_NS,
+    PAPER_FMAX_GHZ,
+    PAPER_PIPELINE_CYCLES,
+    PAPER_REGISTER_SLICES,
+    TARGET_CLOCK_GHZ,
+)
+from repro.hardware import OverflowCheckingUnit, synthesize_ocu
+from repro.pointer import PointerCodec
+
+
+def test_ocu_synthesis_timing(benchmark):
+    report = benchmark(synthesize_ocu)
+    archive(
+        "ocu_latency",
+        "\n".join(
+            [
+                f"critical path: {report.critical_path_ns:.3f} ns "
+                f"(paper {PAPER_CRITICAL_PATH_NS} ns)",
+                f"f_max: {report.fmax_ghz:.3f} GHz (paper {PAPER_FMAX_GHZ})",
+                f"register slices @ {TARGET_CLOCK_GHZ} GHz: "
+                f"{report.register_slices_for(TARGET_CLOCK_GHZ)} "
+                f"(paper {PAPER_REGISTER_SLICES})",
+                f"pipeline cycles: "
+                f"{report.pipeline_cycles_for(TARGET_CLOCK_GHZ)} "
+                f"(paper {PAPER_PIPELINE_CYCLES})",
+                f"synthesized area: {report.synthesized_area_ge:.0f} GE",
+            ]
+        ),
+    )
+    assert report.critical_path_ns == pytest.approx(
+        PAPER_CRITICAL_PATH_NS, abs=0.01
+    )
+    assert report.fmax_ghz == pytest.approx(PAPER_FMAX_GHZ, abs=0.02)
+    assert report.register_slices_for(TARGET_CLOCK_GHZ) == PAPER_REGISTER_SLICES
+    assert report.pipeline_cycles_for(TARGET_CLOCK_GHZ) == PAPER_PIPELINE_CYCLES
+
+
+def test_ocu_functional_check_throughput(benchmark):
+    """Microbenchmark of the functional OCU datapath itself."""
+    codec = PointerCodec()
+    ocu = OverflowCheckingUnit(codec)
+    pointer = codec.encode(0x40000, 1024)
+
+    def run_checks():
+        for offset in range(0, 2048, 8):
+            ocu.check(pointer, pointer + offset)
+        return ocu.stats.overflows
+
+    overflows = benchmark(run_checks)
+    assert overflows > 0  # the second half crosses the boundary

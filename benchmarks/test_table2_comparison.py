@@ -1,0 +1,27 @@
+"""Bench: regenerate Table II — the full mechanism comparison."""
+
+from conftest import archive
+
+from repro.experiments import run_table2
+
+
+def test_table2_comparison(benchmark):
+    result = benchmark.pedantic(
+        run_table2, kwargs=dict(fast=True), iterations=1, rounds=1
+    )
+    archive("table2_comparison", result.format_table())
+
+    lmi = result.row("LMI")
+    # LMI is the only GPU scheme with full spatial coverage everywhere.
+    assert lmi.coverage == {
+        "global": "●", "shared": "●", "stack": "●", "heap": "●"
+    }
+    assert lmi.temporal == "◐"
+    assert not lmi.metadata_access
+    # Coverage hierarchy of the GPU schemes matches the paper.
+    assert result.row("GMOD").coverage["global"] == "◐"
+    assert result.row("GPUShield").coverage["shared"] == "○"
+    assert result.row("cuCatch").coverage["heap"] == "○"
+    # LMI's overhead string is sub-1 % (paper: 0.2 %).
+    assert lmi.perf_overhead.endswith("%")
+    assert float(lmi.perf_overhead.rstrip("%")) < 1.0

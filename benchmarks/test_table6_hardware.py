@@ -1,0 +1,23 @@
+"""Bench: regenerate Table VI — hardware overhead comparison."""
+
+from conftest import archive
+
+from repro.experiments import run_table6
+
+
+def test_table6_hardware(benchmark):
+    result = benchmark(run_table6)
+    archive("table6_hardware", result.format_table())
+
+    lmi = result.row("LMI")
+    assert lmi.gate_equivalents == 153
+    assert lmi.sram_bytes == 0
+    assert lmi.verification_scope == "ALU (INT only), LSU"
+    # Orders of magnitude below the per-core CPU schemes.
+    assert result.row("No-Fat").gate_equivalents / lmi.gate_equivalents > 100
+    assert result.row("C3").gate_equivalents / lmi.gate_equivalents > 100
+    # The only scheme without SRAM besides C3/IMT, and the only one
+    # whose verification scope avoids the NoC and caches entirely.
+    scopes = {row.name: row.verification_scope for row in result.rows}
+    assert all("NoC" in scope or "cache" in scope.lower() or "ECC" in scope
+               for name, scope in scopes.items() if name != "LMI")

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Figure 5 demo: fragmentation of the stock kernel ``malloc()`` vs
+LMI's 2^n rounding.
+
+The paper's key observation (section IV-E): CUDA's in-kernel allocator
+*already* rounds requests to chunk units (80 B, 2208 B, ...) and adds
+group headers, wasting up to ~50 % — so LMI's power-of-two rounding is
+not uniquely expensive on the device heap.
+
+This script replays the same per-thread allocation pattern through the
+stock chunk allocator and the LMI buddy allocator and compares waste.
+
+Run:  python examples/device_malloc_fragmentation.py
+"""
+
+from repro.allocator import (
+    AlignedAllocator,
+    DeviceHeapAllocator,
+    FootprintMeter,
+)
+from repro.memory import layout
+
+#: Per-thread allocation sizes of a warp, as in the paper's Figure 3:
+#: threads in one warp allocate *different* sizes concurrently.
+WARP_REQUESTS = [72, 300, 80, 1024, 48, 2209, 160, 512,
+                 2000, 96, 4000, 256, 640, 88, 3000, 1500]
+
+
+def main() -> None:
+    stock_meter = FootprintMeter()
+    lmi_meter = FootprintMeter()
+    stock = DeviceHeapAllocator(layout.HEAP_BASE, 1 << 26, meter=stock_meter)
+    lmi = AlignedAllocator(layout.HEAP_BASE, 1 << 26, meter=lmi_meter)
+
+    print(f"{'request':>8s} {'stock chunked':>14s} {'LMI rounded':>12s}")
+    print("-" * 38)
+    requested = 0
+    for thread, size in enumerate(WARP_REQUESTS):
+        stock_block = stock.alloc(size, thread=thread)
+        lmi_block = lmi.alloc(size)
+        requested += size
+        print(f"{size:>8d} {stock_block.footprint:>11d} B "
+              f"{lmi_block.rounded:>9d} B")
+
+    print("-" * 38)
+    stock_total = stock_meter.peak_bytes
+    lmi_total = lmi_meter.peak_bytes
+    print(f"{'total':>8s} {stock_total:>11d} B {lmi_total:>9d} B")
+    print(f"\nrequested bytes          : {requested}")
+    print(f"stock malloc() waste     : "
+          f"{stock_total / requested - 1:+.1%}  (chunk units + headers)")
+    print(f"LMI 2^n rounding waste   : {lmi_total / requested - 1:+.1%}")
+    print(
+        "\nThe stock allocator's own chunking (multiples of 80 B / 2208 B\n"
+        "plus group headers) already fragments — LMI's rounding is in the\n"
+        "same regime, which is the paper's section IV-E argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Mechanism shootout: the full Table III security evaluation.
+
+Runs all 38 violation scenarios (22 spatial + 16 temporal) against
+GMOD, GPUShield, cuCatch and LMI and prints the detection matrix —
+the reproduction of the paper's Table III — plus a per-case breakdown
+for LMI showing exactly what it catches and what it (by design) misses.
+
+Run:  python examples/mechanism_shootout.py
+"""
+
+from repro.mechanisms import LmiMechanism
+from repro.security import all_cases, run_security_evaluation
+
+
+def main() -> None:
+    print("Running 38 scenarios x 4 mechanisms (a few seconds)...\n")
+    report = run_security_evaluation()
+    print(report.format_table())
+
+    print("\nPer-case LMI breakdown:")
+    print("-" * 64)
+    for case in all_cases():
+        outcome = case.run(LmiMechanism())
+        verdict = "DETECTED" if outcome.true_positive else "missed  "
+        print(f"  {verdict}  {case.case_id:34s} {case.description}")
+
+    print(
+        "\nLMI's misses are exactly the paper's: intra-object overflows\n"
+        "(allocation-granularity protection) and copied-pointer UAF\n"
+        "(Figure 11 — addressed by liveness tracking, section XII-C)."
+    )
+
+
+if __name__ == "__main__":
+    main()

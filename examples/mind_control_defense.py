@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""The Mind Control Attack, and who stops it.
+
+The paper's motivating scenario (sections I, IV-D): a DNN inference
+kernel on a cloud GPU copies attacker-controlled input into a fixed
+stack buffer without a bounds check.  A long payload smashes the frame
+— on real GPUs this rewrites the return address and redirects the
+network's output (Park et al., "Mind Control Attack").
+
+This example runs the vulnerable kernel with a benign and a malicious
+input under four defenses and prints who notices:
+
+* baseline        — silent corruption;
+* GPUShield       — misses (the smash stays inside the thread's local
+                    region, which it protects only as one big chunk);
+* cuCatch         — catches it (per-buffer stack tags, same frame);
+* LMI             — catches it (per-buffer extent + OCU).
+
+Run:  python examples/mind_control_defense.py
+"""
+
+from repro import GpuExecutor, IRType, KernelBuilder, run_lmi_pass
+from repro.compiler import CmpKind
+from repro.mechanisms import create_mechanism
+
+#: The "classifier weights" buffer in the victim frame.
+BUFFER_BYTES = 256
+
+
+def build_victim_kernel():
+    """A per-thread input-copy loop with no bounds check (CWE-787)."""
+    b = KernelBuilder(
+        "dnn_preprocess",
+        params=[("input", IRType.PTR), ("length", IRType.I64)],
+    )
+    frame_buf = b.alloca(BUFFER_BYTES, name="activations")
+    secret = b.alloca(64, name="frame_state")  # what the attacker wants
+    b.store(secret, 0x0DEFACED, width=4)
+
+    i = b.alloca(8)
+    b.store(i, 0, width=8)
+    b.jump("copy")
+    b.new_block("copy")
+    iv = b.load(i, width=8)
+    b.branch(b.cmp(CmpKind.LT, iv, b.param("length")), "body", "done")
+    b.new_block("body")
+    src = b.ptradd(b.param("input"), b.mul(iv, 4))
+    dst = b.ptradd(frame_buf, b.mul(iv, 4))  # unchecked index!
+    b.store(dst, b.load(src, width=4), width=4)
+    b.store(i, b.add(iv, 1), width=8)
+    b.jump("copy")
+    b.new_block("done")
+    b.ret()
+    module = b.module()
+    run_lmi_pass(module)
+    return module
+
+
+def run_attack(mechanism_name: str, words: int):
+    module = build_victim_kernel()
+    mechanism = create_mechanism(mechanism_name)
+    executor = GpuExecutor(module, mechanism)
+    payload = executor.host_alloc(4096)
+    result = executor.launch({"input": payload, "length": words})
+    return result
+
+
+def main() -> None:
+    benign_words = BUFFER_BYTES // 4        # exactly fills the buffer
+    attack_words = benign_words + 24        # 96 bytes past the end
+
+    print(f"victim buffer: {BUFFER_BYTES} B; benign input {benign_words} "
+          f"words; attack input {attack_words} words\n")
+    header = f"{'mechanism':12s} {'benign input':>16s} {'attack input':>28s}"
+    print(header)
+    print("-" * len(header))
+    for name in ("baseline", "gpushield", "cucatch", "lmi"):
+        benign = run_attack(name, benign_words)
+        attack = run_attack(name, attack_words)
+        benign_text = "ok" if benign.completed and not benign.detected else "FP!"
+        if attack.detected:
+            attack_text = f"BLOCKED ({type(attack.violation).__name__})"
+        elif attack.oracle_violated:
+            attack_text = "corrupted silently"
+        else:
+            attack_text = "ok"
+        print(f"{name:12s} {benign_text:>16s} {attack_text:>28s}")
+
+    print(
+        "\nLMI and cuCatch stop the in-frame smash; GPUShield's "
+        "region-granular stack bounds do not (paper section IV-D)."
+    )
+
+
+if __name__ == "__main__":
+    main()

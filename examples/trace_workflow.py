@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The trace-driven workflow, end to end (NVBit → MacSim style).
+
+1. Generate per-benchmark kernel traces from the Table V profiles.
+2. Serialize them to `.trace` files (inspect them — they're JSON lines).
+3. Reload and replay through the multi-SM GPU simulator, comparing the
+   unprotected baseline against LMI across several SM counts.
+
+Run:  python examples/trace_workflow.py [outdir]
+"""
+
+import pathlib
+import sys
+
+from repro.sim import (
+    BaselineTiming,
+    GpuSimulator,
+    LmiTiming,
+    dump_trace,
+    load_trace,
+)
+from repro.workloads import synthesize_trace
+
+BENCHMARKS = ["gaussian", "needle", "bert"]
+
+
+def main() -> None:
+    outdir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "traces")
+    outdir.mkdir(exist_ok=True)
+
+    print("1. Generating and serializing traces...")
+    paths = {}
+    for name in BENCHMARKS:
+        trace = synthesize_trace(name, warps=16, instructions_per_warp=800)
+        path = outdir / f"{name}.trace"
+        dump_trace(trace, path)
+        paths[name] = path
+        print(f"   {path}  ({trace.total_instructions} instructions, "
+              f"{len(trace.warps)} warps)")
+
+    print("\n2. Replaying through the multi-SM simulator...")
+    header = (f"{'benchmark':12s} {'SMs':>4s} {'base cycles':>12s} "
+              f"{'LMI cycles':>11s} {'overhead':>9s} {'imbalance':>10s}")
+    print(header)
+    print("-" * len(header))
+    for name, path in paths.items():
+        trace = load_trace(path)
+        for sms in (1, 2, 4):
+            base = GpuSimulator(num_sms=sms,
+                                model_factory=BaselineTiming).run(trace)
+            lmi = GpuSimulator(num_sms=sms, model_factory=LmiTiming).run(trace)
+            overhead = lmi.cycles / base.cycles - 1
+            print(f"{name:12s} {sms:>4d} {base.cycles:>12,d} "
+                  f"{lmi.cycles:>11,d} {overhead:>8.2%} "
+                  f"{base.load_imbalance:>10.2f}")
+
+    print(
+        "\nTrace files decouple workload generation from simulation —\n"
+        "the same decoupling the paper gets from NVBit + MacSim.  LMI's\n"
+        "overhead stays small everywhere; it is largest where occupancy\n"
+        "is lowest (fewest warps per SM to hide the OCU's 3 cycles),\n"
+        "exactly the latency-hiding story of the paper's section XI-A."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim so `pip install -e .` works on minimal environments.
+
+The environment used for development has no `wheel` package, which the
+PEP 660 editable path requires; `setup.py develop` does not.
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Let-Me-In (LMI) — fine-grained GPU memory safety via in-pointer
+bounds metadata.  HPCA 2025 reproduction.
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.pointer` — the LMI tagged-pointer encoding (core);
+* :mod:`repro.hardware` — OCU, Extent Checker, gate-cost model;
+* :mod:`repro.compiler` — kernel IR, pointer analysis, the LMI pass;
+* :mod:`repro.allocator` — 2^n-aligned buddy / baseline / device heap;
+* :mod:`repro.exec` — the functional SIMT executor;
+* :mod:`repro.mechanisms` — LMI and every compared baseline;
+* :mod:`repro.sim` — the trace-driven timing simulator;
+* :mod:`repro.workloads` — the 28 Table V benchmark profiles;
+* :mod:`repro.security` — the Table III test suite;
+* :mod:`repro.experiments` — one driver per paper table/figure.
+"""
+
+from .common.config import DEFAULT_GPU_CONFIG, DEFAULT_LMI_CONFIG, GpuConfig, LmiConfig
+from .common.errors import (
+    MemorySafetyViolation,
+    MemorySpace,
+    SpatialViolation,
+    TemporalViolation,
+)
+from .compiler import KernelBuilder, IRType, run_lmi_pass
+from .exec import GpuExecutor, LaunchResult
+from .mechanisms import MECHANISMS, LmiMechanism, create_mechanism
+from .pointer import DEFAULT_CODEC, PointerCodec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_GPU_CONFIG",
+    "DEFAULT_LMI_CONFIG",
+    "GpuConfig",
+    "LmiConfig",
+    "MemorySafetyViolation",
+    "MemorySpace",
+    "SpatialViolation",
+    "TemporalViolation",
+    "KernelBuilder",
+    "IRType",
+    "run_lmi_pass",
+    "GpuExecutor",
+    "LaunchResult",
+    "MECHANISMS",
+    "LmiMechanism",
+    "create_mechanism",
+    "DEFAULT_CODEC",
+    "PointerCodec",
+    "__version__",
+]

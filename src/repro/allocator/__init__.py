@@ -1,0 +1,34 @@
+"""Memory allocators: LMI-aligned buddy, baseline, device heap, stack, shared."""
+
+from .aligned import AlignedAllocator, AlignedBlock
+from .baseline import BaselineAllocator, BaselineBlock
+from .device_malloc import (
+    DEFAULT_SIZE_CLASSES,
+    GROUP_CAPACITY,
+    GROUP_HEADER_BYTES,
+    LARGE_UNIT,
+    DeviceBlock,
+    DeviceHeapAllocator,
+)
+from .rss import FootprintMeter, relative_overhead
+from .shared import SharedAllocator, SharedBuffer
+from .stack import StackAllocator, StackBuffer
+
+__all__ = [
+    "AlignedAllocator",
+    "AlignedBlock",
+    "BaselineAllocator",
+    "BaselineBlock",
+    "DEFAULT_SIZE_CLASSES",
+    "GROUP_CAPACITY",
+    "GROUP_HEADER_BYTES",
+    "LARGE_UNIT",
+    "DeviceBlock",
+    "DeviceHeapAllocator",
+    "FootprintMeter",
+    "relative_overhead",
+    "SharedAllocator",
+    "SharedBuffer",
+    "StackAllocator",
+    "StackBuffer",
+]

@@ -1,0 +1,216 @@
+"""2^n-aligned buddy allocator (paper sections IV-A, V-B).
+
+LMI requires every buffer to be aligned to its own rounded-up
+power-of-two size, so that the buffer base is recoverable from any
+interior pointer plus the extent.  A classic buddy allocator delivers
+exactly this invariant: every block of order *k* starts at a multiple
+of 2^k.
+
+The allocator also provides the runtime half of LMI's temporal safety:
+``free`` on an address that is not a live block base raises
+:class:`InvalidFreeError`, and a second ``free`` of the same block
+raises :class:`DoubleFreeError` — the paper notes both are caught by
+basic CUDA allocator bookkeeping in every scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..common.bitops import ceil_log2, is_power_of_two, log2_exact
+from ..common.errors import (
+    AllocationError,
+    ConfigurationError,
+    DoubleFreeError,
+    InvalidFreeError,
+    MemorySpace,
+)
+from .rss import FootprintMeter
+
+
+@dataclass(frozen=True)
+class AlignedBlock:
+    """One allocation handed out by the buddy allocator."""
+
+    base: int
+    requested: int
+    rounded: int
+
+    @property
+    def order(self) -> int:
+        """log2 of the rounded block size."""
+        return log2_exact(self.rounded)
+
+
+class AlignedAllocator:
+    """Buddy allocator over one virtual region.
+
+    Parameters
+    ----------
+    region_base:
+        Base virtual address; must be aligned to ``region_size``.
+    region_size:
+        Power-of-two span managed by the allocator.
+    min_block:
+        Minimum block size K (LMI default 256).
+    meter:
+        Optional :class:`FootprintMeter` accounting backing store
+        (rounded block sizes).
+    space:
+        Memory space label used in error reports.
+    """
+
+    def __init__(
+        self,
+        region_base: int,
+        region_size: int,
+        *,
+        min_block: int = 256,
+        meter: Optional[FootprintMeter] = None,
+        space: MemorySpace = MemorySpace.GLOBAL,
+    ) -> None:
+        if not is_power_of_two(region_size):
+            raise ConfigurationError("region size must be a power of two")
+        if not is_power_of_two(min_block) or min_block > region_size:
+            raise ConfigurationError("invalid minimum block size")
+        if region_base % region_size:
+            raise ConfigurationError(
+                "region base must be aligned to the region size"
+            )
+        self.region_base = region_base
+        self.region_size = region_size
+        self.min_order = log2_exact(min_block)
+        self.max_order = log2_exact(region_size)
+        self.space = space
+        self.meter = meter
+        # Free lists: order -> set of block offsets (relative to base).
+        self._free: Dict[int, Set[int]] = {
+            order: set() for order in range(self.min_order, self.max_order + 1)
+        }
+        self._free[self.max_order].add(0)
+        # Live blocks: offset -> AlignedBlock.
+        self._live: Dict[int, AlignedBlock] = {}
+        self._freed_bases: Set[int] = set()
+
+    # ------------------------------------------------------------------
+
+    def _order_for(self, size: int) -> int:
+        order = max(self.min_order, ceil_log2(max(size, 1)))
+        if order > self.max_order:
+            raise AllocationError(
+                f"request of {size} bytes exceeds region of "
+                f"{self.region_size} bytes"
+            )
+        return order
+
+    def alloc(self, size: int) -> AlignedBlock:
+        """Allocate *size* bytes, rounded up to 2^n and self-aligned."""
+        if size < 0:
+            raise AllocationError("allocation size must be non-negative")
+        order = self._order_for(size)
+        split_from = order
+        while split_from <= self.max_order and not self._free[split_from]:
+            split_from += 1
+        if split_from > self.max_order:
+            raise AllocationError(
+                f"out of memory: no free block of order >= {order}"
+            )
+        offset = min(self._free[split_from])
+        self._free[split_from].remove(offset)
+        # Split down to the requested order, releasing upper buddies.
+        while split_from > order:
+            split_from -= 1
+            buddy = offset + (1 << split_from)
+            self._free[split_from].add(buddy)
+        block = AlignedBlock(
+            base=self.region_base + offset, requested=size, rounded=1 << order
+        )
+        self._live[offset] = block
+        self._freed_bases.discard(block.base)
+        if self.meter is not None:
+            self.meter.grow(block.rounded)
+        return block
+
+    def free(self, base: int) -> AlignedBlock:
+        """Free the live block starting exactly at *base*."""
+        offset = base - self.region_base
+        block = self._live.pop(offset, None)
+        if block is None:
+            if base in self._freed_bases:
+                raise DoubleFreeError(
+                    f"double free of 0x{base:x}",
+                    space=self.space,
+                    address=base,
+                    mechanism="allocator",
+                )
+            raise InvalidFreeError(
+                f"free of 0x{base:x} which is not a live allocation base",
+                space=self.space,
+                address=base,
+                mechanism="allocator",
+            )
+        self._freed_bases.add(base)
+        if self.meter is not None:
+            self.meter.shrink(block.rounded)
+        # Coalesce with free buddies as far as possible.
+        order = block.order
+        while order < self.max_order:
+            buddy = offset ^ (1 << order)
+            if buddy not in self._free[order]:
+                break
+            self._free[order].remove(buddy)
+            offset = min(offset, buddy)
+            order += 1
+        self._free[order].add(offset)
+        return block
+
+    # ------------------------------------------------------------------
+
+    def live_block_at(self, base: int) -> Optional[AlignedBlock]:
+        """Live block whose base is exactly *base*, if any."""
+        return self._live.get(base - self.region_base)
+
+    @property
+    def live_blocks(self) -> List[AlignedBlock]:
+        """All live blocks, ordered by base address."""
+        return [self._live[o] for o in sorted(self._live)]
+
+    @property
+    def free_bytes(self) -> int:
+        """Total bytes on the free lists."""
+        return sum(
+            len(offsets) << order for order, offsets in self._free.items()
+        )
+
+    @property
+    def live_bytes(self) -> int:
+        """Total rounded bytes held by live blocks."""
+        return sum(b.rounded for b in self._live.values())
+
+    def check_invariants(self) -> None:
+        """Assert buddy-allocator invariants (used by property tests).
+
+        * free + live bytes cover the region exactly;
+        * every free/live block is aligned to its own size;
+        * no two blocks overlap.
+        """
+        total = self.free_bytes + self.live_bytes
+        if total != self.region_size:
+            raise AssertionError(
+                f"accounting leak: free+live={total} != region={self.region_size}"
+            )
+        spans = []
+        for order, offsets in self._free.items():
+            for offset in offsets:
+                if offset % (1 << order):
+                    raise AssertionError("misaligned free block")
+                spans.append((offset, offset + (1 << order)))
+        for offset, block in self._live.items():
+            if offset % block.rounded:
+                raise AssertionError("misaligned live block")
+            spans.append((offset, offset + block.rounded))
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            if start < end:
+                raise AssertionError("overlapping blocks")

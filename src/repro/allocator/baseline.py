@@ -1,0 +1,126 @@
+"""Baseline (non-LMI) allocator modelling stock ``cudaMalloc``.
+
+Stock CUDA device allocation returns buffers aligned to a 256-byte
+granule but *sized* to the request rounded up only to that granule —
+no power-of-two rounding.  This is the "base" case of the paper's
+Figure 4 fragmentation study: the relative RSS increase of LMI is the
+ratio of 2^n-rounded footprints to granule-rounded footprints.
+
+The allocator is a simple first-fit free-list over a region, which is
+enough fidelity for footprint accounting while still exercising reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..common.bitops import align_up
+from ..common.errors import (
+    AllocationError,
+    ConfigurationError,
+    DoubleFreeError,
+    InvalidFreeError,
+    MemorySpace,
+)
+from .rss import FootprintMeter
+
+
+@dataclass(frozen=True)
+class BaselineBlock:
+    """One allocation from the baseline allocator."""
+
+    base: int
+    requested: int
+    padded: int  # request rounded to the granule
+
+
+class BaselineAllocator:
+    """First-fit allocator with granule-only rounding."""
+
+    def __init__(
+        self,
+        region_base: int,
+        region_size: int,
+        *,
+        granule: int = 256,
+        meter: Optional[FootprintMeter] = None,
+        space: MemorySpace = MemorySpace.GLOBAL,
+    ) -> None:
+        if region_size <= 0 or granule <= 0:
+            raise ConfigurationError("region and granule must be positive")
+        self.region_base = region_base
+        self.region_size = region_size
+        self.granule = granule
+        self.space = space
+        self.meter = meter
+        # Free list of (offset, size) holes, sorted by offset.
+        self._holes: List[Tuple[int, int]] = [(0, region_size)]
+        self._live: Dict[int, BaselineBlock] = {}
+        self._freed: set = set()
+
+    def alloc(self, size: int) -> BaselineBlock:
+        """Allocate *size* bytes padded to the granule."""
+        if size < 0:
+            raise AllocationError("allocation size must be non-negative")
+        padded = align_up(max(size, 1), self.granule)
+        for index, (offset, hole) in enumerate(self._holes):
+            if hole >= padded:
+                if hole == padded:
+                    del self._holes[index]
+                else:
+                    self._holes[index] = (offset + padded, hole - padded)
+                block = BaselineBlock(
+                    base=self.region_base + offset, requested=size, padded=padded
+                )
+                self._live[offset] = block
+                self._freed.discard(block.base)
+                if self.meter is not None:
+                    self.meter.grow(padded)
+                return block
+        raise AllocationError(f"out of memory for {size}-byte request")
+
+    def free(self, base: int) -> BaselineBlock:
+        """Free the live block starting exactly at *base*."""
+        offset = base - self.region_base
+        block = self._live.pop(offset, None)
+        if block is None:
+            if base in self._freed:
+                raise DoubleFreeError(
+                    f"double free of 0x{base:x}",
+                    space=self.space,
+                    address=base,
+                    mechanism="allocator",
+                )
+            raise InvalidFreeError(
+                f"free of 0x{base:x} which is not a live allocation base",
+                space=self.space,
+                address=base,
+                mechanism="allocator",
+            )
+        self._freed.add(base)
+        if self.meter is not None:
+            self.meter.shrink(block.padded)
+        self._insert_hole(offset, block.padded)
+        return block
+
+    def _insert_hole(self, offset: int, size: int) -> None:
+        """Insert a hole, coalescing with neighbours."""
+        self._holes.append((offset, size))
+        self._holes.sort()
+        merged: List[Tuple[int, int]] = []
+        for start, span in self._holes:
+            if merged and merged[-1][0] + merged[-1][1] == start:
+                merged[-1] = (merged[-1][0], merged[-1][1] + span)
+            else:
+                merged.append((start, span))
+        self._holes = merged
+
+    @property
+    def live_bytes(self) -> int:
+        """Total padded bytes held by live blocks."""
+        return sum(b.padded for b in self._live.values())
+
+    def live_block_at(self, base: int) -> Optional[BaselineBlock]:
+        """Live block whose base is exactly *base*, if any."""
+        return self._live.get(base - self.region_base)

@@ -1,0 +1,201 @@
+"""CUDA kernel ``malloc()`` model (paper Figure 5, section IV-E).
+
+The device-side allocator used inside CUDA kernels is a multi-threaded
+group allocator: buffers are carved out of per-group arenas as
+multiples of a *chunk unit* that depends on the allocation size (the
+paper observes units such as 80 B and 2208 B), small allocations share
+a common group header, and different threads can work in different
+groups concurrently without contending on one header.
+
+Two consequences matter for LMI:
+
+* the stock allocator *already* fragments — a request not aligned to
+  the chunk unit wastes up to ``unit - 1`` bytes, up to ~50 % — so
+  LMI's 2^n rounding is not uniquely wasteful on the device heap;
+* per-thread concurrent allocation means bounds metadata lookups would
+  multiply memory traffic, motivating LMI's metadata-free design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..common.errors import (
+    AllocationError,
+    ConfigurationError,
+    DoubleFreeError,
+    InvalidFreeError,
+    MemorySpace,
+)
+from .rss import FootprintMeter
+
+#: Size classes: (largest request served, chunk unit in bytes).
+#: Requests above the last class are served page-granular.
+DEFAULT_SIZE_CLASSES: Tuple[Tuple[int, int], ...] = (
+    (2048, 80),
+    (65536, 2208),
+)
+#: Chunk unit for requests above every size class.
+LARGE_UNIT = 65536
+#: Bytes of header shared by all chunks in one group.
+GROUP_HEADER_BYTES = 128
+#: Chunks per group before a new group is opened.
+GROUP_CAPACITY = 32
+
+
+@dataclass
+class DeviceBlock:
+    """One kernel-heap allocation."""
+
+    base: int
+    requested: int
+    footprint: int  # chunk-rounded bytes actually consumed
+    unit: int
+    thread: Optional[int] = None
+
+    @property
+    def internal_waste(self) -> int:
+        """Bytes lost to chunk rounding for this block."""
+        return self.footprint - self.requested
+
+
+@dataclass
+class _Group:
+    """One allocation group: an arena of equal-unit chunks."""
+
+    base: int
+    unit: int
+    cursor: int = 0
+    live_chunks: int = 0
+    capacity: int = GROUP_CAPACITY
+
+    def remaining_chunks(self, chunks: int) -> bool:
+        return self.cursor + chunks <= self.capacity
+
+
+class DeviceHeapAllocator:
+    """Group/chunk allocator mirroring CUDA's in-kernel ``malloc``."""
+
+    def __init__(
+        self,
+        region_base: int,
+        region_size: int,
+        *,
+        size_classes: Tuple[Tuple[int, int], ...] = DEFAULT_SIZE_CLASSES,
+        meter: Optional[FootprintMeter] = None,
+    ) -> None:
+        if region_size <= 0:
+            raise ConfigurationError("region size must be positive")
+        for limit, unit in size_classes:
+            if limit <= 0 or unit <= 0:
+                raise ConfigurationError("invalid size class")
+        self.region_base = region_base
+        self.region_size = region_size
+        self.size_classes = tuple(sorted(size_classes))
+        self.meter = meter
+        self._bump = 0  # bump pointer for new groups (no group reclaim)
+        self._open_groups: Dict[int, List[_Group]] = {}
+        self._live: Dict[int, DeviceBlock] = {}
+        self._freed: set = set()
+
+    # ------------------------------------------------------------------
+
+    def _unit_for(self, size: int) -> int:
+        for limit, unit in self.size_classes:
+            if size <= limit:
+                return unit
+        return LARGE_UNIT
+
+    def _new_group(self, unit: int) -> _Group:
+        span = GROUP_HEADER_BYTES + unit * GROUP_CAPACITY
+        if self._bump + span > self.region_size:
+            raise AllocationError("device heap exhausted")
+        group = _Group(base=self.region_base + self._bump + GROUP_HEADER_BYTES,
+                       unit=unit)
+        self._bump += span
+        if self.meter is not None:
+            self.meter.grow(GROUP_HEADER_BYTES)
+        self._open_groups.setdefault(unit, []).append(group)
+        return group
+
+    def alloc(self, size: int, thread: Optional[int] = None) -> DeviceBlock:
+        """Allocate *size* bytes from the kernel heap."""
+        if size < 0:
+            raise AllocationError("allocation size must be non-negative")
+        size = max(size, 1)
+        unit = self._unit_for(size)
+        chunks = -(-size // unit)  # ceil division
+        groups = self._open_groups.setdefault(unit, [])
+        group = None
+        for candidate in groups:
+            if candidate.remaining_chunks(chunks):
+                group = candidate
+                break
+        if group is None:
+            group = self._new_group(unit)
+            if not group.remaining_chunks(chunks):
+                raise AllocationError(
+                    f"request of {size} bytes exceeds one group "
+                    f"({unit * GROUP_CAPACITY} bytes)"
+                )
+        base = group.base + group.cursor * unit
+        group.cursor += chunks
+        group.live_chunks += chunks
+        block = DeviceBlock(
+            base=base,
+            requested=size,
+            footprint=chunks * unit,
+            unit=unit,
+            thread=thread,
+        )
+        self._live[base] = block
+        self._freed.discard(base)
+        if self.meter is not None:
+            self.meter.grow(block.footprint)
+        return block
+
+    def free(self, base: int) -> DeviceBlock:
+        """Free the live chunk run starting exactly at *base*."""
+        block = self._live.pop(base, None)
+        if block is None:
+            if base in self._freed:
+                raise DoubleFreeError(
+                    f"double free of 0x{base:x}",
+                    space=MemorySpace.HEAP,
+                    address=base,
+                    mechanism="allocator",
+                )
+            raise InvalidFreeError(
+                f"free of 0x{base:x} which is not a live allocation base",
+                space=MemorySpace.HEAP,
+                address=base,
+                mechanism="allocator",
+            )
+        self._freed.add(base)
+        if self.meter is not None:
+            self.meter.shrink(block.footprint)
+        return block
+
+    # ------------------------------------------------------------------
+
+    @property
+    def live_blocks(self) -> List[DeviceBlock]:
+        """Live allocations ordered by base address."""
+        return [self._live[b] for b in sorted(self._live)]
+
+    def fragmentation(self) -> float:
+        """Current internal fragmentation of live allocations.
+
+        Ratio of wasted (chunk-rounding) bytes to requested bytes —
+        up to ~0.5 for requests just above a chunk multiple.
+        """
+        requested = sum(b.requested for b in self._live.values())
+        footprint = sum(b.footprint for b in self._live.values())
+        if requested == 0:
+            return 0.0
+        return footprint / requested - 1.0
+
+    def live_block_at(self, base: int) -> Optional[DeviceBlock]:
+        """Live block whose base is exactly *base*, if any."""
+        return self._live.get(base)

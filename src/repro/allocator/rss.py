@@ -1,0 +1,68 @@
+"""Footprint metering for fragmentation experiments (paper Figure 4).
+
+The paper measures peak RSS of each benchmark under the stock
+allocator and under LMI's 2^n rounding, then reports the relative
+increase.  :class:`FootprintMeter` is the shared accounting primitive:
+allocators report the *backing-store* bytes they hold for each live
+block (including rounding, padding, and headers) and the meter keeps
+the running and peak totals.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ConfigurationError
+
+
+class FootprintMeter:
+    """High-water-mark tracker for allocator backing storage."""
+
+    def __init__(self) -> None:
+        self._current = 0
+        self._peak = 0
+
+    def grow(self, nbytes: int) -> None:
+        """Account *nbytes* of newly held backing store."""
+        if nbytes < 0:
+            raise ConfigurationError("growth must be non-negative")
+        self._current += nbytes
+        if self._current > self._peak:
+            self._peak = self._current
+
+    def shrink(self, nbytes: int) -> None:
+        """Release *nbytes* of backing store."""
+        if nbytes < 0:
+            raise ConfigurationError("shrink must be non-negative")
+        if nbytes > self._current:
+            raise ConfigurationError("releasing more than currently held")
+        self._current -= nbytes
+
+    @property
+    def current_bytes(self) -> int:
+        """Currently held backing store."""
+        return self._current
+
+    @property
+    def peak_bytes(self) -> int:
+        """Peak (RSS-like) backing store over the run."""
+        return self._peak
+
+    def reset(self) -> None:
+        """Zero both counters."""
+        self._current = 0
+        self._peak = 0
+
+
+def relative_overhead(base_peak: int, lmi_peak: int) -> float:
+    """Relative peak-RSS increase of LMI over the baseline.
+
+    Returns e.g. 0.859 for an 85.9 % increase.  A zero baseline with a
+    zero LMI peak is 0; a zero baseline with nonzero LMI is undefined
+    and raises.
+    """
+    if base_peak < 0 or lmi_peak < 0:
+        raise ConfigurationError("peaks must be non-negative")
+    if base_peak == 0:
+        if lmi_peak == 0:
+            return 0.0
+        raise ConfigurationError("baseline peak is zero but LMI peak is not")
+    return lmi_peak / base_peak - 1.0

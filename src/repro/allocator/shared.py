@@ -1,0 +1,135 @@
+"""Per-block shared-memory allocator (paper sections V-B, IX-A).
+
+Shared memory is sized at kernel launch: statically-declared
+``__shared__`` arrays get fixed offsets from the compiler/driver, and
+one optional *dynamic* pool (the ``extern __shared__`` region) takes
+whatever launch parameter the host supplied.
+
+Under LMI the driver aligns each *static* allocation to its rounded
+power-of-two size so shared pointers carry extents like any other.
+The *dynamic* pool is deliberately left coarse-grained — one extent
+covering the whole pool — because (1) its internal layout is carved by
+proprietary driver code and (2) fine-grained alignment would fragment
+the small shared-memory budget (paper section IX-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..common.bitops import align_down, align_up, next_power_of_two
+from ..common.errors import AllocationError, ConfigurationError
+from .rss import FootprintMeter
+
+
+@dataclass(frozen=True)
+class SharedBuffer:
+    """One shared-memory allocation within a block's window."""
+
+    base: int
+    requested: int
+    rounded: int
+    dynamic: bool = False
+
+
+class SharedAllocator:
+    """Launch-time shared-memory layout for one thread block.
+
+    Static allocations are placed bottom-up; the dynamic pool, if
+    requested, takes the remaining space at the top of the window.
+    """
+
+    ABI_ALIGNMENT = 8
+
+    def __init__(
+        self,
+        window_base: int,
+        window_size: int,
+        *,
+        lmi_aligned: bool = False,
+        min_alignment: int = 256,
+        meter: Optional[FootprintMeter] = None,
+    ) -> None:
+        if window_size <= 0:
+            raise ConfigurationError("window size must be positive")
+        self.window_base = window_base
+        self.window_size = window_size
+        self.lmi_aligned = lmi_aligned
+        self.min_alignment = min_alignment
+        self.meter = meter
+        self._cursor = window_base
+        self._static: List[SharedBuffer] = []
+        self._dynamic: Optional[SharedBuffer] = None
+
+    def alloc_static(self, size: int) -> SharedBuffer:
+        """Place one statically-declared shared array."""
+        if size <= 0:
+            raise AllocationError("shared allocation size must be positive")
+        if self._dynamic is not None:
+            raise AllocationError(
+                "static shared allocations must precede the dynamic pool"
+            )
+        if self.lmi_aligned:
+            rounded = next_power_of_two(max(size, self.min_alignment))
+            base = align_up(self._cursor, rounded)
+        else:
+            rounded = align_up(size, self.ABI_ALIGNMENT)
+            base = align_up(self._cursor, self.ABI_ALIGNMENT)
+        if base + rounded > self.window_base + self.window_size:
+            raise AllocationError(
+                f"shared memory exhausted placing {size}-byte array"
+            )
+        if self.meter is not None:
+            self.meter.grow(base + rounded - self._cursor)
+        self._cursor = base + rounded
+        buffer = SharedBuffer(base=base, requested=size, rounded=rounded)
+        self._static.append(buffer)
+        return buffer
+
+    def alloc_dynamic_pool(self, size: int) -> SharedBuffer:
+        """Reserve the launch-parameter dynamic pool (coarse-grained).
+
+        Under LMI the pool gets a single extent covering its rounded
+        span: intra-pool overflows are not caught, but escapes from the
+        pool are (the coarse protection of paper section IX-A).
+        """
+        if self._dynamic is not None:
+            raise AllocationError("dynamic pool already reserved")
+        if size <= 0:
+            raise AllocationError("dynamic pool size must be positive")
+        if self.lmi_aligned:
+            rounded = next_power_of_two(max(size, self.min_alignment))
+            limit = self.window_base + self.window_size
+            base = align_down(limit - rounded, rounded)
+        else:
+            rounded = align_up(size, self.ABI_ALIGNMENT)
+            base = self.window_base + self.window_size - rounded
+        if base < self._cursor:
+            raise AllocationError(
+                "dynamic pool collides with static shared allocations"
+            )
+        if self.meter is not None:
+            self.meter.grow(rounded)
+        self._dynamic = SharedBuffer(
+            base=base, requested=size, rounded=rounded, dynamic=True
+        )
+        return self._dynamic
+
+    @property
+    def static_buffers(self) -> List[SharedBuffer]:
+        """Static allocations in placement order."""
+        return list(self._static)
+
+    @property
+    def dynamic_pool(self) -> Optional[SharedBuffer]:
+        """The dynamic pool, if reserved."""
+        return self._dynamic
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes consumed inside the window (static span + pool)."""
+        used = self._cursor - self.window_base
+        if self._dynamic is not None:
+            used += self._dynamic.rounded
+        return used

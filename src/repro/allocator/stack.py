@@ -1,0 +1,154 @@
+"""Per-thread stack (local memory) allocator (paper section V-B).
+
+GPU stack buffers are created by the compiler: the stack pointer is
+loaded from constant bank 0 and decremented by the frame size
+(``IADD3 R1, R1, -0x60, RZ`` in the paper's Figure 7).  Under LMI the
+driver aligns the stack window and the compiler rounds each buffer to
+a power of two and places it at a self-aligned offset, so stack
+pointers can carry extent bits exactly like heap pointers.
+
+The allocator models call frames explicitly: ``push_frame`` /
+``pop_frame`` bracket a function's scope, and popping reports the
+buffers that just went out of scope so the LMI compiler pass can
+nullify their pointers (use-after-scope protection, section VIII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..common.bitops import align_down, align_up, next_power_of_two
+from ..common.errors import AllocationError, ConfigurationError
+from .rss import FootprintMeter
+
+
+@dataclass(frozen=True)
+class StackBuffer:
+    """One stack allocation inside a frame."""
+
+    base: int
+    requested: int
+    rounded: int
+    frame_depth: int
+
+
+@dataclass
+class _Frame:
+    """One call frame: its entry stack pointer and its buffers."""
+
+    entry_sp: int
+    depth: int
+    buffers: List[StackBuffer] = field(default_factory=list)
+
+
+class StackAllocator:
+    """Downward-growing per-thread stack with optional LMI alignment.
+
+    Parameters
+    ----------
+    window_base:
+        Lowest address of the thread's local window.
+    window_size:
+        Size of the window; the stack top starts at
+        ``window_base + window_size``.
+    lmi_aligned:
+        When True, buffers are rounded to powers of two (minimum
+        ``min_alignment``) and placed self-aligned; when False, the
+        stock 16-byte ABI alignment is used.
+    min_alignment:
+        LMI's K (256 by default).
+    """
+
+    ABI_ALIGNMENT = 16
+
+    def __init__(
+        self,
+        window_base: int,
+        window_size: int,
+        *,
+        lmi_aligned: bool = False,
+        min_alignment: int = 256,
+        meter: Optional[FootprintMeter] = None,
+    ) -> None:
+        if window_size <= 0:
+            raise ConfigurationError("window size must be positive")
+        self.window_base = window_base
+        self.window_limit = window_base + window_size
+        self.lmi_aligned = lmi_aligned
+        self.min_alignment = min_alignment
+        self.meter = meter
+        self._sp = self.window_limit
+        self._frames: List[_Frame] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def stack_pointer(self) -> int:
+        """Current stack pointer (grows downward)."""
+        return self._sp
+
+    @property
+    def depth(self) -> int:
+        """Current call depth (number of open frames)."""
+        return len(self._frames)
+
+    def push_frame(self) -> int:
+        """Open a new call frame; returns its depth."""
+        self._frames.append(_Frame(entry_sp=self._sp, depth=len(self._frames)))
+        return len(self._frames) - 1
+
+    def pop_frame(self) -> List[StackBuffer]:
+        """Close the innermost frame, releasing its buffers.
+
+        Returns the buffers that just went out of scope (the LMI pass
+        nullifies the registers holding pointers to them).
+        """
+        if not self._frames:
+            raise AllocationError("pop_frame with no open frame")
+        frame = self._frames.pop()
+        if self.meter is not None:
+            self.meter.shrink(frame.entry_sp - self._sp)
+        self._sp = frame.entry_sp
+        return frame.buffers
+
+    def alloca(self, size: int) -> StackBuffer:
+        """Allocate *size* bytes in the innermost frame."""
+        if not self._frames:
+            raise AllocationError("alloca outside any frame")
+        if size < 0:
+            raise AllocationError("allocation size must be non-negative")
+        size = max(size, 1)
+        if self.lmi_aligned:
+            rounded = next_power_of_two(max(size, self.min_alignment))
+            new_sp = align_down(self._sp - rounded, rounded)
+        else:
+            rounded = align_up(size, self.ABI_ALIGNMENT)
+            new_sp = self._sp - rounded
+        if new_sp < self.window_base:
+            raise AllocationError(
+                f"stack overflow: {size}-byte alloca at depth {self.depth}"
+            )
+        if self.meter is not None:
+            self.meter.grow(self._sp - new_sp)
+        self._sp = new_sp
+        buffer = StackBuffer(
+            base=new_sp,
+            requested=size,
+            rounded=rounded,
+            frame_depth=len(self._frames) - 1,
+        )
+        self._frames[-1].buffers.append(buffer)
+        return buffer
+
+    def frame_buffers(self, depth: Optional[int] = None) -> List[StackBuffer]:
+        """Buffers of the frame at *depth* (innermost by default)."""
+        if not self._frames:
+            return []
+        frame = self._frames[-1 if depth is None else depth]
+        return list(frame.buffers)
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes between the window top and the stack pointer."""
+        return self.window_limit - self._sp

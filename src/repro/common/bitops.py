@@ -1,0 +1,104 @@
+"""Bit-manipulation helpers shared across the library.
+
+All pointer math in the LMI design happens on 64-bit unsigned values.
+Python integers are unbounded, so these helpers centralise the masking
+discipline (everything is reduced modulo 2**64) and the power-of-two
+arithmetic the aligned allocator and pointer encoding rely on.
+"""
+
+from __future__ import annotations
+
+from .errors import ConfigurationError
+
+#: Width of a GPU virtual address / pointer register pair.
+WORD_BITS = 64
+#: Mask selecting all 64 bits of a pointer word.
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+def to_u64(value: int) -> int:
+    """Reduce *value* to an unsigned 64-bit integer (two's complement)."""
+    return value & WORD_MASK
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True iff *value* is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def next_power_of_two(value: int) -> int:
+    """Round *value* up to the nearest power of two.
+
+    ``next_power_of_two(0)`` is defined as 1 so that zero-byte
+    allocations still receive a minimal buffer, mirroring how CUDA's
+    allocator returns a usable pointer for ``malloc(0)``.
+    """
+    if value < 0:
+        raise ConfigurationError(f"size must be non-negative, got {value}")
+    if value <= 1:
+        return 1
+    return 1 << (value - 1).bit_length()
+
+
+def log2_exact(value: int) -> int:
+    """Return log2 of an exact power of two, raising otherwise."""
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"{value} is not a power of two")
+    return value.bit_length() - 1
+
+def ceil_log2(value: int) -> int:
+    """Return ``ceil(log2(value))`` for a positive integer."""
+    if value <= 0:
+        raise ConfigurationError(f"value must be positive, got {value}")
+    return (value - 1).bit_length()
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round *value* up to the next multiple of *alignment* (a power of 2)."""
+    if not is_power_of_two(alignment):
+        raise ConfigurationError(f"alignment must be a power of two, got {alignment}")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round *value* down to the previous multiple of *alignment*."""
+    if not is_power_of_two(alignment):
+        raise ConfigurationError(f"alignment must be a power of two, got {alignment}")
+    return value & ~(alignment - 1)
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """Return True iff *value* is a multiple of *alignment* (a power of 2)."""
+    if not is_power_of_two(alignment):
+        raise ConfigurationError(f"alignment must be a power of two, got {alignment}")
+    return (value & (alignment - 1)) == 0
+
+
+def low_mask(bits: int) -> int:
+    """Mask selecting the *bits* least-significant bits."""
+    if bits < 0 or bits > WORD_BITS:
+        raise ConfigurationError(f"bit count out of range: {bits}")
+    return (1 << bits) - 1
+
+
+def bit_field(value: int, low: int, width: int) -> int:
+    """Extract ``value[low + width - 1 : low]`` as an unsigned integer."""
+    if width < 0 or low < 0:
+        raise ConfigurationError("field bounds must be non-negative")
+    return (value >> low) & low_mask(width)
+
+
+def set_bit_field(value: int, low: int, width: int, field: int) -> int:
+    """Return *value* with ``value[low+width-1:low]`` replaced by *field*."""
+    mask = low_mask(width)
+    if field & ~mask:
+        raise ConfigurationError(
+            f"field value 0x{field:x} does not fit in {width} bits"
+        )
+    cleared = value & ~(mask << low)
+    return to_u64(cleared | (field << low))
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in *value* (non-negative)."""
+    return bin(value & WORD_MASK).count("1")

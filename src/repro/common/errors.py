@@ -1,0 +1,163 @@
+"""Exception hierarchy for the LMI reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so
+downstream users can catch library failures with a single ``except``
+clause.  Memory-safety *violations* detected by a mechanism are modelled
+as exceptions deriving from :class:`MemorySafetyViolation`; they carry
+enough context (address, thread, memory space) to build the security
+evaluation harness on top of them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid parameters."""
+
+
+class CompileError(ReproError):
+    """The mini compiler rejected a kernel (type errors, bad IR, ...)."""
+
+
+class ForbiddenCastError(CompileError):
+    """An ``inttoptr``/``ptrtoint`` cast was found in the kernel IR.
+
+    LMI forbids these casts at static-analysis time (paper section
+    XII-B) because a pointer conjured from an integer carries no
+    verified extent bits and would break the Correct-by-Construction
+    invariant.
+    """
+
+
+class AllocationError(ReproError):
+    """An allocator could not satisfy a request (OOM, bad size...)."""
+
+
+class SimulationError(ReproError):
+    """The functional executor or the timing simulator hit an
+    inconsistent state (bad trace, unknown opcode, ...)."""
+
+
+class TraceFormatError(SimulationError):
+    """A trace record could not be parsed or was semantically invalid."""
+
+
+class MemorySpace(enum.Enum):
+    """GPU memory spaces relevant as attack targets (paper section II-A).
+
+    Registers / constant / texture / surface memory are excluded, as in
+    the paper, because they are irrelevant attack targets.
+    """
+
+    GLOBAL = "global"
+    SHARED = "shared"
+    LOCAL = "local"
+    HEAP = "heap"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class ViolationKind(enum.Enum):
+    """Classification of a detected memory-safety violation."""
+
+    SPATIAL = "spatial"
+    TEMPORAL = "temporal"
+    INVALID_FREE = "invalid-free"
+    DOUBLE_FREE = "double-free"
+
+
+class MemorySafetyViolation(ReproError):
+    """A memory-safety mechanism detected a violation.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description.
+    kind:
+        Spatial / temporal / invalid-free / double-free.
+    space:
+        The memory space of the faulting access, if known.
+    address:
+        The faulting (virtual) address, if known.
+    thread:
+        Flat thread id of the faulting thread, if known.
+    mechanism:
+        Name of the mechanism that raised the fault.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: ViolationKind = ViolationKind.SPATIAL,
+        space: Optional[MemorySpace] = None,
+        address: Optional[int] = None,
+        thread: Optional[int] = None,
+        mechanism: str = "unknown",
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.space = space
+        self.address = address
+        self.thread = thread
+        self.mechanism = mechanism
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        addr = f"0x{self.address:x}" if self.address is not None else "?"
+        return (
+            f"<{type(self).__name__} kind={self.kind.value} space={self.space} "
+            f"addr={addr} thread={self.thread} mechanism={self.mechanism}>"
+        )
+
+
+class SpatialViolation(MemorySafetyViolation):
+    """Out-of-bounds access (adjacent, non-adjacent, or intra-object)."""
+
+    def __init__(self, message: str, **kwargs) -> None:
+        kwargs.setdefault("kind", ViolationKind.SPATIAL)
+        super().__init__(message, **kwargs)
+
+
+class TemporalViolation(MemorySafetyViolation):
+    """Use-after-free / use-after-scope access."""
+
+    def __init__(self, message: str, **kwargs) -> None:
+        kwargs.setdefault("kind", ViolationKind.TEMPORAL)
+        super().__init__(message, **kwargs)
+
+
+class InvalidFreeError(MemorySafetyViolation):
+    """``free()`` called on a pointer that was never allocated."""
+
+    def __init__(self, message: str, **kwargs) -> None:
+        kwargs.setdefault("kind", ViolationKind.INVALID_FREE)
+        super().__init__(message, **kwargs)
+
+
+class DoubleFreeError(MemorySafetyViolation):
+    """``free()`` called twice on the same allocation."""
+
+    def __init__(self, message: str, **kwargs) -> None:
+        kwargs.setdefault("kind", ViolationKind.DOUBLE_FREE)
+        super().__init__(message, **kwargs)
+
+
+class KernelFault(SimulationError):
+    """A kernel was terminated by a mechanism fault.
+
+    Wraps the underlying :class:`MemorySafetyViolation` together with
+    the program counter at which the kernel stopped.
+    """
+
+    def __init__(self, violation: MemorySafetyViolation, pc: int) -> None:
+        super().__init__(f"kernel fault at pc={pc}: {violation}")
+        self.violation = violation
+        self.pc = pc

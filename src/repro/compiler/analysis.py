@@ -1,0 +1,147 @@
+"""Static pointer analysis (paper section VI-A and Figure 8).
+
+The paper's LLVM pass walks kernel IR to (1) find instructions whose
+operands are pointers, so the backend can mark them with hint bits,
+and (2) prove the kernel free of ``inttoptr`` / ``ptrtoint`` casts and
+of pointer stores to memory — the two constructs that would let an
+unverified value become a pointer (section XII-B) or let a pointer
+escape the register-based Correct-by-Construction lifecycle
+(section VI-A).
+
+This module is the analogue: :func:`find_pointer_arithmetic` returns
+the instructions to annotate together with the operand index of the
+pointer, and :func:`scan_feasibility` reports every construct LMI
+forbids, mirroring the paper's survey of 57 kernel files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..common.errors import ForbiddenCastError
+from .ir import (
+    Instr,
+    IntToPtr,
+    IRType,
+    Module,
+    PtrAdd,
+    PtrToInt,
+    Store,
+    operand_type,
+)
+
+
+@dataclass(frozen=True)
+class PointerArithSite:
+    """One pointer-arithmetic instruction and its pointer operand slot."""
+
+    function: str
+    instr: Instr
+    pointer_operand_index: int
+
+
+def find_pointer_arithmetic(module: Module) -> List[PointerArithSite]:
+    """Locate every instruction performing pointer arithmetic.
+
+    In this IR pointer arithmetic is explicit (:class:`PtrAdd`), so the
+    analysis reduces to a type walk — the same information the paper's
+    LLVM pass recovers from ``getelementptr`` and pointer-typed
+    ``add`` operands.  The pointer is always operand 0 of ``PtrAdd``;
+    the index is still computed from operand types so that a future
+    commuted form keeps working.
+    """
+    sites: List[PointerArithSite] = []
+    for function in module.functions.values():
+        for instr in function.instructions():
+            if not isinstance(instr, PtrAdd):
+                continue
+            index = 0
+            for position, operand in enumerate(instr.operands()):
+                if operand_type(operand) is IRType.PTR:
+                    index = position
+                    break
+            sites.append(
+                PointerArithSite(
+                    function=function.name,
+                    instr=instr,
+                    pointer_operand_index=index,
+                )
+            )
+    return sites
+
+
+@dataclass
+class FeasibilityReport:
+    """Outcome of the forbidden-construct scan.
+
+    Mirrors the paper's section XII-B study: counts of ``inttoptr`` /
+    ``ptrtoint`` casts and of pointer-typed stores, per function.
+    """
+
+    module: str
+    inttoptr_sites: List[Tuple[str, Instr]] = field(default_factory=list)
+    ptrtoint_sites: List[Tuple[str, Instr]] = field(default_factory=list)
+    pointer_store_sites: List[Tuple[str, Instr]] = field(default_factory=list)
+
+    @property
+    def is_feasible(self) -> bool:
+        """True iff LMI can protect this module without source changes."""
+        return not (
+            self.inttoptr_sites or self.ptrtoint_sites or self.pointer_store_sites
+        )
+
+    @property
+    def total_violations(self) -> int:
+        """Number of forbidden constructs found."""
+        return (
+            len(self.inttoptr_sites)
+            + len(self.ptrtoint_sites)
+            + len(self.pointer_store_sites)
+        )
+
+
+def scan_feasibility(
+    module: Module, *, forbid_pointer_stores: bool = True
+) -> FeasibilityReport:
+    """Scan a module for constructs LMI forbids."""
+    report = FeasibilityReport(module=module.name)
+    for function in module.functions.values():
+        for instr in function.instructions():
+            if isinstance(instr, IntToPtr):
+                report.inttoptr_sites.append((function.name, instr))
+            elif isinstance(instr, PtrToInt):
+                report.ptrtoint_sites.append((function.name, instr))
+            elif (
+                forbid_pointer_stores
+                and isinstance(instr, Store)
+                and operand_type(instr.value) is IRType.PTR
+            ):
+                report.pointer_store_sites.append((function.name, instr))
+    return report
+
+
+def assert_feasible(
+    module: Module, *, forbid_pointer_stores: bool = True
+) -> FeasibilityReport:
+    """Raise :class:`ForbiddenCastError` if the module uses forbidden
+    constructs; otherwise return the (clean) report.
+
+    This is the compile-error behaviour of the production pass: the
+    paper generates a compiler error on ``inttoptr``/``ptrtoint``.
+    """
+    report = scan_feasibility(module, forbid_pointer_stores=forbid_pointer_stores)
+    if report.inttoptr_sites or report.ptrtoint_sites:
+        function, _ = (report.inttoptr_sites + report.ptrtoint_sites)[0]
+        raise ForbiddenCastError(
+            f"module {module.name!r} uses inttoptr/ptrtoint "
+            f"(first occurrence in function {function!r}); LMI forbids "
+            "forging pointers from integers"
+        )
+    if report.pointer_store_sites:
+        function, _ = report.pointer_store_sites[0]
+        raise ForbiddenCastError(
+            f"module {module.name!r} stores a pointer to memory in "
+            f"function {function!r}; LMI restricts in-memory pointers"
+        )
+    return report

@@ -1,0 +1,353 @@
+"""Backend: lower IR to the virtual ISA with LMI hint bits.
+
+The backend performs a naive lowering (one IR instruction to one or a
+few ISA instructions) with a round-robin register map — enough to
+produce realistic instruction *mixes* and microcode words, which is
+what the timing model and the microcode experiments consume.
+
+Pointer provenance decides which memory pipe a load/store uses:
+``alloca`` chains lower to LDL/STL, shared references to LDS/STS, and
+everything else (kernel parameters, heap) to LDG/STG — matching how
+NVBit's ``getMemorySpace()`` classifies instructions in the paper's
+DBI study.
+
+In LMI mode, stack-buffer creation additionally materialises the
+extent tag into the pointer register (one extra integer instruction),
+and extent nullification lowers to a single AND clearing the top bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..common.errors import CompileError, MemorySpace
+from ..isa.instructions import Instruction, Opcode
+from ..isa.microcode import MicrocodeWord, encode
+from .ir import (  # noqa: F401 - lowering dispatches on these
+    Alloca,
+    Barrier,
+    BinOp,
+    BinOpKind,
+    BlockIdx,
+    Branch,
+    Call,
+    Cmp,
+    Const,
+    DynSharedRef,
+    Free,
+    Function,
+    Instr,
+    IntToPtr,
+    IRType,
+    InvalidateExtent,
+    Jump,
+    Load,
+    Malloc,
+    Module,
+    Operand,
+    PtrAdd,
+    PtrToInt,
+    Ret,
+    ScopeBegin,
+    ScopeEnd,
+    SharedRef,
+    Store,
+    ThreadIdx,
+    Value,
+)
+
+#: SASS-convention registers.
+REG_STACK_POINTER = 1
+REG_ZERO = 255
+_FIRST_GP_REG = 4
+_LAST_GP_REG = 239
+
+_BINOP_OPCODE = {
+    BinOpKind.ADD: Opcode.IADD,
+    BinOpKind.SUB: Opcode.ISUB,
+    BinOpKind.MUL: Opcode.IMUL,
+    BinOpKind.AND: Opcode.AND,
+    BinOpKind.OR: Opcode.OR,
+    BinOpKind.XOR: Opcode.XOR,
+    BinOpKind.SHL: Opcode.SHL,
+    BinOpKind.SHR: Opcode.SHR,
+    BinOpKind.FADD: Opcode.FADD,
+    BinOpKind.FMUL: Opcode.FMUL,
+}
+
+
+@dataclass
+class CompiledFunction:
+    """Lowered form of one IR function."""
+
+    name: str
+    instructions: List[Instruction] = field(default_factory=list)
+    microcode: List[MicrocodeWord] = field(default_factory=list)
+    #: ISA index of each IR instruction's first lowered instruction.
+    source_map: Dict[int, int] = field(default_factory=dict)
+
+    def mix(self) -> Dict[str, int]:
+        """Instruction count per mnemonic."""
+        counts: Dict[str, int] = {}
+        for instruction in self.instructions:
+            key = instruction.opcode.mnemonic
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    @property
+    def pointer_checked_count(self) -> int:
+        """Instructions carrying the A hint bit."""
+        return sum(1 for i in self.instructions if i.hint_activate)
+
+    def disassemble(self) -> str:
+        """SASS-flavoured listing (the paper's Figure 7 view)."""
+        lines = [f"// Function {self.name}", f".text.{self.name}:"]
+        for index, instruction in enumerate(self.instructions):
+            lines.append(f"  /*{index:04x}*/  {instruction.asm()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CompiledModule:
+    """Lowered form of a module."""
+
+    name: str
+    functions: Dict[str, CompiledFunction] = field(default_factory=dict)
+
+    def total_mix(self) -> Dict[str, int]:
+        """Instruction count per mnemonic across all functions."""
+        counts: Dict[str, int] = {}
+        for function in self.functions.values():
+            for key, value in function.mix().items():
+                counts[key] = counts.get(key, 0) + value
+        return counts
+
+
+class _RegisterMap:
+    """Round-robin mapping of IR values onto 8-bit register numbers."""
+
+    def __init__(self) -> None:
+        self._map: Dict[int, int] = {}
+        self._next = _FIRST_GP_REG
+
+    def reg(self, value: Value) -> int:
+        key = id(value)
+        if key not in self._map:
+            self._map[key] = self._next
+            self._next += 1
+            if self._next > _LAST_GP_REG:
+                self._next = _FIRST_GP_REG
+        return self._map[key]
+
+
+class Codegen:
+    """Lowers IR modules; one instance per compilation."""
+
+    def __init__(self, *, lmi_mode: bool = True) -> None:
+        self.lmi_mode = lmi_mode
+
+    # ------------------------------------------------------------------
+
+    def compile_module(self, module: Module) -> CompiledModule:
+        """Lower every function in *module*."""
+        compiled = CompiledModule(name=module.name)
+        for function in module.functions.values():
+            compiled.functions[function.name] = self.compile_function(
+                function, module
+            )
+        return compiled
+
+    def compile_function(self, function: Function, module: Module) -> CompiledFunction:
+        """Lower one function to ISA instructions + microcode."""
+        regs = _RegisterMap()
+        spaces = _infer_spaces(function, module)
+        out = CompiledFunction(name=function.name)
+        for ir_index, instr in enumerate(function.instructions()):
+            out.source_map[ir_index] = len(out.instructions)
+            for isa_instr in self._lower(instr, regs, spaces):
+                out.instructions.append(isa_instr)
+                out.microcode.append(encode(isa_instr))
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _src(self, operand: Operand, regs: _RegisterMap) -> Tuple[int, int]:
+        """(register, immediate) encoding of an operand."""
+        if isinstance(operand, Const):
+            value = operand.value
+            imm = int(value) & ((1 << 40) - 1) if isinstance(value, (int,)) else 0
+            return REG_ZERO, imm
+        return regs.reg(operand), 0
+
+    def _lower(
+        self,
+        instr: Instr,
+        regs: _RegisterMap,
+        spaces: Dict[int, MemorySpace],
+    ) -> List[Instruction]:
+        if isinstance(instr, Alloca):
+            lowered = [
+                # Secure the (rounded, aligned) slot: SP decrement.
+                Instruction(
+                    Opcode.IADD3,
+                    dst=REG_STACK_POINTER,
+                    srcs=(REG_STACK_POINTER,),
+                    imm=instr.size,
+                ),
+                # Materialise the buffer pointer.
+                Instruction(
+                    Opcode.MOV, dst=regs.reg(instr.result), srcs=(REG_STACK_POINTER,)
+                ),
+            ]
+            if self.lmi_mode:
+                # Insert the extent tag into the pointer's top bits.
+                lowered.append(
+                    Instruction(
+                        Opcode.OR,
+                        dst=regs.reg(instr.result),
+                        srcs=(regs.reg(instr.result),),
+                        imm=instr.size,
+                    )
+                )
+            return lowered
+        if isinstance(instr, Malloc):
+            reg, imm = self._src(instr.size, regs)
+            return [
+                Instruction(
+                    Opcode.MALLOC, dst=regs.reg(instr.result), srcs=(reg,), imm=imm
+                )
+            ]
+        if isinstance(instr, Free):
+            reg, _ = self._src(instr.ptr, regs)
+            return [Instruction(Opcode.FREE, dst=REG_ZERO, srcs=(reg,))]
+        if isinstance(instr, PtrAdd):
+            preg, _ = self._src(instr.ptr, regs)
+            oreg, imm = self._src(instr.offset, regs)
+            return [
+                Instruction(
+                    Opcode.IADD,
+                    dst=regs.reg(instr.result),
+                    srcs=(preg, oreg),
+                    imm=imm,
+                    hint_activate=self.lmi_mode and instr.hint_activate,
+                    hint_select=instr.hint_select if self.lmi_mode else 0,
+                )
+            ]
+        if isinstance(instr, Load):
+            space = spaces.get(id(instr), MemorySpace.GLOBAL)
+            opcode = {
+                MemorySpace.GLOBAL: Opcode.LDG,
+                MemorySpace.HEAP: Opcode.LDG,
+                MemorySpace.SHARED: Opcode.LDS,
+                MemorySpace.LOCAL: Opcode.LDL,
+            }[space]
+            preg, _ = self._src(instr.ptr, regs)
+            return [
+                Instruction(opcode, dst=regs.reg(instr.result), srcs=(preg,))
+            ]
+        if isinstance(instr, Store):
+            space = spaces.get(id(instr), MemorySpace.GLOBAL)
+            opcode = {
+                MemorySpace.GLOBAL: Opcode.STG,
+                MemorySpace.HEAP: Opcode.STG,
+                MemorySpace.SHARED: Opcode.STS,
+                MemorySpace.LOCAL: Opcode.STL,
+            }[space]
+            preg, _ = self._src(instr.ptr, regs)
+            vreg, imm = self._src(instr.value, regs)
+            return [Instruction(opcode, dst=REG_ZERO, srcs=(preg, vreg), imm=imm)]
+        if isinstance(instr, BinOp):
+            lreg, limm = self._src(instr.lhs, regs)
+            rreg, rimm = self._src(instr.rhs, regs)
+            return [
+                Instruction(
+                    _BINOP_OPCODE[instr.op],
+                    dst=regs.reg(instr.result),
+                    srcs=(lreg, rreg),
+                    imm=limm or rimm,
+                )
+            ]
+        if isinstance(instr, Cmp):
+            lreg, limm = self._src(instr.lhs, regs)
+            rreg, rimm = self._src(instr.rhs, regs)
+            return [
+                Instruction(
+                    Opcode.ISETP,
+                    dst=regs.reg(instr.result),
+                    srcs=(lreg, rreg),
+                    imm=limm or rimm,
+                )
+            ]
+        if isinstance(instr, (ThreadIdx, BlockIdx)):
+            return [Instruction(Opcode.S2R, dst=regs.reg(instr.result))]
+        if isinstance(instr, (SharedRef, DynSharedRef)):
+            return [Instruction(Opcode.LDC, dst=regs.reg(instr.result))]
+        if isinstance(instr, (IntToPtr, PtrToInt)):
+            reg, imm = self._src(instr.operands()[0], regs)
+            return [
+                Instruction(
+                    Opcode.MOV, dst=regs.reg(instr.result), srcs=(reg,), imm=imm
+                )
+            ]
+        if isinstance(instr, InvalidateExtent):
+            if not self.lmi_mode:
+                return []
+            reg, _ = self._src(instr.ptr, regs)
+            # Clear the extent field: AND with an all-ones-below mask.
+            return [Instruction(Opcode.AND, dst=reg, srcs=(reg,), imm=0)]
+        if isinstance(instr, Call):
+            return [Instruction(Opcode.CALL, dst=REG_ZERO)]
+        if isinstance(instr, Ret):
+            return [Instruction(Opcode.RET, dst=REG_ZERO)]
+        if isinstance(instr, Branch):
+            creg, _ = self._src(instr.cond, regs)
+            return [Instruction(Opcode.BRA, dst=REG_ZERO, srcs=(creg,))]
+        if isinstance(instr, Jump):
+            return [Instruction(Opcode.BRA, dst=REG_ZERO)]
+        if isinstance(instr, Barrier):
+            return [Instruction(Opcode.BAR, dst=REG_ZERO)]
+        if isinstance(instr, ScopeBegin):
+            return []
+        if isinstance(instr, ScopeEnd):
+            # Restore the stack pointer over the dying scope.
+            return [
+                Instruction(
+                    Opcode.IADD3, dst=REG_STACK_POINTER, srcs=(REG_STACK_POINTER,)
+                )
+            ]
+        raise CompileError(f"cannot lower IR instruction {type(instr).__name__}")
+
+
+def _infer_spaces(function: Function, module: Module) -> Dict[int, MemorySpace]:
+    """Provenance-based memory-space inference for loads/stores.
+
+    Walks pointer def-use chains: pointers rooted at an ``alloca`` are
+    LOCAL, at a shared reference SHARED, at a ``malloc`` HEAP, and
+    anything else (parameters, forged pointers) GLOBAL.
+    """
+    origin: Dict[int, MemorySpace] = {}
+
+    def space_of_operand(operand: Operand) -> MemorySpace:
+        if isinstance(operand, Const):
+            return MemorySpace.GLOBAL
+        return origin.get(id(operand), MemorySpace.GLOBAL)
+
+    spaces: Dict[int, MemorySpace] = {}
+    for instr in function.instructions():
+        if isinstance(instr, Alloca):
+            origin[id(instr.result)] = MemorySpace.LOCAL
+        elif isinstance(instr, Malloc):
+            origin[id(instr.result)] = MemorySpace.HEAP
+        elif isinstance(instr, (SharedRef, DynSharedRef)):
+            origin[id(instr.result)] = MemorySpace.SHARED
+        elif isinstance(instr, PtrAdd):
+            origin[id(instr.result)] = space_of_operand(instr.ptr)
+        elif isinstance(instr, (Load, Store)):
+            spaces[id(instr)] = space_of_operand(instr.ptr)
+    return spaces
+
+
+def compile_module(module: Module, *, lmi_mode: bool = True) -> CompiledModule:
+    """Convenience wrapper around :class:`Codegen`."""
+    return Codegen(lmi_mode=lmi_mode).compile_module(module)

@@ -1,0 +1,170 @@
+"""The LMI compiler pass (paper sections V-B, VI, VIII).
+
+Given a verified module, the pass
+
+1. **rejects forbidden constructs** — ``inttoptr`` / ``ptrtoint`` casts
+   and in-memory pointer stores (section XII-B / VI-A);
+2. **annotates pointer arithmetic** — every :class:`PtrAdd` gets the
+   hint bits A (activate OCU) and S (pointer operand index) that the
+   backend writes into the reserved microcode field;
+3. **rounds stack allocations** — each ``alloca`` size is recorded with
+   its power-of-two rounding so codegen reserves an aligned slot
+   (Figure 7's ``IADD3 R1, R1, -0x60`` becomes a rounded, aligned
+   decrement);
+4. **inserts temporal nullification** — an extent-invalidate
+   instruction is placed immediately after every ``free(p)`` and, for
+   every ``alloca``'d buffer, immediately before each ``ret`` of its
+   function (use-after-scope protection).
+
+The pass mutates hint fields and inserts instructions but never
+reorders user code, mirroring the paper's metadata-through-backend
+flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .analysis import assert_feasible, find_pointer_arithmetic
+from .ir import (
+    Alloca,
+    Free,
+    Function,
+    InvalidateExtent,
+    Module,
+    Ret,
+)
+
+
+@dataclass
+class LmiPassResult:
+    """Statistics of one pass run (what the paper reports per kernel)."""
+
+    module: str
+    annotated_ptr_arith: int = 0
+    rounded_allocas: int = 0
+    free_nullifications: int = 0
+    scope_nullifications: int = 0
+
+    @property
+    def inserted_instructions(self) -> int:
+        """Total instructions the pass added."""
+        return self.free_nullifications + self.scope_nullifications
+
+
+def run_lmi_pass(
+    module: Module,
+    *,
+    forbid_pointer_stores: bool = True,
+    nullify_on_scope_exit: bool = True,
+) -> LmiPassResult:
+    """Apply the LMI transformations to *module* in place."""
+    assert_feasible(module, forbid_pointer_stores=forbid_pointer_stores)
+    result = LmiPassResult(module=module.name)
+
+    for site in find_pointer_arithmetic(module):
+        site.instr.hint_activate = True
+        site.instr.hint_select = site.pointer_operand_index
+        result.annotated_ptr_arith += 1
+
+    for function in module.functions.values():
+        result.rounded_allocas += len(function.allocas())
+        _insert_free_nullification(function, result)
+        if nullify_on_scope_exit:
+            _insert_lexical_scope_nullification(function, result)
+            _insert_scope_nullification(function, result)
+    return result
+
+
+def _insert_free_nullification(function: Function, result: LmiPassResult) -> None:
+    """Insert ``InvalidateExtent(p)`` right after every ``free(p)``.
+
+    Only the pointer *passed to free* is nullified; copies made before
+    the free keep their extents — the copied-pointer limitation of
+    Figure 11, later addressed by liveness tracking (section XII-C).
+    """
+    for block in function.blocks:
+        rebuilt = []
+        for instr in block.instrs:
+            rebuilt.append(instr)
+            if isinstance(instr, Free):
+                already = any(
+                    isinstance(nxt, InvalidateExtent) and nxt.ptr is instr.ptr
+                    for nxt in block.instrs
+                    if isinstance(nxt, InvalidateExtent)
+                )
+                if not already:
+                    rebuilt.append(InvalidateExtent(ptr=instr.ptr))
+                    result.free_nullifications += 1
+        block.instrs = rebuilt
+
+
+def _insert_lexical_scope_nullification(
+    function: Function, result: LmiPassResult
+) -> None:
+    """Nullify pointers to buffers dying at each lexical ``ScopeEnd``.
+
+    Scopes are tracked in layout order with a stack: every ``alloca``
+    between a ``ScopeBegin`` and its matching ``ScopeEnd`` is
+    invalidated right before the ``ScopeEnd``.
+    """
+    from .ir import ScopeBegin, ScopeEnd  # local import to avoid cycle noise
+
+    scope_stack: List[List[Alloca]] = []
+    for block in function.blocks:
+        rebuilt: List = []
+        for instr in block.instrs:
+            if isinstance(instr, ScopeBegin):
+                scope_stack.append([])
+                rebuilt.append(instr)
+            elif isinstance(instr, ScopeEnd):
+                dying = scope_stack.pop() if scope_stack else []
+                # Idempotency: skip allocas already nullified right
+                # before this ScopeEnd.
+                already = set()
+                for previous in reversed(rebuilt):
+                    if not isinstance(previous, InvalidateExtent):
+                        break
+                    already.add(id(previous.ptr))
+                for alloca in dying:
+                    if id(alloca.result) in already:
+                        continue
+                    rebuilt.append(InvalidateExtent(ptr=alloca.result))
+                    result.scope_nullifications += 1
+                rebuilt.append(instr)
+            else:
+                if isinstance(instr, Alloca) and scope_stack:
+                    scope_stack[-1].append(instr)
+                rebuilt.append(instr)
+        block.instrs = rebuilt
+
+
+def _insert_scope_nullification(function: Function, result: LmiPassResult) -> None:
+    """Nullify pointers to frame buffers just before each ``ret``.
+
+    The registers holding each ``alloca`` result are invalidated so a
+    caller receiving (or later using) a pointer into the dead frame
+    faults at the EC.  Derived copies computed earlier keep their
+    extents — consistent with the free() limitation.
+    """
+    allocas: List[Alloca] = function.allocas()
+    if not allocas:
+        return
+    for block in function.blocks:
+        terminator = block.terminator
+        if not isinstance(terminator, Ret):
+            continue
+        # Idempotency: skip allocas already nullified right before ret.
+        already = set()
+        for instr in reversed(block.instrs[:-1]):
+            if not isinstance(instr, InvalidateExtent):
+                break
+            already.add(id(instr.ptr))
+        inserts = [
+            InvalidateExtent(ptr=a.result)
+            for a in allocas
+            if id(a.result) not in already
+        ]
+        block.instrs = block.instrs[:-1] + inserts + [terminator]
+        result.scope_nullifications += len(inserts)

@@ -1,0 +1,6 @@
+"""Functional SIMT executor."""
+
+from .executor import GpuExecutor
+from .result import LaunchResult, OracleEvent
+
+__all__ = ["GpuExecutor", "LaunchResult", "OracleEvent"]

@@ -1,0 +1,818 @@
+"""Functional SIMT executor.
+
+Interprets compiled IR modules thread by thread against the sparse
+memory, with a pluggable safety :class:`~repro.mechanisms.base.Mechanism`
+hooked into allocation, pointer arithmetic, and every memory access.
+A ground-truth :class:`~repro.memory.tracker.AllocationTracker` oracle
+classifies every access in parallel, so launches report both what the
+program *actually did* and what the mechanism *detected* — the raw
+material of the paper's Table III.
+
+Threads execute sequentially (block 0 thread 0 first), which preserves
+producer→consumer ordering across a single barrier phase and is
+sufficient for the security and fragmentation experiments; timing is
+the job of :mod:`repro.sim`.
+
+Design notes
+------------
+* Pointer *comparisons* operate on translated (address) bits, not raw
+  tagged words.  This mirrors how a bounds-tagged ISA must compare
+  pointers, and is what makes the paper's delayed-termination example
+  (Figure 14) exit its loop normally even after the OCU has cleared
+  the extent of the one-past-the-end pointer.
+* ``free`` / invalid-free / double-free bookkeeping lives in the
+  allocators and is shared by all mechanisms — the paper notes these
+  two temporal classes are "provided by basic CUDA functions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..allocator.aligned import AlignedAllocator
+from ..allocator.baseline import BaselineAllocator
+from ..allocator.device_malloc import DeviceHeapAllocator
+from ..allocator.rss import FootprintMeter
+from ..allocator.shared import SharedAllocator
+from ..allocator.stack import StackAllocator
+from ..common.errors import (
+    MemorySafetyViolation,
+    MemorySpace,
+    SimulationError,
+    ViolationKind,
+)
+from ..compiler.ir import (
+    Alloca,
+    Barrier,
+    BinOp,
+    BinOpKind,
+    BlockIdx,
+    Branch,
+    Call,
+    Cmp,
+    CmpKind,
+    Const,
+    DynSharedRef,
+    Free,
+    Function,
+    Instr,
+    IntToPtr,
+    IRType,
+    InvalidateExtent,
+    Jump,
+    Load,
+    Malloc,
+    Module,
+    Operand,
+    PtrAdd,
+    PtrToInt,
+    Ret,
+    ScopeBegin,
+    ScopeEnd,
+    SharedRef,
+    Store,
+    ThreadIdx,
+    Value,
+)
+from ..memory import layout
+from ..memory.sparse import SparseMemory
+from ..memory.tracker import AllocationRecord, AllocationTracker, FieldLayout
+from ..mechanisms.base import ExecContext, Mechanism
+from .result import LaunchResult, OracleEvent
+
+#: Span given to the global and heap allocators (64 MiB is plenty for
+#: test kernels while keeping buddy bookkeeping snappy).
+_ARENA_SPAN = 64 * 1024 * 1024
+#: Per-block shared window size actually handed to the allocator.
+_SHARED_SPAN = 1 << layout.SHARED_WINDOW_BITS
+#: Per-thread local window size.
+_LOCAL_SPAN = 1 << layout.LOCAL_WINDOW_BITS
+#: Headroom kept above the stack top inside each local window: spill
+#: slots, ABI scratch and driver data live there on a real GPU, so an
+#: upward stack-buffer overflow stays *inside* the thread's local
+#: window (which is why region-granular schemes miss it).
+_STACK_HEADROOM = 64 * 1024
+
+
+@dataclass
+class _Frame:
+    """One interpreter call frame."""
+
+    function: Function
+    block_index: int = 0
+    instr_index: int = 0
+    env: Dict[int, Union[int, float]] = field(default_factory=dict)
+    #: Pointer provenance: IR value id -> originating allocation.
+    prov: Dict[int, Optional[AllocationRecord]] = field(default_factory=dict)
+    #: Value to receive the callee's return (set in the *caller*).
+    pending_result: Optional[Value] = None
+    #: Stack-allocator frames opened by this call frame (function entry
+    #: plus any lexical scopes currently open).
+    open_scopes: int = 0
+
+
+class GpuExecutor:
+    """Functional executor for one module + mechanism pairing."""
+
+    def __init__(
+        self,
+        module: Module,
+        mechanism: Optional[Mechanism] = None,
+        *,
+        grid_blocks: int = 1,
+        block_threads: int = 1,
+        max_steps: int = 200_000,
+    ) -> None:
+        if grid_blocks <= 0 or block_threads <= 0:
+            raise SimulationError("grid/block dimensions must be positive")
+        module.verify()
+        self.module = module
+        self.mechanism = mechanism if mechanism is not None else Mechanism()
+        self.grid_blocks = grid_blocks
+        self.block_threads = block_threads
+        self.max_steps = max_steps
+
+        self.memory = SparseMemory()
+        self.tracker = AllocationTracker()
+        self.global_meter = FootprintMeter()
+        self.heap_meter = FootprintMeter()
+
+        mech = self.mechanism
+        if mech.aligned_global:
+            self._global_alloc = AlignedAllocator(
+                layout.GLOBAL_BASE,
+                _ARENA_SPAN,
+                meter=self.global_meter,
+                space=MemorySpace.GLOBAL,
+            )
+        else:
+            self._global_alloc = BaselineAllocator(
+                layout.GLOBAL_BASE,
+                _ARENA_SPAN,
+                meter=self.global_meter,
+                space=MemorySpace.GLOBAL,
+            )
+        if mech.aligned_heap:
+            self._heap_alloc = AlignedAllocator(
+                layout.HEAP_BASE,
+                _ARENA_SPAN,
+                meter=self.heap_meter,
+                space=MemorySpace.HEAP,
+            )
+        else:
+            self._heap_alloc = DeviceHeapAllocator(
+                layout.HEAP_BASE, _ARENA_SPAN, meter=self.heap_meter
+            )
+
+        self._stacks: Dict[int, StackAllocator] = {}
+        self._stack_records: Dict[int, AllocationRecord] = {}  # base -> record
+        self._shared_ptrs: Dict[Tuple[int, str], Tuple[int, AllocationRecord]] = {}
+        self._dyn_shared_ptr: Dict[int, Tuple[int, AllocationRecord]] = {}
+        self._host_records: Dict[int, AllocationRecord] = {}
+        self._arg_provenance: Dict[str, AllocationRecord] = {}
+        self._shared_ready = False
+        self._oracle_events: List[OracleEvent] = []
+        self._steps = 0
+
+        mech.bind(ExecContext(memory=self.memory, tracker=self.tracker))
+
+    # ------------------------------------------------------------------
+    # Host-side API (cudaMalloc / cudaFree analogues)
+
+    def host_alloc(
+        self,
+        size: int,
+        *,
+        fields: Tuple[Tuple[str, int, int], ...] = (),
+    ) -> int:
+        """Allocate a global buffer before launch; returns the tagged
+        pointer to pass as a kernel argument."""
+        pre, post = self.mechanism.padding(size, MemorySpace.GLOBAL)
+        block = self._global_alloc.alloc(size + pre + post)
+        base = block.base + pre
+        record = self.tracker.on_alloc(
+            base,
+            size,
+            MemorySpace.GLOBAL,
+            fields=tuple(FieldLayout(*f) for f in fields),
+        )
+        pointer = self.mechanism.tag_pointer(
+            base, size, MemorySpace.GLOBAL, record=record
+        )
+        self._host_records[pointer] = record
+        return pointer
+
+    def host_free(self, pointer: int) -> int:
+        """Free a global buffer (``cudaFree``).
+
+        Returns the pointer value after the runtime's invalidation —
+        under LMI the extent is nullified, so passing the returned
+        value to a later kernel faults at the EC; stale *copies* of the
+        pre-free value do not (Figure 11's limitation).
+        """
+        raw = self.mechanism.translate(pointer)
+        pre, _ = self.mechanism.padding(
+            self._requested_size(raw), MemorySpace.GLOBAL
+        )
+        record = self.tracker.live_at(raw)
+        if record is None:
+            self._record_bad_free(raw, MemorySpace.GLOBAL, thread=-1)
+        self._global_alloc.free(raw - pre)
+        freed = self.tracker.on_free(raw)
+        self.mechanism.on_free(pointer, raw, freed)
+        return self.mechanism.on_invalidate(pointer)
+
+    def host_record(self, pointer: int) -> Optional[AllocationRecord]:
+        """Allocation record behind a host-allocated pointer value."""
+        return self._host_records.get(pointer)
+
+    def _requested_size(self, base: int) -> int:
+        record = self.tracker.live_at(base)
+        return record.size if record is not None else 0
+
+    def _record_bad_free(
+        self, raw: int, space: MemorySpace, thread: int
+    ) -> None:
+        """Oracle record for an invalid or double free.
+
+        The allocator raises right after; classify by whether the base
+        was ever a live allocation.
+        """
+        ever = any(r.base == raw for r in self.tracker.all_records)
+        kind = ViolationKind.DOUBLE_FREE if ever else ViolationKind.INVALID_FREE
+        self._oracle_events.append(
+            OracleEvent(
+                kind=kind,
+                address=raw,
+                width=0,
+                thread=thread,
+                space=space,
+                description="double free" if ever else "invalid free",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Launch
+
+    def launch(
+        self,
+        args: Optional[Dict[str, Union[int, float]]] = None,
+        *,
+        provenance: Optional[Dict[str, AllocationRecord]] = None,
+    ) -> LaunchResult:
+        """Run the kernel over the whole grid.
+
+        ``provenance`` optionally pins the oracle's idea of which
+        allocation a pointer argument refers to — needed when a *stale*
+        pointer is passed after its memory was freed and reused, since
+        an untagged bit pattern alone cannot distinguish old from new.
+        """
+        args = dict(args or {})
+        self._arg_provenance = dict(provenance or {})
+        kernel = self.module.kernel
+        missing = [p.name for p in kernel.params if p.name not in args]
+        if missing:
+            raise SimulationError(f"missing kernel arguments: {missing}")
+
+        self._setup_shared()
+        threads_done = 0
+        violation: Optional[MemorySafetyViolation] = None
+        try:
+            for block_id in range(self.grid_blocks):
+                runners = [
+                    self._make_runner(
+                        block_id * self.block_threads + lane, block_id, args
+                    )
+                    for lane in range(self.block_threads)
+                ]
+                # Phase-stepped execution: every thread runs to the
+                # next barrier (or completion) before any proceeds
+                # past it -- __syncthreads semantics.
+                pending = runners
+                while pending:
+                    still_running = []
+                    for runner in pending:
+                        if runner.run_phase() == "barrier":
+                            still_running.append(runner)
+                        else:
+                            threads_done += 1
+                    pending = still_running
+            self.mechanism.on_kernel_end()
+        except MemorySafetyViolation as caught:
+            violation = caught
+        return LaunchResult(
+            completed=violation is None,
+            violation=violation,
+            oracle_events=list(self._oracle_events),
+            steps=self._steps,
+            threads_completed=threads_done,
+        )
+
+    def _setup_shared(self) -> None:
+        if self._shared_ready:
+            return
+        self._shared_ready = True
+        mech = self.mechanism
+        for block_id in range(self.grid_blocks):
+            allocator = SharedAllocator(
+                layout.shared_window(block_id),
+                _SHARED_SPAN,
+                lmi_aligned=mech.aligned_shared,
+            )
+            for decl in self.module.shared_arrays:
+                buffer = allocator.alloc_static(decl.size)
+                record = self.tracker.on_alloc(
+                    buffer.base, decl.size, MemorySpace.SHARED, block=block_id
+                )
+                pointer = mech.tag_pointer(
+                    buffer.base,
+                    decl.size,
+                    MemorySpace.SHARED,
+                    block=block_id,
+                    record=record,
+                )
+                self._shared_ptrs[(block_id, decl.name)] = (pointer, record)
+            if self.module.dynamic_shared_bytes:
+                pool = allocator.alloc_dynamic_pool(self.module.dynamic_shared_bytes)
+                record = self.tracker.on_alloc(
+                    pool.base,
+                    self.module.dynamic_shared_bytes,
+                    MemorySpace.SHARED,
+                    block=block_id,
+                )
+                pointer = mech.tag_pointer(
+                    pool.base,
+                    pool.rounded,
+                    MemorySpace.SHARED,
+                    block=block_id,
+                    coarse=True,
+                    record=record,
+                )
+                self._dyn_shared_ptr[block_id] = (pointer, record)
+
+    # ------------------------------------------------------------------
+    # Per-thread interpretation
+
+    def _stack_for(self, thread: int) -> StackAllocator:
+        stack = self._stacks.get(thread)
+        if stack is None:
+            stack = StackAllocator(
+                layout.local_window(thread),
+                _LOCAL_SPAN - _STACK_HEADROOM,
+                lmi_aligned=self.mechanism.aligned_stack,
+            )
+            self._stacks[thread] = stack
+        return stack
+
+    def _make_runner(
+        self, thread: int, block_id: int, args: Dict[str, Union[int, float]]
+    ) -> "_ThreadRunner":
+        kernel = self.module.kernel
+        stack = self._stack_for(thread)
+        entry = _Frame(function=kernel)
+        for param in kernel.params:
+            value = args[param.name]
+            entry.env[id(param)] = value
+            if param.type is IRType.PTR and isinstance(value, int):
+                pinned = self._arg_provenance.get(param.name)
+                entry.prov[id(param)] = (
+                    pinned if pinned is not None else self._host_records.get(value)
+                )
+        stack.push_frame()
+        entry.open_scopes = 1
+        return _ThreadRunner(
+            executor=self,
+            thread=thread,
+            block_id=block_id,
+            stack=stack,
+            frames=[entry],
+            budget=self.max_steps,
+        )
+
+    def _run_thread(
+        self, thread: int, block_id: int, args: Dict[str, Union[int, float]]
+    ) -> None:
+        """Run one thread to completion (single-thread convenience)."""
+        runner = self._make_runner(thread, block_id, args)
+        while runner.run_phase() != "done":
+            pass
+
+    # ------------------------------------------------------------------
+    # Operand evaluation
+
+    def _value(self, frame: _Frame, operand: Operand) -> Union[int, float]:
+        if isinstance(operand, Const):
+            return operand.value
+        try:
+            return frame.env[id(operand)]
+        except KeyError:
+            raise SimulationError(
+                f"use of undefined value %{operand.name} in "
+                f"{frame.function.name!r}"
+            ) from None
+
+    def _prov(self, frame: _Frame, operand: Operand) -> Optional[AllocationRecord]:
+        """Provenance of a pointer operand (None for constants/forged)."""
+        if isinstance(operand, Const):
+            return None
+        return frame.prov.get(id(operand))
+
+    # ------------------------------------------------------------------
+    # Instruction semantics
+
+    def _execute(
+        self,
+        instr: Instr,
+        frame: _Frame,
+        frames: List[_Frame],
+        stack: StackAllocator,
+        thread: int,
+        block_id: int,
+    ) -> Optional[str]:
+        mech = self.mechanism
+        env = frame.env
+
+        if isinstance(instr, Alloca):
+            buffer = stack.alloca(instr.size)
+            record = self.tracker.on_alloc(
+                buffer.base,
+                instr.size,
+                MemorySpace.LOCAL,
+                thread=thread,
+                fields=tuple(FieldLayout(*f) for f in instr.fields),
+            )
+            self._stack_records[buffer.base] = record
+            frame.prov[id(instr.result)] = record
+            env[id(instr.result)] = mech.tag_pointer(
+                buffer.base,
+                instr.size,
+                MemorySpace.LOCAL,
+                thread=thread,
+                record=record,
+            )
+            return
+
+        if isinstance(instr, Malloc):
+            size = int(self._value(frame, instr.size))
+            if mech.aligned_heap:
+                block = self._heap_alloc.alloc(size)
+                base = block.base
+            else:
+                block = self._heap_alloc.alloc(size, thread)
+                base = block.base
+            record = self.tracker.on_alloc(
+                base,
+                size,
+                MemorySpace.HEAP,
+                thread=thread,
+                fields=tuple(FieldLayout(*f) for f in instr.fields),
+            )
+            frame.prov[id(instr.result)] = record
+            env[id(instr.result)] = mech.tag_pointer(
+                base, size, MemorySpace.HEAP, thread=thread, record=record
+            )
+            return
+
+        if isinstance(instr, Free):
+            pointer = int(self._value(frame, instr.ptr))
+            raw = mech.translate(pointer)
+            record = self.tracker.live_at(raw)
+            if record is None:
+                self._record_bad_free(raw, MemorySpace.HEAP, thread)
+            self._heap_alloc.free(raw)  # raises on invalid/double free
+            freed = self.tracker.on_free(raw)
+            mech.on_free(pointer, raw, freed, thread=thread)
+            return
+
+        if isinstance(instr, PtrAdd):
+            pointer = int(self._value(frame, instr.ptr))
+            offset = int(self._value(frame, instr.offset))
+            raw_result = (pointer + offset) & ((1 << 64) - 1)
+            frame.prov[id(instr.result)] = self._prov(frame, instr.ptr)
+            env[id(instr.result)] = mech.on_ptr_arith(
+                pointer,
+                raw_result,
+                activated=instr.hint_activate,
+                thread=thread,
+            )
+            return
+
+        if isinstance(instr, (Load, Store)):
+            self._memory_access(instr, frame, thread)
+            return
+
+        if isinstance(instr, BinOp):
+            lhs = self._value(frame, instr.lhs)
+            rhs = self._value(frame, instr.rhs)
+            env[id(instr.result)] = _apply_binop(instr.op, lhs, rhs)
+            return
+
+        if isinstance(instr, Cmp):
+            lhs = self._comparable(frame, instr.lhs)
+            rhs = self._comparable(frame, instr.rhs)
+            env[id(instr.result)] = int(_apply_cmp(instr.op, lhs, rhs))
+            return
+
+        if isinstance(instr, ThreadIdx):
+            env[id(instr.result)] = thread % self.block_threads
+            return
+
+        if isinstance(instr, BlockIdx):
+            env[id(instr.result)] = block_id
+            return
+
+        if isinstance(instr, SharedRef):
+            pointer, record = self._shared_ptrs[(block_id, instr.array)]
+            env[id(instr.result)] = pointer
+            frame.prov[id(instr.result)] = record
+            return
+
+        if isinstance(instr, DynSharedRef):
+            try:
+                pointer, record = self._dyn_shared_ptr[block_id]
+            except KeyError:
+                raise SimulationError(
+                    "kernel uses dynamic shared memory but none was launched"
+                ) from None
+            env[id(instr.result)] = pointer
+            frame.prov[id(instr.result)] = record
+            return
+
+        if isinstance(instr, IntToPtr):
+            env[id(instr.result)] = int(self._value(frame, instr.value))
+            return
+
+        if isinstance(instr, PtrToInt):
+            env[id(instr.result)] = int(self._value(frame, instr.ptr))
+            return
+
+        if isinstance(instr, InvalidateExtent):
+            if isinstance(instr.ptr, Value) and id(instr.ptr) in env:
+                env[id(instr.ptr)] = mech.on_invalidate(
+                    int(env[id(instr.ptr)]), thread=thread
+                )
+            return
+
+        if isinstance(instr, ScopeBegin):
+            stack.push_frame()
+            frame.open_scopes += 1
+            return
+
+        if isinstance(instr, ScopeEnd):
+            self._close_scope(frame, stack, thread)
+            return
+
+        if isinstance(instr, Barrier):
+            return "barrier"
+
+        if isinstance(instr, Call):
+            callee = self.module.functions.get(instr.callee)
+            if callee is None:
+                raise SimulationError(f"call to unknown function {instr.callee!r}")
+            if len(callee.params) != len(instr.args):
+                raise SimulationError(
+                    f"arity mismatch calling {instr.callee!r}"
+                )
+            new_frame = _Frame(function=callee)
+            for param, arg in zip(callee.params, instr.args):
+                value = self._value(frame, arg)
+                if param.type is IRType.PTR:
+                    value = mech.on_call_boundary(int(value))
+                    new_frame.prov[id(param)] = self._prov(frame, arg)
+                new_frame.env[id(param)] = value
+            frame.pending_result = instr.result
+            stack.push_frame()
+            new_frame.open_scopes = 1
+            frames.append(new_frame)
+            return
+
+        if isinstance(instr, Ret):
+            value = (
+                self._value(frame, instr.value) if instr.value is not None else None
+            )
+            ret_prov = (
+                self._prov(frame, instr.value)
+                if instr.value is not None
+                else None
+            )
+            while frame.open_scopes:
+                self._close_scope(frame, stack, thread)
+            frames.pop()
+            if frames:
+                caller = frames[-1]
+                target = caller.pending_result
+                caller.pending_result = None
+                if target is not None:
+                    if value is None:
+                        raise SimulationError(
+                            f"{frame.function.name!r} returned no value to a "
+                            "value-expecting call"
+                        )
+                    if target.type is IRType.PTR:
+                        value = mech.on_call_boundary(int(value))
+                        caller.prov[id(target)] = ret_prov
+                    caller.env[id(target)] = value
+            return
+
+        if isinstance(instr, Branch):
+            cond = int(self._value(frame, instr.cond))
+            target = instr.if_true if cond else instr.if_false
+            self._goto(frame, target)
+            return
+
+        if isinstance(instr, Jump):
+            self._goto(frame, instr.target)
+            return
+
+        raise SimulationError(f"unhandled IR instruction {type(instr).__name__}")
+
+    def _goto(self, frame: _Frame, label: str) -> None:
+        for index, block in enumerate(frame.function.blocks):
+            if block.label == label:
+                frame.block_index = index
+                frame.instr_index = 0
+                return
+        raise SimulationError(f"branch to unknown label {label!r}")
+
+    def _comparable(self, frame: _Frame, operand: Operand) -> Union[int, float]:
+        """Operand value for comparisons: pointers compare by address."""
+        value = self._value(frame, operand)
+        if isinstance(operand, Value) and operand.type is IRType.PTR:
+            return self.mechanism.translate(int(value))
+        if isinstance(operand, Const) and operand.type is IRType.PTR:
+            return self.mechanism.translate(int(value))
+        return value
+
+    def _close_scope(self, frame: _Frame, stack: StackAllocator, thread: int) -> None:
+        if frame.open_scopes <= 0:
+            raise SimulationError("scope end without matching begin")
+        frame.open_scopes -= 1
+        dying = stack.pop_frame()
+        records = []
+        for buffer in dying:
+            record = self._stack_records.pop(buffer.base, None)
+            if record is not None and record.live:
+                self.tracker.on_free(buffer.base)
+                records.append(record)
+        if records:
+            self.mechanism.on_scope_exit(records, thread=thread)
+
+    # ------------------------------------------------------------------
+    # Memory accesses
+
+    def _memory_access(
+        self, instr: Union[Load, Store], frame: _Frame, thread: int
+    ) -> None:
+        mech = self.mechanism
+        is_store = isinstance(instr, Store)
+        pointer = int(self._value(frame, instr.ptr))
+        raw = mech.translate(pointer)
+        space = layout.space_of(raw)
+        width = instr.width
+
+        verdict = self.tracker.classify_provenanced(
+            raw,
+            width,
+            self._prov(frame, instr.ptr),
+            expected_field=instr.expected_field,
+        )
+        if verdict.is_violation:
+            if verdict.use_after_free:
+                kind = ViolationKind.TEMPORAL
+                description = "use after free/scope"
+            elif verdict.intra_object_overflow:
+                kind = ViolationKind.SPATIAL
+                description = "intra-object overflow"
+            else:
+                kind = ViolationKind.SPATIAL
+                description = "out-of-bounds access"
+            self._oracle_events.append(
+                OracleEvent(
+                    kind=kind,
+                    address=raw,
+                    width=width,
+                    thread=thread,
+                    space=space,
+                    is_store=is_store,
+                    intra_object=verdict.intra_object_overflow,
+                    description=description,
+                )
+            )
+
+        mech.check_access(
+            pointer, raw, width, space, thread=thread, is_store=is_store
+        )
+
+        if is_store:
+            value = self._value(frame, instr.value)
+            value_type = (
+                instr.value.type
+                if isinstance(instr.value, (Value, Const))
+                else None
+            )
+            if value_type is IRType.F32 or isinstance(value, float):
+                self.memory.store_f32(raw, float(value))
+            else:
+                if value_type is IRType.PTR:
+                    mech.on_pointer_store(raw, int(value), thread=thread)
+                self.memory.store(raw, int(value), width)
+        else:
+            if instr.type is IRType.F32:
+                frame.env[id(instr.result)] = self.memory.load_f32(raw)
+            else:
+                loaded = self.memory.load(raw, width)
+                if instr.type is IRType.PTR:
+                    loaded = mech.on_pointer_load(raw, loaded, thread=thread)
+                    frame.prov[id(instr.result)] = self.tracker.find_live(
+                        mech.translate(loaded)
+                    )
+                frame.env[id(instr.result)] = loaded
+
+
+
+@dataclass
+class _ThreadRunner:
+    """Resumable per-thread interpreter state.
+
+    ``run_phase`` executes until the next block-wide barrier (returns
+    "barrier") or until the thread finishes (returns "done").  The
+    launch loop interleaves runners phase by phase, giving correct
+    ``__syncthreads`` producer/consumer ordering.
+    """
+
+    executor: "GpuExecutor"
+    thread: int
+    block_id: int
+    stack: StackAllocator
+    frames: List[_Frame]
+    budget: int
+
+    def run_phase(self) -> str:
+        executor = self.executor
+        while self.frames:
+            frame = self.frames[-1]
+            block = frame.function.blocks[frame.block_index]
+            if frame.instr_index >= len(block.instrs):
+                raise SimulationError(
+                    f"fell off block {block.label!r} in "
+                    f"{frame.function.name!r}"
+                )
+            instr = block.instrs[frame.instr_index]
+            frame.instr_index += 1
+            self.budget -= 1
+            executor._steps += 1
+            if self.budget <= 0:
+                raise SimulationError(
+                    f"thread {self.thread} exceeded "
+                    f"{executor.max_steps} steps"
+                )
+            signal = executor._execute(
+                instr, frame, self.frames, self.stack, self.thread,
+                self.block_id,
+            )
+            if signal == "barrier":
+                return "barrier"
+        return "done"
+
+
+def _apply_binop(
+    op: BinOpKind, lhs: Union[int, float], rhs: Union[int, float]
+) -> Union[int, float]:
+    if op is BinOpKind.ADD:
+        return lhs + rhs
+    if op is BinOpKind.SUB:
+        return lhs - rhs
+    if op is BinOpKind.MUL:
+        return lhs * rhs
+    if op is BinOpKind.AND:
+        return int(lhs) & int(rhs)
+    if op is BinOpKind.OR:
+        return int(lhs) | int(rhs)
+    if op is BinOpKind.XOR:
+        return int(lhs) ^ int(rhs)
+    if op is BinOpKind.SHL:
+        return int(lhs) << int(rhs)
+    if op is BinOpKind.SHR:
+        return int(lhs) >> int(rhs)
+    if op is BinOpKind.FADD:
+        return float(lhs) + float(rhs)
+    if op is BinOpKind.FMUL:
+        return float(lhs) * float(rhs)
+    raise SimulationError(f"unhandled binop {op}")
+
+
+def _apply_cmp(op: CmpKind, lhs, rhs) -> bool:
+    if op is CmpKind.EQ:
+        return lhs == rhs
+    if op is CmpKind.NE:
+        return lhs != rhs
+    if op is CmpKind.LT:
+        return lhs < rhs
+    if op is CmpKind.LE:
+        return lhs <= rhs
+    if op is CmpKind.GT:
+        return lhs > rhs
+    if op is CmpKind.GE:
+        return lhs >= rhs
+    raise SimulationError(f"unhandled comparison {op}")

@@ -1,0 +1,68 @@
+"""Launch results and oracle events."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..common.errors import MemorySafetyViolation, MemorySpace, ViolationKind
+
+
+@dataclass(frozen=True)
+class OracleEvent:
+    """One ground-truth memory-safety violation observed by the oracle.
+
+    Recorded regardless of whether the active mechanism detected it —
+    the security harness scores mechanisms by comparing their
+    detections against these events.
+    """
+
+    kind: ViolationKind
+    address: int
+    width: int
+    thread: int
+    space: Optional[MemorySpace]
+    is_store: bool = False
+    intra_object: bool = False
+    description: str = ""
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of one kernel launch."""
+
+    #: The kernel ran to completion (False when a fault stopped it).
+    completed: bool
+    #: The violation the mechanism raised, if any.
+    violation: Optional[MemorySafetyViolation] = None
+    #: Ground-truth violations the oracle observed.
+    oracle_events: List[OracleEvent] = field(default_factory=list)
+    #: Total interpreted IR instructions.
+    steps: int = 0
+    #: Threads that ran to completion before any fault.
+    threads_completed: int = 0
+
+    @property
+    def detected(self) -> bool:
+        """The mechanism flagged a violation."""
+        return self.violation is not None
+
+    @property
+    def oracle_violated(self) -> bool:
+        """The program actually violated memory safety."""
+        return bool(self.oracle_events)
+
+    @property
+    def true_positive(self) -> bool:
+        """Mechanism detected a real violation."""
+        return self.detected and self.oracle_violated
+
+    @property
+    def false_positive(self) -> bool:
+        """Mechanism fired on a safe program."""
+        return self.detected and not self.oracle_violated
+
+    @property
+    def false_negative(self) -> bool:
+        """A real violation went undetected."""
+        return self.oracle_violated and not self.detected

@@ -1,0 +1,109 @@
+"""Run every experiment and print the full reproduction report.
+
+Usage::
+
+    python -m repro.experiments            # full run (~1 minute)
+    python -m repro.experiments --fast     # reduced trace sizes
+    python -m repro.experiments fig4 table3   # selected experiments
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict
+
+from .feasibility_study import run_feasibility_study
+from .fig1_memory_mix import run_fig1
+from .fig4_fragmentation import run_fig4
+from .fig12_performance import run_fig12
+from .fig13_dbi import run_fig13
+from .table2_comparison import run_table2
+from .table3_security import mismatches, run_table3
+from .table6_hardware import run_table6
+
+
+def _fig1(fast: bool) -> str:
+    scale = dict(warps=2, instructions_per_warp=400) if fast else {}
+    return run_fig1(**scale).format_table()
+
+
+def _fig4(fast: bool) -> str:
+    return run_fig4().format_table()
+
+
+def _fig12(fast: bool) -> str:
+    if fast:
+        result = run_fig12(warps=8, instructions_per_warp=400)
+    else:
+        result = run_fig12(warps=16, instructions_per_warp=1200)
+    lines = [result.format_table()]
+    for mechanism in ("baggy", "gpushield", "lmi"):
+        worst, overhead = result.max_overhead(mechanism)
+        lines.append(
+            f"{mechanism}: mean overhead "
+            f"{result.mean_overhead(mechanism) * 100:.2f}% "
+            f"(worst {worst}: {overhead * 100:.1f}%)"
+        )
+    return "\n".join(lines)
+
+
+def _fig13(fast: bool) -> str:
+    return run_fig13().format_table()
+
+
+def _table2(fast: bool) -> str:
+    return run_table2(fast=True).format_table()
+
+
+def _table3(fast: bool) -> str:
+    report = run_table3()
+    lines = [report.format_table()]
+    diverging = mismatches(report)
+    lines.append(
+        "all cells match the paper" if not diverging
+        else f"DIVERGENCES: {diverging}"
+    )
+    return "\n".join(lines)
+
+
+def _table6(fast: bool) -> str:
+    return run_table6().format_table()
+
+
+def _feasibility(fast: bool) -> str:
+    return run_feasibility_study().format_table()
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+    "fig1": _fig1,
+    "fig4": _fig4,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "table2": _table2,
+    "table3": _table3,
+    "table6": _table6,
+    "feasibility": _feasibility,
+}
+
+
+def main(argv) -> int:
+    fast = "--fast" in argv
+    selected = [a for a in argv if not a.startswith("-")]
+    names = selected if selected else list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; choices: {list(EXPERIMENTS)}")
+        return 2
+    for name in names:
+        started = time.time()
+        print("=" * 72)
+        print(f"{name}  (repro of the paper's {name.replace('fig', 'Figure ').replace('table', 'Table ')})")
+        print("=" * 72)
+        print(EXPERIMENTS[name](fast))
+        print(f"[{name} done in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,147 @@
+"""Figure 12 — normalized execution time of Baggy Bounds, GPUShield and
+LMI on the timing simulator, over all 28 benchmarks.
+
+Paper shapes this reproduction targets:
+
+* LMI mean overhead ~0.2 % with no per-benchmark spikes;
+* GPUShield competitive on average but spiking on *needle* and *LSTM*
+  (L1 RCache misses under uncoalesced access);
+* Baggy Bounds ~87 % mean overhead, peaking ~5x on compute-bound
+  kernels (the software check chain consumes issue slots).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..common.config import DEFAULT_GPU_CONFIG, GpuConfig
+from ..sim import (
+    BaggyBoundsTiming,
+    BaselineTiming,
+    GPUShieldTiming,
+    LmiTiming,
+    SmSimulator,
+)
+from ..workloads import all_benchmarks, synthesize_trace
+
+#: Warps per scheduler partition: enough to make the baseline
+#: issue-bound, as on a well-occupied real SM.
+DEFAULT_WARPS = 16
+DEFAULT_INSTRUCTIONS = 2000
+
+MECHANISM_ORDER = ("baggy", "gpushield", "lmi")
+
+
+def _model_factory(name: str):
+    if name == "baseline":
+        return BaselineTiming()
+    if name == "lmi":
+        return LmiTiming()
+    if name == "gpushield":
+        return GPUShieldTiming()
+    if name == "baggy":
+        return BaggyBoundsTiming()
+    raise KeyError(f"unknown timing model {name!r}")
+
+
+@dataclass
+class Fig12Row:
+    """One benchmark's normalized execution times."""
+
+    benchmark: str
+    base_cycles: int
+    normalized: Dict[str, float] = field(default_factory=dict)
+
+    def overhead(self, mechanism: str) -> float:
+        """Relative overhead (normalized time - 1)."""
+        return self.normalized[mechanism] - 1.0
+
+
+@dataclass
+class Fig12Result:
+    """The full figure."""
+
+    rows: List[Fig12Row] = field(default_factory=list)
+
+    def mean_overhead(self, mechanism: str) -> float:
+        """Arithmetic-mean overhead across benchmarks."""
+        values = [row.overhead(mechanism) for row in self.rows]
+        return sum(values) / len(values) if values else 0.0
+
+    def geomean_normalized(self, mechanism: str) -> float:
+        """Geometric-mean normalized execution time."""
+        values = [row.normalized[mechanism] for row in self.rows]
+        if not values:
+            return 1.0
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+    def max_overhead(self, mechanism: str):
+        """(benchmark, overhead) of the worst case."""
+        row = max(self.rows, key=lambda r: r.overhead(mechanism))
+        return row.benchmark, row.overhead(mechanism)
+
+    def row(self, benchmark: str) -> Fig12Row:
+        """Row lookup by benchmark name."""
+        for row in self.rows:
+            if row.benchmark == benchmark:
+                return row
+        raise KeyError(benchmark)
+
+    def format_table(self) -> str:
+        """The figure as text: one row per benchmark."""
+        header = f"{'benchmark':22s} " + " ".join(
+            f"{m:>10s}" for m in MECHANISM_ORDER
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            cells = " ".join(
+                f"{row.normalized[m]:>10.4f}" for m in MECHANISM_ORDER
+            )
+            lines.append(f"{row.benchmark:22s} {cells}")
+        lines.append("-" * len(header))
+        means = " ".join(
+            f"{self.geomean_normalized(m):>10.4f}" for m in MECHANISM_ORDER
+        )
+        lines.append(f"{'geomean':22s} {means}")
+        return "\n".join(lines)
+
+
+def run_fig12(
+    benchmarks: Optional[Sequence[str]] = None,
+    *,
+    warps: int = DEFAULT_WARPS,
+    instructions_per_warp: int = DEFAULT_INSTRUCTIONS,
+    mechanisms: Sequence[str] = MECHANISM_ORDER,
+    config: GpuConfig = DEFAULT_GPU_CONFIG,
+) -> Fig12Result:
+    """Simulate every benchmark under every mechanism."""
+    names = list(benchmarks) if benchmarks is not None else all_benchmarks()
+    result = Fig12Result()
+    for name in names:
+        trace = synthesize_trace(
+            name, warps=warps, instructions_per_warp=instructions_per_warp
+        )
+        base = SmSimulator(config, _model_factory("baseline")).run(trace)
+        row = Fig12Row(benchmark=name, base_cycles=base.cycles)
+        for mechanism in mechanisms:
+            run = SmSimulator(config, _model_factory(mechanism)).run(trace)
+            row.normalized[mechanism] = run.cycles / base.cycles
+        result.rows.append(row)
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    result = run_fig12()
+    print(result.format_table())
+    for mechanism in MECHANISM_ORDER:
+        worst, overhead = result.max_overhead(mechanism)
+        print(
+            f"{mechanism}: mean overhead {result.mean_overhead(mechanism)*100:.2f}% "
+            f"(worst {worst}: {overhead*100:.1f}%)"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

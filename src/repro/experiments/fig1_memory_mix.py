@@ -1,0 +1,87 @@
+"""Figure 1 — ratio of memory instructions per region.
+
+Counts LDG/STG (global), LDS/STS (shared) and LDL/STL (local)
+instructions in each benchmark's generated trace, exactly as the paper
+categorises them.  The shapes the paper highlights:
+
+* *bert* and *decoding* access global memory almost exclusively;
+* *lud_cuda* and *needle* are >80 % shared-memory accesses —
+  the motivating gap in GPUShield's global-only coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..workloads import all_benchmarks, synthesize_trace
+
+
+@dataclass
+class Fig1Row:
+    """One benchmark's memory-region mix (fractions sum to 1)."""
+
+    benchmark: str
+    global_frac: float
+    shared_frac: float
+    local_frac: float
+
+
+@dataclass
+class Fig1Result:
+    """The full figure."""
+
+    rows: List[Fig1Row] = field(default_factory=list)
+
+    def row(self, benchmark: str) -> Fig1Row:
+        """Row lookup by benchmark name."""
+        for row in self.rows:
+            if row.benchmark == benchmark:
+                return row
+        raise KeyError(benchmark)
+
+    def format_table(self) -> str:
+        """The figure as text, one row per benchmark."""
+        lines = [
+            f"{'benchmark':22s} {'global':>8s} {'shared':>8s} {'local':>8s}"
+        ]
+        lines.append("-" * 50)
+        for row in self.rows:
+            lines.append(
+                f"{row.benchmark:22s} {row.global_frac:>7.1%} "
+                f"{row.shared_frac:>7.1%} {row.local_frac:>7.1%}"
+            )
+        return "\n".join(lines)
+
+
+def run_fig1(
+    benchmarks: Optional[Sequence[str]] = None,
+    *,
+    warps: int = 8,
+    instructions_per_warp: int = 2000,
+) -> Fig1Result:
+    """Measure the region mix of every benchmark's trace."""
+    names = list(benchmarks) if benchmarks is not None else all_benchmarks()
+    result = Fig1Result()
+    for name in names:
+        trace = synthesize_trace(
+            name, warps=warps, instructions_per_warp=instructions_per_warp
+        )
+        mix = trace.memory_region_mix()
+        result.rows.append(
+            Fig1Row(
+                benchmark=name,
+                global_frac=mix["global"],
+                shared_frac=mix["shared"],
+                local_frac=mix["local"],
+            )
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run_fig1().format_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,36 @@
+"""LMI hardware models: OCU, Extent Checker, gate-cost estimation."""
+
+from .cost import (
+    GATE_LIBRARY,
+    OCU_COMPOUND_CELL_FACTOR,
+    Block,
+    HardwareOverheadRow,
+    SynthesisReport,
+    build_ocu_netlist,
+    hardware_overhead_table,
+    lmi_overhead_row,
+    published_comparators,
+    synthesize,
+    synthesize_ocu,
+)
+from .extent_checker import EcStats, ExtentChecker
+from .ocu import OcuResult, OcuStats, OverflowCheckingUnit
+
+__all__ = [
+    "GATE_LIBRARY",
+    "OCU_COMPOUND_CELL_FACTOR",
+    "Block",
+    "HardwareOverheadRow",
+    "SynthesisReport",
+    "build_ocu_netlist",
+    "hardware_overhead_table",
+    "lmi_overhead_row",
+    "published_comparators",
+    "synthesize",
+    "synthesize_ocu",
+    "EcStats",
+    "ExtentChecker",
+    "OcuResult",
+    "OcuStats",
+    "OverflowCheckingUnit",
+]

@@ -1,0 +1,112 @@
+"""Extent Checker (EC) — the LSU-side half of LMI (sections VII-C, VIII).
+
+The EC inspects the extent field of every address that reaches the
+load/store unit *with the A hint set on its producing chain* (in the
+functional model: every tagged address).  If the extent is zero the
+access faults; this single rule catches
+
+* spatial overflows — the OCU already cleared the extent when the
+  pointer arithmetic escaped the buffer (delayed termination), and
+* temporal errors — ``free()`` / scope exit nullified the extent.
+
+Debug extents (values above the device size limit) fault too, carrying
+the error type stamped by the OCU or the allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.errors import (
+    MemorySafetyViolation,
+    MemorySpace,
+    SpatialViolation,
+    TemporalViolation,
+)
+from ..pointer.encoding import DebugCode, PointerCodec
+
+
+@dataclass(frozen=True)
+class EcStats:
+    """Counters exposed for the performance model and tests."""
+
+    checks: int = 0
+    faults: int = 0
+
+
+class ExtentChecker:
+    """Functional model of the per-LSU extent checker."""
+
+    def __init__(self, codec: PointerCodec) -> None:
+        self.codec = codec
+        self._checks = 0
+        self._faults = 0
+
+    def check_access(
+        self,
+        pointer: int,
+        *,
+        space: Optional[MemorySpace] = None,
+        thread: Optional[int] = None,
+    ) -> None:
+        """Validate a tagged address about to be dereferenced.
+
+        Raises
+        ------
+        SpatialViolation / TemporalViolation
+            When the extent is zero or a debug extent.  The debug code,
+            if present, selects the violation class; a plain zero extent
+            is reported as spatial by default (the OCU clears to zero on
+            arithmetic overflow) unless stamped otherwise.
+        """
+        self._checks += 1
+        extent = self.codec.extent_of(pointer)
+        if 1 <= extent <= self.codec.max_size_extent:
+            return
+
+        self._faults += 1
+        address = self.codec.address_of(pointer)
+        code = self.codec.debug_code(pointer)
+        if code in (DebugCode.TEMPORAL_VIOLATION,):
+            raise TemporalViolation(
+                f"access through freed/expired pointer 0x{address:x}",
+                space=space,
+                address=address,
+                thread=thread,
+                mechanism="lmi",
+            )
+        raise SpatialViolation(
+            f"access through out-of-bounds pointer 0x{address:x} "
+            f"(extent={extent})",
+            space=space,
+            address=address,
+            thread=thread,
+            mechanism="lmi",
+        )
+
+    def would_fault(self, pointer: int) -> bool:
+        """Non-raising variant used by analysis passes and tests."""
+        extent = self.codec.extent_of(pointer)
+        return not 1 <= extent <= self.codec.max_size_extent
+
+    def classify(self, pointer: int) -> Optional[type]:
+        """Return the violation class the EC would raise, or None."""
+        if not self.would_fault(pointer):
+            return None
+        if self.codec.debug_code(pointer) is DebugCode.TEMPORAL_VIOLATION:
+            return TemporalViolation
+        return SpatialViolation
+
+    @property
+    def stats(self) -> EcStats:
+        """Snapshot of the check/fault counters."""
+        return EcStats(checks=self._checks, faults=self._faults)
+
+    def reset_stats(self) -> None:
+        """Zero the counters."""
+        self._checks = 0
+        self._faults = 0
+
+
+__all__ = ["ExtentChecker", "EcStats", "MemorySafetyViolation"]

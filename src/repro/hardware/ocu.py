@@ -1,0 +1,197 @@
+"""Overflow Checking Unit (paper section VII).
+
+The OCU sits beside every integer ALU lane (FPUs never compute
+pointers).  For each instruction the decoder hands it two hint bits
+taken from the reserved microcode field:
+
+* **A** (activation) — this instruction performs pointer arithmetic and
+  must be checked.
+* **S** (selection) — which of the two source operands holds the
+  pointer value.
+
+When activated, the OCU
+
+1. selects the pointer input operand through a MUX (the value is held
+   in a small queue so it can be compared against the ALU result when
+   it emerges, keeping inputs and outputs in order);
+2. generates an address mask from the pointer's extent bits — the mask
+   covers every bit *above* the modifiable region, i.e. the
+   unmodifiable (UM) address bits plus the extent field itself;
+3. XORs the pointer input with the ALU output to find which bits the
+   operation changed;
+4. ANDs the XOR result with the mask; a nonzero value means the
+   operation escaped the buffer;
+5. on overflow, clears the result's extent bits to zero instead of
+   faulting immediately (*delayed termination*, section XII-A) — the
+   Extent Checker in the LSU faults only if the poisoned pointer is
+   actually dereferenced.
+
+Invalid inputs propagate: arithmetic on a pointer whose extent is
+already 0 (e.g. after ``free``) produces a result with extent 0, which
+is how ``E = A + 1; E[0]`` after ``free(A)`` still faults (Figure 11).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from ..common.bitops import WORD_MASK, low_mask, to_u64
+from ..common.config import DEFAULT_LMI_CONFIG, LmiConfig
+from ..common.errors import SimulationError
+from ..pointer.encoding import PointerCodec
+
+
+@dataclass(frozen=True)
+class OcuResult:
+    """Outcome of one OCU check.
+
+    Attributes
+    ----------
+    value:
+        The (possibly extent-cleared) ALU result to write back.
+    checked:
+        Whether the instruction was actually checked (A bit set).
+    overflow:
+        Whether the UM/extent bits changed — i.e. the pointer escaped
+        its buffer and the extent was cleared.
+    propagated_invalid:
+        Whether the input pointer was already invalid and the result
+        was poisoned by propagation rather than a fresh overflow.
+    """
+
+    value: int
+    checked: bool = False
+    overflow: bool = False
+    propagated_invalid: bool = False
+
+
+@dataclass(frozen=True)
+class OcuStats:
+    """Counters exposed for the performance model and tests."""
+
+    checks: int = 0
+    overflows: int = 0
+    propagations: int = 0
+
+
+class OverflowCheckingUnit:
+    """Functional model of one per-lane OCU.
+
+    Parameters
+    ----------
+    codec:
+        Pointer codec defining the extent geometry.
+    config:
+        LMI constants (pipeline depth is consumed by the timing model,
+        not here).
+    """
+
+    def __init__(
+        self,
+        codec: Optional[PointerCodec] = None,
+        config: LmiConfig = DEFAULT_LMI_CONFIG,
+    ) -> None:
+        self.codec = codec if codec is not None else PointerCodec(config)
+        self.config = config
+        self._checks = 0
+        self._overflows = 0
+        self._propagations = 0
+        # Input-operand queue keeping pointer inputs synchronized with
+        # ALU outputs (section VII-B).
+        self._input_queue: Deque[int] = deque()
+
+    # ------------------------------------------------------------------
+    # Mask generation (section VII-B)
+
+    def address_mask(self, extent: int) -> int:
+        """Mask covering every bit the pointer op must *not* change.
+
+        For a size extent this is the complement of the modifiable-bit
+        mask over the full 64-bit word — UM address bits plus the
+        extent field.  For extent 0 (invalid) the whole word is
+        "unmodifiable"; any arithmetic on it simply propagates
+        invalidity.
+        """
+        if extent == 0 or extent > self.codec.max_size_extent:
+            return WORD_MASK
+        size_log2 = self.codec.size_log2_for_extent(extent)
+        return WORD_MASK & ~low_mask(size_log2)
+
+    # ------------------------------------------------------------------
+    # Pipelined interface (mirrors the hardware queue)
+
+    def capture_input(self, pointer_operand: int) -> None:
+        """Stage a pointer operand into the input queue."""
+        self._input_queue.append(to_u64(pointer_operand))
+
+    def retire_output(self, alu_output: int) -> OcuResult:
+        """Pair the oldest staged input with an emerging ALU output."""
+        if not self._input_queue:
+            raise SimulationError("OCU output retired with empty input queue")
+        return self.check(self._input_queue.popleft(), alu_output)
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of staged, unretired pointer inputs."""
+        return len(self._input_queue)
+
+    # ------------------------------------------------------------------
+    # Combinational check
+
+    def check(self, pointer_operand: int, alu_output: int) -> OcuResult:
+        """Run the full OCU datapath for one checked instruction."""
+        self._checks += 1
+        pointer_operand = to_u64(pointer_operand)
+        alu_output = to_u64(alu_output)
+        extent = self.codec.extent_of(pointer_operand)
+
+        if extent == 0 or extent > self.codec.max_size_extent:
+            # Invalid (or debug-stamped) input: poison the result so the
+            # EC faults on dereference, preserving any debug extent.
+            self._propagations += 1
+            poisoned = self.codec.with_extent(alu_output, extent)
+            return OcuResult(
+                value=poisoned, checked=True, propagated_invalid=True
+            )
+
+        mask = self.address_mask(extent)
+        changed = pointer_operand ^ alu_output
+        if changed & mask:
+            self._overflows += 1
+            return OcuResult(
+                value=self.codec.invalidate(alu_output),
+                checked=True,
+                overflow=True,
+            )
+        return OcuResult(value=alu_output, checked=True)
+
+    def process(
+        self,
+        alu_output: int,
+        *,
+        activated: bool,
+        pointer_operand: int = 0,
+    ) -> OcuResult:
+        """Decoder-facing entry point: honour the A hint bit."""
+        if not activated:
+            return OcuResult(value=to_u64(alu_output))
+        return self.check(pointer_operand, alu_output)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> OcuStats:
+        """Snapshot of the check/overflow counters."""
+        return OcuStats(
+            checks=self._checks,
+            overflows=self._overflows,
+            propagations=self._propagations,
+        )
+
+    def reset_stats(self) -> None:
+        """Zero the counters (the queue is left untouched)."""
+        self._checks = 0
+        self._overflows = 0
+        self._propagations = 0

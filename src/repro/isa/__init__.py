@@ -1,0 +1,57 @@
+"""Virtual GPU ISA: opcodes, instructions, 128-bit microcode."""
+
+from .alt_encoding import (
+    CHECKABLE_OPCODES,
+    CHECKED_OPCODES,
+    CheckedOpcode,
+    checked_variant_of,
+    lower_to_checked,
+    opcode_budget,
+    recover_hints,
+    variant_from_code,
+)
+from .instructions import (
+    Instruction,
+    OpCategory,
+    Opcode,
+    OpcodeInfo,
+    opcode_from_code,
+    opcode_from_mnemonic,
+)
+from .microcode import (
+    HINT_A_BIT,
+    HINT_S_BIT,
+    MICROCODE_BITS,
+    MicrocodeWord,
+    control_of,
+    decode,
+    encode,
+    hint_bits_available,
+    reserved_bits_for_cc,
+)
+
+__all__ = [
+    "CHECKABLE_OPCODES",
+    "CHECKED_OPCODES",
+    "CheckedOpcode",
+    "checked_variant_of",
+    "lower_to_checked",
+    "opcode_budget",
+    "recover_hints",
+    "variant_from_code",
+    "Instruction",
+    "OpCategory",
+    "Opcode",
+    "OpcodeInfo",
+    "opcode_from_code",
+    "opcode_from_mnemonic",
+    "HINT_A_BIT",
+    "HINT_S_BIT",
+    "MICROCODE_BITS",
+    "MicrocodeWord",
+    "control_of",
+    "decode",
+    "encode",
+    "hint_bits_available",
+    "reserved_bits_for_cc",
+]

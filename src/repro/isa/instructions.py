@@ -1,0 +1,186 @@
+"""Virtual GPU instruction set.
+
+A compact SASS-flavoured ISA used as (a) the target of the mini
+compiler's backend, (b) the unit of the timing simulator's traces, and
+(c) the substrate into which software mechanisms (Baggy Bounds, DBI,
+memcheck) inject their extra instructions.
+
+Opcodes carry a :class:`OpCategory` that drives the timing model
+(integer ALU, FP ALU, memory by space, control) and an OCU-eligibility
+flag (only integer ALU ops can be pointer arithmetic; FPUs never
+compute pointers — paper section VII).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..common.errors import ConfigurationError, MemorySpace
+
+
+class OpCategory(enum.Enum):
+    """Execution-resource class of an opcode."""
+
+    INT_ALU = "int"
+    FP_ALU = "fp"
+    LOAD = "load"
+    STORE = "store"
+    CONTROL = "control"
+    SPECIAL = "special"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static metadata for one opcode."""
+
+    mnemonic: str
+    code: int
+    category: OpCategory
+    space: Optional[MemorySpace] = None
+    base_latency: int = 4
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self.category in (OpCategory.LOAD, OpCategory.STORE)
+
+    @property
+    def ocu_eligible(self) -> bool:
+        """True iff an OCU can be attached (integer ALU only)."""
+        return self.category is OpCategory.INT_ALU
+
+
+class Opcode(enum.Enum):
+    """The virtual ISA.
+
+    Memory opcodes follow the SASS naming used in the paper's Figure 1:
+    LDG/STG (global), LDS/STS (shared), LDL/STL (local).  Heap accesses
+    use the global-memory pipes (device-heap buffers live in DRAM), so
+    LDG/STG with a heap-range address covers them, exactly as on real
+    GPUs.
+    """
+
+    # Integer ALU (OCU-eligible)
+    MOV = OpcodeInfo("MOV", 0x01, OpCategory.INT_ALU)
+    IADD = OpcodeInfo("IADD", 0x02, OpCategory.INT_ALU)
+    ISUB = OpcodeInfo("ISUB", 0x03, OpCategory.INT_ALU)
+    IMUL = OpcodeInfo("IMUL", 0x04, OpCategory.INT_ALU)
+    IMAD = OpcodeInfo("IMAD", 0x05, OpCategory.INT_ALU)
+    SHL = OpcodeInfo("SHL", 0x06, OpCategory.INT_ALU)
+    SHR = OpcodeInfo("SHR", 0x07, OpCategory.INT_ALU)
+    AND = OpcodeInfo("AND", 0x08, OpCategory.INT_ALU)
+    OR = OpcodeInfo("OR", 0x09, OpCategory.INT_ALU)
+    XOR = OpcodeInfo("XOR", 0x0A, OpCategory.INT_ALU)
+    ISETP = OpcodeInfo("ISETP", 0x0B, OpCategory.INT_ALU)
+    SEL = OpcodeInfo("SEL", 0x0C, OpCategory.INT_ALU)
+    IADD3 = OpcodeInfo("IADD3", 0x0D, OpCategory.INT_ALU)
+    LEA = OpcodeInfo("LEA", 0x0E, OpCategory.INT_ALU)
+
+    # Floating point
+    FADD = OpcodeInfo("FADD", 0x20, OpCategory.FP_ALU)
+    FMUL = OpcodeInfo("FMUL", 0x21, OpCategory.FP_ALU)
+    FFMA = OpcodeInfo("FFMA", 0x22, OpCategory.FP_ALU)
+    FSETP = OpcodeInfo("FSETP", 0x23, OpCategory.FP_ALU)
+    MUFU = OpcodeInfo("MUFU", 0x24, OpCategory.FP_ALU, base_latency=8)
+
+    # Memory
+    LDG = OpcodeInfo("LDG", 0x40, OpCategory.LOAD, MemorySpace.GLOBAL)
+    STG = OpcodeInfo("STG", 0x41, OpCategory.STORE, MemorySpace.GLOBAL)
+    LDS = OpcodeInfo("LDS", 0x42, OpCategory.LOAD, MemorySpace.SHARED, 20)
+    STS = OpcodeInfo("STS", 0x43, OpCategory.STORE, MemorySpace.SHARED, 20)
+    LDL = OpcodeInfo("LDL", 0x44, OpCategory.LOAD, MemorySpace.LOCAL)
+    STL = OpcodeInfo("STL", 0x45, OpCategory.STORE, MemorySpace.LOCAL)
+    LDC = OpcodeInfo("LDC", 0x46, OpCategory.LOAD, None, 8)
+
+    # Control
+    BRA = OpcodeInfo("BRA", 0x60, OpCategory.CONTROL)
+    EXIT = OpcodeInfo("EXIT", 0x61, OpCategory.CONTROL)
+    BAR = OpcodeInfo("BAR", 0x62, OpCategory.CONTROL)
+    RET = OpcodeInfo("RET", 0x63, OpCategory.CONTROL)
+    CALL = OpcodeInfo("CALL", 0x64, OpCategory.CONTROL)
+    NOP = OpcodeInfo("NOP", 0x65, OpCategory.CONTROL)
+
+    # Special (runtime services)
+    MALLOC = OpcodeInfo("MALLOC", 0x70, OpCategory.SPECIAL, MemorySpace.HEAP, 40)
+    FREE = OpcodeInfo("FREE", 0x71, OpCategory.SPECIAL, MemorySpace.HEAP, 40)
+    S2R = OpcodeInfo("S2R", 0x72, OpCategory.SPECIAL)
+
+    @property
+    def info(self) -> OpcodeInfo:
+        """Static metadata for this opcode."""
+        return self.value
+
+    @property
+    def mnemonic(self) -> str:
+        """Assembly mnemonic."""
+        return self.value.mnemonic
+
+    @property
+    def category(self) -> OpCategory:
+        """Execution-resource class."""
+        return self.value.category
+
+    @property
+    def space(self) -> Optional[MemorySpace]:
+        """Memory space for loads/stores, else None."""
+        return self.value.space
+
+
+_BY_CODE = {op.value.code: op for op in Opcode}
+_BY_MNEMONIC = {op.value.mnemonic: op for op in Opcode}
+
+
+def opcode_from_code(code: int) -> Opcode:
+    """Look an opcode up by its numeric encoding."""
+    try:
+        return _BY_CODE[code]
+    except KeyError:
+        raise ConfigurationError(f"unknown opcode encoding 0x{code:x}") from None
+
+
+def opcode_from_mnemonic(mnemonic: str) -> Opcode:
+    """Look an opcode up by its mnemonic."""
+    try:
+        return _BY_MNEMONIC[mnemonic.upper()]
+    except KeyError:
+        raise ConfigurationError(f"unknown mnemonic {mnemonic!r}") from None
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One assembled instruction.
+
+    ``hint_activate`` / ``hint_select`` are the two LMI hint bits the
+    compiler backend writes into the reserved microcode field: A marks
+    the instruction as pointer arithmetic needing an OCU check, S picks
+    which of the first two source registers carries the pointer.
+    """
+
+    opcode: Opcode
+    dst: int = 0
+    srcs: Tuple[int, ...] = field(default=())
+    imm: int = 0
+    pred: int = 0
+    hint_activate: bool = False
+    hint_select: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.srcs) > 3:
+            raise ConfigurationError("at most 3 source registers")
+        if self.hint_select not in (0, 1):
+            raise ConfigurationError("hint S selects operand 0 or 1")
+        if self.hint_activate and not self.opcode.info.ocu_eligible:
+            raise ConfigurationError(
+                f"hint A set on non-integer-ALU opcode {self.opcode.mnemonic}"
+            )
+
+    def asm(self) -> str:
+        """Human-readable assembly string."""
+        ops = ", ".join(f"R{r}" for r in (self.dst, *self.srcs))
+        imm = f", 0x{self.imm:x}" if self.imm else ""
+        hints = ""
+        if self.hint_activate:
+            hints = f"  /*A S={self.hint_select}*/"
+        return f"{self.opcode.mnemonic} {ops}{imm};{hints}"

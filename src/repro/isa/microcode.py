@@ -1,0 +1,170 @@
+"""128-bit instruction microcode encoding (paper section VI-B).
+
+NVIDIA GPUs since Volta use a 128-bit instruction word carrying the
+opcode, registers, immediates, and compiler-scheduled control
+information (stall counts, barrier masks) in the high bits.  Between
+the instruction code and the control information lies a *reserved*
+field — 14 unused bits on Compute Capability 7.0–7.2, 13 on 7.5–9.0 —
+which LMI repurposes for its two hint bits:
+
+* bit **28** — **A** (activation): this instruction performs pointer
+  arithmetic and the OCU must check it;
+* bit **27** — **S** (selection): which source operand carries the
+  pointer address.
+
+The field layout used here (low bit positions first)::
+
+    [  0:12) opcode
+    [ 12:20) destination register
+    [ 20:27) predicate + modifier flags
+    [ 27:41) reserved field  (S at 27, A at 28; 14 bits on CC 7.0)
+    [ 41:49) src0   [ 49:57) src1   [ 57:65) src2
+    [ 65:105) 40-bit immediate
+    [105:128) control information (stall / yield / barrier masks)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.bitops import bit_field
+from ..common.errors import ConfigurationError
+from .instructions import Instruction, Opcode, opcode_from_code
+
+#: Total instruction word width.
+MICROCODE_BITS = 128
+
+#: Bit positions of the LMI hint bits inside the reserved field.
+HINT_S_BIT = 27
+HINT_A_BIT = 28
+
+#: Reserved-field geometry per compute capability (paper: 14 bits on
+#: CC 7.0-7.2, 13 bits on CC 7.5-9.0).
+RESERVED_LOW = 27
+
+
+def reserved_bits_for_cc(compute_capability: float) -> int:
+    """Number of reserved microcode bits for a compute capability."""
+    if 7.0 <= compute_capability < 7.5:
+        return 14
+    if 7.5 <= compute_capability <= 9.0:
+        return 13
+    raise ConfigurationError(
+        f"compute capability {compute_capability} outside the 7.0-9.0 "
+        "range studied in the paper"
+    )
+
+
+_F_OPCODE = (0, 12)
+_F_DST = (12, 8)
+_F_PRED = (20, 7)
+_F_SRC0 = (41, 8)
+_F_SRC1 = (49, 8)
+_F_SRC2 = (57, 8)
+_F_IMM = (65, 40)
+_F_CTRL = (105, 23)
+
+_IMM_MASK = (1 << 40) - 1
+_SRC_SENTINEL = 0xFF  # "no register" marker in a src slot
+
+
+@dataclass(frozen=True)
+class MicrocodeWord:
+    """A raw 128-bit instruction word."""
+
+    raw: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.raw < (1 << MICROCODE_BITS):
+            raise ConfigurationError("microcode word out of 128-bit range")
+
+    @property
+    def hint_activate(self) -> bool:
+        """The A hint bit (bit 28)."""
+        return bool(bit_field(self.raw, HINT_A_BIT, 1))
+
+    @property
+    def hint_select(self) -> int:
+        """The S hint bit (bit 27)."""
+        return bit_field(self.raw, HINT_S_BIT, 1)
+
+
+def encode(instruction: Instruction, control: int = 0) -> MicrocodeWord:
+    """Assemble an :class:`Instruction` into a 128-bit word."""
+    return MicrocodeWord(raw=_assemble_128(instruction, control))
+
+
+def _assemble_128(instruction: Instruction, control: int) -> int:
+    """Pure-int assembly avoiding 64-bit masking helpers."""
+    word = 0
+
+    def put(low: int, width: int, value: int) -> None:
+        nonlocal word
+        if value & ~((1 << width) - 1):
+            raise ConfigurationError(
+                f"field value 0x{value:x} does not fit in {width} bits"
+            )
+        word |= value << low
+
+    put(*_F_OPCODE, instruction.opcode.info.code)
+    put(*_F_DST, instruction.dst)
+    put(*_F_PRED, instruction.pred)
+    srcs = list(instruction.srcs) + [_SRC_SENTINEL] * (3 - len(instruction.srcs))
+    put(*_F_SRC0, srcs[0])
+    put(*_F_SRC1, srcs[1])
+    put(*_F_SRC2, srcs[2])
+    put(*_F_IMM, instruction.imm & _IMM_MASK)
+    put(*_F_CTRL, control)
+    put(HINT_A_BIT, 1, 1 if instruction.hint_activate else 0)
+    put(HINT_S_BIT, 1, instruction.hint_select)
+    return word
+
+
+def decode(word: MicrocodeWord) -> Instruction:
+    """Disassemble a 128-bit word back into an :class:`Instruction`."""
+    raw = word.raw
+    opcode = opcode_from_code(bit_field(raw & ((1 << 64) - 1), *_F_OPCODE))
+    srcs = []
+    for low, width in (_F_SRC0, _F_SRC1, _F_SRC2):
+        value = (raw >> low) & ((1 << width) - 1)
+        if value != _SRC_SENTINEL:
+            srcs.append(value)
+    imm = (raw >> _F_IMM[0]) & _IMM_MASK
+    return Instruction(
+        opcode=opcode,
+        dst=bit_field(raw & ((1 << 64) - 1), *_F_DST),
+        srcs=tuple(srcs),
+        imm=imm,
+        pred=bit_field(raw & ((1 << 64) - 1), *_F_PRED),
+        hint_activate=word.hint_activate,
+        hint_select=word.hint_select,
+    )
+
+
+def control_of(word: MicrocodeWord) -> int:
+    """Extract the compiler-scheduled control information."""
+    return (word.raw >> _F_CTRL[0]) & ((1 << _F_CTRL[1]) - 1)
+
+
+def hint_bits_available(compute_capability: float) -> bool:
+    """True iff the reserved field can host both LMI hint bits.
+
+    Both studied generations (13 or 14 reserved bits) have room; the
+    function exists so callers can reason about hypothetical ISAs.
+    """
+    return reserved_bits_for_cc(compute_capability) >= 2
+
+
+__all__ = [
+    "MICROCODE_BITS",
+    "HINT_A_BIT",
+    "HINT_S_BIT",
+    "RESERVED_LOW",
+    "MicrocodeWord",
+    "encode",
+    "decode",
+    "control_of",
+    "reserved_bits_for_cc",
+    "hint_bits_available",
+    "Opcode",
+]

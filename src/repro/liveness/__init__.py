@@ -1,0 +1,5 @@
+"""Pointer-liveness tracking (Algorithm 1)."""
+
+from .tracking import LivenessStats, LivenessTracker
+
+__all__ = ["LivenessStats", "LivenessTracker"]

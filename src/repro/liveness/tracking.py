@@ -1,0 +1,131 @@
+"""Pointer-liveness tracking (paper section XII-C, Algorithm 1).
+
+LMI's base temporal protection nullifies only the pointer register
+passed to ``free``; copies keep their extents (Figure 11).  The
+enhancement tracks buffer *liveness* by the one property every copy
+shares: the **UM bits**.  Because at most one live buffer of a given
+rounded size can occupy a given self-aligned slot, the pair
+``(extent, UM)`` uniquely identifies a buffer, so a membership table of
+live pairs suffices — no per-pointer or shadow-object tracking.
+
+Algorithm 1's ``pageInvalidOpt`` trades table entries for page-table
+work: buffers larger than half a page necessarily own whole dedicated
+pages (2^n alignment), so instead of a table entry their pages are
+invalidated on free.  Here page invalidation is modelled as a set of
+dead page numbers (an executor with a real
+:class:`~repro.memory.sparse.SparseMemory` can additionally ``unmap``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+from ..common.errors import ConfigurationError
+from ..pointer.encoding import PointerCodec
+
+
+@dataclass(frozen=True)
+class LivenessStats:
+    """Table occupancy counters for the ablation experiment."""
+
+    registered: int
+    table_entries: int
+    invalidated_pages: int
+
+
+class LivenessTracker:
+    """Membership table of live ``(extent, UM)`` pairs."""
+
+    def __init__(
+        self,
+        codec: PointerCodec,
+        *,
+        page_size: int = 64 * 1024,
+        page_invalidation: bool = False,
+    ) -> None:
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ConfigurationError("page size must be a positive power of two")
+        self.codec = codec
+        self.page_size = page_size
+        self.page_invalidation = page_invalidation
+        self._table: Set[Tuple[int, int]] = set()
+        self._dead_pages: Set[int] = set()
+        self._registered = 0
+
+    # ------------------------------------------------------------------
+
+    def _key(self, pointer: int) -> Optional[Tuple[int, int]]:
+        extent = self.codec.extent_of(pointer)
+        if not 1 <= extent <= self.codec.max_size_extent:
+            return None
+        return extent, self.codec.um_bits(pointer)
+
+    def _size_of(self, pointer: int) -> int:
+        decoded = self.codec.decode(pointer)
+        return decoded.size or 0
+
+    def _pages_of(self, pointer: int) -> range:
+        decoded = self.codec.decode(pointer)
+        base, size = decoded.base, decoded.size
+        return range(base // self.page_size, (base + size - 1) // self.page_size + 1)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+
+    def register(self, pointer: int) -> None:
+        """``malloc``-hook half of Algorithm 1."""
+        key = self._key(pointer)
+        if key is None:
+            raise ConfigurationError("cannot register an invalid pointer")
+        self._registered += 1
+        size = self._size_of(pointer)
+        if not self.page_invalidation or size <= self.page_size // 2:
+            self._table.add(key)
+        # Large buffers with page invalidation enabled rely on their
+        # dedicated pages; (re)allocation revives those pages.
+        if self.page_invalidation and size > self.page_size // 2:
+            for page in self._pages_of(pointer):
+                self._dead_pages.discard(page)
+
+    def deregister(self, pointer: int) -> None:
+        """``free``-hook half of Algorithm 1."""
+        key = self._key(pointer)
+        if key is None:
+            return
+        size = self._size_of(pointer)
+        if not self.page_invalidation or size <= self.page_size:
+            self._table.discard(key)
+        if self.page_invalidation and size > self.page_size // 2:
+            for page in self._pages_of(pointer):
+                self._dead_pages.add(page)
+
+    def deregister_by_base(self, base: int, size: int) -> None:
+        """Deregister a buffer known only by base/requested size."""
+        self.deregister(self.codec.encode(base, size))
+
+    # ------------------------------------------------------------------
+
+    def is_live(self, pointer: int) -> bool:
+        """Liveness verdict for a *valid-extent* pointer.
+
+        Invalid-extent pointers are the EC's business and are reported
+        live here so the two checks stay orthogonal.
+        """
+        key = self._key(pointer)
+        if key is None:
+            return True
+        size = self._size_of(pointer)
+        if self.page_invalidation and size > self.page_size // 2:
+            address = self.codec.address_of(pointer)
+            return address // self.page_size not in self._dead_pages
+        return key in self._table
+
+    @property
+    def stats(self) -> LivenessStats:
+        """Occupancy snapshot."""
+        return LivenessStats(
+            registered=self._registered,
+            table_entries=len(self._table),
+            invalidated_pages=len(self._dead_pages),
+        )

@@ -1,0 +1,67 @@
+"""GPU memory-safety mechanisms: LMI and every compared baseline."""
+
+from typing import Dict, Type
+
+from .baggy import BAGGY_INSTRUCTIONS_PER_CHECK, BaggyBoundsMechanism
+from .base import BaselineMechanism, ExecContext, Mechanism, MechanismStats
+from .canary import (
+    CANARY_BYTE,
+    CANARY_BYTES,
+    CanaryMechanism,
+    ClArmorMechanism,
+    GmodMechanism,
+)
+from .cucatch import CuCatchMechanism
+from .gpushield import GPUShieldMechanism
+from .imt import ImtMechanism
+from .lmi import LmiMechanism
+from .lmi_inmem import LmiInMemoryPointerMechanism
+from .memcheck import MemcheckMechanism
+
+#: Registry used by the security harness and the experiment drivers.
+MECHANISMS: Dict[str, Type[Mechanism]] = {
+    "baseline": BaselineMechanism,
+    "lmi": LmiMechanism,
+    "gpushield": GPUShieldMechanism,
+    "cucatch": CuCatchMechanism,
+    "gmod": GmodMechanism,
+    "clarmor": ClArmorMechanism,
+    "memcheck": MemcheckMechanism,
+    "baggy": BaggyBoundsMechanism,
+    "imt": ImtMechanism,
+    "lmi-inmem": LmiInMemoryPointerMechanism,
+}
+
+
+def create_mechanism(name: str, **kwargs) -> Mechanism:
+    """Instantiate a mechanism by registry name."""
+    try:
+        cls = MECHANISMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mechanism {name!r}; choices: {sorted(MECHANISMS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "BAGGY_INSTRUCTIONS_PER_CHECK",
+    "BaggyBoundsMechanism",
+    "BaselineMechanism",
+    "ExecContext",
+    "Mechanism",
+    "MechanismStats",
+    "CANARY_BYTE",
+    "CANARY_BYTES",
+    "CanaryMechanism",
+    "ClArmorMechanism",
+    "GmodMechanism",
+    "CuCatchMechanism",
+    "GPUShieldMechanism",
+    "ImtMechanism",
+    "LmiMechanism",
+    "LmiInMemoryPointerMechanism",
+    "MemcheckMechanism",
+    "MECHANISMS",
+    "create_mechanism",
+]

@@ -1,0 +1,201 @@
+"""Mechanism interface: how a safety scheme plugs into the executor.
+
+The functional executor owns the machinery every scheme shares — IR
+interpretation, the sparse memory, the per-thread stack and per-block
+shared allocators, the heap/global allocators, and the ground-truth
+:class:`~repro.memory.tracker.AllocationTracker` oracle.  A
+:class:`Mechanism` customises the safety-relevant points:
+
+* *allocation policy* — whether each space uses 2^n-aligned allocation
+  (``aligned_*`` flags) and how much canary padding surrounds buffers;
+* *pointer tagging* — what value the program receives for a fresh
+  buffer (``tag_pointer``) and how a tagged value maps back to a raw
+  address (``translate``);
+* *pointer arithmetic* — the OCU hook (``on_ptr_arith``);
+* *access checking* — ``check_access`` raises a
+  :class:`MemorySafetyViolation` to signal detection;
+* *lifecycle* — free / scope-exit / kernel-end hooks for metadata
+  management and end-of-kernel verification (canaries).
+
+The default implementations are all no-ops, so the base class doubles
+as the unprotected **baseline**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..common.errors import MemorySpace
+from ..memory.sparse import SparseMemory
+from ..memory.tracker import AllocationRecord, AllocationTracker
+
+
+@dataclass
+class MechanismStats:
+    """Counters every mechanism accumulates during a launch."""
+
+    checks: int = 0
+    tagged_pointers: int = 0
+    metadata_memory_accesses: int = 0
+    detections: int = 0
+
+
+@dataclass
+class ExecContext:
+    """Executor state handed to a mechanism at launch time."""
+
+    memory: SparseMemory
+    tracker: AllocationTracker
+
+
+class Mechanism:
+    """Base class / unprotected baseline."""
+
+    #: Mechanism display name (used in experiment tables).
+    name = "baseline"
+    #: Power-of-two-align allocations in each space.
+    aligned_global = False
+    aligned_heap = False
+    aligned_stack = False
+    aligned_shared = False
+
+    def __init__(self) -> None:
+        self.stats = MechanismStats()
+        self.context: Optional[ExecContext] = None
+
+    # ------------------------------------------------------------------
+    # Launch lifecycle
+
+    def bind(self, context: ExecContext) -> None:
+        """Receive the executor's memory and oracle at launch time."""
+        self.context = context
+
+    def on_kernel_end(self) -> None:
+        """End-of-kernel verification (canary schemes check here).
+
+        Raises a :class:`MemorySafetyViolation` on detection.
+        """
+
+    # ------------------------------------------------------------------
+    # Allocation policy
+
+    def padding(self, size: int, space: MemorySpace) -> Tuple[int, int]:
+        """(before, after) canary padding bytes around an allocation."""
+        return (0, 0)
+
+    def tag_pointer(
+        self,
+        base: int,
+        size: int,
+        space: MemorySpace,
+        *,
+        thread: Optional[int] = None,
+        block: Optional[int] = None,
+        coarse: bool = False,
+        record: Optional[AllocationRecord] = None,
+    ) -> int:
+        """Pointer value the program receives for a fresh buffer.
+
+        ``coarse`` marks region-granular allocations (e.g. the dynamic
+        shared pool) whose metadata should cover the whole pool.
+        """
+        return base
+
+    def translate(self, pointer: int) -> int:
+        """Raw virtual address behind a (possibly tagged) pointer."""
+        return pointer
+
+    # ------------------------------------------------------------------
+    # Pointer lifecycle
+
+    def on_ptr_arith(
+        self,
+        input_pointer: int,
+        raw_result: int,
+        *,
+        activated: bool,
+        thread: Optional[int] = None,
+    ) -> int:
+        """Hook for pointer-arithmetic results (the OCU's seat).
+
+        ``raw_result`` is the plain 64-bit sum the ALU produced (tag
+        bits included, exactly as hardware would see it).  Returns the
+        value to write back.
+        """
+        return raw_result
+
+    def on_invalidate(self, pointer: int, thread: Optional[int] = None) -> int:
+        """Pass-inserted extent nullification; returns the new value."""
+        return pointer
+
+    def on_free(
+        self,
+        pointer: int,
+        base: int,
+        record: AllocationRecord,
+        *,
+        thread: Optional[int] = None,
+    ) -> None:
+        """Metadata teardown after a successful ``free``."""
+
+    def on_scope_exit(
+        self,
+        records: Sequence[AllocationRecord],
+        *,
+        thread: Optional[int] = None,
+    ) -> None:
+        """Metadata teardown for stack buffers dying at scope exit."""
+
+    def on_pointer_store(self, address: int, value: int,
+                         thread: Optional[int] = None) -> None:
+        """A pointer-typed value is being spilled to memory.
+
+        Base LMI forbids this at compile time (section VI-A); the
+        in-memory-pointer extension registers integrity metadata here.
+        """
+
+    def on_pointer_load(self, address: int, value: int,
+                        thread: Optional[int] = None) -> int:
+        """A pointer-typed value was loaded from memory.
+
+        Returns the pointer value the program receives — an integrity
+        extension can strip/poison the extent of tampered words.
+        """
+        return value
+
+    def on_call_boundary(self, pointer: int) -> int:
+        """Transform a pointer crossing a function-call ABI boundary.
+
+        Schemes whose compiler instrumentation is function-local (e.g.
+        cuCatch's stack tags in this model) lose tracking here; the
+        default keeps the pointer intact.
+        """
+        return pointer
+
+    # ------------------------------------------------------------------
+    # Access checking
+
+    def check_access(
+        self,
+        pointer: int,
+        raw_address: int,
+        width: int,
+        space: Optional[MemorySpace],
+        *,
+        thread: Optional[int] = None,
+        is_store: bool = False,
+    ) -> None:
+        """Validate one memory access; raise on detection."""
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line description for experiment tables."""
+        return self.name
+
+
+class BaselineMechanism(Mechanism):
+    """Explicit alias of the unprotected baseline."""
+
+    name = "baseline"

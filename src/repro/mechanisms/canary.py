@@ -1,0 +1,96 @@
+"""Canary mechanisms: GMOD (PACT 2018) and clARMOR (CGO 2017).
+
+Both surround global-memory buffers with canary regions filled with a
+known pattern and verify the pattern at the end of the kernel (GMOD
+also verifies periodically; the end-of-kernel check is what decides
+detection for our single-kernel test cases).
+
+Inherent limitations, which emerge from the actual memory contents in
+this model rather than being hard-coded:
+
+* only **writes** are caught (reads don't disturb the canary);
+* only **adjacent** overflows are caught (a non-adjacent access jumps
+  over the canary region);
+* only **global** memory is protected;
+* no temporal safety.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..common.errors import MemorySpace, SpatialViolation
+from ..memory.tracker import AllocationRecord
+from .base import Mechanism
+
+#: Canary pattern byte and region size.
+CANARY_BYTE = 0xA5
+CANARY_BYTES = 64
+
+
+class CanaryMechanism(Mechanism):
+    """Shared implementation for GMOD / clARMOR."""
+
+    name = "canary"
+
+    def __init__(self, *, canary_bytes: int = CANARY_BYTES) -> None:
+        super().__init__()
+        self.canary_bytes = canary_bytes
+        #: (region_base, region_size, owner_base) for every canary.
+        self._regions: List[Tuple[int, int, int]] = []
+
+    def padding(self, size: int, space: MemorySpace) -> Tuple[int, int]:
+        if space is MemorySpace.GLOBAL:
+            return (self.canary_bytes, self.canary_bytes)
+        return (0, 0)
+
+    def tag_pointer(
+        self,
+        base: int,
+        size: int,
+        space: MemorySpace,
+        *,
+        thread: Optional[int] = None,
+        block: Optional[int] = None,
+        coarse: bool = False,
+        record: Optional[AllocationRecord] = None,
+    ) -> int:
+        if space is MemorySpace.GLOBAL and self.context is not None:
+            pattern = bytes([CANARY_BYTE]) * self.canary_bytes
+            before = base - self.canary_bytes
+            after = base + size
+            self.context.memory.write_bytes(before, pattern)
+            self.context.memory.write_bytes(after, pattern)
+            self._regions.append((before, self.canary_bytes, base))
+            self._regions.append((after, self.canary_bytes, base))
+            self.stats.tagged_pointers += 1
+        return base
+
+    def on_kernel_end(self) -> None:
+        """Verify every canary region (the GMOD end-of-kernel sweep)."""
+        if self.context is None:
+            return
+        for region_base, region_size, owner in self._regions:
+            self.stats.checks += 1
+            data = self.context.memory.read_bytes(region_base, region_size)
+            if any(byte != CANARY_BYTE for byte in data):
+                self.stats.detections += 1
+                raise SpatialViolation(
+                    f"{self.name}: canary of buffer 0x{owner:x} corrupted "
+                    f"(region 0x{region_base:x})",
+                    space=MemorySpace.GLOBAL,
+                    address=region_base,
+                    mechanism=self.name,
+                )
+
+
+class GmodMechanism(CanaryMechanism):
+    """GMOD: dynamic GPU memory overflow detector."""
+
+    name = "gmod"
+
+
+class ClArmorMechanism(CanaryMechanism):
+    """clARMOR: canary-based OpenCL overflow detector."""
+
+    name = "clarmor"

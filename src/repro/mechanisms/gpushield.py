@@ -1,0 +1,146 @@
+"""GPUShield model (Lee et al., ISCA 2022) — region-based bounds checking.
+
+GPUShield tags pointers to buffers *passed through kernel arguments*
+(global memory) with a buffer ID in the unused upper pointer bits and
+checks accesses against a per-buffer bounds table cached in a dedicated
+L1 RCache.  Its published limitations, reproduced here:
+
+* **heap** and **stack (local)** memory are each treated as a single
+  large chunk — only escapes from the whole region are caught, not
+  overflows between buffers inside it (paper section IV-D);
+* **shared** memory is unprotected;
+* **no temporal safety** — bounds entries are not retired on ``free``,
+  so use-after-free accesses still pass the (stale) bounds check.
+
+Invalid-free / double-free detection comes from the allocator runtime,
+as for every scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..common.errors import MemorySpace, SpatialViolation
+from ..memory import layout
+from ..memory.tracker import AllocationRecord
+from .base import Mechanism
+
+#: Buffer IDs live in pointer bits [48:59) — above every region address.
+_TAG_SHIFT = 48
+_TAG_BITS = 11
+_ADDR_MASK = (1 << _TAG_SHIFT) - 1
+
+#: Reserved IDs for the coarse regions.
+_HEAP_REGION_TAG = 1
+_STACK_REGION_TAG_BASE = 2  # + thread id, assigned dynamically
+_FIRST_BUFFER_TAG = 512
+
+
+class GPUShieldMechanism(Mechanism):
+    """Region-based hardware bounds checking."""
+
+    name = "gpushield"
+
+    def __init__(self, *, rcache_entries: int = 16) -> None:
+        super().__init__()
+        #: tag -> (lower, upper) byte bounds.
+        self._bounds: Dict[int, Tuple[int, int]] = {}
+        self._next_tag = _FIRST_BUFFER_TAG
+        self._stack_tags: Dict[int, int] = {}  # thread -> tag
+        self._next_stack_tag = _STACK_REGION_TAG_BASE
+        # Tiny FIFO model of the L1 RCache for metadata-traffic stats.
+        self._rcache_entries = rcache_entries
+        self._rcache: list = []
+
+    # ------------------------------------------------------------------
+
+    def _assign_tag(self, lower: int, upper: int) -> int:
+        tag = self._next_tag
+        self._next_tag += 1
+        if self._next_tag >= (1 << _TAG_BITS) + _FIRST_BUFFER_TAG - 1:
+            self._next_tag = _FIRST_BUFFER_TAG  # IDs wrap, as in hardware
+        self._bounds[tag] = (lower, upper)
+        return tag
+
+    def _stack_tag(self, thread: int) -> int:
+        tag = self._stack_tags.get(thread)
+        if tag is None:
+            tag = self._next_stack_tag
+            self._next_stack_tag += 1
+            self._stack_tags[thread] = tag
+            window = layout.local_window(thread)
+            self._bounds[tag] = (window, window + (1 << layout.LOCAL_WINDOW_BITS))
+        return tag
+
+    def tag_pointer(
+        self,
+        base: int,
+        size: int,
+        space: MemorySpace,
+        *,
+        thread: Optional[int] = None,
+        block: Optional[int] = None,
+        coarse: bool = False,
+        record: Optional[AllocationRecord] = None,
+    ) -> int:
+        if space is MemorySpace.GLOBAL:
+            # Fine-grained: kernel-argument buffers get their own entry.
+            tag = self._assign_tag(base, base + size)
+        elif space is MemorySpace.HEAP:
+            # Coarse: the heap is one chunk.
+            if _HEAP_REGION_TAG not in self._bounds:
+                heap_lo, heap_hi = layout.region_bounds(MemorySpace.HEAP)
+                self._bounds[_HEAP_REGION_TAG] = (heap_lo, heap_hi)
+            tag = _HEAP_REGION_TAG
+        elif space is MemorySpace.LOCAL and thread is not None:
+            # Coarse: the thread's whole local window is one chunk.
+            tag = self._stack_tag(thread)
+        else:
+            # Shared memory: unprotected.
+            return base
+        self.stats.tagged_pointers += 1
+        return (tag << _TAG_SHIFT) | base
+
+    def translate(self, pointer: int) -> int:
+        return pointer & _ADDR_MASK
+
+    # ------------------------------------------------------------------
+
+    def _rcache_access(self, tag: int) -> None:
+        """FIFO RCache model; counts metadata memory traffic on miss."""
+        if tag in self._rcache:
+            return
+        self._rcache.append(tag)
+        if len(self._rcache) > self._rcache_entries:
+            self._rcache.pop(0)
+        self.stats.metadata_memory_accesses += 1
+
+    def check_access(
+        self,
+        pointer: int,
+        raw_address: int,
+        width: int,
+        space: Optional[MemorySpace],
+        *,
+        thread: Optional[int] = None,
+        is_store: bool = False,
+    ) -> None:
+        tag = pointer >> _TAG_SHIFT
+        if tag == 0:
+            return  # untagged (shared) pointers are unchecked
+        self.stats.checks += 1
+        self._rcache_access(tag)
+        bounds = self._bounds.get(tag)
+        if bounds is None:
+            return  # stale/wrapped ID: hardware fails open
+        lower, upper = bounds
+        if raw_address < lower or raw_address + width > upper:
+            self.stats.detections += 1
+            raise SpatialViolation(
+                f"GPUShield bounds violation at 0x{raw_address:x} "
+                f"(buffer [{lower:#x}, {upper:#x}))",
+                space=space,
+                address=raw_address,
+                thread=thread,
+                mechanism=self.name,
+            )

@@ -1,0 +1,71 @@
+"""LMI extension: in-memory pointer support (the paper's future work).
+
+Base LMI forbids storing pointers to memory (section VI-A) because a
+stored pointer leaves the Correct-by-Construction register lifecycle:
+an attacker who can write the spill slot forges a pointer with
+arbitrary extent bits, and nothing re-verifies it on reload.
+
+This extension lifts the restriction the way the paper sketches for
+future work (and CHEx86 does in microcode): the compiler still marks
+pointer-typed stores/loads, and the hardware keeps an **integrity
+shadow** — for each spill address, the exact tagged word that a
+verified pointer store wrote there.  On a pointer load:
+
+* if the loaded word matches the shadow entry, the pointer re-enters
+  the verified lifecycle unchanged;
+* if the spill slot was modified by ordinary (non-pointer) stores, or
+  never held a verified pointer, the loaded word's extent is cleared —
+  the EC then faults any dereference, exactly like an OCU-poisoned
+  pointer.
+
+Use together with ``run_lmi_pass(module, forbid_pointer_stores=False)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..common.config import DEFAULT_LMI_CONFIG, LmiConfig
+from .lmi import LmiMechanism
+
+
+class LmiInMemoryPointerMechanism(LmiMechanism):
+    """LMI + verified pointer spills (integrity-shadowed)."""
+
+    name = "lmi-inmem"
+
+    def __init__(
+        self,
+        config: LmiConfig = DEFAULT_LMI_CONFIG,
+        *,
+        device_size_limit: Optional[int] = None,
+        liveness_tracking: bool = False,
+    ) -> None:
+        super().__init__(
+            config,
+            device_size_limit=device_size_limit,
+            liveness_tracking=liveness_tracking,
+        )
+        #: Spill address -> the exact tagged word a pointer store wrote.
+        self._shadow: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def on_pointer_store(
+        self, address: int, value: int, thread: Optional[int] = None
+    ) -> None:
+        self._shadow[address] = value
+        self.stats.metadata_memory_accesses += 1
+
+    def on_pointer_load(
+        self, address: int, value: int, thread: Optional[int] = None
+    ) -> int:
+        self.stats.metadata_memory_accesses += 1
+        if self._shadow.get(address) == value:
+            return value  # verified spill: re-enter the lifecycle
+        # Forged or corrupted: strip the extent so the EC faults on use.
+        return self.codec.invalidate(value)
+
+    def verified_spills(self) -> int:
+        """Number of live shadow entries (for tests/stats)."""
+        return len(self._shadow)

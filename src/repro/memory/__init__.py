@@ -1,0 +1,47 @@
+"""Memory substrate: address layout, sparse storage, oracle tracker."""
+
+from .layout import (
+    GLOBAL_BASE,
+    HEAP_BASE,
+    LOCAL_BASE,
+    LOCAL_WINDOW_BITS,
+    REGION_SPAN,
+    SHARED_BASE,
+    SHARED_WINDOW_BITS,
+    block_of_shared_address,
+    local_window,
+    region_base,
+    region_bounds,
+    shared_window,
+    space_of,
+    thread_of_local_address,
+)
+from .sparse import SparseMemory
+from .tracker import (
+    AccessVerdict,
+    AllocationRecord,
+    AllocationTracker,
+    FieldLayout,
+)
+
+__all__ = [
+    "GLOBAL_BASE",
+    "HEAP_BASE",
+    "LOCAL_BASE",
+    "LOCAL_WINDOW_BITS",
+    "REGION_SPAN",
+    "SHARED_BASE",
+    "SHARED_WINDOW_BITS",
+    "block_of_shared_address",
+    "local_window",
+    "region_base",
+    "region_bounds",
+    "shared_window",
+    "space_of",
+    "thread_of_local_address",
+    "SparseMemory",
+    "AccessVerdict",
+    "AllocationRecord",
+    "AllocationTracker",
+    "FieldLayout",
+]

@@ -1,0 +1,97 @@
+"""Virtual address-space layout of the simulated GPU.
+
+Each memory space occupies a disjoint region of the 59-bit virtual
+address space left below the extent bits, so the region of any address
+can be recovered from the address alone — exactly what real GPUs do
+with their aperture checks, and what NVBit's ``getMemorySpace()``
+reports for an instruction.
+
+Local memory is logically per-thread: real GPUs give every thread the
+*same* local virtual addresses and let address translation separate the
+physical copies.  We instead give each thread a disjoint window inside
+the LOCAL region (thread id folded into the address).  This keeps the
+functional model simple while preserving the property LMI relies on:
+bounds are per-buffer, per-thread.  Shared memory gets one window per
+thread block.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.errors import ConfigurationError, MemorySpace
+
+#: Region bases, chosen so every region fits comfortably below 2**59.
+GLOBAL_BASE = 0x0100_0000_0000
+HEAP_BASE = 0x0200_0000_0000
+SHARED_BASE = 0x0300_0000_0000
+LOCAL_BASE = 0x0400_0000_0000
+REGION_SPAN = 0x0100_0000_0000  # 1 TiB per region
+
+#: Per-block window inside the SHARED region (16 MiB each).
+SHARED_WINDOW_BITS = 24
+#: Per-thread window inside the LOCAL region (1 MiB each).
+LOCAL_WINDOW_BITS = 20
+
+_REGIONS = (
+    (MemorySpace.GLOBAL, GLOBAL_BASE),
+    (MemorySpace.HEAP, HEAP_BASE),
+    (MemorySpace.SHARED, SHARED_BASE),
+    (MemorySpace.LOCAL, LOCAL_BASE),
+)
+
+
+def region_base(space: MemorySpace) -> int:
+    """Base virtual address of a memory space's region."""
+    for region_space, base in _REGIONS:
+        if region_space is space:
+            return base
+    raise ConfigurationError(f"no region for space {space}")
+
+
+def region_bounds(space: MemorySpace) -> tuple:
+    """(base, limit) of a memory space's region."""
+    base = region_base(space)
+    return base, base + REGION_SPAN
+
+
+def space_of(address: int) -> Optional[MemorySpace]:
+    """Classify a virtual address into its memory space, or None."""
+    for space, base in _REGIONS:
+        if base <= address < base + REGION_SPAN:
+            return space
+    return None
+
+
+def shared_window(block_id: int) -> int:
+    """Base address of a thread block's shared-memory window."""
+    if block_id < 0:
+        raise ConfigurationError("block id must be non-negative")
+    base = SHARED_BASE + (block_id << SHARED_WINDOW_BITS)
+    if base + (1 << SHARED_WINDOW_BITS) > SHARED_BASE + REGION_SPAN:
+        raise ConfigurationError(f"block id {block_id} exceeds the shared region")
+    return base
+
+
+def local_window(thread_id: int) -> int:
+    """Base address of a thread's local-memory window."""
+    if thread_id < 0:
+        raise ConfigurationError("thread id must be non-negative")
+    base = LOCAL_BASE + (thread_id << LOCAL_WINDOW_BITS)
+    if base + (1 << LOCAL_WINDOW_BITS) > LOCAL_BASE + REGION_SPAN:
+        raise ConfigurationError(f"thread id {thread_id} exceeds the local region")
+    return base
+
+
+def thread_of_local_address(address: int) -> int:
+    """Recover the owning thread id from a local-region address."""
+    if space_of(address) is not MemorySpace.LOCAL:
+        raise ConfigurationError(f"0x{address:x} is not a local address")
+    return (address - LOCAL_BASE) >> LOCAL_WINDOW_BITS
+
+
+def block_of_shared_address(address: int) -> int:
+    """Recover the owning block id from a shared-region address."""
+    if space_of(address) is not MemorySpace.SHARED:
+        raise ConfigurationError(f"0x{address:x} is not a shared address")
+    return (address - SHARED_BASE) >> SHARED_WINDOW_BITS

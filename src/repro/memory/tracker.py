@@ -1,0 +1,250 @@
+"""Ground-truth allocation tracker (the security oracle).
+
+The tracker records every allocation the executor performs — base,
+*requested* size, memory space, owning thread, optional sub-object
+(field) layout — independent of any safety mechanism.  The security
+harness uses it to decide whether an access *actually* violated memory
+safety, so that each mechanism's verdict can be scored against the
+truth (Table III) rather than trusted.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..common.errors import ConfigurationError, MemorySpace
+
+
+@dataclass(frozen=True)
+class FieldLayout:
+    """One field of a structured allocation (for intra-object tests)."""
+
+    name: str
+    offset: int
+    size: int
+
+
+@dataclass
+class AllocationRecord:
+    """One tracked allocation over its whole lifetime."""
+
+    alloc_id: int
+    base: int
+    size: int
+    space: MemorySpace
+    thread: Optional[int] = None
+    block: Optional[int] = None
+    live: bool = True
+    generation: int = 0
+    fields: Tuple[FieldLayout, ...] = field(default=())
+
+    @property
+    def limit(self) -> int:
+        """One past the last valid byte."""
+        return self.base + self.size
+
+    def contains(self, address: int, width: int = 1) -> bool:
+        """True iff the access lies fully inside the allocation."""
+        return self.base <= address and address + width <= self.limit
+
+    def field_at(self, address: int) -> Optional[FieldLayout]:
+        """The declared field containing *address*, if any."""
+        offset = address - self.base
+        for layout in self.fields:
+            if layout.offset <= offset < layout.offset + layout.size:
+                return layout
+        return None
+
+
+@dataclass(frozen=True)
+class AccessVerdict:
+    """Oracle classification of one memory access."""
+
+    in_live_allocation: bool
+    allocation: Optional[AllocationRecord]
+    #: Access falls inside a *freed* allocation's former footprint.
+    use_after_free: bool = False
+    #: Access crosses a field boundary inside one live allocation.
+    intra_object_overflow: bool = False
+
+    @property
+    def is_violation(self) -> bool:
+        """True iff the access breaks spatial or temporal safety."""
+        return (
+            not self.in_live_allocation
+            or self.use_after_free
+            or self.intra_object_overflow
+        )
+
+
+class AllocationTracker:
+    """Ordered map of allocations with oracle queries."""
+
+    def __init__(self) -> None:
+        self._records: List[AllocationRecord] = []
+        self._bases: List[int] = []  # sorted bases of *live* records
+        self._live_by_base: Dict[int, AllocationRecord] = {}
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def on_alloc(
+        self,
+        base: int,
+        size: int,
+        space: MemorySpace,
+        *,
+        thread: Optional[int] = None,
+        block: Optional[int] = None,
+        fields: Tuple[FieldLayout, ...] = (),
+    ) -> AllocationRecord:
+        """Record a new live allocation."""
+        if size < 0:
+            raise ConfigurationError("allocation size must be non-negative")
+        for layout in fields:
+            if layout.offset + layout.size > size:
+                raise ConfigurationError(
+                    f"field {layout.name} overruns the allocation"
+                )
+        record = AllocationRecord(
+            alloc_id=self._next_id,
+            base=base,
+            size=size,
+            space=space,
+            thread=thread,
+            block=block,
+            fields=tuple(fields),
+        )
+        self._next_id += 1
+        self._records.append(record)
+        index = bisect.bisect_left(self._bases, base)
+        self._bases.insert(index, base)
+        self._live_by_base[base] = record
+        return record
+
+    def on_free(self, base: int) -> AllocationRecord:
+        """Mark the live allocation at *base* as freed."""
+        record = self._live_by_base.pop(base, None)
+        if record is None:
+            raise ConfigurationError(f"no live allocation at 0x{base:x}")
+        record.live = False
+        index = bisect.bisect_left(self._bases, base)
+        del self._bases[index]
+        return record
+
+    def live_at(self, base: int) -> Optional[AllocationRecord]:
+        """Live allocation whose base is exactly *base*, if any."""
+        return self._live_by_base.get(base)
+
+    # ------------------------------------------------------------------
+    # Oracle queries
+
+    def find_live(self, address: int, width: int = 1) -> Optional[AllocationRecord]:
+        """The live allocation fully containing the access, if any."""
+        index = bisect.bisect_right(self._bases, address) - 1
+        if index < 0:
+            return None
+        record = self._live_by_base[self._bases[index]]
+        if record.contains(address, width):
+            return record
+        return None
+
+    def find_freed(self, address: int, width: int = 1) -> Optional[AllocationRecord]:
+        """The most recently freed allocation covering the access."""
+        best = None
+        for record in self._records:
+            if not record.live and record.contains(address, width):
+                best = record
+        return best
+
+    def classify(
+        self,
+        address: int,
+        width: int = 1,
+        *,
+        expected_field: Optional[str] = None,
+    ) -> AccessVerdict:
+        """Oracle verdict for an access.
+
+        ``expected_field`` names the sub-object the program *intended*
+        to access; if the address lands in a different declared field
+        of the same allocation, the verdict is an intra-object
+        overflow.
+        """
+        live = self.find_live(address, width)
+        if live is None:
+            freed = self.find_freed(address, width)
+            return AccessVerdict(
+                in_live_allocation=False,
+                allocation=freed,
+                use_after_free=freed is not None,
+            )
+        if expected_field is not None and live.fields:
+            actual = live.field_at(address)
+            if actual is not None and actual.name != expected_field:
+                return AccessVerdict(
+                    in_live_allocation=True,
+                    allocation=live,
+                    intra_object_overflow=True,
+                )
+        return AccessVerdict(in_live_allocation=True, allocation=live)
+
+    def classify_provenanced(
+        self,
+        address: int,
+        width: int,
+        provenance: Optional[AllocationRecord],
+        *,
+        expected_field: Optional[str] = None,
+    ) -> AccessVerdict:
+        """Oracle verdict for an access with known pointer provenance.
+
+        *provenance* is the allocation the pointer was derived from.
+        An access through it is a violation when the buffer is no
+        longer live (temporal), when the address leaves the buffer
+        (spatial — even if it lands inside a *different* live
+        allocation, the overflow-into-neighbour case), or when it
+        crosses into a different declared field (intra-object).
+        Without provenance the address-based verdict applies.
+        """
+        if provenance is None:
+            return self.classify(address, width, expected_field=expected_field)
+        if not provenance.live:
+            return AccessVerdict(
+                in_live_allocation=False,
+                allocation=provenance,
+                use_after_free=True,
+            )
+        if not provenance.contains(address, width):
+            return AccessVerdict(
+                in_live_allocation=False, allocation=provenance
+            )
+        if expected_field is not None and provenance.fields:
+            actual = provenance.field_at(address)
+            if actual is not None and actual.name != expected_field:
+                return AccessVerdict(
+                    in_live_allocation=True,
+                    allocation=provenance,
+                    intra_object_overflow=True,
+                )
+        return AccessVerdict(in_live_allocation=True, allocation=provenance)
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def live_records(self) -> List[AllocationRecord]:
+        """All currently live allocations."""
+        return [self._live_by_base[b] for b in self._bases]
+
+    @property
+    def all_records(self) -> List[AllocationRecord]:
+        """Every allocation ever recorded."""
+        return list(self._records)
+
+    def live_bytes(self) -> int:
+        """Total requested bytes across live allocations."""
+        return sum(r.size for r in self.live_records)

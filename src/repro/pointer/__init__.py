@@ -1,0 +1,24 @@
+"""LMI tagged-pointer encoding — the paper's core data structure."""
+
+from .encoding import (
+    INVALID_EXTENT,
+    DebugCode,
+    DecodedPointer,
+    PointerCodec,
+)
+from .registers import RegisterPair, join_registers, split_many, split_pointer
+
+#: A codec built with the paper's default parameters, for casual use.
+DEFAULT_CODEC = PointerCodec()
+
+__all__ = [
+    "INVALID_EXTENT",
+    "DebugCode",
+    "DecodedPointer",
+    "PointerCodec",
+    "DEFAULT_CODEC",
+    "RegisterPair",
+    "join_registers",
+    "split_many",
+    "split_pointer",
+]

@@ -1,0 +1,289 @@
+"""LMI in-pointer bounds metadata encoding (paper section V-A).
+
+A 64-bit pointer is divided into three segments:
+
+* **Extent bits (E)** — the top ``extent_bits`` (5 by default) MSBs store
+  the buffer size in power-of-two exponential form, offset so that
+  extent 0 is reserved for *invalid* pointers::
+
+      E = ceil(max(log2 K, log2 S)) - log2 K + 1
+
+  with ``K`` the minimum allocation size (256 B) and ``S`` the requested
+  size.  E = 1 encodes 256 B, E = 31 encodes 256 GiB.
+
+* **Unmodifiable bits (UM)** — address bits above the buffer-size
+  boundary.  Because buffers are 2^n-aligned to their (rounded) size,
+  these bits are constant over the whole buffer and over the pointer's
+  whole lifetime; the OCU faults any arithmetic that changes them.
+
+* **Modifiable bits (M)** — the low ``log2(rounded size)`` address bits,
+  free to change under pointer arithmetic.
+
+Extent values above a device-imposed size limit (e.g. one set with
+``cudaDeviceSetLimit``) are never produced by the allocator and are
+repurposed as *debug extents* carrying error-type information
+(section IV-A3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..common.bitops import (
+    align_down,
+    bit_field,
+    ceil_log2,
+    low_mask,
+    set_bit_field,
+    to_u64,
+)
+from ..common.config import DEFAULT_LMI_CONFIG, LmiConfig
+from ..common.errors import ConfigurationError
+
+
+class DebugCode(enum.Enum):
+    """Error types encodable in out-of-range ("debug") extent values."""
+
+    SPATIAL_VIOLATION = 0
+    TEMPORAL_VIOLATION = 1
+    INVALID_FREE = 2
+    DOUBLE_FREE = 3
+
+
+#: Extent value reserved for invalid pointers.
+INVALID_EXTENT = 0
+
+
+@dataclass(frozen=True)
+class DecodedPointer:
+    """The three segments of an LMI pointer, plus derived geometry."""
+
+    extent: int
+    address: int
+    size_log2: Optional[int]
+
+    @property
+    def is_valid(self) -> bool:
+        """True iff the extent encodes a live buffer."""
+        return self.size_log2 is not None
+
+    @property
+    def size(self) -> Optional[int]:
+        """Rounded buffer size in bytes, or None for invalid pointers."""
+        if self.size_log2 is None:
+            return None
+        return 1 << self.size_log2
+
+    @property
+    def base(self) -> Optional[int]:
+        """Base address of the buffer (address aligned down to size)."""
+        if self.size_log2 is None:
+            return None
+        return align_down(self.address, 1 << self.size_log2)
+
+
+class PointerCodec:
+    """Encoder/decoder for LMI tagged pointers.
+
+    Parameters
+    ----------
+    config:
+        Architectural constants (extent width, minimum alignment).
+    device_size_limit:
+        Optional cap on the largest buffer the device will allocate
+        (mirrors ``cudaDeviceSetLimit``).  Extent values above the cap
+        become debug extents.  ``None`` means every extent up to the
+        encoding maximum is a size.
+    """
+
+    def __init__(
+        self,
+        config: LmiConfig = DEFAULT_LMI_CONFIG,
+        device_size_limit: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self._ext_low = 64 - config.extent_bits
+        self._max_size_extent = config.max_extent
+        if device_size_limit is not None:
+            if device_size_limit < config.min_alignment:
+                raise ConfigurationError(
+                    "device size limit below minimum alignment"
+                )
+            limit_extent = self.extent_for_size(device_size_limit)
+            if limit_extent >= config.max_extent:
+                raise ConfigurationError(
+                    "device size limit leaves no room for debug extents"
+                )
+            self._max_size_extent = limit_extent
+
+    # ------------------------------------------------------------------
+    # Extent <-> size
+
+    def extent_for_size(self, size: int) -> int:
+        """Compute the extent value for a requested size *S*.
+
+        Implements ``E = ceil(max(log2 K, log2 S)) - log2 K + 1`` with
+        the convention that sizes of 0 or 1 byte still occupy one
+        minimum-alignment slot.
+        """
+        if size < 0:
+            raise ConfigurationError(f"size must be non-negative, got {size}")
+        k_log2 = self.config.min_alignment_log2
+        size_log2 = max(k_log2, ceil_log2(max(size, 1)))
+        extent = size_log2 - k_log2 + 1
+        if extent > self._max_size_extent:
+            raise ConfigurationError(
+                f"size {size} exceeds the largest encodable buffer "
+                f"({1 << self.size_log2_for_extent(self._max_size_extent)} bytes)"
+            )
+        return extent
+
+    def size_log2_for_extent(self, extent: int) -> int:
+        """log2 of the buffer size encoded by a *size* extent value."""
+        if not 1 <= extent <= self._max_size_extent:
+            raise ConfigurationError(f"extent {extent} does not encode a size")
+        return extent - 1 + self.config.min_alignment_log2
+
+    def size_for_extent(self, extent: int) -> int:
+        """Buffer size in bytes encoded by a *size* extent value."""
+        return 1 << self.size_log2_for_extent(extent)
+
+    def rounded_size(self, size: int) -> int:
+        """Allocation size after LMI's 2^n rounding (at least K)."""
+        return self.size_for_extent(self.extent_for_size(size))
+
+    @property
+    def max_size_extent(self) -> int:
+        """Largest extent value that encodes a buffer size."""
+        return self._max_size_extent
+
+    # ------------------------------------------------------------------
+    # Field accessors
+
+    def extent_of(self, pointer: int) -> int:
+        """Extract the extent field from a tagged pointer."""
+        return bit_field(to_u64(pointer), self._ext_low, self.config.extent_bits)
+
+    def address_of(self, pointer: int) -> int:
+        """Extract the virtual-address field (extent bits cleared)."""
+        return to_u64(pointer) & low_mask(self._ext_low)
+
+    def with_extent(self, pointer: int, extent: int) -> int:
+        """Return *pointer* with its extent field replaced."""
+        return set_bit_field(to_u64(pointer), self._ext_low, self.config.extent_bits, extent)
+
+    # ------------------------------------------------------------------
+    # Encode / decode
+
+    def encode(self, address: int, size: int) -> int:
+        """Tag *address* with the extent for a *size*-byte buffer.
+
+        The address must already be aligned to the rounded size — LMI's
+        allocators guarantee this; violating it here is a library bug,
+        not a simulated memory error.
+        """
+        extent = self.extent_for_size(size)
+        rounded = 1 << self.size_log2_for_extent(extent)
+        address = to_u64(address)
+        if address & low_mask(self._ext_low) != address:
+            raise ConfigurationError(
+                f"address 0x{address:x} does not fit in {self._ext_low} bits"
+            )
+        if address & (rounded - 1):
+            raise ConfigurationError(
+                f"address 0x{address:x} is not aligned to its rounded size {rounded}"
+            )
+        return self.with_extent(address, extent)
+
+    def decode(self, pointer: int) -> DecodedPointer:
+        """Split a tagged pointer into extent / address / geometry."""
+        extent = self.extent_of(pointer)
+        address = self.address_of(pointer)
+        if 1 <= extent <= self._max_size_extent:
+            return DecodedPointer(extent, address, self.size_log2_for_extent(extent))
+        return DecodedPointer(extent, address, None)
+
+    def is_valid(self, pointer: int) -> bool:
+        """True iff the pointer's extent encodes a live buffer size."""
+        return 1 <= self.extent_of(pointer) <= self._max_size_extent
+
+    def base_address(self, pointer: int) -> int:
+        """Base address of the buffer a valid tagged pointer points into."""
+        decoded = self.decode(pointer)
+        if decoded.base is None:
+            raise ConfigurationError(
+                f"pointer 0x{to_u64(pointer):016x} has no valid extent"
+            )
+        return decoded.base
+
+    def bounds(self, pointer: int) -> Tuple[int, int]:
+        """(base, limit) byte range of a valid tagged pointer's buffer.
+
+        The limit is one past the last addressable byte.
+        """
+        decoded = self.decode(pointer)
+        if decoded.base is None or decoded.size is None:
+            raise ConfigurationError("cannot derive bounds from an invalid pointer")
+        return decoded.base, decoded.base + decoded.size
+
+    def in_bounds(self, pointer: int, access_bytes: int = 1) -> bool:
+        """True iff an access of *access_bytes* at the pointer stays in bounds."""
+        decoded = self.decode(pointer)
+        if decoded.base is None or decoded.size is None:
+            return False
+        offset = decoded.address - decoded.base
+        return offset + access_bytes <= decoded.size
+
+    # ------------------------------------------------------------------
+    # Invalidation & debug extents
+
+    def invalidate(self, pointer: int) -> int:
+        """Clear the extent field (the OCU's delayed-termination action
+        and the temporal-safety nullification on ``free``)."""
+        return self.with_extent(pointer, INVALID_EXTENT)
+
+    def encode_debug(self, pointer: int, code: DebugCode) -> int:
+        """Stamp a debug code into the out-of-range extent space."""
+        extent = self._max_size_extent + 1 + code.value
+        if extent > self.config.max_extent:
+            raise ConfigurationError(
+                f"no debug extent available for {code} "
+                f"(max size extent {self._max_size_extent})"
+            )
+        return self.with_extent(pointer, extent)
+
+    def debug_code(self, pointer: int) -> Optional[DebugCode]:
+        """Decode a debug extent, or None if the extent is a size/invalid."""
+        extent = self.extent_of(pointer)
+        if extent <= self._max_size_extent:
+            return None
+        value = extent - self._max_size_extent - 1
+        try:
+            return DebugCode(value)
+        except ValueError:
+            return None
+
+    # ------------------------------------------------------------------
+    # UM / M segmentation (used by the OCU and liveness tracking)
+
+    def modifiable_mask(self, extent: int) -> int:
+        """Mask of the modifiable (M) address bits for a size extent."""
+        return low_mask(self.size_log2_for_extent(extent))
+
+    def unmodifiable_mask(self, extent: int) -> int:
+        """Mask of the unmodifiable (UM) address bits for a size extent."""
+        return low_mask(self._ext_low) & ~self.modifiable_mask(extent)
+
+    def um_bits(self, pointer: int) -> int:
+        """The UM-bit value of a valid pointer.
+
+        Together with the extent this uniquely identifies a live buffer
+        (section XII-C) because at most one buffer of a given rounded
+        size occupies a given aligned slot.
+        """
+        decoded = self.decode(pointer)
+        if decoded.size_log2 is None:
+            raise ConfigurationError("invalid pointer has no UM bits")
+        return decoded.address >> decoded.size_log2

@@ -1,0 +1,52 @@
+"""Mapping of a 64-bit LMI pointer onto two 32-bit physical registers.
+
+Figure 6 of the paper shows how the tagged 64-bit pointer is held in a
+GPU register pair: the low register carries address bits [31:0] and the
+high register carries address bits [58:32] plus the 5-bit extent in its
+MSBs.  The OCU only ever needs the *high* register to check pointer
+arithmetic on the upper word, and both registers to check full 64-bit
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..common.bitops import to_u64
+
+REG_BITS = 32
+REG_MASK = (1 << REG_BITS) - 1
+
+
+@dataclass(frozen=True)
+class RegisterPair:
+    """A 64-bit value viewed as (low, high) 32-bit registers."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "low", self.low & REG_MASK)
+        object.__setattr__(self, "high", self.high & REG_MASK)
+
+    @property
+    def value(self) -> int:
+        """Reconstruct the full 64-bit word."""
+        return to_u64((self.high << REG_BITS) | self.low)
+
+
+def split_pointer(pointer: int) -> RegisterPair:
+    """Split a 64-bit tagged pointer into its 32-bit register pair."""
+    pointer = to_u64(pointer)
+    return RegisterPair(low=pointer & REG_MASK, high=pointer >> REG_BITS)
+
+
+def join_registers(low: int, high: int) -> int:
+    """Rebuild a 64-bit tagged pointer from a register pair."""
+    return RegisterPair(low=low, high=high).value
+
+
+def split_many(pointers) -> Tuple[RegisterPair, ...]:
+    """Split an iterable of pointers; convenience for warp-wide values."""
+    return tuple(split_pointer(p) for p in pointers)

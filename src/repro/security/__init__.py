@@ -1,0 +1,20 @@
+"""Security evaluation: Table III test cases and harness."""
+
+from .harness import (
+    TABLE3_MECHANISMS,
+    CaseResult,
+    SecurityReport,
+    run_security_evaluation,
+)
+from .testcases import CaseOutcome, Category, SecurityTestCase, all_cases
+
+__all__ = [
+    "TABLE3_MECHANISMS",
+    "CaseResult",
+    "SecurityReport",
+    "run_security_evaluation",
+    "CaseOutcome",
+    "Category",
+    "SecurityTestCase",
+    "all_cases",
+]

@@ -1,0 +1,138 @@
+"""Security evaluation harness — regenerates Table III.
+
+Runs every test case against every mechanism (fresh mechanism instance
+per case, so metadata never leaks between scenarios) and aggregates
+detection counts per category, plus spatial/temporal coverage
+percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..mechanisms import create_mechanism
+from ..mechanisms.base import Mechanism
+from .testcases import CaseOutcome, Category, SecurityTestCase, all_cases
+
+#: The mechanisms compared in the paper's Table III, in column order.
+TABLE3_MECHANISMS = ("gmod", "gpushield", "cucatch", "lmi")
+
+
+@dataclass
+class CaseResult:
+    """One (case, mechanism) cell."""
+
+    case_id: str
+    category: Category
+    mechanism: str
+    outcome: CaseOutcome
+
+
+@dataclass
+class SecurityReport:
+    """Aggregated Table III for one set of mechanisms."""
+
+    results: List[CaseResult] = field(default_factory=list)
+
+    def detections(self, mechanism: str, category: Category) -> int:
+        """Detected-case count for one table cell."""
+        return sum(
+            1
+            for r in self.results
+            if r.mechanism == mechanism
+            and r.category is category
+            and r.outcome.true_positive
+        )
+
+    def total(self, category: Category) -> int:
+        """Number of cases in a category."""
+        seen = {r.case_id for r in self.results if r.category is category}
+        return len(seen)
+
+    def coverage(self, mechanism: str, *, spatial: bool) -> float:
+        """Spatial or temporal coverage ratio for one mechanism."""
+        relevant = [
+            r
+            for r in self.results
+            if r.mechanism == mechanism and r.category.is_spatial == spatial
+        ]
+        if not relevant:
+            return 0.0
+        detected = sum(1 for r in relevant if r.outcome.true_positive)
+        return detected / len(relevant)
+
+    def oracle_failures(self) -> List[CaseResult]:
+        """Cases where the oracle did not observe a violation.
+
+        Every Table III case is supposed to actually violate memory
+        safety; a nonempty list means a broken test case, not a broken
+        mechanism.
+        """
+        seen = set()
+        out = []
+        for r in self.results:
+            if not r.outcome.oracle and r.case_id not in seen:
+                seen.add(r.case_id)
+                out.append(r)
+        return out
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Table III rows: per category, totals and per-mechanism counts."""
+        mechanisms = sorted({r.mechanism for r in self.results})
+        ordered = [m for m in TABLE3_MECHANISMS if m in mechanisms]
+        ordered += [m for m in mechanisms if m not in ordered]
+        out = []
+        for category in Category:
+            row: Dict[str, object] = {
+                "category": category.value,
+                "total": self.total(category),
+            }
+            for mechanism in ordered:
+                row[mechanism] = self.detections(mechanism, category)
+            out.append(row)
+        return out
+
+    def format_table(self) -> str:
+        """Human-readable Table III."""
+        mechanisms = sorted({r.mechanism for r in self.results})
+        ordered = [m for m in TABLE3_MECHANISMS if m in mechanisms]
+        ordered += [m for m in mechanisms if m not in ordered]
+        header = f"{'Violation Test':24s} {'N':>3s} " + " ".join(
+            f"{m:>10s}" for m in ordered
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows():
+            cells = " ".join(f"{row[m]:>10d}" for m in ordered)
+            lines.append(f"{row['category']:24s} {row['total']:>3d} {cells}")
+        lines.append("-" * len(header))
+        for spatial, label in ((True, "Spatial coverage"), (False, "Temporal coverage")):
+            cells = " ".join(
+                f"{self.coverage(m, spatial=spatial) * 100:>9.1f}%" for m in ordered
+            )
+            lines.append(f"{label:24s} {'':>3s} {cells}")
+        return "\n".join(lines)
+
+
+def run_security_evaluation(
+    mechanism_names: Sequence[str] = TABLE3_MECHANISMS,
+    *,
+    cases: Optional[Sequence[SecurityTestCase]] = None,
+    mechanism_factory: Callable[[str], Mechanism] = create_mechanism,
+) -> SecurityReport:
+    """Run the full suite and return the aggregated report."""
+    suite = list(cases) if cases is not None else all_cases()
+    report = SecurityReport()
+    for case in suite:
+        for name in mechanism_names:
+            mechanism = mechanism_factory(name)
+            outcome = case.run(mechanism)
+            report.results.append(
+                CaseResult(
+                    case_id=case.case_id,
+                    category=case.category,
+                    mechanism=name,
+                    outcome=outcome,
+                )
+            )
+    return report

@@ -1,0 +1,583 @@
+"""Security test cases (paper section IX, Table III).
+
+The suite reconstructs the cuCatch-derived taxonomy: 22 spatial cases
+(2 global, 3 heap, 8 local, 6 shared, 3 intra-object) and 16 temporal
+cases (8 UAF, 4 UAS, 2 invalid-free, 2 double-free).  Each case is a
+small kernel (or two-launch host program) that *actually commits* the
+violation; the executor's oracle confirms it, and the mechanism under
+test either raises (detected) or stays silent (missed).
+
+Nothing about detection is hard-coded per mechanism — the Table III
+counts emerge from each mechanism's modelled semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..common.errors import MemorySafetyViolation
+from ..compiler import IRType, KernelBuilder, Module, run_lmi_pass
+from ..exec import GpuExecutor, LaunchResult
+from ..mechanisms.base import Mechanism
+from ..memory import layout
+
+
+class Category(enum.Enum):
+    """Table III row groups."""
+
+    GLOBAL_OOB = "Global OoB"
+    HEAP_OOB = "Heap OoB"
+    LOCAL_OOB = "Local OoB"
+    SHARED_OOB = "Shared OoB"
+    INTRA_OOB = "Intra OoB"
+    UAF = "UAF"
+    UAS = "UAS"
+    INVALID_FREE = "Invalid free"
+    DOUBLE_FREE = "Double free"
+
+    @property
+    def is_spatial(self) -> bool:
+        """True for the spatial half of the table."""
+        return self in (
+            Category.GLOBAL_OOB,
+            Category.HEAP_OOB,
+            Category.LOCAL_OOB,
+            Category.SHARED_OOB,
+            Category.INTRA_OOB,
+        )
+
+
+@dataclass
+class CaseOutcome:
+    """Result of running one case under one mechanism."""
+
+    detected: bool
+    oracle: bool
+    violation: Optional[MemorySafetyViolation] = None
+
+    @property
+    def true_positive(self) -> bool:
+        """The mechanism caught a real violation."""
+        return self.detected and self.oracle
+
+
+@dataclass(frozen=True)
+class SecurityTestCase:
+    """One violation scenario."""
+
+    case_id: str
+    category: Category
+    description: str
+    runner: Callable[[Mechanism], CaseOutcome]
+
+    def run(self, mechanism: Mechanism) -> CaseOutcome:
+        """Execute the scenario under *mechanism*."""
+        return self.runner(mechanism)
+
+
+# ----------------------------------------------------------------------
+# Helpers
+
+
+def _outcome(*results: LaunchResult) -> CaseOutcome:
+    violation = next((r.violation for r in results if r.violation), None)
+    return CaseOutcome(
+        detected=any(r.detected for r in results),
+        oracle=any(r.oracle_violated for r in results),
+        violation=violation,
+    )
+
+
+def _single_kernel(
+    build: Callable[[], Module],
+    allocs: Sequence[Tuple[str, int]] = (),
+) -> Callable[[Mechanism], CaseOutcome]:
+    """Runner for one-launch cases with host-allocated global params."""
+
+    def runner(mechanism: Mechanism) -> CaseOutcome:
+        module = build()
+        executor = GpuExecutor(module, mechanism)
+        args = {name: executor.host_alloc(size) for name, size in allocs}
+        return _outcome(executor.launch(args))
+
+    return runner
+
+
+# ----------------------------------------------------------------------
+# Spatial: global memory (2 cases)
+
+
+def _global_adjacent() -> Module:
+    b = KernelBuilder("global_adjacent", params=[("a", IRType.PTR), ("b", IRType.PTR)])
+    p = b.ptradd(b.param("a"), 1024)  # one past a 1 KiB buffer
+    b.store(p, 0xDEAD, width=4)
+    b.ret()
+    m = b.module()
+    run_lmi_pass(m)
+    return m
+
+
+def _global_nonadjacent() -> Module:
+    b = KernelBuilder("global_nonadjacent", params=[("a", IRType.PTR), ("b", IRType.PTR)])
+    p = b.ptradd(b.param("a"), 8192)  # far past the buffer and its canary
+    b.store(p, 0xDEAD, width=4)
+    b.ret()
+    m = b.module()
+    run_lmi_pass(m)
+    return m
+
+
+# ----------------------------------------------------------------------
+# Spatial: device heap (3 cases)
+
+
+def _heap_case(offset: int, name: str) -> Callable[[], Module]:
+    def build() -> Module:
+        b = KernelBuilder(name)
+        h1 = b.malloc(512)
+        h2 = b.malloc(512)
+        b.store(h2, 1, width=4)  # keep the neighbour live and used
+        p = b.ptradd(h1, offset)
+        b.store(p, 0xDEAD, width=4)
+        b.ret()
+        m = b.module()
+        run_lmi_pass(m)
+        return m
+
+    return build
+
+
+# ----------------------------------------------------------------------
+# Spatial: local / stack memory (8 cases)
+
+
+def _local_single(offset: int, name: str) -> Callable[[], Module]:
+    def build() -> Module:
+        b = KernelBuilder(name)
+        buf = b.alloca(256)
+        p = b.ptradd(buf, offset)
+        b.store(p, 0xDEAD, width=4)
+        b.ret()
+        m = b.module()
+        run_lmi_pass(m)
+        return m
+
+    return build
+
+
+def _local_multi(offset: int, name: str) -> Callable[[], Module]:
+    def build() -> Module:
+        b = KernelBuilder(name)
+        upper = b.alloca(256, name="upper")
+        lower = b.alloca(256, name="lower")  # stack grows down: below upper
+        b.store(upper, 1, width=4)
+        p = b.ptradd(lower, offset)  # overflow upward, toward `upper`
+        b.store(p, 0xDEAD, width=4)
+        b.ret()
+        m = b.module()
+        run_lmi_pass(m)
+        return m
+
+    return build
+
+
+def _local_cross_frame(offset: int, name: str) -> Callable[[], Module]:
+    """Callee overflows a stack buffer received from its caller."""
+
+    def build() -> Module:
+        b = KernelBuilder(name)
+        buf = b.alloca(256)
+        b.call("smash", [buf], returns_value=False)
+        b.ret()
+        f = b.device_function("smash", params=[("p", IRType.PTR)])
+        q = f.ptradd(f.param("p"), offset)
+        f.store(q, 0xDEAD, width=4)
+        f.ret()
+        m = b.module()
+        run_lmi_pass(m)
+        return m
+
+    return build
+
+
+# ----------------------------------------------------------------------
+# Spatial: shared memory (6 cases)
+
+
+def _shared_module(
+    name: str,
+    arrays: Sequence[Tuple[str, int]],
+    dynamic_bytes: int,
+    body: Callable[[KernelBuilder], None],
+) -> Callable[[], Module]:
+    def build() -> Module:
+        b = KernelBuilder(
+            name, shared_arrays=arrays, dynamic_shared_bytes=dynamic_bytes
+        )
+        body(b)
+        b.ret()
+        m = b.module()
+        run_lmi_pass(m)
+        return m
+
+    return build
+
+
+def _shared_single_within(b: KernelBuilder) -> None:
+    arr = b.shared("tile")
+    b.store(b.ptradd(arr, 1024), 0xDEAD, width=4)
+
+
+def _shared_single_nonadjacent(b: KernelBuilder) -> None:
+    arr = b.shared("tile")
+    b.store(b.ptradd(arr, 8192), 0xDEAD, width=4)
+
+
+def _shared_multi(b: KernelBuilder) -> None:
+    t1 = b.shared("tile")
+    t2 = b.shared("tile2")
+    b.store(t2, 1, width=4)
+    b.store(b.ptradd(t1, 1024), 0xDEAD, width=4)  # lands inside tile2
+
+
+def _shared_beyond_region(b: KernelBuilder) -> None:
+    arr = b.shared("tile")
+    b.store(b.ptradd(arr, 1 << layout.SHARED_WINDOW_BITS), 0xDEAD, width=4)
+
+
+def _shared_static_to_dynamic(b: KernelBuilder) -> None:
+    arr = b.shared("tile")
+    offset = (1 << layout.SHARED_WINDOW_BITS) - 8192 + 16  # inside the pool
+    b.store(b.ptradd(arr, offset), 0xDEAD, width=4)
+
+
+def _shared_dynamic_escape(b: KernelBuilder) -> None:
+    pool = b.dyn_shared()
+    b.store(b.ptradd(pool, 8192), 0xDEAD, width=4)  # past the pool top
+
+
+# ----------------------------------------------------------------------
+# Spatial: intra-object (3 cases)
+
+_STRUCT_FIELDS = (("header", 0, 16), ("payload", 16, 48))
+
+
+def _intra_local() -> Module:
+    b = KernelBuilder("intra_local")
+    s = b.alloca(64, fields=_STRUCT_FIELDS)
+    p = b.ptradd(s, 20)  # inside `payload`
+    b.store(p, 0xDEAD, width=4, expected_field="header")
+    b.ret()
+    m = b.module()
+    run_lmi_pass(m)
+    return m
+
+
+def _intra_heap() -> Module:
+    b = KernelBuilder("intra_heap")
+    s = b.malloc(64, fields=_STRUCT_FIELDS)
+    p = b.ptradd(s, 20)
+    b.store(p, 0xDEAD, width=4, expected_field="header")
+    b.ret()
+    m = b.module()
+    run_lmi_pass(m)
+    return m
+
+
+def _intra_global_runner(mechanism: Mechanism) -> CaseOutcome:
+    b = KernelBuilder("intra_global", params=[("s", IRType.PTR)])
+    p = b.ptradd(b.param("s"), 20)
+    b.store(p, 0xDEAD, width=4, expected_field="header")
+    b.ret()
+    m = b.module()
+    run_lmi_pass(m)
+    executor = GpuExecutor(m, mechanism)
+    s = executor.host_alloc(64, fields=_STRUCT_FIELDS)
+    return _outcome(executor.launch({"s": s}))
+
+
+# ----------------------------------------------------------------------
+# Temporal: use-after-free (8 cases)
+
+
+def _global_uaf_runner(
+    *, delayed: bool, copied: bool
+) -> Callable[[Mechanism], CaseOutcome]:
+    """Host frees a global buffer between two launches.
+
+    ``copied`` uses the stale pre-free pointer value (a host-side copy)
+    instead of the value ``cudaFree`` invalidated.
+    """
+
+    def build(name: str) -> Module:
+        b = KernelBuilder(name, params=[("data", IRType.PTR)])
+        v = b.load(b.param("data"), width=4)
+        b.store(b.param("data"), b.add(v, 1), width=4)
+        b.ret()
+        m = b.module()
+        run_lmi_pass(m)
+        return m
+
+    def runner(mechanism: Mechanism) -> CaseOutcome:
+        module = build("global_uaf")
+        executor = GpuExecutor(module, mechanism)
+        original = executor.host_alloc(1024)
+        record = executor.host_record(original)
+        first = executor.launch({"data": original})
+        invalidated = executor.host_free(original)
+        if delayed:
+            executor.host_alloc(1024)  # reuses the freed memory
+        stale = original if copied else invalidated
+        # Pin provenance: the stale pointer refers to the *freed*
+        # allocation even when its bits now alias a new live buffer.
+        second = executor.launch({"data": stale}, provenance={"data": record})
+        return _outcome(first, second)
+
+    return runner
+
+
+def _heap_uaf(
+    *, delayed: bool, copied: bool, name: str
+) -> Callable[[], Module]:
+    def build() -> Module:
+        b = KernelBuilder(name)
+        h = b.malloc(512)
+        b.store(h, 7, width=4)
+        c = b.ptradd(h, 4) if copied else None
+        b.free(h)
+        if delayed:
+            b.malloc(512)  # reuses the freed chunk
+        b.load(c if copied else h, width=4)
+        b.ret()
+        m = b.module()
+        run_lmi_pass(m)
+        return m
+
+    return build
+
+
+# ----------------------------------------------------------------------
+# Temporal: use-after-scope (4 cases)
+
+
+def _uas(*, delayed: bool, store: bool, name: str) -> Callable[[], Module]:
+    def build() -> Module:
+        b = KernelBuilder(name)
+        b.scope_begin()
+        p = b.alloca(256)
+        b.store(p, 5, width=4)
+        b.scope_end()
+        if delayed:
+            q = b.alloca(256)  # reuses the dead frame's stack space
+            b.store(q, 9, width=4)
+        if store:
+            b.store(p, 0xDEAD, width=4)
+        else:
+            b.load(p, width=4)
+        b.ret()
+        m = b.module()
+        run_lmi_pass(m)
+        return m
+
+    return build
+
+
+# ----------------------------------------------------------------------
+# Temporal: invalid free / double free (2 + 2 cases)
+
+
+def _device_invalid_free() -> Module:
+    b = KernelBuilder("device_invalid_free")
+    h = b.malloc(512)
+    b.free(b.ptradd(h, 64))  # interior pointer: not an allocation base
+    b.ret()
+    m = b.module()
+    run_lmi_pass(m)
+    return m
+
+
+def _device_double_free() -> Module:
+    b = KernelBuilder("device_double_free")
+    h = b.malloc(512)
+    b.free(h)
+    b.free(h)
+    b.ret()
+    m = b.module()
+    run_lmi_pass(m)
+    return m
+
+
+def _host_invalid_free_runner(mechanism: Mechanism) -> CaseOutcome:
+    b = KernelBuilder("host_invalid_free", params=[("data", IRType.PTR)])
+    b.store(b.param("data"), 1, width=4)
+    b.ret()
+    m = b.module()
+    run_lmi_pass(m)
+    executor = GpuExecutor(m, mechanism)
+    pointer = executor.host_alloc(1024)
+    result = executor.launch({"data": pointer})
+    try:
+        executor.host_free(pointer + 64)
+    except MemorySafetyViolation as violation:
+        return CaseOutcome(detected=True, oracle=True, violation=violation)
+    return _outcome(result)
+
+
+def _host_double_free_runner(mechanism: Mechanism) -> CaseOutcome:
+    b = KernelBuilder("host_double_free", params=[("data", IRType.PTR)])
+    b.store(b.param("data"), 1, width=4)
+    b.ret()
+    m = b.module()
+    run_lmi_pass(m)
+    executor = GpuExecutor(m, mechanism)
+    pointer = executor.host_alloc(1024)
+    result = executor.launch({"data": pointer})
+    executor.host_free(pointer)
+    try:
+        executor.host_free(pointer)
+    except MemorySafetyViolation as violation:
+        return CaseOutcome(detected=True, oracle=True, violation=violation)
+    return _outcome(result)
+
+
+# ----------------------------------------------------------------------
+# The suite
+
+
+def all_cases() -> List[SecurityTestCase]:
+    """The full 38-case Table III suite."""
+    cases: List[SecurityTestCase] = []
+
+    def add(case_id, category, description, runner):
+        cases.append(SecurityTestCase(case_id, category, description, runner))
+
+    # Global (2)
+    add("global-adjacent", Category.GLOBAL_OOB,
+        "adjacent overflow past a global buffer",
+        _single_kernel(_global_adjacent, [("a", 1024), ("b", 1024)]))
+    add("global-nonadjacent", Category.GLOBAL_OOB,
+        "non-adjacent out-of-bounds write skipping neighbours",
+        _single_kernel(_global_nonadjacent, [("a", 1024), ("b", 1024)]))
+
+    # Heap (3)
+    add("heap-adjacent", Category.HEAP_OOB,
+        "adjacent overflow between kernel-malloc buffers",
+        _single_kernel(_heap_case(512, "heap_adjacent")))
+    add("heap-nonadjacent", Category.HEAP_OOB,
+        "non-adjacent out-of-bounds inside the heap",
+        _single_kernel(_heap_case(16384, "heap_nonadjacent")))
+    add("heap-region-escape", Category.HEAP_OOB,
+        "write escaping the entire heap region",
+        _single_kernel(_heap_case(layout.REGION_SPAN, "heap_escape")))
+
+    # Local (8)
+    add("local-single-adjacent", Category.LOCAL_OOB,
+        "single stack buffer, adjacent overflow (return-address smash)",
+        _single_kernel(_local_single(256, "local_s_adj")))
+    add("local-single-nonadjacent", Category.LOCAL_OOB,
+        "single stack buffer, non-adjacent overflow within the frame",
+        _single_kernel(_local_single(8192, "local_s_nonadj")))
+    add("local-multi-adjacent", Category.LOCAL_OOB,
+        "overflow from one stack buffer into the next",
+        _single_kernel(_local_multi(256, "local_m_adj")))
+    add("local-multi-nonadjacent", Category.LOCAL_OOB,
+        "non-adjacent overflow across stack buffers",
+        _single_kernel(_local_multi(2048, "local_m_nonadj")))
+    add("local-cross-frame-adjacent", Category.LOCAL_OOB,
+        "callee overflows a caller-frame buffer (adjacent)",
+        _single_kernel(_local_cross_frame(256, "local_xf_adj")))
+    add("local-cross-frame-nonadjacent", Category.LOCAL_OOB,
+        "callee overflows a caller-frame buffer (non-adjacent)",
+        _single_kernel(_local_cross_frame(4096, "local_xf_nonadj")))
+    add("local-beyond-window", Category.LOCAL_OOB,
+        "write into another thread's local window",
+        _single_kernel(_local_single(1 << layout.LOCAL_WINDOW_BITS,
+                                     "local_window_escape")))
+    add("local-beyond-region", Category.LOCAL_OOB,
+        "write escaping local memory entirely",
+        _single_kernel(_local_single(layout.REGION_SPAN, "local_region_escape")))
+
+    # Shared (6)
+    add("shared-single-within", Category.SHARED_OOB,
+        "adjacent overflow past a static shared array",
+        _single_kernel(_shared_module("sh_within", [("tile", 1024)], 0,
+                                      _shared_single_within)))
+    add("shared-single-nonadjacent", Category.SHARED_OOB,
+        "non-adjacent overflow inside shared memory",
+        _single_kernel(_shared_module("sh_nonadj", [("tile", 1024)], 0,
+                                      _shared_single_nonadjacent)))
+    add("shared-multi", Category.SHARED_OOB,
+        "overflow from one static shared array into another",
+        _single_kernel(_shared_module("sh_multi",
+                                      [("tile", 1024), ("tile2", 1024)], 0,
+                                      _shared_multi)))
+    add("shared-beyond-region", Category.SHARED_OOB,
+        "write escaping the block's shared window",
+        _single_kernel(_shared_module("sh_escape", [("tile", 1024)], 0,
+                                      _shared_beyond_region)))
+    add("shared-static-to-dynamic", Category.SHARED_OOB,
+        "static shared array overflowing into the dynamic pool",
+        _single_kernel(_shared_module("sh_s2d", [("tile", 1024)], 8192,
+                                      _shared_static_to_dynamic)))
+    add("shared-dynamic-escape", Category.SHARED_OOB,
+        "dynamic pool pointer escaping the pool",
+        _single_kernel(_shared_module("sh_dyn", [("tile", 1024)], 8192,
+                                      _shared_dynamic_escape)))
+
+    # Intra-object (3)
+    add("intra-local", Category.INTRA_OOB,
+        "field overflow inside a stack struct",
+        _single_kernel(_intra_local))
+    add("intra-heap", Category.INTRA_OOB,
+        "field overflow inside a heap struct",
+        _single_kernel(_intra_heap))
+    add("intra-global", Category.INTRA_OOB,
+        "field overflow inside a global struct",
+        _intra_global_runner)
+
+    # UAF (8): {global, heap} x {immediate, delayed} x {original, copied}
+    for delayed in (False, True):
+        for copied in (False, True):
+            when = "delayed" if delayed else "immediate"
+            who = "copied" if copied else "original"
+            add(f"uaf-global-{when}-{who}", Category.UAF,
+                f"global use-after-free, {when}, {who} pointer",
+                _global_uaf_runner(delayed=delayed, copied=copied))
+    for delayed in (False, True):
+        for copied in (False, True):
+            when = "delayed" if delayed else "immediate"
+            who = "copied" if copied else "original"
+            add(f"uaf-heap-{when}-{who}", Category.UAF,
+                f"heap use-after-free, {when}, {who} pointer",
+                _single_kernel(_heap_uaf(delayed=delayed, copied=copied,
+                                         name=f"uaf_heap_{when}_{who}")))
+
+    # UAS (4): {immediate, delayed} x {read, write}
+    for delayed in (False, True):
+        for store in (False, True):
+            when = "delayed" if delayed else "immediate"
+            what = "write" if store else "read"
+            add(f"uas-{when}-{what}", Category.UAS,
+                f"use-after-scope {what}, {when}",
+                _single_kernel(_uas(delayed=delayed, store=store,
+                                    name=f"uas_{when}_{what}")))
+
+    # Invalid free (2)
+    add("invalid-free-device", Category.INVALID_FREE,
+        "kernel frees an interior pointer",
+        _single_kernel(_device_invalid_free))
+    add("invalid-free-host", Category.INVALID_FREE,
+        "host frees an interior pointer",
+        _host_invalid_free_runner)
+
+    # Double free (2)
+    add("double-free-device", Category.DOUBLE_FREE,
+        "kernel frees the same buffer twice",
+        _single_kernel(_device_double_free))
+    add("double-free-host", Category.DOUBLE_FREE,
+        "host frees the same buffer twice",
+        _host_double_free_runner)
+
+    return cases

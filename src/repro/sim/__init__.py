@@ -1,0 +1,42 @@
+"""Trace-driven GPU timing simulator (MacSim substitute)."""
+
+from .cache import CacheStats, SetAssociativeCache
+from .core import SimResult, SimStats, SmSimulator, simulate
+from .dram import DramModel, DramStats
+from .gpu import GpuSimResult, GpuSimulator
+from .tracefile import dump_trace, load_trace
+from .timing import (
+    BAGGY_CHECK_INSTRUCTIONS,
+    BaggyBoundsTiming,
+    BaselineTiming,
+    GPUShieldTiming,
+    LmiTiming,
+    TimingModel,
+    expand_stream,
+)
+from .trace import KernelTrace, OpClass, TraceInstruction
+
+__all__ = [
+    "CacheStats",
+    "SetAssociativeCache",
+    "SimResult",
+    "SimStats",
+    "SmSimulator",
+    "simulate",
+    "DramModel",
+    "DramStats",
+    "GpuSimResult",
+    "GpuSimulator",
+    "dump_trace",
+    "load_trace",
+    "BAGGY_CHECK_INSTRUCTIONS",
+    "BaggyBoundsTiming",
+    "BaselineTiming",
+    "GPUShieldTiming",
+    "LmiTiming",
+    "TimingModel",
+    "expand_stream",
+    "KernelTrace",
+    "OpClass",
+    "TraceInstruction",
+]

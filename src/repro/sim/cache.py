@@ -1,0 +1,81 @@
+"""Set-associative LRU cache model."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict
+
+from ..common.bitops import log2_exact
+from ..common.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction (0 when never accessed)."""
+        if not self.accesses:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache keyed by byte address.
+
+    ``access`` maps the address to its line and set, performs the
+    lookup, fills on miss, and returns whether it hit.  Timing is the
+    caller's business (the simulator composes hit latencies).
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self._line_bits = log2_exact(config.line_bytes)
+        self._num_sets = config.num_sets
+        # One OrderedDict per set: tag -> None, LRU first.
+        self._sets: Dict[int, OrderedDict] = {}
+        self.stats = CacheStats()
+
+    def _locate(self, address: int):
+        line = address >> self._line_bits
+        return line % self._num_sets, line // self._num_sets
+
+    def access(self, address: int) -> bool:
+        """Look up *address*; fill on miss.  Returns hit?"""
+        set_index, tag = self._locate(address)
+        ways = self._sets.setdefault(set_index, OrderedDict())
+        if tag in ways:
+            ways.move_to_end(tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        ways[tag] = None
+        if len(ways) > self.config.ways:
+            ways.popitem(last=False)
+        return False
+
+    def probe(self, address: int) -> bool:
+        """Non-allocating lookup (no fill, no stats)."""
+        set_index, tag = self._locate(address)
+        ways = self._sets.get(set_index)
+        return ways is not None and tag in ways
+
+    def flush(self) -> None:
+        """Drop all contents (stats survive)."""
+        self._sets.clear()
+
+    @property
+    def hit_latency(self) -> int:
+        """Configured hit latency in cycles."""
+        return self.config.hit_latency

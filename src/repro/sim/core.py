@@ -1,0 +1,180 @@
+"""SM timing simulator: GTO warp scheduling over a kernel trace.
+
+Models one warp scheduler partition of an SM (Table IV: 4 GTO
+schedulers per SM; simulating one partition with its share of warps
+gives per-benchmark *relative* timing, which is what the normalized
+Figure 12/13 results need).
+
+The scheduler is greedy-then-oldest: it keeps issuing from the current
+warp until that warp stalls on a dependency, then switches to the
+oldest ready warp.  Memory instructions walk the L1 → L2 → HBM
+hierarchy per coalesced transaction; extra transactions serialize at
+the LSU.  The active :class:`~repro.sim.timing.TimingModel` injects
+instructions (software schemes) and extra latencies (OCU, RCache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..common.config import DEFAULT_GPU_CONFIG, GpuConfig
+from ..common.errors import SimulationError
+from .cache import SetAssociativeCache
+from .dram import DramModel
+from .timing import BaselineTiming, TimingModel, expand_stream
+from .trace import KernelTrace, OpClass, TraceInstruction
+
+#: Base result latencies per op class (cycles).
+_ALU_LATENCY = {OpClass.INT: 4, OpClass.FP: 4}
+_SHARED_LATENCY = 20
+#: Extra LSU serialization cycles per additional coalesced transaction.
+_TRANSACTION_CYCLES = 4
+
+
+@dataclass
+class SimStats:
+    """Counters accumulated over one simulation."""
+
+    instructions: int = 0
+    issue_stall_cycles: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+
+
+@dataclass
+class SimResult:
+    """Outcome of one kernel-trace simulation."""
+
+    name: str
+    cycles: int
+    stats: SimStats
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.stats.instructions / self.cycles
+
+
+@dataclass
+class _WarpState:
+    stream: List[TraceInstruction]
+    position: int = 0
+    last_issue: int = -1
+    last_complete: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.position >= len(self.stream)
+
+    def earliest_issue(self, now: int) -> int:
+        instr = self.stream[self.position]
+        if instr.depends:
+            return max(self.last_complete, self.last_issue + 1)
+        return self.last_issue + 1
+
+
+class SmSimulator:
+    """One warp-scheduler partition with its cache hierarchy."""
+
+    def __init__(
+        self,
+        config: GpuConfig = DEFAULT_GPU_CONFIG,
+        model: Optional[TimingModel] = None,
+    ) -> None:
+        self.config = config
+        self.model = model if model is not None else BaselineTiming()
+        self.l1 = SetAssociativeCache(config.l1, "l1")
+        self.l2 = SetAssociativeCache(config.l2, "l2")
+        self.dram = DramModel(config)
+        self.model.bind(self)
+
+    # ------------------------------------------------------------------
+
+    def _memory_latency(self, instr: TraceInstruction, now: int) -> int:
+        """Latency of a memory instruction's slowest transaction."""
+        if instr.op in (OpClass.LDS, OpClass.STS):
+            return _SHARED_LATENCY + _TRANSACTION_CYCLES * (len(instr.lines) - 1)
+        slowest = 0
+        for index, line in enumerate(instr.lines):
+            if self.l1.access(line):
+                latency = self.config.l1.hit_latency
+                self._stats.l1_hits += 1
+            elif self.l2.access(line):
+                latency = self.config.l2.hit_latency
+                self._stats.l1_misses += 1
+                self._stats.l2_hits += 1
+            else:
+                self._stats.l1_misses += 1
+                self._stats.l2_misses += 1
+                latency = self.dram.request(line, now) - now
+            slowest = max(slowest, latency + _TRANSACTION_CYCLES * index)
+        return slowest
+
+    def _latency(self, instr: TraceInstruction, now: int) -> int:
+        if instr.op.is_memory:
+            base = self._memory_latency(instr, now)
+        else:
+            base = _ALU_LATENCY[instr.op]
+        return base + self.model.extra_latency(instr, now)
+
+    # ------------------------------------------------------------------
+
+    def run(self, trace: KernelTrace) -> SimResult:
+        """Simulate *trace* to completion; returns cycles and stats."""
+        self._stats = SimStats()
+        warps = [
+            _WarpState(stream=expand_stream(self.model, stream))
+            for stream in trace.warps
+        ]
+        if not warps:
+            raise SimulationError("trace has no warps")
+
+        clock = 0
+        current = 0
+        live = [w for w in warps if not w.done]
+        while live:
+            # Greedy-then-oldest warp selection.
+            chosen = None
+            if not warps[current].done and warps[current].earliest_issue(clock) <= clock:
+                chosen = current
+            else:
+                for index, warp in enumerate(warps):
+                    if not warp.done and warp.earliest_issue(clock) <= clock:
+                        chosen = index
+                        break
+            if chosen is None:
+                next_time = min(
+                    w.earliest_issue(clock) for w in warps if not w.done
+                )
+                self._stats.issue_stall_cycles += next_time - clock
+                clock = next_time
+                continue
+
+            current = chosen
+            warp = warps[chosen]
+            instr = warp.stream[warp.position]
+            warp.position += 1
+            latency = self._latency(instr, clock)
+            warp.last_issue = clock
+            warp.last_complete = clock + latency
+            self._stats.instructions += 1
+            clock += 1
+            if warp.done:
+                live = [w for w in warps if not w.done]
+
+        finish = max(w.last_complete for w in warps)
+        return SimResult(name=trace.name, cycles=finish, stats=self._stats)
+
+
+def simulate(
+    trace: KernelTrace,
+    model: Optional[TimingModel] = None,
+    config: GpuConfig = DEFAULT_GPU_CONFIG,
+) -> SimResult:
+    """Convenience wrapper: fresh simulator per run."""
+    return SmSimulator(config, model).run(trace)

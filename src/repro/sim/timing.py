@@ -1,0 +1,158 @@
+"""Per-mechanism timing models for the SM simulator.
+
+Each model states how a safety scheme perturbs execution:
+
+* :class:`BaselineTiming` — no perturbation.
+* :class:`LmiTiming` — the OCU's register-sliced pipeline adds
+  ``ocu_cycles`` (3 at >3 GHz, section XI-C) of *result latency* to
+  checked pointer-arithmetic instructions.  Issue bandwidth is
+  untouched; the cost only appears when a dependent instruction waits.
+* :class:`GPUShieldTiming` — every global/local memory instruction
+  also looks its buffer's bounds up in a small L1 RCache; a miss
+  stalls the access for an L2-round-trip metadata fetch.  The RCache
+  is much smaller than the L1 D$, which is exactly the paper's
+  explanation for the needle/LSTM spikes ("L1 D$ hits and L1 R$
+  misses ... for uncoalesced memory operations").
+* :class:`BaggyBoundsTiming` — the software scheme injects a
+  dependent bounds-check instruction sequence after every pointer
+  operation, consuming issue slots (stream expansion).
+
+The DBI tools of Figure 13 are modelled analytically in
+:mod:`repro.experiments.fig13_dbi` — their >30x slowdowns come from
+inserted-instruction *counts*, which do not need a cycle simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..common.config import CacheConfig
+from .cache import SetAssociativeCache
+from .trace import OpClass, TraceInstruction
+
+#: Injected SASS instructions per software baggy-bounds check
+#: (64-bit pointer: mask build, shift, xor, and, compare, trap branch,
+#: spilled across both 32-bit halves).
+BAGGY_CHECK_INSTRUCTIONS = 12
+
+
+class TimingModel:
+    """Baseline interface: identity expansion, no extra latency."""
+
+    name = "baseline"
+
+    def bind(self, simulator) -> None:
+        """Receive the owning simulator (cache hierarchy access)."""
+        self._simulator = simulator
+
+    def expand(self, instr: TraceInstruction) -> Iterator[TraceInstruction]:
+        """Rewrite one trace instruction into the issued sequence."""
+        yield instr
+
+    def extra_latency(self, instr: TraceInstruction, now: int) -> int:
+        """Additional result latency for *instr* at cycle *now*."""
+        return 0
+
+
+class BaselineTiming(TimingModel):
+    """Unprotected GPU."""
+
+
+class LmiTiming(TimingModel):
+    """Hardware OCU: +3 cycles on checked pointer arithmetic."""
+
+    name = "lmi"
+
+    def __init__(self, ocu_cycles: int = 3) -> None:
+        self.ocu_cycles = ocu_cycles
+
+    def extra_latency(self, instr: TraceInstruction, now: int) -> int:
+        if instr.checked:
+            return self.ocu_cycles
+        return 0
+
+
+class GPUShieldTiming(TimingModel):
+    """Bounds metadata cached in a small per-scheduler L1 RCache."""
+
+    name = "gpushield"
+
+    #: Virtual address range where the bounds table lives (its fetches
+    #: traverse the L2/HBM path like any other global-memory traffic).
+    METADATA_BASE = 0x0F00_0000_0000
+
+    def __init__(
+        self,
+        *,
+        rcache_bytes: int = 256,
+        rcache_ways: int = 4,
+        entry_bytes: int = 16,
+    ) -> None:
+        # The RCache is deliberately much smaller than the L1 D$
+        # (Table VI: ~910 B/warp); one entry holds a buffer's
+        # (base, limit) pair.
+        self.rcache = SetAssociativeCache(
+            CacheConfig(
+                size_bytes=rcache_bytes,
+                line_bytes=entry_bytes,
+                ways=rcache_ways,
+                hit_latency=1,
+            ),
+            name="rcache",
+        )
+        self.entry_bytes = entry_bytes
+        self._simulator = None
+
+    def extra_latency(self, instr: TraceInstruction, now: int) -> int:
+        if instr.op not in (OpClass.LDG, OpClass.STG, OpClass.LDL, OpClass.STL):
+            return 0
+        # One bounds lookup per distinct buffer the warp's lanes touch;
+        # uncoalesced scattered accesses probe many entries, which is
+        # the needle/LSTM pathology of the paper's section XI-A.
+        slowest = 0
+        extra_misses = 0
+        for buffer_id in set(instr.buffer_ids):
+            if self.rcache.access(buffer_id * self.entry_bytes):
+                continue  # lookup overlaps the D$ access
+            extra_misses += 1
+            sim = self._simulator
+            if sim is None:
+                slowest = max(slowest, 200)
+                continue
+            meta_line = self.METADATA_BASE + buffer_id * self.entry_bytes
+            if sim.l2.access(meta_line):
+                latency = sim.config.l2.hit_latency
+            else:
+                latency = sim.dram.request(meta_line, now) - now
+            slowest = max(slowest, latency)
+        if extra_misses > 1:
+            # Metadata fills serialize at the RCache fill port.
+            slowest += 4 * (extra_misses - 1)
+        return slowest
+
+
+class BaggyBoundsTiming(TimingModel):
+    """Software baggy bounds: injected check sequence per pointer op."""
+
+    name = "baggy"
+
+    def __init__(self, instructions_per_check: int = BAGGY_CHECK_INSTRUCTIONS) -> None:
+        self.instructions_per_check = instructions_per_check
+
+    def expand(self, instr: TraceInstruction) -> Iterator[TraceInstruction]:
+        yield instr
+        if instr.checked:
+            for index in range(self.instructions_per_check):
+                # The check chain is serially dependent: mask build,
+                # XOR, AND, compare, predicated trap.
+                yield TraceInstruction(op=OpClass.INT, depends=True)
+
+
+def expand_stream(
+    model: TimingModel, stream: Iterable[TraceInstruction]
+) -> list:
+    """Apply a model's stream rewriting to a whole warp stream."""
+    out = []
+    for instr in stream:
+        out.extend(model.expand(instr))
+    return out

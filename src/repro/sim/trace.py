@@ -1,0 +1,129 @@
+"""Trace format for the timing simulator.
+
+A kernel trace is a set of per-warp instruction streams, the unit
+MacSim consumes from NVBit in the paper's methodology.  Each record
+carries exactly what the timing model needs: its execution-resource
+class, whether it depends on the previous instruction's result (the
+latency-hiding lever), whether it is LMI-checked pointer arithmetic
+(the A hint bit), and — for memory operations — the cache-line
+addresses of its coalesced transactions plus the buffer it targets
+(for GPUShield's RCache).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..common.errors import MemorySpace, TraceFormatError
+
+
+class OpClass(enum.Enum):
+    """Execution-resource class of a trace record."""
+
+    INT = "int"
+    FP = "fp"
+    LDG = "ldg"
+    STG = "stg"
+    LDS = "lds"
+    STS = "sts"
+    LDL = "ldl"
+    STL = "stl"
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads/stores."""
+        return self not in (OpClass.INT, OpClass.FP)
+
+    @property
+    def space(self) -> Optional[MemorySpace]:
+        """Memory space targeted, or None for ALU ops."""
+        return {
+            OpClass.LDG: MemorySpace.GLOBAL,
+            OpClass.STG: MemorySpace.GLOBAL,
+            OpClass.LDS: MemorySpace.SHARED,
+            OpClass.STS: MemorySpace.SHARED,
+            OpClass.LDL: MemorySpace.LOCAL,
+            OpClass.STL: MemorySpace.LOCAL,
+        }.get(self)
+
+    @property
+    def uses_l1_path(self) -> bool:
+        """Global/local accesses traverse L1/L2/DRAM; shared does not."""
+        return self in (OpClass.LDG, OpClass.STG, OpClass.LDL, OpClass.STL)
+
+
+@dataclass(frozen=True)
+class TraceInstruction:
+    """One dynamic instruction in a warp's stream."""
+
+    op: OpClass
+    #: True when this instruction consumes the previous one's result.
+    depends: bool = False
+    #: LMI hint bit A: checked pointer arithmetic (INT ops only).
+    checked: bool = False
+    #: Cache-line addresses of the coalesced transactions (memory ops).
+    lines: Tuple[int, ...] = field(default=())
+    #: Buffer(s) accessed, one per lane group after coalescing — the
+    #: keys GPUShield's RCache is probed with.  A fully-coalesced
+    #: access touches one buffer; a scattered access can touch many.
+    buffer_ids: Tuple[int, ...] = field(default=(0,))
+
+    def __post_init__(self) -> None:
+        if self.checked and self.op is not OpClass.INT:
+            raise TraceFormatError("only INT ops can carry the A hint")
+        if self.lines and not self.op.is_memory:
+            raise TraceFormatError("ALU ops cannot carry memory transactions")
+        if self.op.is_memory and not self.lines:
+            raise TraceFormatError("memory ops need at least one transaction")
+        if self.op.is_memory and not self.buffer_ids:
+            raise TraceFormatError("memory ops need at least one buffer id")
+
+
+@dataclass
+class KernelTrace:
+    """Per-warp instruction streams for one kernel."""
+
+    name: str
+    warps: List[List[TraceInstruction]] = field(default_factory=list)
+
+    @property
+    def total_instructions(self) -> int:
+        """Dynamic instruction count across all warps."""
+        return sum(len(stream) for stream in self.warps)
+
+    def op_histogram(self) -> Dict[OpClass, int]:
+        """Dynamic count per op class (the Figure 1 raw data)."""
+        counts: Dict[OpClass, int] = {op: 0 for op in OpClass}
+        for stream in self.warps:
+            for instr in stream:
+                counts[instr.op] += 1
+        return counts
+
+    def memory_region_mix(self) -> Dict[str, float]:
+        """Fraction of memory instructions per region (Figure 1)."""
+        histogram = self.op_histogram()
+        global_ops = histogram[OpClass.LDG] + histogram[OpClass.STG]
+        shared_ops = histogram[OpClass.LDS] + histogram[OpClass.STS]
+        local_ops = histogram[OpClass.LDL] + histogram[OpClass.STL]
+        total = global_ops + shared_ops + local_ops
+        if total == 0:
+            return {"global": 0.0, "shared": 0.0, "local": 0.0}
+        return {
+            "global": global_ops / total,
+            "shared": shared_ops / total,
+            "local": local_ops / total,
+        }
+
+    def checked_count(self) -> int:
+        """Instructions carrying the A hint bit."""
+        return sum(
+            1 for stream in self.warps for instr in stream if instr.checked
+        )
+
+    def memory_count(self) -> int:
+        """Total memory instructions."""
+        return sum(
+            1 for stream in self.warps for instr in stream if instr.op.is_memory
+        )

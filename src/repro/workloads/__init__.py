@@ -1,0 +1,19 @@
+"""Benchmark workloads: profiles and synthetic trace generation."""
+
+from .profiles import (
+    PROFILES,
+    SUITES,
+    BenchmarkProfile,
+    all_benchmarks,
+    profile,
+)
+from .synthetic import synthesize_trace
+
+__all__ = [
+    "PROFILES",
+    "SUITES",
+    "BenchmarkProfile",
+    "all_benchmarks",
+    "profile",
+    "synthesize_trace",
+]

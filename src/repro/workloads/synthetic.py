@@ -1,0 +1,115 @@
+"""Deterministic synthetic trace generation from benchmark profiles.
+
+Produces :class:`~repro.sim.trace.KernelTrace` objects whose dynamic
+statistics match the profile: instruction mix, memory-region ratios,
+pointer-arithmetic density, dependency density, coalescing behaviour,
+buffer locality, and working-set footprint.  The generator is seeded
+by the benchmark name, so every run (and every mechanism compared on
+the same benchmark) sees the identical instruction stream.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import List, Optional
+
+from ..memory import layout
+from ..sim.trace import KernelTrace, OpClass, TraceInstruction
+from .profiles import BenchmarkProfile, profile
+
+#: Cache-line size used for transaction addresses.
+_LINE = 128
+
+
+def _seed_for(name: str, salt: int = 0) -> int:
+    # crc32, not hash(): string hashing is salted per process and
+    # would break cross-run determinism.
+    return (zlib.crc32(name.encode()) ^ (salt * 0x9E3779B9)) & 0x7FFFFFFF
+
+
+class _AddressGenerator:
+    """Per-warp address streams honouring locality and coalescing."""
+
+    def __init__(self, spec: BenchmarkProfile, warp: int, rng: random.Random):
+        self.spec = spec
+        self.rng = rng
+        self.lines_in_set = max(1, (spec.working_set_kb * 1024) // _LINE)
+        # Each warp streams through its own slice of the working set.
+        self.cursor = (warp * 7919) % self.lines_in_set
+        self.current_buffer = rng.randrange(spec.n_buffers)
+
+    def _base(self, op: OpClass) -> int:
+        space = op.space
+        if space is None:
+            return layout.GLOBAL_BASE
+        return layout.region_base(space)
+
+    def next_access(self, op: OpClass):
+        """(lines, buffer_ids) for one memory instruction."""
+        spec = self.spec
+        base = self._base(op)
+        if self.rng.random() < spec.coalesced:
+            self.cursor = (self.cursor + 1) % self.lines_in_set
+            lines = (base + self.cursor * _LINE,)
+        else:
+            lines = tuple(
+                base + self.rng.randrange(self.lines_in_set) * _LINE
+                for _ in range(spec.uncoalesced_transactions)
+            )
+        if spec.buffer_locality == "scatter":
+            # Scattered lanes land in different buffers: one bounds
+            # lookup per transaction.
+            buffer_ids = tuple(
+                self.rng.randrange(spec.n_buffers) for _ in lines
+            )
+        else:
+            # Streaming: stay on a buffer for a while, then move on.
+            if self.rng.random() < 0.02:
+                self.current_buffer = self.rng.randrange(spec.n_buffers)
+            buffer_ids = (self.current_buffer,)
+        return lines, buffer_ids
+
+
+def synthesize_trace(
+    benchmark: str,
+    *,
+    warps: int = 8,
+    instructions_per_warp: int = 2000,
+    seed_salt: int = 0,
+    spec: Optional[BenchmarkProfile] = None,
+) -> KernelTrace:
+    """Generate the kernel trace for *benchmark*."""
+    spec = spec if spec is not None else profile(benchmark)
+    streams: List[List[TraceInstruction]] = []
+    for warp in range(warps):
+        rng = random.Random(_seed_for(spec.name, warp + seed_salt * 1000 + 1))
+        addressing = _AddressGenerator(spec, warp, rng)
+        stream: List[TraceInstruction] = []
+        for _ in range(instructions_per_warp):
+            stream.append(_draw_instruction(spec, rng, addressing))
+        streams.append(stream)
+    return KernelTrace(name=spec.name, warps=streams)
+
+
+def _draw_instruction(
+    spec: BenchmarkProfile, rng: random.Random, addressing: _AddressGenerator
+) -> TraceInstruction:
+    depends = rng.random() < spec.dep_rate
+    if rng.random() < spec.mem_fraction:
+        region = rng.random()
+        is_load = rng.random() < 0.7  # typical load:store ratio
+        if region < spec.global_frac:
+            op = OpClass.LDG if is_load else OpClass.STG
+        elif region < spec.global_frac + spec.shared_frac:
+            op = OpClass.LDS if is_load else OpClass.STS
+        else:
+            op = OpClass.LDL if is_load else OpClass.STL
+        lines, buffer_ids = addressing.next_access(op)
+        return TraceInstruction(
+            op=op, depends=depends, lines=lines, buffer_ids=buffer_ids
+        )
+    if rng.random() < spec.int_fraction:
+        checked = rng.random() < spec.ptr_rate
+        return TraceInstruction(op=OpClass.INT, depends=depends, checked=checked)
+    return TraceInstruction(op=OpClass.FP, depends=depends)

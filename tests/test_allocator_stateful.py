@@ -1,0 +1,105 @@
+"""Model-based stateful testing of the buddy allocator.
+
+Hypothesis drives random alloc/free sequences against
+:class:`AlignedAllocator` while a trivial Python model tracks what
+should be live; after every step the allocator's structural invariants
+must hold and its view must agree with the model.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+import pytest
+
+from repro.allocator import AlignedAllocator
+from repro.common.bitops import is_aligned, next_power_of_two
+from repro.common.errors import (
+    AllocationError,
+    DoubleFreeError,
+    InvalidFreeError,
+)
+
+REGION = 0x4000_0000
+SPAN = 1 << 20  # 1 MiB keeps exhaustion reachable
+
+
+class BuddyMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.allocator = AlignedAllocator(REGION, SPAN)
+        self.model = {}  # base -> (requested, rounded)
+        self.freed_once = set()
+
+    @rule(size=st.integers(min_value=0, max_value=1 << 18))
+    def alloc(self, size):
+        try:
+            block = self.allocator.alloc(size)
+        except AllocationError:
+            # Only acceptable when no free block of sufficient order
+            # exists (external fragmentation can cause this even with
+            # enough total free bytes — that is buddy behaviour).
+            need = max(next_power_of_two(max(size, 1)), 256)
+            available_orders = [
+                order
+                for order, offsets in self.allocator._free.items()
+                if offsets
+            ]
+            assert all((1 << order) < need for order in available_orders)
+            return
+        assert block.base not in self.model
+        assert block.rounded == max(next_power_of_two(max(size, 1)), 256)
+        assert is_aligned(block.base, block.rounded)
+        self.model[block.base] = (size, block.rounded)
+        self.freed_once.discard(block.base)
+
+    @precondition(lambda self: self.model)
+    @rule(index=st.integers(min_value=0, max_value=10 ** 9))
+    def free_live(self, index):
+        base = sorted(self.model)[index % len(self.model)]
+        block = self.allocator.free(base)
+        assert block.rounded == self.model[base][1]
+        del self.model[base]
+        self.freed_once.add(base)
+
+    @precondition(lambda self: self.freed_once)
+    @rule()
+    def double_free_is_caught(self):
+        base = next(iter(self.freed_once))
+        if base in self.model:
+            return  # slot was re-allocated; freeing it again is legal
+        with pytest.raises(DoubleFreeError):
+            self.allocator.free(base)
+
+    @rule(offset=st.integers(min_value=1, max_value=255))
+    def interior_free_is_caught(self, offset):
+        if not self.model:
+            return
+        base = next(iter(self.model))
+        with pytest.raises((InvalidFreeError, DoubleFreeError)):
+            self.allocator.free(base + offset)
+
+    @invariant()
+    def structural_invariants_hold(self):
+        self.allocator.check_invariants()
+
+    @invariant()
+    def live_views_agree(self):
+        allocator_live = {b.base for b in self.allocator.live_blocks}
+        assert allocator_live == set(self.model)
+
+    @invariant()
+    def accounting_matches_model(self):
+        expected = sum(rounded for _, rounded in self.model.values())
+        assert self.allocator.live_bytes == expected
+
+
+BuddyMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+TestBuddyStateful = BuddyMachine.TestCase

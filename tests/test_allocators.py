@@ -1,0 +1,377 @@
+"""Tests for all allocators (paper sections IV-E, V-B, Figures 4-5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocator import (
+    AlignedAllocator,
+    BaselineAllocator,
+    DeviceHeapAllocator,
+    FootprintMeter,
+    SharedAllocator,
+    StackAllocator,
+    relative_overhead,
+)
+from repro.common.bitops import is_aligned
+from repro.common.errors import (
+    AllocationError,
+    ConfigurationError,
+    DoubleFreeError,
+    InvalidFreeError,
+)
+
+REGION = 0x1000_0000
+SPAN = 1 << 24  # 16 MiB
+
+
+class TestAlignedAllocator:
+    def test_rounding_and_self_alignment(self):
+        allocator = AlignedAllocator(REGION, SPAN)
+        block = allocator.alloc(1000)
+        assert block.rounded == 1024
+        assert is_aligned(block.base, 1024)
+
+    def test_minimum_block_is_256(self):
+        allocator = AlignedAllocator(REGION, SPAN)
+        assert allocator.alloc(1).rounded == 256
+
+    def test_zero_size_allowed(self):
+        allocator = AlignedAllocator(REGION, SPAN)
+        assert allocator.alloc(0).rounded == 256
+
+    def test_negative_size_rejected(self):
+        allocator = AlignedAllocator(REGION, SPAN)
+        with pytest.raises(AllocationError):
+            allocator.alloc(-1)
+
+    def test_oversized_request_rejected(self):
+        allocator = AlignedAllocator(REGION, SPAN)
+        with pytest.raises(AllocationError):
+            allocator.alloc(SPAN * 2)
+
+    def test_out_of_memory(self):
+        allocator = AlignedAllocator(REGION, 1024, min_block=256)
+        for _ in range(4):
+            allocator.alloc(256)
+        with pytest.raises(AllocationError):
+            allocator.alloc(256)
+
+    def test_free_and_reuse(self):
+        allocator = AlignedAllocator(REGION, SPAN)
+        block = allocator.alloc(512)
+        allocator.free(block.base)
+        again = allocator.alloc(512)
+        assert again.base == block.base  # buddy reuses the slot
+
+    def test_coalescing_allows_large_alloc_after_frees(self):
+        allocator = AlignedAllocator(REGION, 4096, min_block=256)
+        blocks = [allocator.alloc(256) for _ in range(16)]
+        for block in blocks:
+            allocator.free(block.base)
+        big = allocator.alloc(4096)  # only possible after full coalesce
+        assert big.base == REGION
+
+    def test_double_free_detected(self):
+        allocator = AlignedAllocator(REGION, SPAN)
+        block = allocator.alloc(512)
+        allocator.free(block.base)
+        with pytest.raises(DoubleFreeError):
+            allocator.free(block.base)
+
+    def test_invalid_free_detected(self):
+        allocator = AlignedAllocator(REGION, SPAN)
+        block = allocator.alloc(512)
+        with pytest.raises(InvalidFreeError):
+            allocator.free(block.base + 64)
+
+    def test_misaligned_region_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AlignedAllocator(100, SPAN)
+
+    def test_meter_tracks_rounded_footprint(self):
+        meter = FootprintMeter()
+        allocator = AlignedAllocator(REGION, SPAN, meter=meter)
+        allocator.alloc(1000)
+        assert meter.current_bytes == 1024
+        assert meter.peak_bytes == 1024
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.tuples(st.sampled_from(["alloc", "free"]),
+                  st.integers(min_value=1, max_value=1 << 14)),
+        min_size=1, max_size=60,
+    ))
+    def test_invariants_under_random_workload(self, ops):
+        allocator = AlignedAllocator(REGION, SPAN)
+        live = []
+        for action, size in ops:
+            if action == "alloc" or not live:
+                try:
+                    live.append(allocator.alloc(size).base)
+                except AllocationError:
+                    pass
+            else:
+                allocator.free(live.pop(size % len(live)))
+            allocator.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=1 << 12),
+                    min_size=1, max_size=40))
+    def test_no_overlap_between_live_blocks(self, sizes):
+        allocator = AlignedAllocator(REGION, SPAN)
+        spans = []
+        for size in sizes:
+            block = allocator.alloc(size)
+            spans.append((block.base, block.base + block.rounded))
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+
+class TestBaselineAllocator:
+    def test_granule_padding_only(self):
+        allocator = BaselineAllocator(REGION, SPAN)
+        block = allocator.alloc(1000)
+        assert block.padded == 1024
+        block = allocator.alloc(1025)
+        assert block.padded == 1280  # 256-granule, NOT power of two
+
+    def test_first_fit_reuses_freed_space(self):
+        allocator = BaselineAllocator(REGION, SPAN)
+        a = allocator.alloc(512)
+        allocator.alloc(512)
+        allocator.free(a.base)
+        c = allocator.alloc(512)
+        assert c.base == a.base
+
+    def test_double_and_invalid_free(self):
+        allocator = BaselineAllocator(REGION, SPAN)
+        block = allocator.alloc(512)
+        with pytest.raises(InvalidFreeError):
+            allocator.free(block.base + 4)
+        allocator.free(block.base)
+        with pytest.raises(DoubleFreeError):
+            allocator.free(block.base)
+
+    def test_hole_coalescing(self):
+        allocator = BaselineAllocator(REGION, 2048)
+        blocks = [allocator.alloc(512) for _ in range(4)]
+        for block in blocks:
+            allocator.free(block.base)
+        big = allocator.alloc(2048)
+        assert big.base == REGION
+
+    def test_out_of_memory(self):
+        allocator = BaselineAllocator(REGION, 1024)
+        allocator.alloc(1024)
+        with pytest.raises(AllocationError):
+            allocator.alloc(1)
+
+
+class TestDeviceHeapAllocator:
+    """The kernel malloc() model of Figure 5."""
+
+    def test_small_requests_use_80_byte_chunks(self):
+        allocator = DeviceHeapAllocator(REGION, SPAN)
+        block = allocator.alloc(50)
+        assert block.unit == 80
+        assert block.footprint == 80
+
+    def test_chunk_rounding(self):
+        allocator = DeviceHeapAllocator(REGION, SPAN)
+        block = allocator.alloc(81)
+        assert block.footprint == 160  # two 80-byte chunks
+
+    def test_medium_requests_use_2208_byte_chunks(self):
+        allocator = DeviceHeapAllocator(REGION, SPAN)
+        block = allocator.alloc(3000)
+        assert block.unit == 2208
+        assert block.footprint == 2 * 2208
+
+    def test_fragmentation_can_approach_half(self):
+        allocator = DeviceHeapAllocator(REGION, SPAN)
+        allocator.alloc(2209)  # just over one chunk: ~50% waste
+        assert allocator.fragmentation() > 0.45
+
+    def test_same_class_allocations_share_a_group(self):
+        allocator = DeviceHeapAllocator(REGION, SPAN)
+        a = allocator.alloc(64, thread=0)
+        b = allocator.alloc(64, thread=1)
+        assert abs(a.base - b.base) == 80  # adjacent chunks, one group
+
+    def test_groups_by_size_class_are_disjoint(self):
+        allocator = DeviceHeapAllocator(REGION, SPAN)
+        small = allocator.alloc(64)
+        medium = allocator.alloc(3000)
+        assert abs(small.base - medium.base) >= 80 * 32
+
+    def test_free_bookkeeping(self):
+        allocator = DeviceHeapAllocator(REGION, SPAN)
+        block = allocator.alloc(64)
+        allocator.free(block.base)
+        with pytest.raises(DoubleFreeError):
+            allocator.free(block.base)
+        with pytest.raises(InvalidFreeError):
+            allocator.free(block.base + 8)
+
+    def test_group_capacity_opens_new_group(self):
+        allocator = DeviceHeapAllocator(REGION, SPAN)
+        blocks = [allocator.alloc(64) for _ in range(33)]
+        first_group = {b.base // (80 * 32) for b in blocks[:32]}
+        assert blocks[32].base - blocks[0].base > 80 * 32
+
+    def test_exhaustion(self):
+        allocator = DeviceHeapAllocator(REGION, 4096)
+        with pytest.raises(AllocationError):
+            for _ in range(100):
+                allocator.alloc(2000)
+
+
+class TestStackAllocator:
+    def test_grows_downward(self):
+        stack = StackAllocator(0x100000, 65536)
+        stack.push_frame()
+        a = stack.alloca(64)
+        b = stack.alloca(64)
+        assert b.base < a.base
+
+    def test_abi_alignment_without_lmi(self):
+        stack = StackAllocator(0x100000, 65536)
+        stack.push_frame()
+        block = stack.alloca(50)
+        assert block.rounded == 64  # 16-byte ABI granule
+        assert block.base % 16 == 0
+
+    def test_lmi_mode_rounds_and_aligns(self):
+        stack = StackAllocator(0x100000, 65536, lmi_aligned=True)
+        stack.push_frame()
+        block = stack.alloca(300)
+        assert block.rounded == 512
+        assert is_aligned(block.base, 512)
+
+    def test_lmi_minimum_alignment(self):
+        stack = StackAllocator(0x100000, 65536, lmi_aligned=True)
+        stack.push_frame()
+        assert stack.alloca(8).rounded == 256
+
+    def test_pop_frame_returns_dying_buffers(self):
+        stack = StackAllocator(0x100000, 65536)
+        stack.push_frame()
+        stack.alloca(64)
+        stack.push_frame()
+        inner = stack.alloca(128)
+        dying = stack.pop_frame()
+        assert [b.base for b in dying] == [inner.base]
+        assert stack.depth == 1
+
+    def test_pop_restores_stack_pointer(self):
+        stack = StackAllocator(0x100000, 65536)
+        stack.push_frame()
+        before = stack.stack_pointer
+        stack.push_frame()
+        stack.alloca(1024)
+        stack.pop_frame()
+        assert stack.stack_pointer == before
+
+    def test_stack_overflow_detected(self):
+        stack = StackAllocator(0x100000, 1024)
+        stack.push_frame()
+        with pytest.raises(AllocationError):
+            stack.alloca(2048)
+
+    def test_alloca_outside_frame_rejected(self):
+        stack = StackAllocator(0x100000, 65536)
+        with pytest.raises(AllocationError):
+            stack.alloca(64)
+
+    def test_pop_without_frame_rejected(self):
+        stack = StackAllocator(0x100000, 65536)
+        with pytest.raises(AllocationError):
+            stack.pop_frame()
+
+    @given(st.lists(st.integers(min_value=1, max_value=2048),
+                    min_size=1, max_size=20))
+    def test_lmi_buffers_never_overlap(self, sizes):
+        stack = StackAllocator(0x100000, 1 << 20, lmi_aligned=True)
+        stack.push_frame()
+        spans = []
+        for size in sizes:
+            block = stack.alloca(size)
+            spans.append((block.base, block.base + block.rounded))
+            assert is_aligned(block.base, block.rounded)
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+
+class TestSharedAllocator:
+    BASE = 0x300_0000_0000
+
+    def test_static_placement_bottom_up(self):
+        shared = SharedAllocator(self.BASE, 1 << 16)
+        a = shared.alloc_static(1024)
+        b = shared.alloc_static(1024)
+        assert b.base > a.base
+
+    def test_lmi_alignment(self):
+        shared = SharedAllocator(self.BASE, 1 << 16, lmi_aligned=True)
+        block = shared.alloc_static(1000)
+        assert block.rounded == 1024
+        assert is_aligned(block.base, 1024)
+
+    def test_dynamic_pool_at_top(self):
+        shared = SharedAllocator(self.BASE, 1 << 16)
+        shared.alloc_static(1024)
+        pool = shared.alloc_dynamic_pool(8192)
+        assert pool.base + pool.rounded <= self.BASE + (1 << 16)
+        assert pool.dynamic
+
+    def test_dynamic_pool_once_only(self):
+        shared = SharedAllocator(self.BASE, 1 << 16)
+        shared.alloc_dynamic_pool(4096)
+        with pytest.raises(AllocationError):
+            shared.alloc_dynamic_pool(4096)
+
+    def test_static_after_dynamic_rejected(self):
+        shared = SharedAllocator(self.BASE, 1 << 16)
+        shared.alloc_dynamic_pool(4096)
+        with pytest.raises(AllocationError):
+            shared.alloc_static(256)
+
+    def test_exhaustion(self):
+        shared = SharedAllocator(self.BASE, 4096)
+        shared.alloc_static(4000)
+        with pytest.raises(AllocationError):
+            shared.alloc_static(512)
+
+    def test_pool_collision_with_statics_rejected(self):
+        shared = SharedAllocator(self.BASE, 8192)
+        shared.alloc_static(6000)
+        with pytest.raises(AllocationError):
+            shared.alloc_dynamic_pool(4096)
+
+
+class TestFootprintMeter:
+    def test_peak_tracking(self):
+        meter = FootprintMeter()
+        meter.grow(100)
+        meter.grow(200)
+        meter.shrink(150)
+        meter.grow(10)
+        assert meter.current_bytes == 160
+        assert meter.peak_bytes == 300
+
+    def test_over_shrink_rejected(self):
+        meter = FootprintMeter()
+        meter.grow(10)
+        with pytest.raises(ConfigurationError):
+            meter.shrink(11)
+
+    def test_relative_overhead(self):
+        assert relative_overhead(1000, 1859) == pytest.approx(0.859)
+        assert relative_overhead(0, 0) == 0.0
+
+    def test_relative_overhead_zero_base_nonzero_lmi_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_overhead(0, 10)

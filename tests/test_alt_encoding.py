@@ -1,0 +1,93 @@
+"""Tests for the 64-bit-ISA checked-opcode alternative (paper VI-B)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.isa import Instruction, Opcode
+from repro.isa.alt_encoding import (
+    CHECKABLE_OPCODES,
+    CHECKED_OPCODES,
+    checked_variant_of,
+    lower_to_checked,
+    opcode_budget,
+    recover_hints,
+    variant_from_code,
+)
+
+
+class TestNamespace:
+    def test_small_opcode_budget(self):
+        """The paper's claim: only a small number of new opcodes."""
+        assert opcode_budget() == 2 * len(CHECKABLE_OPCODES)
+        assert opcode_budget() <= 20
+
+    def test_codes_are_unique_and_above_base_isa(self):
+        codes = [v.code for v in CHECKED_OPCODES.values()]
+        assert len(codes) == len(set(codes))
+        base_max = max(op.info.code for op in Opcode)
+        assert min(codes) > base_max
+
+    def test_mnemonics(self):
+        padd = CHECKED_OPCODES[(Opcode.IADD, 0)]
+        padd_r = CHECKED_OPCODES[(Opcode.IADD, 1)]
+        assert padd.mnemonic == "PADD"
+        assert padd_r.mnemonic == "PADD.R"
+
+    def test_every_variant_has_an_int_alu_base(self):
+        for variant in CHECKED_OPCODES.values():
+            assert variant.base.info.ocu_eligible
+
+
+class TestLowering:
+    def test_unchecked_passes_through(self):
+        instr = Instruction(Opcode.IADD, dst=4, srcs=(4, 5))
+        assert lower_to_checked(instr) is instr
+
+    def test_checked_loses_hint_bits(self):
+        instr = Instruction(Opcode.IADD, dst=4, srcs=(4, 5),
+                            hint_activate=True, hint_select=1)
+        lowered = lower_to_checked(instr)
+        assert not lowered.hint_activate
+        assert lowered.srcs == instr.srcs and lowered.dst == instr.dst
+
+    def test_variant_lookup(self):
+        instr = Instruction(Opcode.LEA, dst=4, srcs=(4, 5),
+                            hint_activate=True, hint_select=1)
+        variant = checked_variant_of(instr)
+        assert variant.base is Opcode.LEA
+        assert variant.select == 1
+
+    def test_uncheckable_opcode_rejected(self):
+        instr = Instruction(Opcode.XOR, dst=4, srcs=(4, 5),
+                            hint_activate=True)
+        with pytest.raises(ConfigurationError):
+            checked_variant_of(instr)
+
+    def test_decoder_lookup_roundtrip(self):
+        for variant in CHECKED_OPCODES.values():
+            assert variant_from_code(variant.code) is variant
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ConfigurationError):
+            variant_from_code(0x999)
+
+
+class TestInformationEquivalence:
+    """The 64-bit scheme carries exactly the OCU's inputs."""
+
+    @given(
+        st.sampled_from(CHECKABLE_OPCODES),
+        st.integers(min_value=0, max_value=1),
+    )
+    def test_hints_survive_the_opcode_roundtrip(self, opcode, select):
+        instr = Instruction(opcode, dst=4, srcs=(4, 5),
+                            hint_activate=True, hint_select=select)
+        variant = checked_variant_of(instr)
+        base, activate, recovered_select = recover_hints(
+            variant_from_code(variant.code)
+        )
+        assert base is opcode
+        assert activate
+        assert recovered_select == select

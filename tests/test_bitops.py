@@ -1,0 +1,170 @@
+"""Unit + property tests for repro.common.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import bitops
+from repro.common.errors import ConfigurationError
+
+
+class TestToU64:
+    def test_identity_in_range(self):
+        assert bitops.to_u64(0x1234) == 0x1234
+
+    def test_wraps_negative(self):
+        assert bitops.to_u64(-1) == bitops.WORD_MASK
+
+    def test_truncates_overflow(self):
+        assert bitops.to_u64(1 << 64) == 0
+
+    @given(st.integers())
+    def test_always_in_range(self, value):
+        assert 0 <= bitops.to_u64(value) <= bitops.WORD_MASK
+
+
+class TestPowerOfTwo:
+    def test_one_is_power(self):
+        assert bitops.is_power_of_two(1)
+
+    def test_zero_is_not(self):
+        assert not bitops.is_power_of_two(0)
+
+    def test_negative_is_not(self):
+        assert not bitops.is_power_of_two(-4)
+
+    @pytest.mark.parametrize("value", [2, 4, 256, 1 << 40])
+    def test_powers(self, value):
+        assert bitops.is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [3, 6, 255, (1 << 40) + 1])
+    def test_non_powers(self, value):
+        assert not bitops.is_power_of_two(value)
+
+
+class TestNextPowerOfTwo:
+    def test_zero_rounds_to_one(self):
+        assert bitops.next_power_of_two(0) == 1
+
+    def test_exact_power_unchanged(self):
+        assert bitops.next_power_of_two(256) == 256
+
+    def test_rounds_up(self):
+        assert bitops.next_power_of_two(257) == 512
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            bitops.next_power_of_two(-1)
+
+    @given(st.integers(min_value=1, max_value=1 << 50))
+    def test_result_is_power_and_minimal(self, value):
+        result = bitops.next_power_of_two(value)
+        assert bitops.is_power_of_two(result)
+        assert result >= value
+        assert result // 2 < value
+
+
+class TestLog2:
+    def test_log2_exact(self):
+        assert bitops.log2_exact(256) == 8
+
+    def test_log2_exact_rejects_non_power(self):
+        with pytest.raises(ConfigurationError):
+            bitops.log2_exact(100)
+
+    def test_ceil_log2_exact(self):
+        assert bitops.ceil_log2(1024) == 10
+
+    def test_ceil_log2_rounds_up(self):
+        assert bitops.ceil_log2(1025) == 11
+
+    def test_ceil_log2_of_one(self):
+        assert bitops.ceil_log2(1) == 0
+
+    def test_ceil_log2_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            bitops.ceil_log2(0)
+
+
+class TestAlignment:
+    def test_align_up(self):
+        assert bitops.align_up(100, 256) == 256
+
+    def test_align_up_already_aligned(self):
+        assert bitops.align_up(512, 256) == 512
+
+    def test_align_down(self):
+        assert bitops.align_down(0x12345678, 256) == 0x12345600
+
+    def test_is_aligned(self):
+        assert bitops.is_aligned(0x1000, 256)
+        assert not bitops.is_aligned(0x1001, 256)
+
+    def test_rejects_non_power_alignment(self):
+        with pytest.raises(ConfigurationError):
+            bitops.align_up(10, 3)
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 50),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_align_up_properties(self, value, alignment_log2):
+        alignment = 1 << alignment_log2
+        result = bitops.align_up(value, alignment)
+        assert result >= value
+        assert result % alignment == 0
+        assert result - value < alignment
+
+
+class TestBitFields:
+    def test_low_mask(self):
+        assert bitops.low_mask(8) == 0xFF
+
+    def test_low_mask_zero(self):
+        assert bitops.low_mask(0) == 0
+
+    def test_low_mask_full(self):
+        assert bitops.low_mask(64) == bitops.WORD_MASK
+
+    def test_low_mask_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            bitops.low_mask(65)
+
+    def test_bit_field_extract(self):
+        assert bitops.bit_field(0xAB_CD, 8, 8) == 0xAB
+
+    def test_set_bit_field(self):
+        assert bitops.set_bit_field(0, 8, 8, 0xAB) == 0xAB00
+
+    def test_set_bit_field_replaces(self):
+        assert bitops.set_bit_field(0xFFFF, 4, 4, 0) == 0xFF0F
+
+    def test_set_bit_field_rejects_oversized(self):
+        with pytest.raises(ConfigurationError):
+            bitops.set_bit_field(0, 0, 4, 16)
+
+    @given(
+        st.integers(min_value=0, max_value=bitops.WORD_MASK),
+        st.integers(min_value=0, max_value=56),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_field_roundtrip(self, word, low, width, field):
+        field &= bitops.low_mask(width)
+        written = bitops.set_bit_field(word, low, width, field)
+        assert bitops.bit_field(written, low, width) == field
+        # Bits outside the field are untouched.
+        mask = bitops.low_mask(width) << low
+        assert written & ~mask == bitops.to_u64(word) & ~mask
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert bitops.popcount(0) == 0
+
+    def test_all_ones(self):
+        assert bitops.popcount(bitops.WORD_MASK) == 64
+
+    @given(st.integers(min_value=0, max_value=bitops.WORD_MASK))
+    def test_matches_bin_count(self, value):
+        assert bitops.popcount(value) == bin(value).count("1")

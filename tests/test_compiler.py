@@ -1,0 +1,323 @@
+"""Tests for the mini compiler: IR, builder, analysis, LMI pass, codegen."""
+
+import pytest
+
+from repro.common.errors import CompileError, ForbiddenCastError
+from repro.compiler import (
+    Alloca,
+    Free,
+    InvalidateExtent,
+    IRType,
+    KernelBuilder,
+    PtrAdd,
+    Ret,
+    ScopeEnd,
+    assert_feasible,
+    compile_module,
+    find_pointer_arithmetic,
+    run_lmi_pass,
+    scan_feasibility,
+)
+from repro.isa import Opcode
+
+
+def _simple_kernel():
+    b = KernelBuilder("simple", params=[("data", IRType.PTR)])
+    tid = b.thread_idx()
+    p = b.ptradd(b.param("data"), b.mul(tid, 4))
+    b.store(p, 1, width=4)
+    b.ret()
+    return b.module()
+
+
+class TestIRStructure:
+    def test_verify_passes_on_wellformed(self):
+        _simple_kernel().verify()
+
+    def test_missing_terminator_rejected(self):
+        b = KernelBuilder("bad")
+        b.alloca(64)
+        with pytest.raises(CompileError):
+            b.module()
+
+    def test_branch_to_unknown_label_rejected(self):
+        b = KernelBuilder("bad")
+        cond = b.cmp(__import__("repro.compiler", fromlist=["CmpKind"]).CmpKind.EQ,
+                     b.thread_idx(), 0)
+        b.branch(cond, "nowhere", "entry")
+        with pytest.raises(CompileError):
+            b.module()
+
+    def test_terminator_mid_block_rejected(self):
+        b = KernelBuilder("bad")
+        b.ret()
+        b.store(b.alloca(64), 1)
+        b.ret()
+        with pytest.raises(CompileError):
+            b.module()
+
+    def test_call_to_unknown_function_rejected(self):
+        b = KernelBuilder("bad")
+        b.call("ghost", [])
+        b.ret()
+        with pytest.raises(CompileError):
+            b.module()
+
+    def test_unknown_shared_array_rejected(self):
+        b = KernelBuilder("bad")
+        b.shared("missing")
+        b.ret()
+        with pytest.raises(CompileError):
+            b.module()
+
+    def test_duplicate_function_rejected(self):
+        b = KernelBuilder("bad")
+        b.device_function("helper")
+        with pytest.raises(CompileError):
+            b.device_function("helper")
+
+    def test_alloca_requires_positive_size(self):
+        b = KernelBuilder("bad")
+        with pytest.raises(CompileError):
+            b.alloca(0)
+
+    def test_ptradd_requires_pointer_base(self):
+        b = KernelBuilder("bad")
+        with pytest.raises(CompileError):
+            b.ptradd(b.const(5), 4)
+
+    def test_load_requires_pointer(self):
+        b = KernelBuilder("bad")
+        with pytest.raises(CompileError):
+            b.load(b.const(5))
+
+    def test_unknown_param_lookup(self):
+        b = KernelBuilder("bad")
+        with pytest.raises(CompileError):
+            b.param("nope")
+
+
+class TestPointerAnalysis:
+    def test_finds_all_ptradds(self):
+        module = _simple_kernel()
+        sites = find_pointer_arithmetic(module)
+        assert len(sites) == 1
+        assert isinstance(sites[0].instr, PtrAdd)
+        assert sites[0].pointer_operand_index == 0
+
+    def test_feasibility_clean_module(self):
+        report = scan_feasibility(_simple_kernel())
+        assert report.is_feasible
+        assert report.total_violations == 0
+
+    def test_inttoptr_reported(self):
+        b = KernelBuilder("forged")
+        p = b.inttoptr(b.const(0x1234))
+        b.store(p, 1)
+        b.ret()
+        report = scan_feasibility(b.module())
+        assert not report.is_feasible
+        assert len(report.inttoptr_sites) == 1
+
+    def test_ptrtoint_reported(self):
+        b = KernelBuilder("leaky")
+        buf = b.alloca(64)
+        b.ptrtoint(buf)
+        b.ret()
+        report = scan_feasibility(b.module())
+        assert len(report.ptrtoint_sites) == 1
+
+    def test_pointer_store_reported(self):
+        b = KernelBuilder("spill", params=[("slot", IRType.PTR)])
+        buf = b.alloca(64)
+        b.store(b.param("slot"), buf, width=8)
+        b.ret()
+        report = scan_feasibility(b.module())
+        assert len(report.pointer_store_sites) == 1
+
+    def test_pointer_store_can_be_allowed(self):
+        b = KernelBuilder("spill", params=[("slot", IRType.PTR)])
+        buf = b.alloca(64)
+        b.store(b.param("slot"), buf, width=8)
+        b.ret()
+        report = scan_feasibility(b.module(), forbid_pointer_stores=False)
+        assert report.is_feasible
+
+    def test_assert_feasible_raises_compile_error(self):
+        b = KernelBuilder("forged")
+        p = b.inttoptr(b.const(0x1234))
+        b.store(p, 1)
+        b.ret()
+        with pytest.raises(ForbiddenCastError):
+            assert_feasible(b.module())
+
+
+class TestLmiPass:
+    def test_annotates_pointer_arithmetic(self):
+        module = _simple_kernel()
+        result = run_lmi_pass(module)
+        assert result.annotated_ptr_arith == 1
+        site = find_pointer_arithmetic(module)[0]
+        assert site.instr.hint_activate
+        assert site.instr.hint_select == 0
+
+    def test_inserts_nullify_after_free(self):
+        b = KernelBuilder("freer")
+        h = b.malloc(512)
+        b.free(h)
+        b.ret()
+        module = b.module()
+        result = run_lmi_pass(module)
+        assert result.free_nullifications == 1
+        instrs = list(module.kernel.instructions())
+        free_index = next(i for i, x in enumerate(instrs) if isinstance(x, Free))
+        assert isinstance(instrs[free_index + 1], InvalidateExtent)
+        assert instrs[free_index + 1].ptr is instrs[free_index].ptr
+
+    def test_inserts_nullify_before_ret_for_allocas(self):
+        b = KernelBuilder("stacky")
+        b.alloca(128)
+        b.alloca(64)
+        b.ret()
+        module = b.module()
+        result = run_lmi_pass(module)
+        assert result.scope_nullifications == 2
+        instrs = list(module.kernel.instructions())
+        assert isinstance(instrs[-1], Ret)
+        assert isinstance(instrs[-2], InvalidateExtent)
+        assert isinstance(instrs[-3], InvalidateExtent)
+
+    def test_inserts_nullify_at_lexical_scope_end(self):
+        b = KernelBuilder("scoped")
+        b.scope_begin()
+        b.alloca(128)
+        b.scope_end()
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        instrs = list(module.kernel.instructions())
+        end_index = next(
+            i for i, x in enumerate(instrs) if isinstance(x, ScopeEnd)
+        )
+        assert isinstance(instrs[end_index - 1], InvalidateExtent)
+
+    def test_rejects_forbidden_casts(self):
+        b = KernelBuilder("forged")
+        p = b.inttoptr(b.const(0x1234))
+        b.store(p, 1)
+        b.ret()
+        with pytest.raises(ForbiddenCastError):
+            run_lmi_pass(b.module())
+
+    def test_counts_rounded_allocas(self):
+        b = KernelBuilder("stacky")
+        b.alloca(100)
+        b.alloca(100)
+        b.ret()
+        module = b.module()
+        assert run_lmi_pass(module).rounded_allocas == 2
+
+    def test_scope_exit_can_be_disabled(self):
+        b = KernelBuilder("stacky")
+        b.alloca(100)
+        b.ret()
+        module = b.module()
+        result = run_lmi_pass(module, nullify_on_scope_exit=False)
+        assert result.scope_nullifications == 0
+
+
+class TestCodegen:
+    def test_hint_bits_reach_microcode(self):
+        module = _simple_kernel()
+        run_lmi_pass(module)
+        compiled = compile_module(module)
+        kernel = compiled.functions["kernel"]
+        checked = [
+            (instr, word)
+            for instr, word in zip(kernel.instructions, kernel.microcode)
+            if instr.hint_activate
+        ]
+        assert len(checked) == 1
+        instr, word = checked[0]
+        assert instr.opcode is Opcode.IADD
+        assert word.hint_activate
+
+    def test_non_lmi_mode_drops_hints(self):
+        module = _simple_kernel()
+        run_lmi_pass(module)
+        compiled = compile_module(module, lmi_mode=False)
+        assert compiled.functions["kernel"].pointer_checked_count == 0
+
+    def test_space_inference(self):
+        b = KernelBuilder("spaces", params=[("g", IRType.PTR)],
+                          shared_arrays=[("tile", 512)])
+        b.store(b.param("g"), 1, width=4)          # global
+        b.store(b.shared("tile"), 2, width=4)      # shared
+        b.store(b.alloca(64), 3, width=4)          # local
+        b.store(b.malloc(64), 4, width=4)          # heap -> global pipe
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        mix = compile_module(module).total_mix()
+        assert mix["STG"] == 2  # global param + heap
+        assert mix["STS"] == 1
+        assert mix["STL"] == 1
+
+    def test_space_inference_through_ptradd(self):
+        b = KernelBuilder("chain", shared_arrays=[("tile", 512)])
+        p = b.ptradd(b.shared("tile"), 16)
+        q = b.ptradd(p, 16)
+        b.store(q, 1, width=4)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        assert compile_module(module).total_mix()["STS"] == 1
+
+    def test_lmi_alloca_emits_extent_tagging(self):
+        b = KernelBuilder("stacky")
+        b.alloca(96)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        lmi_mix = compile_module(module, lmi_mode=True).total_mix()
+        base_mix = compile_module(module, lmi_mode=False).total_mix()
+        # One extra OR to materialise the extent into the pointer.
+        assert lmi_mix.get("OR", 0) == base_mix.get("OR", 0) + 1
+
+    def test_invalidate_lowering_only_in_lmi_mode(self):
+        b = KernelBuilder("freer")
+        h = b.malloc(64)
+        b.free(h)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        lmi = compile_module(module, lmi_mode=True).total_mix()
+        base = compile_module(module, lmi_mode=False).total_mix()
+        assert lmi.get("AND", 0) > base.get("AND", 0)
+
+    def test_microcode_emitted_for_every_instruction(self):
+        module = _simple_kernel()
+        run_lmi_pass(module)
+        kernel = compile_module(module).functions["kernel"]
+        assert len(kernel.microcode) == len(kernel.instructions)
+
+
+class TestDisassembly:
+    """The Figure 7 view: stack allocation compiled to SASS-like asm."""
+
+    def test_stack_allocation_listing(self):
+        b = KernelBuilder("dummy2")
+        b.alloca(96)  # the paper's 0x60-byte stack buffer
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        listing = compile_module(module).functions["kernel"].disassemble()
+        assert ".text.kernel:" in listing
+        assert "IADD3 R1, R1, 0x60;" in listing  # SP decrement
+        assert "RET" in listing
+
+    def test_hint_bits_visible_in_listing(self):
+        module = _simple_kernel()
+        run_lmi_pass(module)
+        listing = compile_module(module).functions["kernel"].disassemble()
+        assert "/*A S=0*/" in listing

@@ -1,0 +1,288 @@
+"""Tests for the functional executor: semantics, control flow, oracle."""
+
+import pytest
+
+from repro.common.errors import (
+    DoubleFreeError,
+    InvalidFreeError,
+    SimulationError,
+)
+from repro.compiler import CmpKind, IRType, KernelBuilder, run_lmi_pass
+from repro.exec import GpuExecutor
+from repro.mechanisms import BaselineMechanism, LmiMechanism
+
+
+def run_kernel(builder_fn, mechanism=None, allocs=(), **launch_kwargs):
+    b, post = builder_fn()
+    module = b.module()
+    run_lmi_pass(module)
+    executor = GpuExecutor(module, mechanism or BaselineMechanism(),
+                           **launch_kwargs)
+    args = {name: executor.host_alloc(size) for name, size in allocs}
+    result = executor.launch(args)
+    return executor, result, post
+
+
+class TestBasicSemantics:
+    def test_store_then_load(self):
+        b = KernelBuilder("rw", params=[("data", IRType.PTR)])
+        b.store(b.param("data"), 0x1234, width=4)
+        b.ret()
+        module = b.module()
+        executor = GpuExecutor(module, BaselineMechanism())
+        data = executor.host_alloc(256)
+        result = executor.launch({"data": data})
+        assert result.completed
+        assert executor.memory.load(executor.mechanism.translate(data), 4) == 0x1234
+
+    def test_arithmetic(self):
+        b = KernelBuilder("math", params=[("out", IRType.PTR)])
+        v = b.mul(b.add(b.const(3), 4), 5)   # (3+4)*5 = 35
+        v = b.sub(v, 5)                      # 30
+        b.store(b.param("out"), v, width=4)
+        b.ret()
+        module = b.module()
+        executor = GpuExecutor(module)
+        out = executor.host_alloc(256)
+        executor.launch({"out": out})
+        assert executor.memory.load(out, 4) == 30
+
+    def test_thread_and_block_indices(self):
+        b = KernelBuilder("ids", params=[("out", IRType.PTR)])
+        tid = b.thread_idx()
+        bid = b.block_idx()
+        flat = b.add(b.mul(bid, 4), tid)  # 4 threads per block
+        slot = b.ptradd(b.param("out"), b.mul(flat, 4))
+        b.store(slot, b.add(flat, 100), width=4)
+        b.ret()
+        module = b.module()
+        executor = GpuExecutor(module, grid_blocks=2, block_threads=4)
+        out = executor.host_alloc(256)
+        executor.launch({"out": out})
+        for flat in range(8):
+            assert executor.memory.load(out + 4 * flat, 4) == 100 + flat
+
+    def test_float_math(self):
+        b = KernelBuilder("fp", params=[("out", IRType.PTR)])
+        v = b.fmul(b.fadd(b.const(1.5, IRType.F32), 2.5), 2.0)
+        b.store(b.param("out"), v, width=4)
+        b.ret()
+        module = b.module()
+        executor = GpuExecutor(module)
+        out = executor.host_alloc(256)
+        executor.launch({"out": out})
+        assert executor.memory.load_f32(out) == 8.0
+
+    def test_missing_argument_rejected(self):
+        b = KernelBuilder("needs", params=[("data", IRType.PTR)])
+        b.ret()
+        module = b.module()
+        with pytest.raises(SimulationError):
+            GpuExecutor(module).launch({})
+
+
+class TestControlFlow:
+    def test_branch_taken_and_not_taken(self):
+        b = KernelBuilder("branchy", params=[("out", IRType.PTR)])
+        tid = b.thread_idx()
+        cond = b.cmp(CmpKind.EQ, tid, 0)
+        b.branch(cond, "then", "else_")
+        b.new_block("then")
+        b.store(b.param("out"), 111, width=4)
+        b.ret()
+        b.new_block("else_")
+        slot = b.ptradd(b.param("out"), b.mul(tid, 4))
+        b.store(slot, 222, width=4)
+        b.ret()
+        module = b.module()
+        executor = GpuExecutor(module, block_threads=2)
+        out = executor.host_alloc(256)
+        executor.launch({"out": out})
+        assert executor.memory.load(out, 4) == 111
+        assert executor.memory.load(out + 4, 4) == 222
+
+    def test_loop_sums(self):
+        b = KernelBuilder("loop", params=[("out", IRType.PTR)])
+        acc = b.alloca(8)
+        i = b.alloca(8)
+        b.store(acc, 0, width=8)
+        b.store(i, 0, width=8)
+        b.jump("head")
+        b.new_block("head")
+        iv = b.load(i, width=8)
+        cond = b.cmp(CmpKind.LT, iv, 10)
+        b.branch(cond, "body", "exit")
+        b.new_block("body")
+        av = b.load(acc, width=8)
+        b.store(acc, b.add(av, iv), width=8)
+        b.store(i, b.add(iv, 1), width=8)
+        b.jump("head")
+        b.new_block("exit")
+        b.store(b.param("out"), b.load(acc, width=8), width=8)
+        b.ret()
+        module = b.module()
+        executor = GpuExecutor(module)
+        out = executor.host_alloc(256)
+        result = executor.launch({"out": out})
+        assert result.completed
+        assert executor.memory.load(out, 8) == sum(range(10))
+
+    def test_runaway_loop_hits_step_limit(self):
+        b = KernelBuilder("forever")
+        b.jump("spin")
+        b.new_block("spin")
+        b.jump("spin")
+        module = b.module()
+        with pytest.raises(SimulationError):
+            GpuExecutor(module, max_steps=1000).launch({})
+
+
+class TestCallsAndScopes:
+    def test_device_function_call_with_return(self):
+        b = KernelBuilder("caller", params=[("out", IRType.PTR)])
+        value = b.call("double_it", [b.const(21)])
+        b.store(b.param("out"), value, width=4)
+        b.ret()
+        f = b.device_function("double_it", params=[("x", IRType.I64)])
+        f.ret(f.mul(f.param("x"), 2))
+        module = b.module()
+        executor = GpuExecutor(module)
+        out = executor.host_alloc(256)
+        executor.launch({"out": out})
+        assert executor.memory.load(out, 4) == 42
+
+    def test_callee_frame_buffers_die_at_return(self):
+        b = KernelBuilder("caller")
+        b.call("make_buf", [], returns_value=False)
+        b.ret()
+        f = b.device_function("make_buf")
+        f.alloca(256)
+        f.ret()
+        module = b.module()
+        executor = GpuExecutor(module)
+        executor.launch({})
+        assert all(
+            not r.live
+            for r in executor.tracker.all_records
+        )
+
+    def test_nested_lexical_scopes(self):
+        b = KernelBuilder("scopes")
+        b.scope_begin()
+        outer = b.alloca(256)
+        b.scope_begin()
+        inner = b.alloca(256)
+        b.store(inner, 1, width=4)
+        b.scope_end()
+        b.store(outer, 2, width=4)  # outer still live here
+        b.scope_end()
+        b.ret()
+        module = b.module()
+        executor = GpuExecutor(module)
+        result = executor.launch({})
+        assert result.completed
+        assert not result.oracle_violated
+
+    def test_arity_mismatch_rejected(self):
+        b = KernelBuilder("caller")
+        b.call("f", [b.const(1), b.const(2)], returns_value=False)
+        b.ret()
+        f = b.device_function("f", params=[("x", IRType.I64)])
+        f.ret()
+        module = b.module()
+        with pytest.raises(SimulationError):
+            GpuExecutor(module).launch({})
+
+
+class TestHostApi:
+    def test_host_alloc_free_cycle(self):
+        b = KernelBuilder("noop")
+        b.ret()
+        module = b.module()
+        executor = GpuExecutor(module)
+        p = executor.host_alloc(1024)
+        record = executor.host_record(p)
+        assert record is not None and record.live
+        executor.host_free(p)
+        assert not record.live
+
+    def test_host_double_free_raises(self):
+        b = KernelBuilder("noop")
+        b.ret()
+        executor = GpuExecutor(b.module())
+        p = executor.host_alloc(1024)
+        executor.host_free(p)
+        with pytest.raises(DoubleFreeError):
+            executor.host_free(p)
+
+    def test_host_invalid_free_raises(self):
+        b = KernelBuilder("noop")
+        b.ret()
+        executor = GpuExecutor(b.module())
+        p = executor.host_alloc(1024)
+        with pytest.raises(InvalidFreeError):
+            executor.host_free(p + 64)
+
+    def test_lmi_host_free_returns_invalidated_pointer(self):
+        b = KernelBuilder("noop")
+        b.ret()
+        mechanism = LmiMechanism()
+        executor = GpuExecutor(b.module(), mechanism)
+        p = executor.host_alloc(1024)
+        dead = executor.host_free(p)
+        assert mechanism.ec.would_fault(dead)
+        assert not mechanism.ec.would_fault(p)  # the stale copy survives
+
+
+class TestOracle:
+    def test_safe_program_has_no_events(self):
+        b = KernelBuilder("safe", params=[("data", IRType.PTR)])
+        b.store(b.param("data"), 1, width=4)
+        b.ret()
+        module = b.module()
+        executor = GpuExecutor(module)
+        data = executor.host_alloc(256)
+        result = executor.launch({"data": data})
+        assert not result.oracle_violated
+        assert not result.detected
+        assert not result.false_negative
+
+    def test_oracle_sees_missed_violation(self):
+        b = KernelBuilder("oob", params=[("data", IRType.PTR)])
+        b.store(b.ptradd(b.param("data"), 4096), 1, width=4)
+        b.ret()
+        module = b.module()
+        executor = GpuExecutor(module, BaselineMechanism())
+        data = executor.host_alloc(256)
+        result = executor.launch({"data": data})
+        assert result.oracle_violated
+        assert result.false_negative
+        event = result.oracle_events[0]
+        assert event.is_store
+        assert event.width == 4
+
+    def test_wild_write_actually_corrupts_memory(self):
+        """Missed overflows must really corrupt the neighbour —
+        canary mechanisms depend on it."""
+        b = KernelBuilder("smash", params=[("a", IRType.PTR), ("b", IRType.PTR)])
+        b.store(b.param("b"), 0x5AFE, width=4)
+        b.store(b.ptradd(b.param("a"), 256), 0xBAD, width=4)
+        b.ret()
+        module = b.module()
+        executor = GpuExecutor(module, BaselineMechanism())
+        a = executor.host_alloc(256)
+        bb = executor.host_alloc(256)
+        executor.launch({"a": a, "bb": bb} | {"b": bb})
+        # a+256 is exactly b's base under the tight baseline allocator.
+        assert executor.memory.load(bb, 4) == 0xBAD
+
+    def test_multiple_launches_accumulate(self):
+        b = KernelBuilder("safe", params=[("data", IRType.PTR)])
+        b.store(b.param("data"), 1, width=4)
+        b.ret()
+        module = b.module()
+        executor = GpuExecutor(module)
+        data = executor.host_alloc(256)
+        first = executor.launch({"data": data})
+        second = executor.launch({"data": data})
+        assert first.completed and second.completed

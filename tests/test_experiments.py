@@ -1,0 +1,196 @@
+"""Shape tests for every experiment driver (scaled-down runs).
+
+These are the 'does the reproduction reproduce' tests: each asserts
+the qualitative claims of the corresponding paper artefact.  Full-size
+runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_CRITICAL_PATH_NS,
+    PAPER_OCU_GE_PER_THREAD,
+    mismatches,
+    run_fig1,
+    run_fig4,
+    run_fig12,
+    run_fig13,
+    run_table2,
+    run_table3,
+    run_table6,
+)
+
+
+@pytest.fixture(scope="module")
+def fig12_small():
+    return run_fig12(
+        benchmarks=["gaussian", "needle", "LSTM", "bert", "hotspot"],
+        warps=12,
+        instructions_per_warp=600,
+    )
+
+
+class TestFig1:
+    def test_ft_benchmarks_are_global_dominated(self):
+        result = run_fig1(["bert", "decoding"], warps=4,
+                          instructions_per_warp=1000)
+        assert result.row("bert").global_frac > 0.9
+        assert result.row("decoding").global_frac > 0.9
+
+    def test_shared_heavy_benchmarks(self):
+        result = run_fig1(["lud_cuda", "needle"], warps=4,
+                          instructions_per_warp=1000)
+        assert result.row("lud_cuda").shared_frac > 0.8
+        assert result.row("needle").shared_frac > 0.75
+
+    def test_fractions_sum_to_one(self):
+        result = run_fig1(["hotspot"], warps=2, instructions_per_warp=500)
+        row = result.row("hotspot")
+        assert row.global_frac + row.shared_frac + row.local_frac == (
+            pytest.approx(1.0)
+        )
+
+    def test_table_renders(self):
+        assert "benchmark" in run_fig1(["bert"], warps=1,
+                                       instructions_per_warp=100).format_table()
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4()
+
+    def test_power_of_two_benchmarks_have_zero_overhead(self, result):
+        for name in ("hotspot", "srad_v1", "srad_v2", "lud_cuda", "gaussian"):
+            assert result.row(name).overhead == pytest.approx(0.0)
+
+    def test_backprop_matches_paper(self, result):
+        assert result.row("backprop").overhead == pytest.approx(0.859, abs=0.02)
+
+    def test_needle_matches_paper(self, result):
+        assert result.row("needle").overhead == pytest.approx(0.929, abs=0.02)
+
+    def test_geomean_matches_paper(self, result):
+        assert result.geomean_overhead() == pytest.approx(0.1873, abs=0.03)
+
+    def test_lmi_never_shrinks_footprint(self, result):
+        assert all(row.overhead >= 0 for row in result.rows)
+
+
+class TestFig12:
+    def test_lmi_overhead_negligible(self, fig12_small):
+        for row in fig12_small.rows:
+            assert row.overhead("lmi") < 0.05
+
+    def test_gpushield_spikes_on_needle_and_lstm(self, fig12_small):
+        assert fig12_small.row("needle").overhead("gpushield") > 0.10
+        assert fig12_small.row("LSTM").overhead("gpushield") > 0.10
+        assert fig12_small.row("bert").overhead("gpushield") < 0.05
+        assert fig12_small.row("hotspot").overhead("gpushield") < 0.05
+
+    def test_baggy_peak_on_compute_bound(self, fig12_small):
+        worst, overhead = fig12_small.max_overhead("baggy")
+        assert worst == "gaussian"
+        assert overhead > 2.0  # multi-x slowdown
+
+    def test_ordering_lmi_beats_gpushield_beats_baggy(self, fig12_small):
+        lmi = fig12_small.geomean_normalized("lmi")
+        gpushield = fig12_small.geomean_normalized("gpushield")
+        baggy = fig12_small.geomean_normalized("baggy")
+        assert lmi < baggy
+        assert gpushield < baggy
+
+    def test_rows_expose_base_cycles(self, fig12_small):
+        assert all(row.base_cycles > 0 for row in fig12_small.rows)
+
+    def test_table_renders(self, fig12_small):
+        assert "geomean" in fig12_small.format_table()
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig13()
+
+    def test_ad_suite_excluded(self, result):
+        names = {row.benchmark for row in result.rows}
+        assert len(names) == 24
+        assert "BEVerse" not in names
+
+    def test_geomeans_match_paper_band(self, result):
+        assert result.geomean("lmi_dbi") == pytest.approx(72.95, rel=0.10)
+        assert result.geomean("memcheck") == pytest.approx(32.98, rel=0.10)
+
+    def test_memcheck_wins_gaussian(self, result):
+        assert result.row("gaussian").winner == "memcheck"
+
+    def test_lmi_dbi_wins_swin(self, result):
+        assert result.row("swin").winner == "lmi_dbi"
+
+    def test_both_tools_are_heavyweight(self, result):
+        assert all(row.lmi_dbi > 5 and row.memcheck > 5 for row in result.rows)
+
+
+class TestTable3:
+    def test_reproduces_paper_exactly(self):
+        assert mismatches(run_table3()) == []
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table6()
+
+    def test_lmi_row(self, result):
+        row = result.row("LMI")
+        assert row.gate_equivalents == PAPER_OCU_GE_PER_THREAD
+        assert row.sram_bytes == 0
+
+    def test_ocu_report(self, result):
+        assert result.ocu.critical_path_ns == pytest.approx(
+            PAPER_CRITICAL_PATH_NS, abs=0.01
+        )
+
+    def test_table_renders(self, result):
+        text = result.format_table()
+        assert "GPUShield" in text
+        assert "register" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2(fast=True)
+
+    def test_lmi_has_full_spatial_coverage_symbols(self, result):
+        row = result.row("LMI")
+        assert row.coverage == {
+            "global": "●", "shared": "●", "stack": "●", "heap": "●"
+        }
+        assert row.temporal == "◐"
+        assert not row.metadata_access
+
+    def test_gpushield_symbols(self, result):
+        row = result.row("GPUShield")
+        assert row.coverage["global"] == "●"
+        assert row.coverage["shared"] == "○"
+        assert row.coverage["heap"] == "◐"
+        assert row.temporal == "○"
+
+    def test_gmod_global_partial_only(self, result):
+        row = result.row("GMOD")
+        assert row.coverage["global"] == "◐"
+        assert row.coverage["shared"] == "○"
+
+    def test_cucatch_symbols(self, result):
+        row = result.row("cuCatch")
+        assert row.coverage["heap"] == "○"
+        assert row.coverage["stack"] == "◐"
+        assert row.temporal == "◐"
+
+    def test_published_rows_carried(self, result):
+        assert result.row("No-Fat").perf_overhead == "8%"
+        assert result.row("C3").temporal == "●"
+
+    def test_table_renders(self, result):
+        assert "LMI" in result.format_table()

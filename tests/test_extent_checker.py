@@ -1,0 +1,105 @@
+"""Tests for the Extent Checker (paper sections VII-C, VIII)."""
+
+import pytest
+
+from repro.common.errors import (
+    MemorySpace,
+    SpatialViolation,
+    TemporalViolation,
+)
+from repro.hardware import ExtentChecker, OverflowCheckingUnit
+from repro.pointer import DebugCode, PointerCodec
+
+
+@pytest.fixture
+def codec():
+    return PointerCodec(device_size_limit=1 << 33)
+
+
+@pytest.fixture
+def ec(codec):
+    return ExtentChecker(codec)
+
+
+class TestAccessChecks:
+    def test_valid_pointer_passes(self, ec, codec):
+        pointer = codec.encode(0x40000, 1024)
+        ec.check_access(pointer)  # must not raise
+
+    def test_zero_extent_faults_spatial(self, ec, codec):
+        pointer = codec.invalidate(codec.encode(0x40000, 1024))
+        with pytest.raises(SpatialViolation):
+            ec.check_access(pointer)
+
+    def test_temporal_debug_extent_faults_temporal(self, ec, codec):
+        pointer = codec.encode_debug(
+            codec.encode(0x40000, 1024), DebugCode.TEMPORAL_VIOLATION
+        )
+        with pytest.raises(TemporalViolation):
+            ec.check_access(pointer)
+
+    def test_fault_carries_context(self, ec, codec):
+        pointer = codec.invalidate(codec.encode(0x40000, 1024))
+        with pytest.raises(SpatialViolation) as info:
+            ec.check_access(pointer, space=MemorySpace.HEAP, thread=7)
+        assert info.value.space is MemorySpace.HEAP
+        assert info.value.thread == 7
+        assert info.value.address == 0x40000
+        assert info.value.mechanism == "lmi"
+
+    def test_raw_untagged_address_faults(self, ec):
+        # An address with extent 0 in its top bits is by definition
+        # unverified; the EC rejects it.
+        with pytest.raises(SpatialViolation):
+            ec.check_access(0x40000)
+
+
+class TestNonRaisingQueries:
+    def test_would_fault(self, ec, codec):
+        good = codec.encode(0x40000, 1024)
+        assert not ec.would_fault(good)
+        assert ec.would_fault(codec.invalidate(good))
+
+    def test_classify(self, ec, codec):
+        good = codec.encode(0x40000, 1024)
+        assert ec.classify(good) is None
+        assert ec.classify(codec.invalidate(good)) is SpatialViolation
+        stamped = codec.encode_debug(good, DebugCode.TEMPORAL_VIOLATION)
+        assert ec.classify(stamped) is TemporalViolation
+
+
+class TestStats:
+    def test_counters(self, ec, codec):
+        good = codec.encode(0x40000, 1024)
+        ec.check_access(good)
+        with pytest.raises(SpatialViolation):
+            ec.check_access(codec.invalidate(good))
+        assert ec.stats.checks == 2
+        assert ec.stats.faults == 1
+        ec.reset_stats()
+        assert ec.stats.checks == 0
+
+
+class TestOcuEcPipeline:
+    """The full hardware path: OCU poisons, EC faults on dereference."""
+
+    def test_delayed_termination_end_to_end(self, codec):
+        ocu = OverflowCheckingUnit(codec)
+        ec = ExtentChecker(codec)
+        pointer = codec.encode(0x40000, 1024)
+        # Pointer walks one past the end (Figure 14's loop): the OCU
+        # clears the extent but nothing faults yet.
+        walked = ocu.check(pointer, pointer + 1024).value
+        assert codec.extent_of(walked) == 0
+        # Only an actual dereference trips the EC.
+        with pytest.raises(SpatialViolation):
+            ec.check_access(walked)
+
+    def test_no_false_positive_without_dereference(self, codec):
+        ocu = OverflowCheckingUnit(codec)
+        ec = ExtentChecker(codec)
+        pointer = codec.encode(0x40000, 1024)
+        for offset in range(0, 1024, 4):
+            result = ocu.check(pointer, pointer + offset)
+            ec.check_access(result.value)  # all in-bounds: no raise
+        assert ec.stats.faults == 0

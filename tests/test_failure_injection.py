@@ -1,0 +1,150 @@
+"""Failure-injection tests: corrupted state must degrade safely.
+
+The hardware models must never crash on garbage inputs — they either
+pass the value through or raise a :class:`MemorySafetyViolation`.
+Resource exhaustion surfaces as :class:`AllocationError`, not silent
+misbehaviour.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import (
+    AllocationError,
+    MemorySafetyViolation,
+)
+from repro.compiler import CmpKind, IRType, KernelBuilder, run_lmi_pass
+from repro.exec import GpuExecutor
+from repro.hardware import ExtentChecker, OverflowCheckingUnit
+from repro.mechanisms import GmodMechanism, LmiMechanism, create_mechanism
+from repro.pointer import PointerCodec
+
+
+class TestBitFlipRobustness:
+    """Random single-bit flips in tagged pointers."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=63))
+    def test_ec_never_crashes_on_flipped_pointers(self, bit):
+        codec = PointerCodec(device_size_limit=1 << 33)
+        ec = ExtentChecker(codec)
+        pointer = codec.encode(0x40000, 1024) ^ (1 << bit)
+        try:
+            ec.check_access(pointer)
+        except MemorySafetyViolation:
+            pass  # detection is an acceptable outcome
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=-4096, max_value=4096),
+    )
+    def test_ocu_never_crashes_on_flipped_pointers(self, bit, delta):
+        codec = PointerCodec(device_size_limit=1 << 33)
+        ocu = OverflowCheckingUnit(codec)
+        pointer = codec.encode(0x40000, 1024) ^ (1 << bit)
+        result = ocu.check(pointer, pointer + delta)
+        assert isinstance(result.value, int)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=59, max_value=63))
+    def test_extent_bit_flips_are_fail_closed_or_detected(self, bit):
+        """Flipping extent bits either keeps the pointer valid with a
+        different (possibly larger) extent or makes the EC fault — it
+        never silently turns into an unchecked pointer class."""
+        codec = PointerCodec(device_size_limit=1 << 33)
+        ec = ExtentChecker(codec)
+        flipped = codec.encode(0x40000, 1024) ^ (1 << bit)
+        extent = codec.extent_of(flipped)
+        if ec.would_fault(flipped):
+            with pytest.raises(MemorySafetyViolation):
+                ec.check_access(flipped)
+        else:
+            assert 1 <= extent <= codec.max_size_extent
+
+
+class TestMemoryCorruption:
+    def test_canary_detects_out_of_band_corruption(self):
+        """Corruption performed outside the kernel (e.g. by a DMA/bug)
+        is still caught by GMOD's end-of-kernel sweep."""
+        b = KernelBuilder("innocent", params=[("data", IRType.PTR)])
+        b.store(b.param("data"), 1, width=4)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        mechanism = GmodMechanism()
+        executor = GpuExecutor(module, mechanism)
+        data = executor.host_alloc(1024)
+        # Out-of-band smash of the trailing canary.
+        executor.memory.store(executor.mechanism.translate(data) + 1024, 0xBAD, 4)
+        result = executor.launch({"data": data})
+        assert result.detected
+
+    def test_lmi_register_state_is_immune_to_memory_corruption(self):
+        """LMI keeps bounds in registers: corrupting *memory* between
+        launches cannot forge capabilities."""
+        b = KernelBuilder("reader", params=[("data", IRType.PTR)])
+        b.load(b.param("data"), width=4)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        executor = GpuExecutor(module, LmiMechanism())
+        data = executor.host_alloc(1024)
+        raw = executor.mechanism.translate(data)
+        executor.memory.write_bytes(raw, b"\xff" * 1024)  # scribble data
+        result = executor.launch({"data": data})
+        assert result.completed  # data corruption != capability forgery
+
+
+class TestResourceExhaustion:
+    def test_heap_exhaustion_surfaces_as_allocation_error(self):
+        b = KernelBuilder("hog")
+        i = b.alloca(8)
+        b.store(i, 0, width=8)
+        b.jump("head")
+        b.new_block("head")
+        iv = b.load(i, width=8)
+        b.branch(b.cmp(CmpKind.LT, iv, 10_000), "body", "exit")
+        b.new_block("body")
+        b.malloc(1 << 20)  # never freed: 10k MiB >> 64 MiB arena
+        b.store(i, b.add(iv, 1), width=8)
+        b.jump("head")
+        b.new_block("exit")
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        with pytest.raises(AllocationError):
+            GpuExecutor(module, LmiMechanism()).launch({})
+
+    def test_stack_exhaustion_surfaces_as_allocation_error(self):
+        b = KernelBuilder("deep")
+        b.call("recurse", [b.const(0)], returns_value=False)
+        b.ret()
+        f = b.device_function("recurse", params=[("depth", IRType.I64)])
+        f.alloca(4096)
+        cond = f.cmp(CmpKind.LT, f.param("depth"), 10_000)
+        f.branch(cond, "again", "stop")
+        f.new_block("again")
+        f.call("recurse", [f.add(f.param("depth"), 1)], returns_value=False)
+        f.ret()
+        f.new_block("stop")
+        f.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        with pytest.raises(AllocationError):
+            GpuExecutor(module, LmiMechanism(), max_steps=10_000_000).launch({})
+
+    @pytest.mark.parametrize("mechanism", ["baseline", "lmi", "gpushield"])
+    def test_arena_recovers_after_failed_launch(self, mechanism):
+        """An OOM launch must not poison the executor for later use."""
+        b = KernelBuilder("hog2")
+        b.malloc(1 << 30)  # bigger than the arena
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        executor = GpuExecutor(module, create_mechanism(mechanism))
+        with pytest.raises(AllocationError):
+            executor.launch({})
+        # Host-side allocation still works afterwards.
+        assert executor.host_alloc(1024) != 0

@@ -1,0 +1,150 @@
+"""Property-based fuzzing of the full stack.
+
+Two system-level invariants:
+
+1. **No false positives** — randomly generated *safe* kernels complete
+   under every mechanism with zero detections and zero oracle events.
+2. **LMI ≡ rounded-bounds oracle** — for a random buffer size and
+   access offset, LMI detects the access iff it falls outside the
+   2^n-rounded buffer (and the ground-truth oracle flags it iff it
+   falls outside the *requested* size).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.bitops import next_power_of_two
+from repro.compiler import IRType, KernelBuilder, run_lmi_pass
+from repro.exec import GpuExecutor
+from repro.mechanisms import create_mechanism
+
+MECHANISMS = ["baseline", "lmi", "gpushield", "cucatch", "gmod", "memcheck"]
+
+
+@st.composite
+def safe_program_ops(draw):
+    """A random sequence of memory-safe operations."""
+    ops = []
+    n_ops = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(
+            ["heap", "stack", "global_rw", "heap_rw_free"]
+        ))
+        if kind == "heap":
+            size = draw(st.integers(min_value=4, max_value=2048))
+            offset = draw(st.integers(min_value=0, max_value=size - 4))
+            ops.append(("heap", size, offset))
+        elif kind == "stack":
+            size = draw(st.integers(min_value=4, max_value=1024))
+            offset = draw(st.integers(min_value=0, max_value=size - 4))
+            ops.append(("stack", size, offset))
+        elif kind == "global_rw":
+            offset = draw(st.integers(min_value=0, max_value=1020))
+            ops.append(("global_rw", 0, offset))
+        else:
+            size = draw(st.integers(min_value=4, max_value=512))
+            ops.append(("heap_rw_free", size, 0))
+    return ops
+
+
+def _build_safe_module(ops):
+    b = KernelBuilder("fuzz", params=[("data", IRType.PTR)])
+    for index, (kind, size, offset) in enumerate(ops):
+        if kind == "heap":
+            h = b.malloc(size)
+            b.store(b.ptradd(h, offset), index, width=4)
+        elif kind == "stack":
+            buf = b.alloca(size)
+            b.store(b.ptradd(buf, offset), index, width=4)
+            b.load(b.ptradd(buf, offset), width=4)
+        elif kind == "global_rw":
+            slot = b.ptradd(b.param("data"), offset)
+            b.store(slot, index, width=4)
+            b.load(slot, width=4)
+        else:  # heap_rw_free
+            h = b.malloc(size)
+            b.store(h, index, width=4)
+            b.free(h)
+    b.ret()
+    module = b.module()
+    run_lmi_pass(module)
+    return module
+
+
+class TestNoFalsePositives:
+    @settings(max_examples=25, deadline=None)
+    @given(safe_program_ops())
+    def test_safe_programs_pass_all_mechanisms(self, ops):
+        for name in MECHANISMS:
+            module = _build_safe_module(ops)
+            executor = GpuExecutor(module, create_mechanism(name))
+            data = executor.host_alloc(1024)
+            result = executor.launch({"data": data})
+            assert result.completed, (name, ops, result.violation)
+            assert not result.oracle_violated, (name, ops)
+
+    @settings(max_examples=10, deadline=None)
+    @given(safe_program_ops(), st.integers(min_value=2, max_value=8))
+    def test_safe_programs_pass_multithreaded(self, ops, threads):
+        module = _build_safe_module(ops)
+        executor = GpuExecutor(
+            module, create_mechanism("lmi"), block_threads=threads
+        )
+        data = executor.host_alloc(1024)
+        result = executor.launch({"data": data})
+        assert result.completed
+
+
+class TestLmiEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=1 << 14),
+        st.integers(min_value=0, max_value=1 << 15),
+    )
+    def test_detection_matches_rounded_bounds(self, size, offset):
+        b = KernelBuilder("probe")
+        h = b.malloc(size)
+        b.store(b.ptradd(h, offset), 1, width=4)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        result = GpuExecutor(module, create_mechanism("lmi")).launch({})
+
+        rounded = max(next_power_of_two(size), 256)
+        # LMI checks the *address* extent, not the access width: a
+        # wide access straddling the rounded boundary from a valid
+        # address goes undetected (granularity gap at the edge).
+        lmi_should_detect = not (0 <= offset < rounded)
+        oracle_should_flag = not (offset + 4 <= size)
+        assert result.detected == lmi_should_detect, (size, offset)
+        assert result.oracle_violated == oracle_should_flag, (size, offset)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=1 << 12),
+        st.lists(st.integers(min_value=-64, max_value=64), min_size=1,
+                 max_size=8),
+    )
+    def test_chained_arithmetic_matches_cumulative_offset(self, size, deltas):
+        """A chain of ptradds detects iff any *prefix* leaves the
+        rounded buffer — once poisoned, always poisoned."""
+        b = KernelBuilder("chain")
+        h = b.malloc(size)
+        p = h
+        for delta in deltas:
+            p = b.ptradd(p, delta)
+        b.store(p, 1, width=4)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        result = GpuExecutor(module, create_mechanism("lmi")).launch({})
+
+        rounded = max(next_power_of_two(size), 256)
+        cumulative = 0
+        poisoned = False
+        for delta in deltas:
+            cumulative += delta
+            if not 0 <= cumulative < rounded:
+                poisoned = True
+        final_oob = not (0 <= cumulative < rounded)
+        assert result.detected == (poisoned or final_oob), (size, deltas)

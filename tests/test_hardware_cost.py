@@ -1,0 +1,133 @@
+"""Tests for the gate-cost model (paper Table VI, section XI-C)."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.table6_hardware import (
+    PAPER_CRITICAL_PATH_NS,
+    PAPER_FMAX_GHZ,
+    PAPER_OCU_GE_PER_THREAD,
+    PAPER_PIPELINE_CYCLES,
+    PAPER_REGISTER_SLICES,
+    TARGET_CLOCK_GHZ,
+)
+from repro.hardware import (
+    Block,
+    build_ocu_netlist,
+    hardware_overhead_table,
+    lmi_overhead_row,
+    published_comparators,
+    synthesize,
+    synthesize_ocu,
+)
+
+
+class TestBlocks:
+    def test_area_is_count_times_ge(self):
+        block = Block("x", "xor2", count=10)
+        assert block.area_ge == 25.0
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Block("x", "quantum", count=1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Block("x", "nand2", count=-1)
+
+    def test_sequential_blocks_have_no_path_delay(self):
+        block = Block("q", "dff", count=64, levels=3)
+        assert block.is_sequential
+        assert block.path_delay_ns == 0.0
+
+    def test_off_path_blocks_have_no_delay(self):
+        block = Block("x", "xor2", count=4, on_critical_path=False)
+        assert block.path_delay_ns == 0.0
+
+
+class TestOcuSynthesis:
+    def test_matches_paper_ge(self):
+        report = synthesize_ocu()
+        assert round(report.synthesized_area_ge) == PAPER_OCU_GE_PER_THREAD
+
+    def test_matches_paper_critical_path(self):
+        report = synthesize_ocu()
+        assert report.critical_path_ns == pytest.approx(
+            PAPER_CRITICAL_PATH_NS, abs=0.01
+        )
+
+    def test_matches_paper_fmax(self):
+        report = synthesize_ocu()
+        assert report.fmax_ghz == pytest.approx(PAPER_FMAX_GHZ, abs=0.02)
+
+    def test_register_slices_at_gpu_clock(self):
+        report = synthesize_ocu()
+        assert report.register_slices_for(TARGET_CLOCK_GHZ) == PAPER_REGISTER_SLICES
+        assert report.pipeline_cycles_for(TARGET_CLOCK_GHZ) == PAPER_PIPELINE_CYCLES
+
+    def test_single_cycle_below_fmax(self):
+        report = synthesize_ocu()
+        assert report.pipeline_cycles_for(1.5) == 1
+
+    def test_netlist_contains_papers_components(self):
+        names = {block.name for block in build_ocu_netlist()}
+        # Section VII: MUX, mask generator, XOR, AND, zero comparator,
+        # extent clear, input queue.
+        assert {
+            "operand_mux",
+            "mask_thermometer",
+            "xor_change",
+            "mask_and",
+            "zero_or_tree",
+            "extent_clear",
+            "input_queue",
+        } <= names
+
+    def test_naive_area_splits_comb_and_seq(self):
+        report = synthesize_ocu()
+        assert report.naive_area_ge == (
+            report.combinational_area_ge + report.sequential_area_ge
+        )
+        assert report.sequential_area_ge > 0
+
+    def test_wider_address_costs_more(self):
+        narrow = synthesize_ocu(address_bits=43)
+        wide = synthesize_ocu(address_bits=59)
+        assert wide.synthesized_area_ge > narrow.synthesized_area_ge
+
+    def test_invalid_compound_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            synthesize("x", build_ocu_netlist(), compound_cell_factor=1.5)
+
+    def test_register_slices_need_positive_clock(self):
+        report = synthesize_ocu()
+        with pytest.raises(ConfigurationError):
+            report.register_slices_for(0)
+
+
+class TestTable6:
+    def test_all_rows_present(self):
+        names = [row.name for row in hardware_overhead_table()]
+        assert names == ["No-Fat", "C3", "IMT", "GPUShield", "LMI"]
+
+    def test_lmi_needs_no_sram(self):
+        assert lmi_overhead_row().sram_bytes == 0
+
+    def test_lmi_verification_scope_is_smallest(self):
+        row = lmi_overhead_row()
+        assert "NoC" not in row.verification_scope
+        assert "cache" not in row.verification_scope
+
+    def test_lmi_ge_far_below_cpu_schemes(self):
+        table = {row.name: row for row in hardware_overhead_table()}
+        assert table["LMI"].gate_equivalents < table["No-Fat"].gate_equivalents / 100
+        assert table["LMI"].gate_equivalents < table["C3"].gate_equivalents / 100
+
+    def test_published_rows_preserved(self):
+        table = {row.name: row for row in published_comparators()}
+        assert table["GPUShield"].sram_bytes == 910
+        assert table["IMT"].gate_equivalents == 900
+        assert table["No-Fat"].gate_equivalents == 59476
+        assert table["C3"].gate_equivalents == 27280

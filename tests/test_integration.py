@@ -1,0 +1,232 @@
+"""End-to-end scenarios taken directly from the paper's narrative."""
+
+import pytest
+
+from repro.common.errors import SpatialViolation, TemporalViolation
+from repro.compiler import CmpKind, IRType, KernelBuilder, run_lmi_pass
+from repro.exec import GpuExecutor
+from repro.mechanisms import BaselineMechanism, GPUShieldMechanism, LmiMechanism
+
+
+class TestMindControlAttack:
+    """Section IV-D: a stack-buffer overflow inside one thread rewrites
+    frame data beyond the buffer (the basis of ROP on GPUs).  Region-
+    granular schemes miss it; LMI's per-buffer extent catches it."""
+
+    @staticmethod
+    def _module(payload_words=16):
+        b = KernelBuilder("mind_control", params=[("input", IRType.PTR),
+                                                  ("n", IRType.I64)])
+        buf = b.alloca(256, name="frame_buf")
+        i = b.alloca(8, name="i")
+        b.store(i, 0, width=8)
+        b.jump("copy")
+        b.new_block("copy")
+        iv = b.load(i, width=8)
+        cond = b.cmp(CmpKind.LT, iv, b.param("n"))
+        b.branch(cond, "body", "done")
+        b.new_block("body")
+        src = b.ptradd(b.param("input"), b.mul(iv, 4))
+        dst = b.ptradd(buf, b.mul(iv, 4))  # no bounds check in source!
+        b.store(dst, b.load(src, width=4), width=4)
+        b.store(i, b.add(iv, 1), width=8)
+        b.jump("copy")
+        b.new_block("done")
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        return module
+
+    def _attack(self, mechanism, words):
+        module = self._module()
+        executor = GpuExecutor(module, mechanism)
+        payload = executor.host_alloc(4096)
+        return executor.launch({"input": payload, "n": words})
+
+    def test_benign_input_passes_everywhere(self):
+        for mechanism in (BaselineMechanism(), GPUShieldMechanism(),
+                          LmiMechanism()):
+            result = self._attack(mechanism, words=64)  # fits in 256 B
+            assert result.completed
+            assert not result.oracle_violated
+
+    def test_malicious_input_smashes_frame_on_baseline(self):
+        result = self._attack(BaselineMechanism(), words=80)  # 320 B
+        assert result.completed  # silently corrupted
+        assert result.oracle_violated
+
+    def test_gpushield_misses_in_frame_smash(self):
+        result = self._attack(GPUShieldMechanism(), words=80)
+        assert result.false_negative  # stays inside the local region
+
+    def test_lmi_stops_the_attack(self):
+        result = self._attack(LmiMechanism(), words=80)
+        assert isinstance(result.violation, SpatialViolation)
+        assert result.true_positive
+
+
+class TestDelayedTermination:
+    """Figure 14: the canonical one-past-the-end loop must NOT fault."""
+
+    @staticmethod
+    def _module(deref_after=False):
+        # 256 bytes is an exact power of two, so the rounded LMI buffer
+        # equals the request and one-past-the-end really crosses the
+        # extent boundary (with e.g. 64 bytes the 256-byte rounding
+        # would legitimately swallow the off-by-one).
+        b = KernelBuilder("walker")
+        start = b.malloc(256, name="arr")  # 64 ints
+        end = b.ptradd(start, 256, name="end")  # one past the end!
+        p = b.alloca(8, name="pslot")  # loop variable kept in a slot
+        # NOTE: storing the pointer in a slot is exactly the in-memory
+        # pointer LMI forbids; model the loop with an index instead.
+        b.store(p, 0, width=8)
+        b.jump("head")
+        b.new_block("head")
+        iv = b.load(p, width=8)
+        cond = b.cmp(CmpKind.LT, iv, 64)
+        b.branch(cond, "body", "exit")
+        b.new_block("body")
+        slot = b.ptradd(start, b.mul(iv, 4))
+        b.store(slot, b.add(b.load(slot, width=4), 1), width=4)
+        b.store(p, b.add(iv, 1), width=8)
+        b.jump("head")
+        b.new_block("exit")
+        if deref_after:
+            b.load(end, width=4)  # actually touch one-past-the-end
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        return module
+
+    def test_loop_exits_without_fault(self):
+        result = GpuExecutor(self._module(), LmiMechanism()).launch({})
+        assert result.completed
+        assert not result.oracle_violated
+
+    def test_one_past_the_end_pointer_is_poisoned_not_trapped(self):
+        """Computing `end` clears its extent (OCU) but raises nothing."""
+        module = self._module(deref_after=False)
+        mechanism = LmiMechanism()
+        result = GpuExecutor(module, mechanism).launch({})
+        assert result.completed
+        assert mechanism.ocu.stats.overflows >= 1  # `end` was poisoned
+
+    def test_dereferencing_the_poisoned_pointer_faults(self):
+        module = self._module(deref_after=True)
+        result = GpuExecutor(module, LmiMechanism()).launch({})
+        assert isinstance(result.violation, SpatialViolation)
+
+
+class TestFigure11Semantics:
+    """The paper's temporal-safety code listing, line for line."""
+
+    def test_full_listing(self):
+        b = KernelBuilder("fig11")
+        a = b.malloc(16, name="A")          # int* A = malloc(4*sizeof int)
+        b.load(a, width=4)                  # B = A[0]: safe
+        c = b.ptradd(a, 4, name="C")        # C = A + 1
+        b.free(a)                           # free(A): A invalidated
+        b.load(c, width=4)                  # G = C[0]: UNSAFE but missed
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        result = GpuExecutor(module, LmiMechanism()).launch({})
+        # The copied pointer keeps its extent: no detection...
+        assert not result.detected
+        # ...but the access is genuinely unsafe.
+        assert result.oracle_violated
+
+    def test_original_pointer_faults_after_free(self):
+        b = KernelBuilder("fig11b")
+        a = b.malloc(16, name="A")
+        b.free(a)
+        b.load(a, width=4)                  # D = A[0]: Error
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        result = GpuExecutor(module, LmiMechanism()).launch({})
+        assert isinstance(result.violation, TemporalViolation)
+
+    def test_derived_from_invalidated_pointer_faults(self):
+        b = KernelBuilder("fig11c")
+        a = b.malloc(16, name="A")
+        b.free(a)
+        e = b.ptradd(a, 4, name="E")        # E = A + 1 (after free)
+        b.load(e, width=4)                  # F = E[0]: Error
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        result = GpuExecutor(module, LmiMechanism()).launch({})
+        assert result.detected
+
+
+class TestPerThreadHeapIsolation:
+    """Figure 3: warp threads allocate different sizes concurrently;
+    each thread's buffer is individually protected."""
+
+    def test_variable_size_allocations_per_thread(self):
+        b = KernelBuilder("varalloc")
+        tid = b.thread_idx()
+        size = b.mul(b.add(tid, 1), 256)  # thread t allocates 256*(t+1)
+        h = b.malloc(size)
+        b.store(h, tid, width=4)
+        b.free(h)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        executor = GpuExecutor(module, LmiMechanism(), block_threads=8)
+        result = executor.launch({})
+        assert result.completed
+        assert not result.oracle_violated
+
+    def test_one_thread_overflowing_is_caught(self):
+        b = KernelBuilder("one_bad")
+        tid = b.thread_idx()
+        h = b.malloc(256)
+        cond = b.cmp(CmpKind.EQ, tid, 3)
+        b.branch(cond, "evil", "good")
+        b.new_block("evil")
+        b.store(b.ptradd(h, 256), 666, width=4)
+        b.ret()
+        b.new_block("good")
+        b.store(h, tid, width=4)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        executor = GpuExecutor(module, LmiMechanism(), block_threads=8)
+        result = executor.launch({})
+        assert isinstance(result.violation, SpatialViolation)
+        assert result.violation.thread == 3
+
+
+class TestSharedMemoryWorkflow:
+    """A realistic tiled kernel using static shared memory."""
+
+    def test_tile_copy_kernel(self):
+        b = KernelBuilder("tiles", params=[("src", IRType.PTR),
+                                           ("dst", IRType.PTR)],
+                          shared_arrays=[("tile", 256)])
+        tid = b.thread_idx()
+        offset = b.mul(tid, 4)
+        tile_slot = b.ptradd(b.shared("tile"), offset)
+        b.store(tile_slot, b.load(b.ptradd(b.param("src"), offset), width=4),
+                width=4)
+        b.barrier()
+        b.store(b.ptradd(b.param("dst"), offset),
+                b.load(tile_slot, width=4), width=4)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        executor = GpuExecutor(module, LmiMechanism(), block_threads=32)
+        src = executor.host_alloc(256)
+        dst = executor.host_alloc(256)
+        raw_src = executor.mechanism.translate(src)
+        for i in range(32):
+            executor.memory.store(raw_src + 4 * i, i * 11, 4)
+        result = executor.launch({"src": src, "dst": dst})
+        assert result.completed
+        raw_dst = executor.mechanism.translate(dst)
+        assert [executor.memory.load(raw_dst + 4 * i, 4) for i in range(32)] == [
+            i * 11 for i in range(32)
+        ]

@@ -1,0 +1,150 @@
+"""Tests for the virtual ISA and 128-bit microcode (paper VI-B)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError, MemorySpace
+from repro.isa import (
+    HINT_A_BIT,
+    HINT_S_BIT,
+    MICROCODE_BITS,
+    Instruction,
+    OpCategory,
+    Opcode,
+    decode,
+    encode,
+    hint_bits_available,
+    opcode_from_code,
+    opcode_from_mnemonic,
+    reserved_bits_for_cc,
+)
+from repro.isa.microcode import control_of
+
+
+class TestOpcodes:
+    def test_memory_opcodes_carry_spaces(self):
+        assert Opcode.LDG.space is MemorySpace.GLOBAL
+        assert Opcode.STS.space is MemorySpace.SHARED
+        assert Opcode.LDL.space is MemorySpace.LOCAL
+
+    def test_only_int_alu_is_ocu_eligible(self):
+        assert Opcode.IADD.info.ocu_eligible
+        assert Opcode.LEA.info.ocu_eligible
+        assert not Opcode.FADD.info.ocu_eligible
+        assert not Opcode.LDG.info.ocu_eligible
+
+    def test_lookup_by_code_roundtrip(self):
+        for op in Opcode:
+            assert opcode_from_code(op.info.code) is op
+
+    def test_lookup_by_mnemonic(self):
+        assert opcode_from_mnemonic("iadd") is Opcode.IADD
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ConfigurationError):
+            opcode_from_code(0xFFF)
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(ConfigurationError):
+            opcode_from_mnemonic("HCF")
+
+    def test_categories(self):
+        assert Opcode.IADD.category is OpCategory.INT_ALU
+        assert Opcode.LDG.category is OpCategory.LOAD
+        assert Opcode.STG.category is OpCategory.STORE
+        assert Opcode.BRA.category is OpCategory.CONTROL
+        assert Opcode.MALLOC.category is OpCategory.SPECIAL
+
+    def test_codes_are_unique(self):
+        codes = [op.info.code for op in Opcode]
+        assert len(codes) == len(set(codes))
+
+
+class TestInstructionValidation:
+    def test_hint_on_fp_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Instruction(Opcode.FADD, hint_activate=True)
+
+    def test_too_many_sources_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Instruction(Opcode.IADD, srcs=(1, 2, 3, 4))
+
+    def test_bad_hint_select_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Instruction(Opcode.IADD, hint_select=2)
+
+    def test_asm_rendering(self):
+        instr = Instruction(
+            Opcode.IADD, dst=4, srcs=(4, 5), hint_activate=True, hint_select=1
+        )
+        text = instr.asm()
+        assert text.startswith("IADD R4, R4, R5;")
+        assert "A S=1" in text
+
+
+class TestMicrocode:
+    def test_word_is_128_bits(self):
+        word = encode(Instruction(Opcode.NOP))
+        assert 0 <= word.raw < (1 << MICROCODE_BITS)
+
+    def test_hint_bits_at_27_and_28(self):
+        instr = Instruction(Opcode.IADD, dst=4, srcs=(4,), hint_activate=True,
+                            hint_select=1)
+        word = encode(instr)
+        assert (word.raw >> HINT_A_BIT) & 1 == 1
+        assert (word.raw >> HINT_S_BIT) & 1 == 1
+        bare = encode(Instruction(Opcode.IADD, dst=4, srcs=(4,)))
+        assert (bare.raw >> HINT_A_BIT) & 1 == 0
+
+    def test_control_field_roundtrip(self):
+        word = encode(Instruction(Opcode.NOP), control=0x1234)
+        assert control_of(word) == 0x1234
+
+    def test_decode_reads_hints(self):
+        instr = Instruction(Opcode.IADD, dst=4, srcs=(4, 5),
+                            hint_activate=True, hint_select=1)
+        word = encode(instr)
+        assert word.hint_activate
+        assert word.hint_select == 1
+
+    @given(
+        st.sampled_from([Opcode.IADD, Opcode.MOV, Opcode.IMUL, Opcode.SHL]),
+        st.integers(min_value=0, max_value=254),
+        st.lists(st.integers(min_value=0, max_value=254), max_size=3),
+        st.integers(min_value=0, max_value=(1 << 40) - 1),
+        st.booleans(),
+        st.integers(min_value=0, max_value=1),
+    )
+    def test_roundtrip(self, opcode, dst, srcs, imm, activate, select):
+        instr = Instruction(
+            opcode,
+            dst=dst,
+            srcs=tuple(srcs),
+            imm=imm,
+            hint_activate=activate,
+            hint_select=select,
+        )
+        assert decode(encode(instr)) == instr
+
+    def test_raw_out_of_range_rejected(self):
+        from repro.isa import MicrocodeWord
+
+        with pytest.raises(ConfigurationError):
+            MicrocodeWord(raw=1 << 128)
+
+
+class TestReservedBits:
+    """Paper: 14 reserved bits on CC 7.0-7.2, 13 on CC 7.5-9.0."""
+
+    @pytest.mark.parametrize("cc,expected", [(7.0, 14), (7.2, 14), (7.5, 13), (8.6, 13), (9.0, 13)])
+    def test_reserved_counts(self, cc, expected):
+        assert reserved_bits_for_cc(cc) == expected
+
+    def test_out_of_range_cc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            reserved_bits_for_cc(6.1)
+
+    def test_hint_bits_fit_everywhere(self):
+        for cc in (7.0, 7.5, 8.0, 9.0):
+            assert hint_bits_available(cc)

@@ -1,0 +1,176 @@
+"""Tests for the executable kernel corpus: numerics under every
+mechanism, plus the section XII-B feasibility reproduction."""
+
+import pytest
+
+from repro.exec import GpuExecutor
+from repro.experiments.feasibility_study import run_feasibility_study
+from repro.mechanisms import create_mechanism
+from repro.workloads import kernels
+
+MECHANISMS = ["baseline", "lmi", "gpushield", "cucatch", "gmod", "memcheck"]
+
+
+def _fill(executor, pointer, values, width=4):
+    raw = executor.mechanism.translate(pointer)
+    for index, value in enumerate(values):
+        executor.memory.store(raw + width * index, value, width)
+    return raw
+
+
+def _read(executor, pointer, count, width=4):
+    raw = executor.mechanism.translate(pointer)
+    return [executor.memory.load(raw + width * i, width) for i in range(count)]
+
+
+class TestVectorAdd:
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    def test_numerics_under_every_mechanism(self, mechanism):
+        executor = GpuExecutor(
+            kernels.vector_add(), create_mechanism(mechanism), block_threads=16
+        )
+        a = executor.host_alloc(1024)
+        b = executor.host_alloc(1024)
+        c = executor.host_alloc(1024)
+        _fill(executor, a, range(16))
+        _fill(executor, b, [100 * i for i in range(16)])
+        result = executor.launch({"a": a, "b": b, "c": c})
+        assert result.completed, result.violation
+        assert _read(executor, c, 16) == [101 * i for i in range(16)]
+
+
+class TestSaxpy:
+    def test_numerics(self):
+        executor = GpuExecutor(
+            kernels.saxpy(), create_mechanism("lmi"), block_threads=8
+        )
+        x = executor.host_alloc(256)
+        y = executor.host_alloc(256)
+        _fill(executor, x, [1, 2, 3, 4, 5, 6, 7, 8])
+        _fill(executor, y, [10] * 8)
+        result = executor.launch({"alpha": 3, "x": x, "y": y})
+        assert result.completed
+        assert _read(executor, y, 8) == [13, 16, 19, 22, 25, 28, 31, 34]
+
+
+class TestTiledReverse:
+    @pytest.mark.parametrize("mechanism", ["baseline", "lmi", "cucatch"])
+    def test_reverse_through_shared(self, mechanism):
+        executor = GpuExecutor(
+            kernels.tiled_reverse(), create_mechanism(mechanism),
+            block_threads=32,
+        )
+        src = executor.host_alloc(256)
+        dst = executor.host_alloc(256)
+        _fill(executor, src, range(32))
+        result = executor.launch({"src": src, "dst": dst})
+        assert result.completed, result.violation
+        assert _read(executor, dst, 32) == list(reversed(range(32)))
+
+
+class TestReductionTree:
+    """Exercises the phase-stepped barrier semantics hardest."""
+
+    @pytest.mark.parametrize("mechanism", ["baseline", "lmi"])
+    def test_sum_of_first_32(self, mechanism):
+        executor = GpuExecutor(
+            kernels.reduction_tree(), create_mechanism(mechanism),
+            block_threads=32,
+        )
+        data = executor.host_alloc(1024)
+        out = executor.host_alloc(256)
+        _fill(executor, data, range(1, 33))
+        result = executor.launch({"data": data, "out": out})
+        assert result.completed, result.violation
+        assert _read(executor, out, 1) == [sum(range(1, 33))]
+
+    def test_multiple_blocks(self):
+        executor = GpuExecutor(
+            kernels.reduction_tree(), create_mechanism("lmi"),
+            block_threads=32, grid_blocks=2,
+        )
+        data = executor.host_alloc(1024)
+        out = executor.host_alloc(256)
+        _fill(executor, data, [1] * 32)
+        result = executor.launch({"data": data, "out": out})
+        assert result.completed
+        assert _read(executor, out, 1) == [32]
+
+
+class TestNwDiagonal:
+    def test_score_update(self):
+        executor = GpuExecutor(
+            kernels.nw_diagonal(), create_mechanism("lmi"), block_threads=16
+        )
+        scores = executor.host_alloc(256)
+        _fill(executor, scores, [5] * 16)
+        result = executor.launch({"scores": scores})
+        assert result.completed
+        assert _read(executor, scores, 16) == [5 + t + 1 for t in range(16)]
+
+
+class TestBfsFrontier:
+    def test_marks_neighbours_of_frontier_nodes(self):
+        executor = GpuExecutor(
+            kernels.bfs_frontier(), create_mechanism("lmi"), block_threads=8
+        )
+        adj = executor.host_alloc(256)
+        visited = executor.host_alloc(256)
+        frontier = executor.host_alloc(256)
+        _fill(executor, adj, [(t + 1) % 8 for t in range(8)])
+        _fill(executor, frontier, [1, 0, 0, 1, 0, 0, 0, 0])
+        result = executor.launch(
+            {"adj": adj, "visited": visited, "frontier": frontier}
+        )
+        assert result.completed
+        marks = _read(executor, visited, 8)
+        assert marks[1] == 1 and marks[4] == 1  # neighbours of 0 and 3
+        assert sum(marks) == 2
+
+
+class TestPerThreadScratch:
+    @pytest.mark.parametrize("mechanism", ["baseline", "lmi", "memcheck"])
+    def test_heap_churn_per_thread(self, mechanism):
+        executor = GpuExecutor(
+            kernels.per_thread_scratch(), create_mechanism(mechanism),
+            block_threads=4,
+        )
+        out = executor.host_alloc(256)
+        result = executor.launch({"out": out})
+        assert result.completed, result.violation
+        # acc(t) = sum over i in 0..3 of (i + t) = 6 + 4t
+        assert _read(executor, out, 4, width=8) == [6, 10, 14, 18]
+
+    def test_no_leaks(self):
+        executor = GpuExecutor(
+            kernels.per_thread_scratch(), create_mechanism("lmi"),
+            block_threads=4,
+        )
+        out = executor.host_alloc(256)
+        executor.launch({"out": out})
+        heap_live = [
+            r for r in executor.tracker.live_records if r.space.value == "heap"
+        ]
+        assert heap_live == []
+
+
+class TestFeasibilityStudy:
+    """Reproduces section XII-B: the corpus needs no source changes."""
+
+    def test_corpus_is_fully_feasible(self):
+        study = run_feasibility_study(include_control=False)
+        assert study.clean_modules == study.total_modules
+        assert study.total_modules == len(kernels.KERNEL_CORPUS)
+
+    def test_control_kernel_is_flagged(self):
+        study = run_feasibility_study(include_control=True)
+        assert study.clean_modules == study.total_modules - 1
+        control = study.reports[-1]
+        assert len(control.inttoptr_sites) == 1
+        assert len(control.ptrtoint_sites) == 1
+        assert len(control.pointer_store_sites) == 1
+
+    def test_table_renders(self):
+        text = run_feasibility_study().format_table()
+        assert "vector_add" in text
+        assert "control_bad" in text

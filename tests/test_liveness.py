@@ -1,0 +1,163 @@
+"""Tests for pointer-liveness tracking (paper XII-C, Algorithm 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError, TemporalViolation
+from repro.compiler import KernelBuilder, run_lmi_pass
+from repro.exec import GpuExecutor
+from repro.liveness import LivenessTracker
+from repro.mechanisms import LmiMechanism
+from repro.pointer import PointerCodec
+
+
+@pytest.fixture
+def codec():
+    return PointerCodec()
+
+
+class TestMembershipTable:
+    def test_register_then_live(self, codec):
+        tracker = LivenessTracker(codec)
+        pointer = codec.encode(0x40000, 1024)
+        tracker.register(pointer)
+        assert tracker.is_live(pointer)
+
+    def test_deregister_kills(self, codec):
+        tracker = LivenessTracker(codec)
+        pointer = codec.encode(0x40000, 1024)
+        tracker.register(pointer)
+        tracker.deregister(pointer)
+        assert not tracker.is_live(pointer)
+
+    def test_copies_share_liveness(self, codec):
+        """The UM bits are common to every copy — the whole point."""
+        tracker = LivenessTracker(codec)
+        pointer = codec.encode(0x40000, 1024)
+        tracker.register(pointer)
+        copy = pointer + 512
+        assert tracker.is_live(copy)
+        tracker.deregister(pointer)
+        assert not tracker.is_live(copy)
+
+    def test_um_uniqueness_across_buffers(self, codec):
+        tracker = LivenessTracker(codec)
+        a = codec.encode(0x40000, 1024)
+        b = codec.encode(0x40400, 1024)
+        tracker.register(a)
+        assert tracker.is_live(a)
+        assert not tracker.is_live(b)
+
+    def test_different_sizes_same_slot_are_distinct(self, codec):
+        tracker = LivenessTracker(codec)
+        small = codec.encode(0x40000, 256)
+        large = codec.encode(0x40000, 1024)
+        tracker.register(small)
+        assert tracker.is_live(small)
+        assert not tracker.is_live(large)
+
+    def test_invalid_pointer_is_ec_business(self, codec):
+        tracker = LivenessTracker(codec)
+        assert tracker.is_live(codec.invalidate(codec.encode(0x40000, 256)))
+
+    def test_register_invalid_rejected(self, codec):
+        tracker = LivenessTracker(codec)
+        with pytest.raises(ConfigurationError):
+            tracker.register(0x40000)
+
+    def test_deregister_by_base(self, codec):
+        tracker = LivenessTracker(codec)
+        pointer = codec.encode(0x40000, 1024)
+        tracker.register(pointer)
+        tracker.deregister_by_base(0x40000, 1024)
+        assert not tracker.is_live(pointer)
+
+    def test_bad_page_size_rejected(self, codec):
+        with pytest.raises(ConfigurationError):
+            LivenessTracker(codec, page_size=3000)
+
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                    max_size=30))
+    def test_register_deregister_is_a_set(self, slots, ):
+        codec = PointerCodec()
+        tracker = LivenessTracker(codec)
+        pointers = {slot: codec.encode(slot * 1024, 1024) for slot in slots}
+        for pointer in pointers.values():
+            tracker.register(pointer)
+        for slot, pointer in pointers.items():
+            if slot % 2 == 0:
+                tracker.deregister(pointer)
+        for slot, pointer in pointers.items():
+            assert tracker.is_live(pointer) == (slot % 2 == 1)
+
+
+class TestPageInvalidationOpt:
+    """Algorithm 1's pageInvalidOpt: big buffers own whole pages."""
+
+    def test_large_buffers_skip_the_table(self, codec):
+        tracker = LivenessTracker(codec, page_size=4096, page_invalidation=True)
+        big = codec.encode(0x100000, 64 * 1024)
+        tracker.register(big)
+        assert tracker.stats.table_entries == 0  # no table entry
+        assert tracker.is_live(big)
+
+    def test_large_buffer_free_invalidates_pages(self, codec):
+        tracker = LivenessTracker(codec, page_size=4096, page_invalidation=True)
+        big = codec.encode(0x100000, 64 * 1024)
+        tracker.register(big)
+        tracker.deregister(big)
+        assert not tracker.is_live(big)
+        assert tracker.stats.invalidated_pages == 16
+
+    def test_small_buffers_still_use_table(self, codec):
+        tracker = LivenessTracker(codec, page_size=4096, page_invalidation=True)
+        small = codec.encode(0x40000, 512)
+        tracker.register(small)
+        assert tracker.stats.table_entries == 1
+        tracker.deregister(small)
+        assert not tracker.is_live(small)
+
+    def test_reallocation_revives_pages(self, codec):
+        tracker = LivenessTracker(codec, page_size=4096, page_invalidation=True)
+        big = codec.encode(0x100000, 64 * 1024)
+        tracker.register(big)
+        tracker.deregister(big)
+        tracker.register(big)  # reuse of the same slot
+        assert tracker.is_live(big)
+
+    def test_table_stays_small_with_opt(self, codec):
+        with_opt = LivenessTracker(codec, page_size=4096, page_invalidation=True)
+        without = LivenessTracker(codec, page_size=4096)
+        for slot in range(16):
+            pointer = codec.encode(slot << 20, 1 << 20)
+            with_opt.register(pointer)
+            without.register(pointer)
+        assert with_opt.stats.table_entries == 0
+        assert without.stats.table_entries == 16
+
+
+class TestEndToEndCopiedPointerUaf:
+    """The section XII-C ablation: liveness tracking closes Fig. 11's gap."""
+
+    @staticmethod
+    def _module():
+        b = KernelBuilder("uaf_copy")
+        h = b.malloc(512)
+        copy = b.ptradd(h, 4)
+        b.free(h)
+        b.load(copy, width=4)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        return module
+
+    def test_missed_without_tracking(self):
+        result = GpuExecutor(self._module(), LmiMechanism()).launch({})
+        assert result.false_negative
+
+    def test_caught_with_tracking(self):
+        mechanism = LmiMechanism(liveness_tracking=True)
+        result = GpuExecutor(self._module(), mechanism).launch({})
+        assert isinstance(result.violation, TemporalViolation)
+        assert result.true_positive

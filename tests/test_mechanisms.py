@@ -1,0 +1,304 @@
+"""Per-mechanism behaviour tests (semantics behind Table III)."""
+
+import pytest
+
+from repro.common.errors import (
+    SpatialViolation,
+    TemporalViolation,
+)
+from repro.compiler import IRType, KernelBuilder, run_lmi_pass
+from repro.exec import GpuExecutor
+from repro.mechanisms import (
+    MECHANISMS,
+    BaggyBoundsMechanism,
+    CuCatchMechanism,
+    GmodMechanism,
+    GPUShieldMechanism,
+    ImtMechanism,
+    LmiMechanism,
+    MemcheckMechanism,
+    create_mechanism,
+)
+
+
+def _oob_kernel(offset):
+    b = KernelBuilder("oob", params=[("data", IRType.PTR)])
+    b.store(b.ptradd(b.param("data"), offset), 1, width=4)
+    b.ret()
+    module = b.module()
+    run_lmi_pass(module)
+    return module
+
+
+def _launch(module, mechanism, allocs):
+    executor = GpuExecutor(module, mechanism)
+    args = {name: executor.host_alloc(size) for name, size in allocs}
+    return executor.launch(args)
+
+
+class TestRegistry:
+    def test_all_mechanisms_instantiable(self):
+        for name in MECHANISMS:
+            assert create_mechanism(name).name == MECHANISMS[name].name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            create_mechanism("magic")
+
+    def test_expected_names_present(self):
+        assert {"baseline", "lmi", "gpushield", "cucatch", "gmod",
+                "clarmor", "memcheck", "baggy", "imt"} <= set(MECHANISMS)
+
+
+class TestLmiMechanism:
+    def test_detects_global_oob(self):
+        result = _launch(_oob_kernel(1024), LmiMechanism(), [("data", 1024)])
+        assert isinstance(result.violation, SpatialViolation)
+
+    def test_rounded_slack_is_not_detected(self):
+        """Baggy-granularity: bytes between requested and rounded size
+        pass the check — inherent to pointer-aligned schemes."""
+        result = _launch(_oob_kernel(1000), LmiMechanism(), [("data", 1000)])
+        # 1000 rounds to 1024: offset 1000 is inside the rounded buffer.
+        assert not result.detected
+        assert result.oracle_violated  # the oracle still sees it
+
+    def test_uaf_classified_temporal(self):
+        b = KernelBuilder("uaf")
+        h = b.malloc(256)
+        b.free(h)
+        b.load(h, width=4)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        result = GpuExecutor(module, LmiMechanism()).launch({})
+        assert isinstance(result.violation, TemporalViolation)
+
+    def test_stats_accumulate(self):
+        mechanism = LmiMechanism()
+        _launch(_oob_kernel(4), mechanism, [("data", 1024)])
+        assert mechanism.stats.tagged_pointers >= 1
+        assert mechanism.stats.checks >= 1
+
+    def test_describe_mentions_liveness(self):
+        assert LmiMechanism().describe() == "lmi"
+        assert LmiMechanism(liveness_tracking=True).describe() == "lmi+liveness"
+
+    def test_aligned_everywhere(self):
+        mechanism = LmiMechanism()
+        assert mechanism.aligned_global and mechanism.aligned_heap
+        assert mechanism.aligned_stack and mechanism.aligned_shared
+
+
+class TestGPUShield:
+    def test_fine_grained_global(self):
+        result = _launch(_oob_kernel(1024), GPUShieldMechanism(),
+                         [("data", 1024)])
+        assert result.detected
+
+    def test_heap_is_one_coarse_chunk(self):
+        b = KernelBuilder("heap")
+        h1 = b.malloc(512)
+        b.malloc(512)
+        b.store(b.ptradd(h1, 4096), 1, width=4)  # inside heap region
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        result = GpuExecutor(module, GPUShieldMechanism()).launch({})
+        assert not result.detected
+        assert result.oracle_violated
+
+    def test_shared_unprotected(self):
+        b = KernelBuilder("sh", shared_arrays=[("tile", 512)])
+        b.store(b.ptradd(b.shared("tile"), 4096), 1, width=4)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        result = GpuExecutor(module, GPUShieldMechanism()).launch({})
+        assert not result.detected
+
+    def test_no_temporal_safety(self):
+        b = KernelBuilder("noop", params=[("data", IRType.PTR)])
+        b.load(b.param("data"), width=4)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        executor = GpuExecutor(module, GPUShieldMechanism())
+        p = executor.host_alloc(1024)
+        record = executor.host_record(p)
+        stale = executor.host_free(p)
+        result = executor.launch({"data": stale}, provenance={"data": record})
+        assert not result.detected  # bounds entry never retired
+        assert result.oracle_violated
+
+    def test_metadata_traffic_counted(self):
+        mechanism = GPUShieldMechanism()
+        _launch(_oob_kernel(4), mechanism, [("data", 1024)])
+        assert mechanism.stats.metadata_memory_accesses >= 1
+
+
+class TestCuCatch:
+    def test_fine_grained_global_and_retirement(self):
+        result = _launch(_oob_kernel(1024), CuCatchMechanism(), [("data", 1024)])
+        assert result.detected
+
+    def test_heap_uncovered(self):
+        b = KernelBuilder("heap")
+        h = b.malloc(512)
+        b.store(b.ptradd(h, 4096), 1, width=4)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        result = GpuExecutor(module, CuCatchMechanism()).launch({})
+        assert not result.detected
+        assert result.oracle_violated
+
+    def test_copied_pointer_uaf_detected(self):
+        """The tag travels with copies, unlike LMI's extent nullify."""
+        b = KernelBuilder("noop", params=[("data", IRType.PTR)])
+        b.load(b.param("data"), width=4)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        executor = GpuExecutor(module, CuCatchMechanism())
+        p = executor.host_alloc(1024)
+        record = executor.host_record(p)
+        executor.host_free(p)
+        result = executor.launch({"data": p}, provenance={"data": record})
+        assert isinstance(result.violation, TemporalViolation)
+
+    def test_cross_frame_pointer_loses_tag(self):
+        b = KernelBuilder("xframe")
+        buf = b.alloca(256)
+        b.call("smash", [buf], returns_value=False)
+        b.ret()
+        f = b.device_function("smash", params=[("p", IRType.PTR)])
+        f.store(f.ptradd(f.param("p"), 512), 1, width=4)
+        f.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        result = GpuExecutor(module, CuCatchMechanism()).launch({})
+        assert not result.detected
+        assert result.oracle_violated
+
+    def test_same_frame_stack_overflow_detected(self):
+        b = KernelBuilder("frame")
+        buf = b.alloca(256)
+        b.store(b.ptradd(buf, 512), 1, width=4)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        result = GpuExecutor(module, CuCatchMechanism()).launch({})
+        assert result.detected
+
+
+class TestCanary:
+    def test_adjacent_write_caught_at_kernel_end(self):
+        result = _launch(_oob_kernel(1024), GmodMechanism(), [("data", 1024)])
+        assert result.detected
+        assert "canary" in str(result.violation)
+
+    def test_adjacent_read_not_caught(self):
+        b = KernelBuilder("oob_read", params=[("data", IRType.PTR)])
+        b.load(b.ptradd(b.param("data"), 1024), width=4)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        result = _launch(module, GmodMechanism(), [("data", 1024)])
+        assert not result.detected
+        assert result.oracle_violated
+
+    def test_non_adjacent_write_skips_canary(self):
+        result = _launch(_oob_kernel(65536), GmodMechanism(), [("data", 1024)])
+        assert not result.detected
+        assert result.oracle_violated
+
+    def test_padding_only_for_global(self):
+        mechanism = GmodMechanism()
+        from repro.common.errors import MemorySpace
+
+        assert mechanism.padding(100, MemorySpace.GLOBAL) != (0, 0)
+        assert mechanism.padding(100, MemorySpace.LOCAL) == (0, 0)
+
+    def test_clarmor_shares_semantics(self):
+        result = _launch(_oob_kernel(1024), create_mechanism("clarmor"),
+                         [("data", 1024)])
+        assert result.detected
+
+
+class TestMemcheck:
+    def test_detects_access_outside_all_allocations(self):
+        result = _launch(_oob_kernel(65536), MemcheckMechanism(),
+                         [("data", 1024)])
+        assert isinstance(result.violation, SpatialViolation)
+
+    def test_misses_overflow_into_live_neighbour(self):
+        """Tripwire semantics: an address inside *some* live allocation
+        passes, even when it is the wrong one."""
+        b = KernelBuilder("neighbour", params=[("a", IRType.PTR), ("b", IRType.PTR)])
+        b.store(b.ptradd(b.param("a"), 1024), 1, width=4)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        result = _launch(module, MemcheckMechanism(),
+                         [("a", 1024), ("b", 65536)])
+        assert not result.detected
+        assert result.oracle_violated
+
+    def test_detects_uaf(self):
+        b = KernelBuilder("uaf")
+        h = b.malloc(256)
+        b.free(h)
+        b.load(h, width=4)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        result = GpuExecutor(module, MemcheckMechanism()).launch({})
+        assert isinstance(result.violation, TemporalViolation)
+
+
+class TestBaggy:
+    def test_detection_matches_lmi(self):
+        for offset, expect in ((1024, True), (512, False)):
+            result = _launch(_oob_kernel(offset), BaggyBoundsMechanism(),
+                             [("data", 1024)])
+            assert result.detected == expect
+
+    def test_injected_instruction_accounting(self):
+        mechanism = BaggyBoundsMechanism()
+        _launch(_oob_kernel(4), mechanism, [("data", 1024)])
+        assert mechanism.injected_instructions == mechanism.stats.checks * 5
+
+
+class TestImt:
+    def test_detects_global_oob_into_neighbour(self):
+        b = KernelBuilder("neighbour", params=[("a", IRType.PTR), ("b", IRType.PTR)])
+        b.store(b.ptradd(b.param("a"), 1024), 1, width=4)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        result = _launch(module, ImtMechanism(), [("a", 1024), ("b", 1024)])
+        assert result.detected  # neighbour carries a different tag
+
+    def test_uaf_caught_by_retagging(self):
+        b = KernelBuilder("noop", params=[("data", IRType.PTR)])
+        b.load(b.param("data"), width=4)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        executor = GpuExecutor(module, ImtMechanism(seed=1))
+        p = executor.host_alloc(1024)
+        record = executor.host_record(p)
+        executor.host_free(p)
+        result = executor.launch({"data": p}, provenance={"data": record})
+        assert result.detected  # tags re-randomised on free (no alias here)
+
+    def test_heap_unprotected(self):
+        b = KernelBuilder("heap")
+        h = b.malloc(512)
+        b.store(b.ptradd(h, 8192), 1, width=4)
+        b.ret()
+        module = b.module()
+        run_lmi_pass(module)
+        result = GpuExecutor(module, ImtMechanism()).launch({})
+        assert not result.detected

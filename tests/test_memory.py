@@ -1,0 +1,231 @@
+"""Tests for the memory substrate: layout, sparse storage, tracker."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError, MemorySpace
+from repro.memory import (
+    GLOBAL_BASE,
+    HEAP_BASE,
+    LOCAL_BASE,
+    SHARED_BASE,
+    AllocationTracker,
+    FieldLayout,
+    SparseMemory,
+    block_of_shared_address,
+    local_window,
+    region_bounds,
+    shared_window,
+    space_of,
+    thread_of_local_address,
+)
+
+
+class TestLayout:
+    def test_regions_are_disjoint(self):
+        bounds = [region_bounds(s) for s in MemorySpace]
+        bounds.sort()
+        for (_, end), (start, _) in zip(bounds, bounds[1:]):
+            assert end <= start
+
+    def test_space_classification(self):
+        assert space_of(GLOBAL_BASE + 100) is MemorySpace.GLOBAL
+        assert space_of(HEAP_BASE + 100) is MemorySpace.HEAP
+        assert space_of(SHARED_BASE + 100) is MemorySpace.SHARED
+        assert space_of(LOCAL_BASE + 100) is MemorySpace.LOCAL
+        assert space_of(0x100) is None
+
+    def test_local_windows_disjoint_per_thread(self):
+        assert local_window(1) - local_window(0) == 1 << 20
+
+    def test_thread_recovery(self):
+        assert thread_of_local_address(local_window(42) + 999) == 42
+
+    def test_thread_recovery_rejects_other_regions(self):
+        with pytest.raises(ConfigurationError):
+            thread_of_local_address(GLOBAL_BASE)
+
+    def test_shared_windows_per_block(self):
+        assert block_of_shared_address(shared_window(3) + 5) == 3
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            local_window(-1)
+        with pytest.raises(ConfigurationError):
+            shared_window(-1)
+
+
+class TestSparseMemory:
+    def test_untouched_reads_zero(self):
+        memory = SparseMemory()
+        assert memory.read_bytes(0x123456, 8) == b"\x00" * 8
+
+    def test_write_read_roundtrip(self):
+        memory = SparseMemory()
+        memory.write_bytes(0x1000, b"hello")
+        assert memory.read_bytes(0x1000, 5) == b"hello"
+
+    def test_cross_page_write(self):
+        memory = SparseMemory()
+        data = bytes(range(256)) * 40  # 10 KiB spans 3+ pages
+        memory.write_bytes(0xFFA, data)
+        assert memory.read_bytes(0xFFA, len(data)) == data
+
+    def test_word_store_load_little_endian(self):
+        memory = SparseMemory()
+        memory.store(0x2000, 0x0102030405060708, 8)
+        assert memory.read_bytes(0x2000, 1) == b"\x08"
+        assert memory.load(0x2000, 8) == 0x0102030405060708
+
+    def test_narrow_store_truncates(self):
+        memory = SparseMemory()
+        memory.store(0x2000, 0x1FF, 1)
+        assert memory.load(0x2000, 1) == 0xFF
+
+    def test_float_roundtrip(self):
+        memory = SparseMemory()
+        memory.store_f32(0x3000, 1.5)
+        assert memory.load_f32(0x3000) == 1.5
+
+    def test_fill_byte(self):
+        memory = SparseMemory(fill_byte=0xAA)
+        assert memory.read_bytes(0x999, 2) == b"\xaa\xaa"
+
+    def test_bad_fill_byte_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SparseMemory(fill_byte=256)
+
+    def test_unmap_restores_fill(self):
+        memory = SparseMemory()
+        memory.write_bytes(0x10000, b"\x77" * 8192)
+        memory.unmap(0x10000, 8192)
+        assert memory.read_bytes(0x10000, 8192) == b"\x00" * 8192
+
+    def test_unmap_partial_pages(self):
+        memory = SparseMemory()
+        memory.write_bytes(0x10000, b"\x77" * 100)
+        memory.write_bytes(0x10800, b"\x66" * 100)
+        memory.unmap(0x10010, 0x10)  # middle of one page
+        assert memory.read_bytes(0x10000, 16) == b"\x77" * 16
+        assert memory.read_bytes(0x10010, 16) == b"\x00" * 16
+
+    def test_resident_accounting(self):
+        memory = SparseMemory()
+        assert memory.resident_pages == 0
+        memory.store(0x1000, 1, 4)
+        assert memory.resident_pages == 1
+        assert memory.resident_bytes == 4096
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 30),
+        st.binary(min_size=1, max_size=512),
+    )
+    def test_roundtrip_property(self, address, data):
+        memory = SparseMemory()
+        memory.write_bytes(address, data)
+        assert memory.read_bytes(address, len(data)) == data
+
+
+class TestAllocationTracker:
+    def test_alloc_and_find(self):
+        tracker = AllocationTracker()
+        record = tracker.on_alloc(0x1000, 256, MemorySpace.GLOBAL)
+        assert tracker.find_live(0x1000) is record
+        assert tracker.find_live(0x10FF) is record
+        assert tracker.find_live(0x1100) is None
+
+    def test_width_matters(self):
+        tracker = AllocationTracker()
+        tracker.on_alloc(0x1000, 256, MemorySpace.GLOBAL)
+        assert tracker.find_live(0x10FC, 4) is not None
+        assert tracker.find_live(0x10FD, 4) is None
+
+    def test_free_removes_from_live(self):
+        tracker = AllocationTracker()
+        tracker.on_alloc(0x1000, 256, MemorySpace.GLOBAL)
+        tracker.on_free(0x1000)
+        assert tracker.find_live(0x1000) is None
+        assert tracker.find_freed(0x1000) is not None
+
+    def test_free_of_unknown_base_rejected(self):
+        tracker = AllocationTracker()
+        with pytest.raises(ConfigurationError):
+            tracker.on_free(0x9999)
+
+    def test_classify_oob(self):
+        tracker = AllocationTracker()
+        tracker.on_alloc(0x1000, 256, MemorySpace.GLOBAL)
+        verdict = tracker.classify(0x2000)
+        assert verdict.is_violation
+        assert not verdict.use_after_free
+
+    def test_classify_uaf(self):
+        tracker = AllocationTracker()
+        tracker.on_alloc(0x1000, 256, MemorySpace.HEAP)
+        tracker.on_free(0x1000)
+        verdict = tracker.classify(0x1010)
+        assert verdict.is_violation
+        assert verdict.use_after_free
+
+    def test_intra_object_fields(self):
+        tracker = AllocationTracker()
+        fields = (FieldLayout("a", 0, 16), FieldLayout("b", 16, 16))
+        tracker.on_alloc(0x1000, 32, MemorySpace.LOCAL, fields=fields)
+        ok = tracker.classify(0x1004, expected_field="a")
+        assert not ok.is_violation
+        bad = tracker.classify(0x1014, expected_field="a")
+        assert bad.intra_object_overflow
+        assert bad.is_violation
+
+    def test_field_overrunning_allocation_rejected(self):
+        tracker = AllocationTracker()
+        with pytest.raises(ConfigurationError):
+            tracker.on_alloc(
+                0x1000, 16, MemorySpace.LOCAL,
+                fields=(FieldLayout("x", 8, 16),),
+            )
+
+    def test_provenance_overflow_into_neighbour(self):
+        tracker = AllocationTracker()
+        a = tracker.on_alloc(0x1000, 256, MemorySpace.GLOBAL)
+        tracker.on_alloc(0x1100, 256, MemorySpace.GLOBAL)
+        # Address is inside live buffer B, but provenance says A.
+        verdict = tracker.classify_provenanced(0x1100, 4, a)
+        assert verdict.is_violation
+        assert not verdict.use_after_free
+
+    def test_provenance_uaf_survives_reuse(self):
+        tracker = AllocationTracker()
+        a = tracker.on_alloc(0x1000, 256, MemorySpace.GLOBAL)
+        tracker.on_free(0x1000)
+        tracker.on_alloc(0x1000, 256, MemorySpace.GLOBAL)  # reuse
+        verdict = tracker.classify_provenanced(0x1010, 4, a)
+        assert verdict.use_after_free
+
+    def test_provenance_none_falls_back(self):
+        tracker = AllocationTracker()
+        tracker.on_alloc(0x1000, 256, MemorySpace.GLOBAL)
+        assert not tracker.classify_provenanced(0x1010, 4, None).is_violation
+
+    def test_live_bytes(self):
+        tracker = AllocationTracker()
+        tracker.on_alloc(0x1000, 100, MemorySpace.GLOBAL)
+        tracker.on_alloc(0x2000, 200, MemorySpace.GLOBAL)
+        assert tracker.live_bytes() == 300
+        tracker.on_free(0x1000)
+        assert tracker.live_bytes() == 200
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                    max_size=40, unique=True))
+    def test_find_live_matches_linear_scan(self, slots):
+        tracker = AllocationTracker()
+        for slot in slots:
+            tracker.on_alloc(0x1000 + slot * 512, 256, MemorySpace.GLOBAL)
+        for probe in range(0, 220 * 512, 997):
+            address = 0x1000 + probe
+            expected = None
+            for record in tracker.live_records:
+                if record.contains(address):
+                    expected = record
+            assert tracker.find_live(address) is expected

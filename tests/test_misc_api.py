@@ -1,0 +1,109 @@
+"""Coverage for small public-API surfaces not exercised elsewhere."""
+
+import pytest
+
+from repro import __version__
+from repro.common.errors import MemorySpace, ViolationKind
+from repro.exec.result import LaunchResult, OracleEvent
+from repro.mechanisms.base import Mechanism, MechanismStats
+from repro.pointer import split_many, split_pointer
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert __version__.count(".") == 2
+
+    def test_top_level_reexports(self):
+        import repro
+
+        for name in ("GpuExecutor", "KernelBuilder", "LmiMechanism",
+                     "PointerCodec", "run_lmi_pass", "MECHANISMS"):
+            assert hasattr(repro, name), name
+
+
+class TestLaunchResultPredicates:
+    def _event(self):
+        return OracleEvent(
+            kind=ViolationKind.SPATIAL,
+            address=0x40,
+            width=4,
+            thread=0,
+            space=MemorySpace.GLOBAL,
+        )
+
+    def test_clean_run(self):
+        result = LaunchResult(completed=True)
+        assert not result.detected
+        assert not result.oracle_violated
+        assert not result.true_positive
+        assert not result.false_positive
+        assert not result.false_negative
+
+    def test_true_positive(self):
+        from repro.common.errors import SpatialViolation
+
+        result = LaunchResult(
+            completed=False,
+            violation=SpatialViolation("x"),
+            oracle_events=[self._event()],
+        )
+        assert result.true_positive
+        assert not result.false_positive
+        assert not result.false_negative
+
+    def test_false_positive(self):
+        from repro.common.errors import SpatialViolation
+
+        result = LaunchResult(completed=False, violation=SpatialViolation("x"))
+        assert result.false_positive
+        assert not result.true_positive
+
+    def test_false_negative(self):
+        result = LaunchResult(completed=True, oracle_events=[self._event()])
+        assert result.false_negative
+        assert not result.detected
+
+
+class TestRegisterHelpers:
+    def test_split_many(self):
+        pairs = split_many([0x1, 0x2_0000_0005])
+        assert pairs[0].low == 1 and pairs[0].high == 0
+        assert pairs[1].low == 5 and pairs[1].high == 2
+
+    def test_split_pointer_masks_to_64_bits(self):
+        pair = split_pointer((1 << 70) | 0x42)
+        assert pair.value == 0x42
+
+
+class TestMechanismBaseDefaults:
+    """The base class must be a faithful do-nothing baseline."""
+
+    def test_defaults_are_identity(self):
+        mechanism = Mechanism()
+        assert mechanism.tag_pointer(0x1000, 64, MemorySpace.GLOBAL) == 0x1000
+        assert mechanism.translate(0x1234) == 0x1234
+        assert mechanism.on_ptr_arith(0x1000, 0x1004, activated=True) == 0x1004
+        assert mechanism.on_invalidate(0x1000) == 0x1000
+        assert mechanism.on_call_boundary(0x1000) == 0x1000
+        assert mechanism.on_pointer_load(0x1000, 0x2000) == 0x2000
+        assert mechanism.padding(64, MemorySpace.GLOBAL) == (0, 0)
+        mechanism.check_access(0x1000, 0x1000, 4, MemorySpace.GLOBAL)
+        mechanism.on_kernel_end()  # no raise
+
+    def test_stats_start_at_zero(self):
+        stats = MechanismStats()
+        assert (stats.checks, stats.tagged_pointers,
+                stats.metadata_memory_accesses, stats.detections) == (0, 0, 0, 0)
+
+
+class TestSpaceStrings:
+    def test_memory_space_str(self):
+        assert str(MemorySpace.GLOBAL) == "global"
+
+    def test_violation_repr_contains_context(self):
+        from repro.common.errors import SpatialViolation
+
+        violation = SpatialViolation("x", address=0x42, thread=3,
+                                     mechanism="m")
+        text = repr(violation)
+        assert "0x42" in text and "m" in text

@@ -1,0 +1,163 @@
+"""Tests for the Overflow Checking Unit (paper section VII)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.hardware import OverflowCheckingUnit
+from repro.pointer import PointerCodec
+
+
+@pytest.fixture
+def codec():
+    return PointerCodec()
+
+
+@pytest.fixture
+def ocu(codec):
+    return OverflowCheckingUnit(codec)
+
+
+class TestMaskGeneration:
+    def test_mask_covers_um_and_extent_bits(self, ocu, codec):
+        mask = ocu.address_mask(1)  # 256-byte buffer
+        assert mask & 0xFF == 0  # modifiable bits excluded
+        assert mask >> 8 == (1 << 56) - 1  # everything above included
+
+    def test_mask_grows_with_extent(self, ocu):
+        assert ocu.address_mask(2) == ocu.address_mask(1) & ~0x100
+
+    def test_invalid_extent_masks_everything(self, ocu):
+        assert ocu.address_mask(0) == (1 << 64) - 1
+
+
+class TestOverflowDetection:
+    def test_in_bounds_arithmetic_passes(self, ocu, codec):
+        pointer = codec.encode(0x12345600, 256)
+        result = ocu.check(pointer, pointer + 0x40)
+        assert not result.overflow
+        assert result.value == pointer + 0x40
+
+    def test_boundary_minus_one_passes(self, ocu, codec):
+        pointer = codec.encode(0x12345600, 256)
+        assert not ocu.check(pointer, pointer + 0xFF).overflow
+
+    def test_crossing_boundary_clears_extent(self, ocu, codec):
+        pointer = codec.encode(0x12345600, 256)
+        result = ocu.check(pointer, pointer + 0x100)
+        assert result.overflow
+        assert codec.extent_of(result.value) == 0
+        # Delayed termination: the address itself is preserved.
+        assert codec.address_of(result.value) == 0x12345700
+
+    def test_underflow_detected(self, ocu, codec):
+        pointer = codec.encode(0x12345600, 256)
+        result = ocu.check(pointer, pointer - 1)
+        assert result.overflow
+
+    def test_far_jump_detected(self, ocu, codec):
+        pointer = codec.encode(0x12345600, 256)
+        assert ocu.check(pointer, pointer + (1 << 30)).overflow
+
+    def test_paper_example(self, ocu, codec):
+        """0x12345678 in a 256 B buffer: 0x1234567F ok, 0x12345700 not."""
+        pointer = codec.encode(0x12345600, 256) + 0x78
+        assert not ocu.check(pointer, pointer + 0x07).overflow
+        assert ocu.check(pointer, (pointer & ~0xFF) + 0x100).overflow
+
+
+class TestInvalidPropagation:
+    """Figure 11: arithmetic on freed pointers stays invalid."""
+
+    def test_arithmetic_on_invalid_poisons_result(self, ocu, codec):
+        pointer = codec.invalidate(codec.encode(0x12345600, 256))
+        result = ocu.check(pointer, pointer + 4)
+        assert result.propagated_invalid
+        assert codec.extent_of(result.value) == 0
+
+    def test_debug_extent_is_preserved_through_arithmetic(self):
+        codec = PointerCodec(device_size_limit=1 << 33)
+        ocu = OverflowCheckingUnit(codec)
+        from repro.pointer import DebugCode
+
+        pointer = codec.encode_debug(
+            codec.encode(0x12345600, 256), DebugCode.TEMPORAL_VIOLATION
+        )
+        result = ocu.check(pointer, pointer + 4)
+        assert codec.debug_code(result.value) is DebugCode.TEMPORAL_VIOLATION
+
+
+class TestActivationBit:
+    def test_unactivated_instructions_skip_the_check(self, ocu, codec):
+        pointer = codec.encode(0x12345600, 256)
+        result = ocu.process(pointer + (1 << 30), activated=False)
+        assert not result.checked
+        assert result.value == pointer + (1 << 30)
+
+    def test_activated_instructions_are_checked(self, ocu, codec):
+        pointer = codec.encode(0x12345600, 256)
+        result = ocu.process(
+            pointer + 0x100, activated=True, pointer_operand=pointer
+        )
+        assert result.checked
+        assert result.overflow
+
+
+class TestInputQueue:
+    """Section VII-B: inputs stay synchronized with ALU outputs."""
+
+    def test_fifo_pairing(self, ocu, codec):
+        a = codec.encode(0x1000 * 256, 256)
+        b = codec.encode(0x2000 * 256, 256)
+        ocu.capture_input(a)
+        ocu.capture_input(b)
+        assert ocu.queue_depth == 2
+        first = ocu.retire_output(a + 0x10)
+        second = ocu.retire_output(b + 0x300)
+        assert not first.overflow
+        assert second.overflow
+        assert ocu.queue_depth == 0
+
+    def test_retire_on_empty_queue_raises(self, ocu):
+        with pytest.raises(SimulationError):
+            ocu.retire_output(0)
+
+
+class TestStats:
+    def test_counters_accumulate(self, ocu, codec):
+        pointer = codec.encode(0x12345600, 256)
+        ocu.check(pointer, pointer + 1)
+        ocu.check(pointer, pointer + 0x200)
+        ocu.check(codec.invalidate(pointer), pointer)
+        stats = ocu.stats
+        assert stats.checks == 3
+        assert stats.overflows == 1
+        assert stats.propagations == 1
+
+    def test_reset(self, ocu, codec):
+        pointer = codec.encode(0x12345600, 256)
+        ocu.check(pointer, pointer)
+        ocu.reset_stats()
+        assert ocu.stats.checks == 0
+
+
+class TestOcuOracleEquivalence:
+    """Property: the OCU flags exactly the arithmetic that leaves the
+    rounded buffer (the hardware is equivalent to an ideal bounds
+    check at rounded-size granularity)."""
+
+    @given(
+        st.integers(min_value=1, max_value=1 << 16),
+        st.integers(min_value=1, max_value=1 << 12),
+        st.integers(min_value=-(1 << 20), max_value=1 << 20),
+    )
+    def test_equivalence(self, size, slot, delta):
+        codec = PointerCodec()
+        ocu = OverflowCheckingUnit(codec)
+        rounded = codec.rounded_size(size)
+        base = slot * rounded
+        pointer = codec.encode(base, size)
+        target = pointer + delta
+        oracle_oob = not (0 <= delta < rounded)
+        assert ocu.check(pointer, target).overflow == oracle_oob

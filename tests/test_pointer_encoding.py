@@ -1,0 +1,243 @@
+"""Unit + property tests for the LMI pointer encoding (paper V-A)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.config import LmiConfig
+from repro.common.errors import ConfigurationError
+from repro.pointer import (
+    DEFAULT_CODEC,
+    DebugCode,
+    PointerCodec,
+    join_registers,
+    split_pointer,
+)
+
+
+@pytest.fixture
+def codec():
+    return PointerCodec()
+
+
+class TestExtentFormula:
+    """E = ceil(max(log2 K, log2 S)) - log2 K + 1 with K = 256."""
+
+    def test_minimum_size_encodes_one(self, codec):
+        assert codec.extent_for_size(256) == 1
+
+    def test_sub_minimum_sizes_encode_one(self, codec):
+        assert codec.extent_for_size(1) == 1
+        assert codec.extent_for_size(100) == 1
+
+    def test_zero_size_encodes_one(self, codec):
+        assert codec.extent_for_size(0) == 1
+
+    def test_512_encodes_two(self, codec):
+        assert codec.extent_for_size(512) == 2
+
+    def test_non_power_rounds_up(self, codec):
+        assert codec.extent_for_size(257) == 2
+
+    def test_max_size_256_gib(self, codec):
+        assert codec.extent_for_size(1 << 38) == 31
+
+    def test_oversized_rejected(self, codec):
+        with pytest.raises(ConfigurationError):
+            codec.extent_for_size((1 << 38) + 1)
+
+    def test_negative_rejected(self, codec):
+        with pytest.raises(ConfigurationError):
+            codec.extent_for_size(-1)
+
+    @given(st.integers(min_value=1, max_value=1 << 38))
+    def test_size_roundtrip(self, size):
+        codec = PointerCodec()
+        extent = codec.extent_for_size(size)
+        rounded = codec.size_for_extent(extent)
+        assert rounded >= size
+        assert rounded < 2 * max(size, 256)
+
+    def test_paper_example_size_table(self, codec):
+        """Spot-check the paper's encoding table endpoints."""
+        assert codec.size_for_extent(1) == 256
+        assert codec.size_for_extent(31) == 1 << 38
+
+
+class TestEncodeDecode:
+    def test_encode_places_extent_in_msbs(self, codec):
+        pointer = codec.encode(0x12345600, 256)
+        assert pointer >> 59 == 1
+
+    def test_decode_recovers_fields(self, codec):
+        pointer = codec.encode(0x10000, 1024)
+        decoded = codec.decode(pointer)
+        assert decoded.address == 0x10000
+        assert decoded.size == 1024
+        assert decoded.base == 0x10000
+        assert decoded.is_valid
+
+    def test_misaligned_base_rejected(self, codec):
+        with pytest.raises(ConfigurationError):
+            codec.encode(0x100, 1024)  # 1 KiB buffer must be 1 KiB aligned
+
+    def test_invalid_pointer_decodes_invalid(self, codec):
+        decoded = codec.decode(0x12345600)  # extent 0
+        assert not decoded.is_valid
+        assert decoded.size is None
+        assert decoded.base is None
+
+    @given(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=(1 << 20) - 1),
+    )
+    def test_encode_decode_roundtrip(self, extent_minus_one, slot):
+        codec = PointerCodec()
+        size = 256 << extent_minus_one
+        base = slot * size
+        if base + size > 1 << 59:
+            return
+        pointer = codec.encode(base, size)
+        decoded = codec.decode(pointer)
+        assert decoded.base == base
+        assert decoded.size == size
+
+
+class TestBaseRecovery:
+    """Paper IV-A1: base recoverable from any interior pointer."""
+
+    def test_paper_example(self, codec):
+        pointer = codec.encode(0x12345600, 256)
+        moved = pointer + 0x78
+        assert codec.base_address(moved) == 0x12345600
+        moved = pointer + 0x7F
+        assert codec.base_address(moved) == 0x12345600
+
+    @given(
+        st.integers(min_value=1, max_value=1 << 20),
+        st.integers(min_value=0, max_value=1 << 20),
+    )
+    def test_base_stable_under_interior_arithmetic(self, size, offset):
+        codec = PointerCodec()
+        rounded = codec.rounded_size(size)
+        offset %= rounded
+        base = 4 * rounded  # some aligned slot
+        pointer = codec.encode(base, size)
+        assert codec.base_address(pointer + offset) == base
+
+    def test_bounds(self, codec):
+        pointer = codec.encode(0x40000, 1024)
+        assert codec.bounds(pointer) == (0x40000, 0x40400)
+
+    def test_in_bounds(self, codec):
+        pointer = codec.encode(0x40000, 1024)
+        assert codec.in_bounds(pointer + 1020, 4)
+        assert not codec.in_bounds(pointer + 1021, 4)
+
+    def test_bounds_of_invalid_pointer_raises(self, codec):
+        with pytest.raises(ConfigurationError):
+            codec.bounds(0x40000)
+
+
+class TestInvalidation:
+    def test_invalidate_clears_extent(self, codec):
+        pointer = codec.encode(0x40000, 1024)
+        dead = codec.invalidate(pointer)
+        assert codec.extent_of(dead) == 0
+        assert not codec.is_valid(dead)
+
+    def test_invalidate_preserves_address(self, codec):
+        pointer = codec.encode(0x40000, 1024)
+        assert codec.address_of(codec.invalidate(pointer)) == 0x40000
+
+
+class TestDebugExtents:
+    """Section IV-A3: impractically-large extents carry error codes."""
+
+    def test_default_codec_has_no_debug_room(self, codec):
+        pointer = codec.encode(0x40000, 1024)
+        with pytest.raises(ConfigurationError):
+            codec.encode_debug(pointer, DebugCode.TEMPORAL_VIOLATION)
+
+    def test_limited_codec_roundtrips_codes(self):
+        codec = PointerCodec(device_size_limit=1 << 33)  # 8 GiB DRAM
+        pointer = codec.encode(0x40000, 1024)
+        for code in DebugCode:
+            stamped = codec.encode_debug(pointer, code)
+            assert codec.debug_code(stamped) is code
+            assert not codec.is_valid(stamped)
+
+    def test_debug_code_none_for_valid(self):
+        codec = PointerCodec(device_size_limit=1 << 33)
+        pointer = codec.encode(0x40000, 1024)
+        assert codec.debug_code(pointer) is None
+
+    def test_size_limit_below_min_alignment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PointerCodec(device_size_limit=128)
+
+    def test_size_limit_too_large_for_debug_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PointerCodec(device_size_limit=1 << 38)
+
+    def test_oversized_alloc_rejected_by_limit(self):
+        codec = PointerCodec(device_size_limit=1 << 33)
+        with pytest.raises(ConfigurationError):
+            codec.extent_for_size(1 << 34)
+
+
+class TestUmBits:
+    """Section XII-C: (extent, UM) uniquely identifies a live buffer."""
+
+    def test_um_distinct_for_neighbouring_buffers(self, codec):
+        a = codec.encode(0x0000, 256)
+        b = codec.encode(0x100, 256)
+        assert codec.um_bits(a) != codec.um_bits(b)
+
+    def test_um_stable_within_buffer(self, codec):
+        pointer = codec.encode(0x40000, 1024)
+        assert codec.um_bits(pointer) == codec.um_bits(pointer + 1023)
+
+    def test_um_of_invalid_raises(self, codec):
+        with pytest.raises(ConfigurationError):
+            codec.um_bits(0x40000)
+
+    def test_masks_partition_address_bits(self, codec):
+        for extent in (1, 5, 31):
+            modifiable = codec.modifiable_mask(extent)
+            unmodifiable = codec.unmodifiable_mask(extent)
+            assert modifiable & unmodifiable == 0
+            assert modifiable | unmodifiable == (1 << 59) - 1
+
+
+class TestRegisterPairMapping:
+    """Figure 6: 64-bit pointer across two 32-bit physical registers."""
+
+    def test_split_join_roundtrip(self):
+        pointer = DEFAULT_CODEC.encode(0x12345600, 256)
+        pair = split_pointer(pointer)
+        assert pair.value == pointer
+        assert join_registers(pair.low, pair.high) == pointer
+
+    def test_extent_lives_in_high_register(self):
+        pointer = DEFAULT_CODEC.encode(0x12345600, 256)
+        pair = split_pointer(pointer)
+        assert pair.high >> 27 == 1  # extent 1 in the top 5 of 32 bits
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_roundtrip_any_word(self, word):
+        pair = split_pointer(word)
+        assert pair.value == word
+
+
+class TestNonDefaultConfig:
+    def test_wider_extent_field(self):
+        config = LmiConfig(extent_bits=6, min_alignment=128)
+        codec = PointerCodec(config)
+        assert codec.extent_for_size(128) == 1
+        pointer = codec.encode(0x1000 * 128, 128)
+        assert codec.decode(pointer).size == 128
+
+    def test_address_bits_shrink_with_extent_bits(self):
+        config = LmiConfig(extent_bits=8)
+        assert config.address_bits == 56
