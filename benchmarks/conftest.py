@@ -4,18 +4,57 @@ Each benchmark regenerates one paper artefact (table or figure),
 asserts its qualitative shape, and archives the regenerated rows under
 ``benchmarks/out/`` so the numbers are inspectable after a
 ``pytest benchmarks/ --benchmark-only`` run.
+
+Telemetry is switched on for the whole benchmark session (with an
+aggressive sampling rate so the event ring stays cheap); ``archive``
+writes a ``<name>.json`` companion next to each table carrying the
+telemetry counter totals accumulated so far, so a benchmark run leaves
+behind machine-readable observability data alongside the tables.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+
+import pytest
+
+from repro.telemetry.runtime import TELEMETRY
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _telemetry_session():
+    """Enable the global telemetry hub for the benchmark session."""
+    TELEMETRY.configure(enabled=True, deterministic=True,
+                        sample_every=1024)
+    yield TELEMETRY
+    TELEMETRY.configure(enabled=False)
+
+
 def archive(name: str, text: str) -> None:
-    """Write a regenerated table to benchmarks/out/<name>.txt."""
+    """Write a regenerated table to benchmarks/out/<name>.txt.
+
+    When telemetry is enabled (it is, session-wide), also write
+    ``benchmarks/out/<name>.json`` with the registry counter totals.
+    """
     OUT_DIR.mkdir(exist_ok=True)
     path = OUT_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    if TELEMETRY.enabled:
+        snapshot = TELEMETRY.registry.snapshot()
+        document = {
+            "artifact": name,
+            "counters": snapshot["counters"],
+            "gauges": snapshot["gauges"],
+            "events": {
+                "emitted": TELEMETRY.recorder.emitted,
+                "dropped": TELEMETRY.recorder.dropped,
+                "sampled_out": TELEMETRY.recorder.sampled_out,
+            },
+        }
+        (OUT_DIR / f"{name}.json").write_text(
+            json.dumps(document, sort_keys=True, indent=2) + "\n"
+        )
     print(f"\n[{name}] archived to {path}\n{text}")

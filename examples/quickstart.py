@@ -74,6 +74,7 @@ def demo_protected_kernel() -> None:
     result = executor.launch({"data": data, "n": 8})
     values = [executor.memory.load(raw + 4 * i, 4) for i in range(8)]
     print(f"  completed={result.completed}, data*3 = {values}")
+    print(f"  {result.stats_line()}")
 
 
 def demo_violations() -> None:

@@ -12,6 +12,7 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.sim` — the trace-driven timing simulator;
 * :mod:`repro.workloads` — the 28 Table V benchmark profiles;
 * :mod:`repro.security` — the Table III test suite;
+* :mod:`repro.telemetry` — metrics/events/spans + exporters;
 * :mod:`repro.experiments` — one driver per paper table/figure.
 """
 
@@ -26,6 +27,7 @@ from .compiler import KernelBuilder, IRType, run_lmi_pass
 from .exec import GpuExecutor, LaunchResult
 from .mechanisms import MECHANISMS, LmiMechanism, create_mechanism
 from .pointer import DEFAULT_CODEC, PointerCodec
+from .telemetry import TELEMETRY, capture, configure as configure_telemetry
 
 __version__ = "1.0.0"
 
@@ -48,5 +50,8 @@ __all__ = [
     "create_mechanism",
     "DEFAULT_CODEC",
     "PointerCodec",
+    "TELEMETRY",
+    "capture",
+    "configure_telemetry",
     "__version__",
 ]

@@ -79,6 +79,8 @@ from ..memory import layout
 from ..memory.sparse import SparseMemory
 from ..memory.tracker import AllocationRecord, AllocationTracker, FieldLayout
 from ..mechanisms.base import ExecContext, Mechanism
+from ..telemetry import EventKind
+from ..telemetry.runtime import TELEMETRY
 from .result import LaunchResult, OracleEvent
 
 #: Span given to the global and heap allocators (64 MiB is plenty for
@@ -275,38 +277,118 @@ class GpuExecutor:
         if missing:
             raise SimulationError(f"missing kernel arguments: {missing}")
 
+        telem = TELEMETRY
+        oracle_start = len(self._oracle_events)
+        if telem.enabled:
+            telem.emit(
+                EventKind.KERNEL_BEGIN,
+                kernel=kernel.name,
+                mechanism=self.mechanism.name,
+                grid_blocks=self.grid_blocks,
+                block_threads=self.block_threads,
+            )
         self._setup_shared()
         threads_done = 0
         violation: Optional[MemorySafetyViolation] = None
-        try:
-            for block_id in range(self.grid_blocks):
-                runners = [
-                    self._make_runner(
-                        block_id * self.block_threads + lane, block_id, args
-                    )
-                    for lane in range(self.block_threads)
-                ]
-                # Phase-stepped execution: every thread runs to the
-                # next barrier (or completion) before any proceeds
-                # past it -- __syncthreads semantics.
-                pending = runners
-                while pending:
-                    still_running = []
-                    for runner in pending:
-                        if runner.run_phase() == "barrier":
-                            still_running.append(runner)
-                        else:
-                            threads_done += 1
-                    pending = still_running
-            self.mechanism.on_kernel_end()
-        except MemorySafetyViolation as caught:
-            violation = caught
-        return LaunchResult(
+        with telem.span(
+            f"launch:{kernel.name}",
+            "launch",
+            kernel=kernel.name,
+            mechanism=self.mechanism.name,
+            grid_blocks=self.grid_blocks,
+            block_threads=self.block_threads,
+        ):
+            try:
+                for block_id in range(self.grid_blocks):
+                    runners = [
+                        self._make_runner(
+                            block_id * self.block_threads + lane, block_id, args
+                        )
+                        for lane in range(self.block_threads)
+                    ]
+                    # Phase-stepped execution: every thread runs to the
+                    # next barrier (or completion) before any proceeds
+                    # past it -- __syncthreads semantics.
+                    pending = runners
+                    while pending:
+                        still_running = []
+                        for runner in pending:
+                            if runner.run_phase() == "barrier":
+                                still_running.append(runner)
+                            else:
+                                threads_done += 1
+                        pending = still_running
+                self.mechanism.on_kernel_end()
+            except MemorySafetyViolation as caught:
+                violation = caught
+        result = LaunchResult(
             completed=violation is None,
             violation=violation,
             oracle_events=list(self._oracle_events),
             steps=self._steps,
             threads_completed=threads_done,
+            mechanism=self.mechanism.name,
+            mechanism_stats=self.mechanism.stats.snapshot(),
+        )
+        if telem.enabled:
+            self._publish_launch_telemetry(
+                telem, kernel.name, result, oracle_start
+            )
+        return result
+
+    def _publish_launch_telemetry(
+        self, telem, kernel_name: str, result: LaunchResult, oracle_start: int
+    ) -> None:
+        """Roll launch counters/events up into the global telemetry hub."""
+        mech_name = self.mechanism.name
+        self.mechanism.publish_stats(telem.registry)
+        telem.counter("exec.launches", mechanism=mech_name).inc()
+        telem.counter("exec.steps", mechanism=mech_name).inc(result.steps)
+        fresh_events = result.oracle_events[oracle_start:]
+        for event in fresh_events:
+            telem.emit(
+                EventKind.ORACLE_VIOLATION,
+                kernel=kernel_name,
+                violation_kind=event.kind.value,
+                address=event.address,
+                width=event.width,
+                thread=event.thread,
+                space=event.space,
+                description=event.description,
+            )
+            telem.counter(
+                "oracle.violations",
+                kind=event.kind.value,
+                space=str(event.space),
+            ).inc()
+        mismatch = None
+        if result.detected and not fresh_events:
+            mismatch = "false_positive"
+        elif fresh_events and not result.detected:
+            mismatch = "false_negative"
+        if mismatch is not None:
+            telem.emit(
+                EventKind.ORACLE_MISMATCH,
+                kernel=kernel_name,
+                mechanism=mech_name,
+                mismatch=mismatch,
+            )
+            telem.counter(
+                "oracle.mismatches", mechanism=mech_name, kind=mismatch
+            ).inc()
+        if result.violation is not None:
+            telem.emit(
+                EventKind.DETECTION,
+                kernel=kernel_name,
+                mechanism=mech_name,
+                violation=type(result.violation).__name__,
+            )
+        telem.emit(
+            EventKind.KERNEL_END,
+            kernel=kernel_name,
+            mechanism=mech_name,
+            completed=result.completed,
+            steps=result.steps,
         )
 
     def _setup_shared(self) -> None:
@@ -496,6 +578,17 @@ class GpuExecutor:
                 activated=instr.hint_activate,
                 thread=thread,
             )
+            if TELEMETRY.enabled:
+                TELEMETRY.emit(
+                    EventKind.PTR_ARITH,
+                    thread=thread,
+                    activated=instr.hint_activate,
+                    offset=offset,
+                )
+                TELEMETRY.counter(
+                    "exec.ptr_arith",
+                    activated=str(instr.hint_activate).lower(),
+                ).inc()
             return
 
         if isinstance(instr, (Load, Store)):
@@ -670,6 +763,21 @@ class GpuExecutor:
         raw = mech.translate(pointer)
         space = layout.space_of(raw)
         width = instr.width
+
+        if TELEMETRY.enabled:
+            TELEMETRY.counter(
+                "exec.accesses",
+                space=str(space),
+                kind="store" if is_store else "load",
+            ).inc()
+            TELEMETRY.emit(
+                EventKind.ACCESS_CHECK,
+                thread=thread,
+                address=raw,
+                width=width,
+                space=space,
+                store=is_store,
+            )
 
         verdict = self.tracker.classify_provenanced(
             raw,

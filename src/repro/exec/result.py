@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..common.errors import MemorySafetyViolation, MemorySpace, ViolationKind
+from ..mechanisms.base import MechanismStatsSnapshot
 
 
 @dataclass(frozen=True)
@@ -41,6 +42,25 @@ class LaunchResult:
     steps: int = 0
     #: Threads that ran to completion before any fault.
     threads_completed: int = 0
+    #: Name of the mechanism that guarded the launch.
+    mechanism: str = ""
+    #: Mechanism counters at the end of the launch (checks, tagged
+    #: pointers, metadata traffic, detections).
+    mechanism_stats: Optional[MechanismStatsSnapshot] = None
+
+    def stats_line(self) -> str:
+        """One-line mechanism/launch summary for CLIs and examples."""
+        stats = (
+            self.mechanism_stats
+            if self.mechanism_stats is not None
+            else MechanismStatsSnapshot()
+        )
+        status = "ok" if self.completed else "fault"
+        name = self.mechanism or "?"
+        return (
+            f"[{name}] {status}: steps={self.steps} "
+            f"threads={self.threads_completed} {stats.summary()}"
+        )
 
     @property
     def detected(self) -> bool:

@@ -5,13 +5,22 @@ Usage::
     python -m repro.experiments            # full run (~1 minute)
     python -m repro.experiments --fast     # reduced trace sizes
     python -m repro.experiments fig4 table3   # selected experiments
+
+Observability flags (any of them switches telemetry on)::
+
+    python -m repro.experiments fig12 --metrics out/fig12.metrics.json \
+        --trace out/fig12.trace.json        # Prometheus/JSON + Perfetto
+    python -m repro.experiments --fast --verbose-telemetry
 """
 
 from __future__ import annotations
 
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..telemetry.export import write_chrome_trace, write_metrics
+from ..telemetry.runtime import TELEMETRY
 
 from .feasibility_study import run_feasibility_study
 from .fig1_memory_mix import run_fig1
@@ -87,21 +96,82 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
 }
 
 
+def _parse_args(argv) -> Tuple[bool, bool, Optional[str], Optional[str],
+                               Optional[str], List[str]]:
+    """Hand-rolled parse: (fast, verbose, metrics, trace, error, names)."""
+    fast = False
+    verbose = False
+    metrics_path: Optional[str] = None
+    trace_path: Optional[str] = None
+    selected: List[str] = []
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg == "--fast":
+            fast = True
+        elif arg == "--verbose-telemetry":
+            verbose = True
+        elif arg in ("--metrics", "--trace"):
+            if index + 1 >= len(argv):
+                return fast, verbose, metrics_path, trace_path, \
+                    f"{arg} requires a PATH argument", selected
+            index += 1
+            if arg == "--metrics":
+                metrics_path = argv[index]
+            else:
+                trace_path = argv[index]
+        elif arg.startswith("--metrics="):
+            metrics_path = arg.split("=", 1)[1]
+        elif arg.startswith("--trace="):
+            trace_path = arg.split("=", 1)[1]
+        elif arg.startswith("-"):
+            pass  # unknown flags are ignored, as before
+        else:
+            selected.append(arg)
+        index += 1
+    return fast, verbose, metrics_path, trace_path, None, selected
+
+
 def main(argv) -> int:
-    fast = "--fast" in argv
-    selected = [a for a in argv if not a.startswith("-")]
+    fast, verbose, metrics_path, trace_path, error, selected = \
+        _parse_args(argv)
+    if error:
+        print(error)
+        return 2
     names = selected if selected else list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; choices: {list(EXPERIMENTS)}")
         return 2
+
+    telemetry_wanted = bool(metrics_path or trace_path or verbose)
+    if telemetry_wanted:
+        TELEMETRY.configure(enabled=True, deterministic=True)
+
     for name in names:
         started = time.time()
         print("=" * 72)
         print(f"{name}  (repro of the paper's {name.replace('fig', 'Figure ').replace('table', 'Table ')})")
         print("=" * 72)
-        print(EXPERIMENTS[name](fast))
+        with TELEMETRY.span(f"experiment:{name}", "experiment", fast=fast):
+            print(EXPERIMENTS[name](fast))
         print(f"[{name} done in {time.time() - started:.1f}s]\n")
+
+    if telemetry_wanted:
+        meta = {"experiments": names, "fast": fast}
+        if metrics_path:
+            write_metrics(
+                metrics_path, TELEMETRY.registry,
+                meta=meta, recorder=TELEMETRY.recorder,
+            )
+            print(f"[metrics written to {metrics_path}]")
+        if trace_path:
+            write_chrome_trace(trace_path, TELEMETRY.tracer,
+                               TELEMETRY.recorder)
+            print(f"[trace written to {trace_path}]")
+        if verbose:
+            print(TELEMETRY.summary())
+        TELEMETRY.configure(enabled=False)
     return 0
 
 

@@ -25,6 +25,8 @@ from ..common.errors import (
     TemporalViolation,
 )
 from ..pointer.encoding import DebugCode, PointerCodec
+from ..telemetry import EventKind
+from ..telemetry.runtime import TELEMETRY
 
 
 @dataclass(frozen=True)
@@ -62,12 +64,34 @@ class ExtentChecker:
         """
         self._checks += 1
         extent = self.codec.extent_of(pointer)
+        telem = TELEMETRY
+        if telem.enabled:
+            telem.counter("ec.checks").inc()
         if 1 <= extent <= self.codec.max_size_extent:
             return
 
         self._faults += 1
         address = self.codec.address_of(pointer)
         code = self.codec.debug_code(pointer)
+        if telem.enabled:
+            cause = (
+                "temporal"
+                if code is DebugCode.TEMPORAL_VIOLATION
+                else "spatial"
+            )
+            telem.counter(
+                "ec.faults",
+                cause=cause,
+                space=str(space) if space is not None else "unknown",
+            ).inc()
+            telem.emit(
+                EventKind.EC_FAULT,
+                address=address,
+                extent=extent,
+                cause=cause,
+                space=space,
+                thread=thread,
+            )
         if code in (DebugCode.TEMPORAL_VIOLATION,):
             raise TemporalViolation(
                 f"access through freed/expired pointer 0x{address:x}",

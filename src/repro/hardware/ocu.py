@@ -40,7 +40,10 @@ from typing import Deque, Optional
 from ..common.bitops import WORD_MASK, low_mask, to_u64
 from ..common.config import DEFAULT_LMI_CONFIG, LmiConfig
 from ..common.errors import SimulationError
+from ..memory import layout
 from ..pointer.encoding import PointerCodec
+from ..telemetry import EventKind
+from ..telemetry.runtime import TELEMETRY
 
 
 @dataclass(frozen=True)
@@ -146,12 +149,22 @@ class OverflowCheckingUnit:
         pointer_operand = to_u64(pointer_operand)
         alu_output = to_u64(alu_output)
         extent = self.codec.extent_of(pointer_operand)
+        telem = TELEMETRY
+        if telem.enabled:
+            telem.counter("ocu.checks").inc()
 
         if extent == 0 or extent > self.codec.max_size_extent:
             # Invalid (or debug-stamped) input: poison the result so the
             # EC faults on dereference, preserving any debug extent.
             self._propagations += 1
             poisoned = self.codec.with_extent(alu_output, extent)
+            if telem.enabled:
+                telem.counter("ocu.propagations").inc()
+                telem.emit(
+                    EventKind.OCU_PROPAGATE,
+                    pointer=pointer_operand,
+                    extent=extent,
+                )
             return OcuResult(
                 value=poisoned, checked=True, propagated_invalid=True
             )
@@ -160,6 +173,19 @@ class OverflowCheckingUnit:
         changed = pointer_operand ^ alu_output
         if changed & mask:
             self._overflows += 1
+            if telem.enabled:
+                space = layout.space_of(self.codec.address_of(pointer_operand))
+                telem.counter(
+                    "ocu.extent_cleared",
+                    space=str(space) if space is not None else "unknown",
+                ).inc()
+                telem.emit(
+                    EventKind.OCU_CLEAR,
+                    pointer=pointer_operand,
+                    result=alu_output,
+                    extent=extent,
+                    space=space,
+                )
             return OcuResult(
                 value=self.codec.invalidate(alu_output),
                 checked=True,

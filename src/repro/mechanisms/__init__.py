@@ -3,7 +3,13 @@
 from typing import Dict, Type
 
 from .baggy import BAGGY_INSTRUCTIONS_PER_CHECK, BaggyBoundsMechanism
-from .base import BaselineMechanism, ExecContext, Mechanism, MechanismStats
+from .base import (
+    BaselineMechanism,
+    ExecContext,
+    Mechanism,
+    MechanismStats,
+    MechanismStatsSnapshot,
+)
 from .canary import (
     CANARY_BYTE,
     CANARY_BYTES,
@@ -51,6 +57,7 @@ __all__ = [
     "ExecContext",
     "Mechanism",
     "MechanismStats",
+    "MechanismStatsSnapshot",
     "CANARY_BYTE",
     "CANARY_BYTES",
     "CanaryMechanism",

@@ -35,3 +35,10 @@ class BaggyBoundsMechanism(LmiMechanism):
     def injected_instructions(self) -> int:
         """Total software instructions the checks would have executed."""
         return self.stats.checks * BAGGY_INSTRUCTIONS_PER_CHECK
+
+    def publish_stats(self, registry):
+        snapshot = super().publish_stats(registry)
+        registry.gauge(
+            "baggy.injected_instructions", mechanism=self.name
+        ).set(self.injected_instructions)
+        return snapshot

@@ -29,16 +29,112 @@ from typing import Optional, Sequence, Tuple
 from ..common.errors import MemorySpace
 from ..memory.sparse import SparseMemory
 from ..memory.tracker import AllocationRecord, AllocationTracker
+from ..telemetry.registry import MetricsRegistry
 
 
-@dataclass
-class MechanismStats:
-    """Counters every mechanism accumulates during a launch."""
+@dataclass(frozen=True)
+class MechanismStatsSnapshot:
+    """Immutable copy of a mechanism's counters at one point in time.
+
+    Attached to :class:`~repro.exec.result.LaunchResult` so callers
+    see what the active mechanism did during the launch.
+    """
 
     checks: int = 0
     tagged_pointers: int = 0
     metadata_memory_accesses: int = 0
     detections: int = 0
+
+    def summary(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"checks={self.checks} tagged={self.tagged_pointers} "
+            f"metadata_accesses={self.metadata_memory_accesses} "
+            f"detections={self.detections}"
+        )
+
+
+class MechanismStats:
+    """Counters every mechanism accumulates during a launch.
+
+    A *view* over a :class:`~repro.telemetry.registry.MetricsRegistry`:
+    the attributes read and write registry counters
+    (``mechanism.checks{mechanism=lmi}`` etc.), so the same numbers the
+    tests assert on are exportable through the telemetry exporters.
+    By default each instance owns a private registry, preserving the
+    old per-instance isolation; the executor rolls launch deltas up
+    into the global registry via :meth:`Mechanism.publish_stats`.
+    """
+
+    FIELDS = (
+        "checks",
+        "tagged_pointers",
+        "metadata_memory_accesses",
+        "detections",
+    )
+
+    __slots__ = ("registry", "_counters")
+
+    def __init__(
+        self, registry: Optional[MetricsRegistry] = None, **labels: object
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(f"mechanism.{name}", **labels)
+            for name in self.FIELDS
+        }
+
+    # Attribute-style counter access (``stats.checks += 1`` keeps
+    # working through the property get+set pair).
+
+    @property
+    def checks(self) -> int:
+        return self._counters["checks"].value
+
+    @checks.setter
+    def checks(self, value: int) -> None:
+        self._counters["checks"].set(value)
+
+    @property
+    def tagged_pointers(self) -> int:
+        return self._counters["tagged_pointers"].value
+
+    @tagged_pointers.setter
+    def tagged_pointers(self, value: int) -> None:
+        self._counters["tagged_pointers"].set(value)
+
+    @property
+    def metadata_memory_accesses(self) -> int:
+        return self._counters["metadata_memory_accesses"].value
+
+    @metadata_memory_accesses.setter
+    def metadata_memory_accesses(self, value: int) -> None:
+        self._counters["metadata_memory_accesses"].set(value)
+
+    @property
+    def detections(self) -> int:
+        return self._counters["detections"].value
+
+    @detections.setter
+    def detections(self, value: int) -> None:
+        self._counters["detections"].set(value)
+
+    def snapshot(self) -> MechanismStatsSnapshot:
+        """Immutable copy of the current counter values."""
+        return MechanismStatsSnapshot(
+            checks=self.checks,
+            tagged_pointers=self.tagged_pointers,
+            metadata_memory_accesses=self.metadata_memory_accesses,
+            detections=self.detections,
+        )
+
+    def as_dict(self) -> dict:
+        """Counter values keyed by field name."""
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"MechanismStats({inner})"
 
 
 @dataclass
@@ -61,8 +157,9 @@ class Mechanism:
     aligned_shared = False
 
     def __init__(self) -> None:
-        self.stats = MechanismStats()
+        self.stats = MechanismStats(mechanism=self.name)
         self.context: Optional[ExecContext] = None
+        self._published_stats = MechanismStatsSnapshot()
 
     # ------------------------------------------------------------------
     # Launch lifecycle
@@ -70,6 +167,24 @@ class Mechanism:
     def bind(self, context: ExecContext) -> None:
         """Receive the executor's memory and oracle at launch time."""
         self.context = context
+
+    def publish_stats(self, registry: MetricsRegistry) -> MechanismStatsSnapshot:
+        """Roll unpublished counter deltas up into *registry*.
+
+        Idempotent across launches: only the growth since the last
+        publish is added, so repeated launches on one executor do not
+        double-count.  Returns the current snapshot.
+        """
+        snapshot = self.stats.snapshot()
+        previous = self._published_stats
+        for field_name in MechanismStats.FIELDS:
+            delta = getattr(snapshot, field_name) - getattr(previous, field_name)
+            if delta:
+                registry.counter(
+                    f"mechanism.{field_name}", mechanism=self.name
+                ).inc(delta)
+        self._published_stats = snapshot
+        return snapshot
 
     def on_kernel_end(self) -> None:
         """End-of-kernel verification (canary schemes check here).

@@ -21,6 +21,8 @@ from typing import List, Optional, Tuple
 
 from ..common.errors import MemorySpace, SpatialViolation
 from ..memory.tracker import AllocationRecord
+from ..telemetry import EventKind
+from ..telemetry.runtime import TELEMETRY
 from .base import Mechanism
 
 #: Canary pattern byte and region size.
@@ -70,11 +72,23 @@ class CanaryMechanism(Mechanism):
         """Verify every canary region (the GMOD end-of-kernel sweep)."""
         if self.context is None:
             return
+        if TELEMETRY.enabled:
+            TELEMETRY.counter(
+                "canary.regions_swept", mechanism=self.name
+            ).inc(len(self._regions))
         for region_base, region_size, owner in self._regions:
             self.stats.checks += 1
             data = self.context.memory.read_bytes(region_base, region_size)
             if any(byte != CANARY_BYTE for byte in data):
                 self.stats.detections += 1
+                if TELEMETRY.enabled:
+                    TELEMETRY.emit(
+                        EventKind.DETECTION,
+                        mechanism=self.name,
+                        cause="canary_corrupted",
+                        address=region_base,
+                        owner=owner,
+                    )
                 raise SpatialViolation(
                     f"{self.name}: canary of buffer 0x{owner:x} corrupted "
                     f"(region 0x{region_base:x})",

@@ -29,6 +29,8 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..common.errors import MemorySpace, SpatialViolation, TemporalViolation
 from ..memory import layout
 from ..memory.tracker import AllocationRecord
+from ..telemetry import EventKind
+from ..telemetry.runtime import TELEMETRY
 from .base import Mechanism
 
 _TAG_SHIFT = 48
@@ -136,6 +138,14 @@ class CuCatchMechanism(Mechanism):
         self.stats.metadata_memory_accesses += 1  # shadow lookup
         if tag in self._retired:
             self.stats.detections += 1
+            if TELEMETRY.enabled:
+                TELEMETRY.emit(
+                    EventKind.DETECTION,
+                    mechanism=self.name,
+                    cause="retired_tag",
+                    address=raw_address,
+                    thread=thread,
+                )
             raise TemporalViolation(
                 f"cuCatch: access through freed/expired buffer at "
                 f"0x{raw_address:x}",
@@ -150,6 +160,14 @@ class CuCatchMechanism(Mechanism):
         lower, upper = bounds
         if raw_address < lower or raw_address + width > upper:
             self.stats.detections += 1
+            if TELEMETRY.enabled:
+                TELEMETRY.emit(
+                    EventKind.DETECTION,
+                    mechanism=self.name,
+                    cause="shadow_bounds",
+                    address=raw_address,
+                    thread=thread,
+                )
             raise SpatialViolation(
                 f"cuCatch bounds violation at 0x{raw_address:x} "
                 f"(buffer [{lower:#x}, {upper:#x}))",

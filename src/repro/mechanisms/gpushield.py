@@ -23,6 +23,8 @@ from typing import Dict, Optional, Tuple
 from ..common.errors import MemorySpace, SpatialViolation
 from ..memory import layout
 from ..memory.tracker import AllocationRecord
+from ..telemetry import EventKind
+from ..telemetry.runtime import TELEMETRY
 from .base import Mechanism
 
 #: Buffer IDs live in pointer bits [48:59) — above every region address.
@@ -109,11 +111,19 @@ class GPUShieldMechanism(Mechanism):
     def _rcache_access(self, tag: int) -> None:
         """FIFO RCache model; counts metadata memory traffic on miss."""
         if tag in self._rcache:
+            if TELEMETRY.enabled:
+                TELEMETRY.counter("gpushield.rcache_hits").inc()
             return
         self._rcache.append(tag)
         if len(self._rcache) > self._rcache_entries:
             self._rcache.pop(0)
         self.stats.metadata_memory_accesses += 1
+        if TELEMETRY.enabled:
+            TELEMETRY.counter("gpushield.rcache_misses").inc()
+            TELEMETRY.emit(
+                EventKind.CACHE_MISS, unit="rcache", mechanism=self.name,
+                tag=tag,
+            )
 
     def check_access(
         self,
@@ -136,6 +146,14 @@ class GPUShieldMechanism(Mechanism):
         lower, upper = bounds
         if raw_address < lower or raw_address + width > upper:
             self.stats.detections += 1
+            if TELEMETRY.enabled:
+                TELEMETRY.emit(
+                    EventKind.DETECTION,
+                    mechanism=self.name,
+                    cause="bounds_table",
+                    address=raw_address,
+                    thread=thread,
+                )
             raise SpatialViolation(
                 f"GPUShield bounds violation at 0x{raw_address:x} "
                 f"(buffer [{lower:#x}, {upper:#x}))",

@@ -26,6 +26,8 @@ from typing import Dict, Optional
 
 from ..common.errors import MemorySpace, SpatialViolation
 from ..memory.tracker import AllocationRecord
+from ..telemetry import EventKind
+from ..telemetry.runtime import TELEMETRY
 from .base import Mechanism
 
 _TAG_SHIFT = 48
@@ -103,6 +105,14 @@ class ImtMechanism(Mechanism):
         stored = self._granule_tags.get(raw_address // _GRANULE, 0)
         if stored != tag:
             self.stats.detections += 1
+            if TELEMETRY.enabled:
+                TELEMETRY.emit(
+                    EventKind.DETECTION,
+                    mechanism=self.name,
+                    cause="tag_mismatch",
+                    address=raw_address,
+                    thread=thread,
+                )
             raise SpatialViolation(
                 f"IMT tag mismatch at 0x{raw_address:x} "
                 f"(pointer tag {tag}, memory tag {stored})",

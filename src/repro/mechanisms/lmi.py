@@ -30,6 +30,8 @@ from ..hardware.ocu import OverflowCheckingUnit
 from ..liveness.tracking import LivenessTracker
 from ..memory.tracker import AllocationRecord
 from ..pointer.encoding import DebugCode, PointerCodec
+from ..telemetry import EventKind
+from ..telemetry.runtime import TELEMETRY
 from .base import Mechanism
 
 
@@ -97,6 +99,14 @@ class LmiMechanism(Mechanism):
         self.stats.tagged_pointers += 1
         if self.liveness is not None:
             self.liveness.register(pointer)
+        if TELEMETRY.enabled:
+            TELEMETRY.emit(
+                EventKind.POINTER_TAG,
+                mechanism=self.name,
+                space=space,
+                size=size,
+                extent=self.codec.extent_of(pointer),
+            )
         return pointer
 
     def translate(self, pointer: int) -> int:
@@ -121,6 +131,13 @@ class LmiMechanism(Mechanism):
         if result.overflow and not self.delayed_termination:
             # Ablation: fault at the arithmetic, before any access.
             self.stats.detections += 1
+            if TELEMETRY.enabled:
+                TELEMETRY.emit(
+                    EventKind.DETECTION,
+                    mechanism="lmi-immediate",
+                    cause="immediate_termination",
+                    thread=thread,
+                )
             raise SpatialViolation(
                 f"immediate-termination ablation: pointer arithmetic "
                 f"escaped its buffer (0x{self.codec.address_of(raw_result):x})",
@@ -177,6 +194,14 @@ class LmiMechanism(Mechanism):
             raise
         if self.liveness is not None and not self.liveness.is_live(pointer):
             self.stats.detections += 1
+            if TELEMETRY.enabled:
+                TELEMETRY.emit(
+                    EventKind.DETECTION,
+                    mechanism=self.name,
+                    cause="liveness_table",
+                    address=raw_address,
+                    thread=thread,
+                )
             raise TemporalViolation(
                 f"liveness table rejects access to 0x{raw_address:x} "
                 "(buffer no longer live)",

@@ -26,6 +26,8 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..common.config import DEFAULT_LMI_CONFIG, LmiConfig
+from ..telemetry import EventKind
+from ..telemetry.runtime import TELEMETRY
 from .lmi import LmiMechanism
 
 
@@ -64,8 +66,26 @@ class LmiInMemoryPointerMechanism(LmiMechanism):
         if self._shadow.get(address) == value:
             return value  # verified spill: re-enter the lifecycle
         # Forged or corrupted: strip the extent so the EC faults on use.
+        if TELEMETRY.enabled:
+            TELEMETRY.emit(
+                EventKind.DETECTION,
+                mechanism=self.name,
+                cause="spill_integrity",
+                address=address,
+                thread=thread,
+            )
+            TELEMETRY.counter(
+                "lmi_inmem.spill_integrity_failures", mechanism=self.name
+            ).inc()
         return self.codec.invalidate(value)
 
     def verified_spills(self) -> int:
         """Number of live shadow entries (for tests/stats)."""
         return len(self._shadow)
+
+    def publish_stats(self, registry):
+        snapshot = super().publish_stats(registry)
+        registry.gauge(
+            "lmi_inmem.verified_spills", mechanism=self.name
+        ).set(len(self._shadow))
+        return snapshot

@@ -15,6 +15,8 @@ from __future__ import annotations
 from typing import Optional
 
 from ..common.errors import MemorySpace, SpatialViolation, TemporalViolation
+from ..telemetry import EventKind
+from ..telemetry.runtime import TELEMETRY
 from .base import Mechanism
 
 
@@ -42,6 +44,14 @@ class MemcheckMechanism(Mechanism):
             return  # allocation-granularity tool: sub-object misses
         if verdict.use_after_free:
             self.stats.detections += 1
+            if TELEMETRY.enabled:
+                TELEMETRY.emit(
+                    EventKind.DETECTION,
+                    mechanism=self.name,
+                    cause="use_after_free",
+                    address=raw_address,
+                    thread=thread,
+                )
             raise TemporalViolation(
                 f"memcheck: access to freed memory at 0x{raw_address:x}",
                 space=space,
@@ -51,6 +61,14 @@ class MemcheckMechanism(Mechanism):
             )
         if not verdict.in_live_allocation:
             self.stats.detections += 1
+            if TELEMETRY.enabled:
+                TELEMETRY.emit(
+                    EventKind.DETECTION,
+                    mechanism=self.name,
+                    cause="out_of_bounds",
+                    address=raw_address,
+                    thread=thread,
+                )
             raise SpatialViolation(
                 f"memcheck: out-of-bounds access at 0x{raw_address:x}",
                 space=space,

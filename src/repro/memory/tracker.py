@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..common.errors import ConfigurationError, MemorySpace
+from ..telemetry import EventKind
+from ..telemetry.runtime import TELEMETRY
 
 
 @dataclass(frozen=True)
@@ -123,6 +125,20 @@ class AllocationTracker:
         index = bisect.bisect_left(self._bases, base)
         self._bases.insert(index, base)
         self._live_by_base[base] = record
+        if TELEMETRY.enabled:
+            TELEMETRY.counter("alloc.count", space=str(space)).inc()
+            TELEMETRY.counter("alloc.bytes", space=str(space)).inc(size)
+            TELEMETRY.registry.histogram(
+                "alloc.size_bytes", space=str(space)
+            ).observe(size)
+            TELEMETRY.emit(
+                EventKind.ALLOC,
+                base=base,
+                size=size,
+                space=space,
+                thread=thread,
+                alloc_id=record.alloc_id,
+            )
         return record
 
     def on_free(self, base: int) -> AllocationRecord:
@@ -133,6 +149,15 @@ class AllocationTracker:
         record.live = False
         index = bisect.bisect_left(self._bases, base)
         del self._bases[index]
+        if TELEMETRY.enabled:
+            TELEMETRY.counter("free.count", space=str(record.space)).inc()
+            TELEMETRY.emit(
+                EventKind.FREE,
+                base=base,
+                size=record.size,
+                space=record.space,
+                alloc_id=record.alloc_id,
+            )
         return record
 
     def live_at(self, base: int) -> Optional[AllocationRecord]:

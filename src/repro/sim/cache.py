@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict
 
 from ..common.bitops import log2_exact
 from ..common.config import CacheConfig
+from ..telemetry.registry import MetricsRegistry
 
 
 @dataclass
@@ -16,6 +17,10 @@ class CacheStats:
 
     hits: int = 0
     misses: int = 0
+    #: Last-published values, so :meth:`publish` stays delta-based and
+    #: a cache shared between simulator runs is not double-counted.
+    _published_hits: int = field(default=0, repr=False, compare=False)
+    _published_misses: int = field(default=0, repr=False, compare=False)
 
     @property
     def accesses(self) -> int:
@@ -28,6 +33,17 @@ class CacheStats:
         if not self.accesses:
             return 0.0
         return self.hits / self.accesses
+
+    def publish(self, registry: MetricsRegistry, **labels: object) -> None:
+        """Add growth since the last publish to ``cache.*`` counters."""
+        hits = self.hits - self._published_hits
+        misses = self.misses - self._published_misses
+        if hits:
+            registry.counter("cache.hits", **labels).inc(hits)
+        if misses:
+            registry.counter("cache.misses", **labels).inc(misses)
+        self._published_hits = self.hits
+        self._published_misses = self.misses
 
 
 class SetAssociativeCache:

@@ -20,6 +20,9 @@ from typing import List, Optional
 
 from ..common.config import DEFAULT_GPU_CONFIG, GpuConfig
 from ..common.errors import SimulationError
+from ..telemetry import EventKind
+from ..telemetry.registry import MetricsRegistry
+from ..telemetry.runtime import TELEMETRY
 from .cache import SetAssociativeCache
 from .dram import DramModel
 from .timing import BaselineTiming, TimingModel, expand_stream
@@ -34,7 +37,13 @@ _TRANSACTION_CYCLES = 4
 
 @dataclass
 class SimStats:
-    """Counters accumulated over one simulation."""
+    """Counters accumulated over one simulation.
+
+    Kept as plain ``int`` fields (not live registry views) because they
+    sit in the simulator's hot loop; :meth:`publish` copies the totals
+    into a :class:`~repro.telemetry.registry.MetricsRegistry` at the
+    end of a run when telemetry is enabled.
+    """
 
     instructions: int = 0
     issue_stall_cycles: int = 0
@@ -42,6 +51,27 @@ class SimStats:
     l1_misses: int = 0
     l2_hits: int = 0
     l2_misses: int = 0
+    #: Cycles spent serializing extra coalesced transactions at the LSU.
+    lsu_serialization_cycles: int = 0
+    #: Coalesced transactions beyond the first, per memory instruction.
+    extra_transactions: int = 0
+
+    def publish(self, registry: MetricsRegistry, **labels: object) -> None:
+        """Add this run's totals to *registry* under ``sim.*`` counters."""
+        registry.counter("sim.instructions", **labels).inc(self.instructions)
+        registry.counter("sim.issue_stall_cycles", **labels).inc(
+            self.issue_stall_cycles
+        )
+        registry.counter("sim.l1_hits", **labels).inc(self.l1_hits)
+        registry.counter("sim.l1_misses", **labels).inc(self.l1_misses)
+        registry.counter("sim.l2_hits", **labels).inc(self.l2_hits)
+        registry.counter("sim.l2_misses", **labels).inc(self.l2_misses)
+        registry.counter("sim.lsu_serialization_cycles", **labels).inc(
+            self.lsu_serialization_cycles
+        )
+        registry.counter("sim.extra_transactions", **labels).inc(
+            self.extra_transactions
+        )
 
 
 @dataclass
@@ -97,8 +127,12 @@ class SmSimulator:
 
     def _memory_latency(self, instr: TraceInstruction, now: int) -> int:
         """Latency of a memory instruction's slowest transaction."""
+        extra = len(instr.lines) - 1
+        if extra > 0:
+            self._stats.extra_transactions += extra
+            self._stats.lsu_serialization_cycles += _TRANSACTION_CYCLES * extra
         if instr.op in (OpClass.LDS, OpClass.STS):
-            return _SHARED_LATENCY + _TRANSACTION_CYCLES * (len(instr.lines) - 1)
+            return _SHARED_LATENCY + _TRANSACTION_CYCLES * extra
         slowest = 0
         for index, line in enumerate(instr.lines):
             if self.l1.access(line):
@@ -136,6 +170,7 @@ class SmSimulator:
 
         clock = 0
         current = 0
+        telem = TELEMETRY
         live = [w for w in warps if not w.done]
         while live:
             # Greedy-then-oldest warp selection.
@@ -152,6 +187,13 @@ class SmSimulator:
                     w.earliest_issue(clock) for w in warps if not w.done
                 )
                 self._stats.issue_stall_cycles += next_time - clock
+                if telem.enabled:
+                    telem.emit(
+                        EventKind.WARP_STALL,
+                        trace=trace.name,
+                        cycles=next_time - clock,
+                        clock=clock,
+                    )
                 clock = next_time
                 continue
 
@@ -163,11 +205,23 @@ class SmSimulator:
             warp.last_issue = clock
             warp.last_complete = clock + latency
             self._stats.instructions += 1
+            if telem.enabled:
+                telem.emit(
+                    EventKind.WARP_ISSUE,
+                    trace=trace.name,
+                    warp=chosen,
+                    op=instr.op.name,
+                    clock=clock,
+                )
             clock += 1
             if warp.done:
                 live = [w for w in warps if not w.done]
 
         finish = max(w.last_complete for w in warps)
+        if telem.enabled:
+            self._stats.publish(telem.registry, trace=trace.name)
+            self.l1.stats.publish(telem.registry, unit="l1", trace=trace.name)
+            self.l2.stats.publish(telem.registry, unit="l2", trace=trace.name)
         return SimResult(name=trace.name, cycles=finish, stats=self._stats)
 
 

@@ -21,6 +21,7 @@ from typing import Callable, List, Optional
 
 from ..common.config import DEFAULT_GPU_CONFIG, GpuConfig
 from ..common.errors import SimulationError
+from ..telemetry.runtime import TELEMETRY
 from .cache import SetAssociativeCache
 from .core import SimResult, SmSimulator
 from .timing import BaselineTiming, TimingModel
@@ -49,6 +50,33 @@ class GpuSimResult:
         if mean == 0:
             return 1.0
         return self.cycles / mean
+
+    @property
+    def issue_stall_cycles(self) -> int:
+        """Issue-stall cycles summed over all SMs."""
+        return sum(r.stats.issue_stall_cycles for r in self.per_sm)
+
+    @property
+    def lsu_serialization_cycles(self) -> int:
+        """LSU serialization cycles summed over all SMs."""
+        return sum(r.stats.lsu_serialization_cycles for r in self.per_sm)
+
+    @property
+    def extra_transactions(self) -> int:
+        """Extra coalesced transactions summed over all SMs."""
+        return sum(r.stats.extra_transactions for r in self.per_sm)
+
+    def format_summary(self) -> str:
+        """One-line rendering of the headline numbers."""
+        return (
+            f"[{self.name}] cycles={self.cycles} "
+            f"instructions={self.total_instructions} "
+            f"sms={len(self.per_sm)} "
+            f"issue_stalls={self.issue_stall_cycles} "
+            f"lsu_serialization={self.lsu_serialization_cycles} "
+            f"extra_transactions={self.extra_transactions} "
+            f"imbalance={self.load_imbalance:.2f}"
+        )
 
 
 class GpuSimulator:
@@ -98,11 +126,15 @@ class GpuSimulator:
             ),
         )
         per_sm: List[SimResult] = []
+        telem = TELEMETRY
         for sm_index, warps in enumerate(shards):
             simulator = SmSimulator(contended, self.model_factory())
             simulator.l2 = shared_l2
             shard = KernelTrace(name=f"{trace.name}.sm{sm_index}", warps=warps)
-            per_sm.append(simulator.run(shard))
+            with telem.span(
+                f"sim:{shard.name}", "sim", tid=sm_index, trace=trace.name
+            ):
+                per_sm.append(simulator.run(shard))
         return GpuSimResult(
             name=trace.name,
             cycles=max(r.cycles for r in per_sm),

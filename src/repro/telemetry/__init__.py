@@ -1,0 +1,77 @@
+"""Telemetry subsystem: metrics registry, event bus, spans, exporters.
+
+The observability layer of the reproduction (see DESIGN.md,
+"Observability").  Three collection surfaces behind one global
+``enabled`` flag:
+
+* :class:`MetricsRegistry` — hierarchical counters/gauges/histograms
+  with labels (``ocu.extent_cleared{space=heap}``);
+* :class:`FlightRecorder` — ring-buffered structured
+  :class:`TelemetryEvent` stream (alloc/free, OCU decisions, EC
+  faults, oracle mismatches, cache and warp-scheduler activity);
+* :class:`Tracer` — span timeline of launches/experiments.
+
+Exporters produce a Perfetto-loadable Chrome trace and a combined
+Prometheus-text + JSON metrics document.
+"""
+
+from .events import IMPORTANT_KINDS, EventKind, FlightRecorder, TelemetryEvent
+from .export import (
+    METRICS_SCHEMA,
+    TRACE_SCHEMA,
+    chrome_trace,
+    dumps,
+    metrics_json,
+    write_chrome_trace,
+    write_json,
+    write_metrics,
+)
+from .registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .runtime import (
+    TELEMETRY,
+    Telemetry,
+    capture,
+    configure,
+    emit_event,
+    get_telemetry,
+    telemetry_enabled,
+)
+from .spans import Instant, LogicalClock, Span, Tracer, WallClock
+
+__all__ = [
+    "EventKind",
+    "TelemetryEvent",
+    "FlightRecorder",
+    "IMPORTANT_KINDS",
+    "METRICS_SCHEMA",
+    "TRACE_SCHEMA",
+    "chrome_trace",
+    "metrics_json",
+    "dumps",
+    "write_json",
+    "write_metrics",
+    "write_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "Telemetry",
+    "TELEMETRY",
+    "capture",
+    "configure",
+    "emit_event",
+    "get_telemetry",
+    "telemetry_enabled",
+    "Instant",
+    "LogicalClock",
+    "Span",
+    "Tracer",
+    "WallClock",
+]

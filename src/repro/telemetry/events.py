@@ -1,0 +1,202 @@
+"""Structured event bus / flight recorder.
+
+The executor, hardware units and simulator publish
+:class:`TelemetryEvent` records — per-access verdicts, OCU clears, EC
+faults, oracle mismatches, warp scheduler activity — into a bounded
+ring buffer (:class:`FlightRecorder`).  The recorder is the "black
+box" of a run: it keeps the most recent *capacity* events so a fault
+can always be explained from the stream that led up to it, while the
+registry keeps the aggregate counts.
+
+Hot-path discipline
+-------------------
+* When the recorder is disabled, :meth:`FlightRecorder.emit` returns
+  after a single attribute test — no event object, no payload dict is
+  retained.  Call sites in per-instruction loops additionally guard
+  with ``if telemetry.enabled:`` so not even the ``**payload`` dict is
+  built.
+* ``sample_every=N`` keeps every Nth routine event; *important* kinds
+  (faults, detections, oracle mismatches) bypass sampling so the
+  signal is never thinned away.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, List, Mapping, Optional
+
+
+class EventKind(enum.Enum):
+    """Vocabulary of the structured event bus."""
+
+    ALLOC = "alloc"
+    FREE = "free"
+    SCOPE_EXIT = "scope_exit"
+    POINTER_TAG = "pointer_tag"
+    PTR_ARITH = "ptr_arith"
+    OCU_CLEAR = "ocu_clear"
+    OCU_PROPAGATE = "ocu_propagate"
+    EC_FAULT = "ec_fault"
+    ACCESS_CHECK = "access_check"
+    DETECTION = "detection"
+    ORACLE_VIOLATION = "oracle_violation"
+    ORACLE_MISMATCH = "oracle_mismatch"
+    CACHE_HIT = "cache_hit"
+    CACHE_MISS = "cache_miss"
+    WARP_ISSUE = "warp_issue"
+    WARP_STALL = "warp_stall"
+    KERNEL_BEGIN = "kernel_begin"
+    KERNEL_END = "kernel_end"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Kinds that must never be lost to sampling (they are rare and are
+#: exactly what post-mortem debugging needs).
+IMPORTANT_KINDS: FrozenSet[EventKind] = frozenset(
+    {
+        EventKind.EC_FAULT,
+        EventKind.DETECTION,
+        EventKind.ORACLE_VIOLATION,
+        EventKind.ORACLE_MISMATCH,
+        EventKind.OCU_CLEAR,
+        EventKind.KERNEL_BEGIN,
+        EventKind.KERNEL_END,
+    }
+)
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured record on the event bus."""
+
+    #: Monotonic sequence number (1-based, counts every accepted emit).
+    seq: int
+    #: Logical (deterministic) or wall-clock microsecond timestamp.
+    ts: int
+    kind: EventKind
+    payload: Mapping[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly rendering (enums stringified)."""
+        return {
+            "seq": self.seq,
+            "ts": self.ts,
+            "kind": self.kind.value,
+            **{k: _jsonable(v) for k, v in sorted(self.payload.items())},
+        }
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, enum.Enum):
+        return str(value)
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class FlightRecorder:
+    """Ring-buffered event sink with sampling controls."""
+
+    __slots__ = (
+        "enabled",
+        "capacity",
+        "sample_every",
+        "_ring",
+        "_attempts",
+        "emitted",
+        "dropped",
+        "sampled_out",
+    )
+
+    def __init__(
+        self,
+        capacity: int = 8192,
+        *,
+        sample_every: int = 1,
+        enabled: bool = True,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        if sample_every <= 0:
+            raise ValueError("sample_every must be positive")
+        self.enabled = enabled
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self._ring: Deque[TelemetryEvent] = deque(maxlen=capacity)
+        #: Emission attempts while enabled (sampling denominator).
+        self._attempts = 0
+        #: Events accepted into the ring (including later overwritten).
+        self.emitted = 0
+        #: Events overwritten by ring overflow.
+        self.dropped = 0
+        #: Events thinned away by sampling.
+        self.sampled_out = 0
+
+    # ------------------------------------------------------------------
+
+    def emit(
+        self, kind: EventKind, ts: int = 0, /, **payload: object
+    ) -> Optional[TelemetryEvent]:
+        """Publish one event; returns it, or None when suppressed."""
+        if not self.enabled:
+            return None
+        self._attempts += 1
+        if (
+            self.sample_every > 1
+            and kind not in IMPORTANT_KINDS
+            and self._attempts % self.sample_every
+        ):
+            self.sampled_out += 1
+            return None
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        event = TelemetryEvent(
+            seq=self._attempts, ts=ts, kind=kind, payload=payload
+        )
+        self._ring.append(event)
+        self.emitted += 1
+        return event
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def events(self, kind: Optional[EventKind] = None) -> List[TelemetryEvent]:
+        """Chronological view of the buffered events."""
+        if kind is None:
+            return list(self._ring)
+        return [event for event in self._ring if event.kind is kind]
+
+    def drain(self) -> List[TelemetryEvent]:
+        """Return and clear the buffered events (counters survive)."""
+        events = list(self._ring)
+        self._ring.clear()
+        return events
+
+    def clear(self) -> None:
+        """Drop buffered events and zero all counters."""
+        self._ring.clear()
+        self._attempts = 0
+        self.emitted = 0
+        self.dropped = 0
+        self.sampled_out = 0
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Histogram of currently-buffered events by kind."""
+        out: Dict[str, int] = {}
+        for event in self._ring:
+            out[event.kind.value] = out.get(event.kind.value, 0) + 1
+        return dict(sorted(out.items()))
+
+
+__all__ = [
+    "EventKind",
+    "TelemetryEvent",
+    "FlightRecorder",
+    "IMPORTANT_KINDS",
+]

@@ -1,0 +1,337 @@
+"""Hierarchical metrics registry: counters, gauges, histograms.
+
+Every number the reproduction produces — per-check OCU/EC verdicts,
+mechanism counters, cycle-level simulator statistics — is registered
+here under a dotted hierarchical name plus a set of labels, e.g.
+``ocu.extent_cleared{space=heap}``.  The registry is deliberately
+dependency-free and deterministic: snapshots and the Prometheus text
+exposition sort every name and label, so the same run always exports
+byte-identical artifacts.
+
+Design notes
+------------
+* Instruments are plain attribute-bag objects (``__slots__``) with an
+  ``inc``/``set``/``observe`` hot path of one attribute update — cheap
+  enough to sit behind per-access counters in the functional executor.
+* The timing simulator's innermost loop does *not* call into the
+  registry; it accumulates plain ints (:class:`~repro.sim.core.SimStats`)
+  and publishes the totals here at end of run, keeping the
+  telemetry-disabled fast path allocation-free.
+* :meth:`MetricsRegistry.merge` folds one registry into another
+  (counters add, gauges take the other's latest value, histograms sum
+  bucket-wise), which is how per-mechanism private registries roll up
+  into the process-global one.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds (powers of two + overflow).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+    4096.0, 16384.0, 65536.0, float("inf"),
+)
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    """Canonical, hashable, sorted form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_suffix(labels: LabelKey) -> str:
+    """``{k=v,...}`` rendering used by snapshot keys ('' when empty)."""
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+class Counter:
+    """Monotonic counter (the value is still settable so stats views
+    can restore snapshots; exporters treat it as a counter)."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add *amount* (default 1)."""
+        self.value += amount
+
+    def set(self, value: Number) -> None:
+        """Overwrite the value (stats-view assignment path)."""
+        self.value = value
+
+
+class Gauge:
+    """Point-in-time value."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        """Record the latest observation."""
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        """Adjust upward."""
+        self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        """Adjust downward."""
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative counts on export, like
+    Prometheus ``le`` buckets)."""
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds or bounds[-1] != float("inf"):
+            bounds.append(float("inf"))
+        self.name = name
+        self.labels = labels
+        self.buckets: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * len(bounds)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs, Prometheus style."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            out.append((bound, running))
+        return out
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Label-aware instrument store with deterministic export."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelKey], Instrument] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument accessors (get-or-create)
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """Get or create the counter ``name{labels}``."""
+        return self._get(Counter, name, _label_key(labels))
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """Get or create the gauge ``name{labels}``."""
+        return self._get(Gauge, name, _label_key(labels))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        """Get or create the histogram ``name{labels}``."""
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = Histogram(
+                name, key[1], buckets if buckets is not None else DEFAULT_BUCKETS
+            )
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, Histogram):
+            raise TypeError(
+                f"metric {name!r} already registered as {instrument.kind}"
+            )
+        return instrument
+
+    def _get(self, cls, name: str, labels: LabelKey):
+        key = (name, labels)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, labels)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {instrument.kind}"
+            )
+        return instrument
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def __iter__(self) -> Iterator[Instrument]:
+        for key in sorted(self._instruments):
+            yield self._instruments[key]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def value(self, name: str, **labels: object) -> Number:
+        """Current value of a counter/gauge (0 when never touched)."""
+        instrument = self._instruments.get((name, _label_key(labels)))
+        if instrument is None:
+            return 0
+        if isinstance(instrument, Histogram):
+            raise TypeError(f"{name!r} is a histogram; use .histogram()")
+        return instrument.value
+
+    def total(self, name: str) -> Number:
+        """Sum of a counter over every label combination."""
+        return sum(
+            inst.value
+            for (metric_name, _), inst in self._instruments.items()
+            if metric_name == name and not isinstance(inst, Histogram)
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+
+    def reset(self) -> None:
+        """Drop every instrument."""
+        self._instruments.clear()
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold *other* into this registry.
+
+        Counters and histogram buckets add; gauges take the other's
+        value (latest wins).
+        """
+        for (name, labels), inst in other._instruments.items():
+            if isinstance(inst, Counter):
+                self._get(Counter, name, labels).inc(inst.value)
+            elif isinstance(inst, Gauge):
+                self._get(Gauge, name, labels).set(inst.value)
+            else:
+                mine = self._instruments.get((name, labels))
+                if mine is None:
+                    mine = Histogram(name, labels, inst.buckets)
+                    self._instruments[(name, labels)] = mine
+                if not isinstance(mine, Histogram):
+                    raise TypeError(
+                        f"metric {name!r} already registered as {mine.kind}"
+                    )
+                for index, count in enumerate(inst.counts):
+                    mine.counts[index] += count
+                mine.sum += inst.sum
+                mine.count += inst.count
+
+    # ------------------------------------------------------------------
+    # Export
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Deterministic nested dict: kind -> ``name{labels}`` -> value."""
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        for inst in self:
+            key = inst.name + _label_suffix(inst.labels)
+            if isinstance(inst, Counter):
+                out["counters"][key] = inst.value
+            elif isinstance(inst, Gauge):
+                out["gauges"][key] = inst.value
+            else:
+                out["histograms"][key] = {
+                    "count": inst.count,
+                    "sum": inst.sum,
+                    "buckets": {
+                        ("+Inf" if bound == float("inf") else _format_num(bound)):
+                            cumulative
+                        for bound, cumulative in inst.cumulative()
+                    },
+                }
+        return out
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        seen_types: Dict[str, str] = {}
+        for inst in self:
+            metric = _prom_name(prefix, inst.name)
+            if metric not in seen_types:
+                seen_types[metric] = inst.kind
+                lines.append(f"# HELP {metric} {inst.name}")
+                lines.append(f"# TYPE {metric} {inst.kind}")
+            if isinstance(inst, (Counter, Gauge)):
+                lines.append(
+                    f"{metric}{_prom_labels(inst.labels)} "
+                    f"{_format_num(inst.value)}"
+                )
+            else:
+                for bound, cumulative in inst.cumulative():
+                    le = "+Inf" if bound == float("inf") else _format_num(bound)
+                    extra = inst.labels + (("le", le),)
+                    lines.append(
+                        f"{metric}_bucket{_prom_labels(extra)} {cumulative}"
+                    )
+                lines.append(
+                    f"{metric}_sum{_prom_labels(inst.labels)} "
+                    f"{_format_num(inst.sum)}"
+                )
+                lines.append(
+                    f"{metric}_count{_prom_labels(inst.labels)} {inst.count}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_num(value: Number) -> str:
+    """Render ints without a trailing ``.0``; floats via repr."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    """Dotted hierarchical name -> legal Prometheus metric name."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return f"{prefix}_{cleaned}" if prefix else cleaned
+
+
+def _prom_labels(labels: LabelKey) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(
+        '{}="{}"'.format(k, str(v).replace("\\", r"\\").replace('"', r"\""))
+        for k, v in labels
+    )
+    return "{" + rendered + "}"
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
