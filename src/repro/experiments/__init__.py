@@ -1,5 +1,6 @@
 """Experiment drivers, one per paper table/figure."""
 
+from .engine import JobResult, SimJob, fan_out, model_factory, run_sim_jobs
 from .feasibility_study import FeasibilityStudy, run_feasibility_study
 from .fig1_memory_mix import Fig1Result, Fig1Row, run_fig1
 from .fig4_fragmentation import Fig4Result, Fig4Row, measure_benchmark, run_fig4
@@ -19,6 +20,7 @@ from .table6_hardware import (
 )
 
 __all__ = [
+    "JobResult", "SimJob", "fan_out", "model_factory", "run_sim_jobs",
     "FeasibilityStudy", "run_feasibility_study",
     "Fig1Result", "Fig1Row", "run_fig1",
     "Fig4Result", "Fig4Row", "measure_benchmark", "run_fig4",

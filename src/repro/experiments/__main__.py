@@ -6,6 +6,16 @@ Usage::
     python -m repro.experiments --fast     # reduced trace sizes
     python -m repro.experiments fig4 table3   # selected experiments
 
+Performance flags::
+
+    python -m repro.experiments fig12 --fast --jobs 4   # process fan-out
+    python -m repro.experiments --trace-cache out/traces  # on-disk traces
+
+``--jobs N`` shards the simulation-backed artefacts (fig12, fig13,
+table2) over N worker processes; outputs are byte-identical for any N.
+``--trace-cache DIR`` (or ``REPRO_TRACE_CACHE``) persists synthesized
+kernel traces, so repeated runs skip synthesis entirely.
+
 Observability flags (any of them switches telemetry on)::
 
     python -m repro.experiments fig12 --metrics out/fig12.metrics.json \
@@ -17,10 +27,11 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from ..telemetry.export import write_chrome_trace, write_metrics
 from ..telemetry.runtime import TELEMETRY
+from ..workloads import configure_trace_cache
 
 from .feasibility_study import run_feasibility_study
 from .fig1_memory_mix import run_fig1
@@ -32,20 +43,20 @@ from .table3_security import mismatches, run_table3
 from .table6_hardware import run_table6
 
 
-def _fig1(fast: bool) -> str:
+def _fig1(fast: bool, jobs: int) -> str:
     scale = dict(warps=2, instructions_per_warp=400) if fast else {}
     return run_fig1(**scale).format_table()
 
 
-def _fig4(fast: bool) -> str:
+def _fig4(fast: bool, jobs: int) -> str:
     return run_fig4().format_table()
 
 
-def _fig12(fast: bool) -> str:
+def _fig12(fast: bool, jobs: int) -> str:
     if fast:
-        result = run_fig12(warps=8, instructions_per_warp=400)
+        result = run_fig12(warps=8, instructions_per_warp=400, jobs=jobs)
     else:
-        result = run_fig12(warps=16, instructions_per_warp=1200)
+        result = run_fig12(warps=16, instructions_per_warp=1200, jobs=jobs)
     lines = [result.format_table()]
     for mechanism in ("baggy", "gpushield", "lmi"):
         worst, overhead = result.max_overhead(mechanism)
@@ -57,15 +68,15 @@ def _fig12(fast: bool) -> str:
     return "\n".join(lines)
 
 
-def _fig13(fast: bool) -> str:
-    return run_fig13().format_table()
+def _fig13(fast: bool, jobs: int) -> str:
+    return run_fig13(jobs=jobs).format_table()
 
 
-def _table2(fast: bool) -> str:
-    return run_table2(fast=True).format_table()
+def _table2(fast: bool, jobs: int) -> str:
+    return run_table2(fast=True, jobs=jobs).format_table()
 
 
-def _table3(fast: bool) -> str:
+def _table3(fast: bool, jobs: int) -> str:
     report = run_table3()
     lines = [report.format_table()]
     diverging = mismatches(report)
@@ -76,15 +87,15 @@ def _table3(fast: bool) -> str:
     return "\n".join(lines)
 
 
-def _table6(fast: bool) -> str:
+def _table6(fast: bool, jobs: int) -> str:
     return run_table6().format_table()
 
 
-def _feasibility(fast: bool) -> str:
+def _feasibility(fast: bool, jobs: int) -> str:
     return run_feasibility_study().format_table()
 
 
-EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+EXPERIMENTS: Dict[str, Callable[[bool, int], str]] = {
     "fig1": _fig1,
     "fig4": _fig4,
     "fig12": _fig12,
@@ -96,49 +107,79 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
 }
 
 
-def _parse_args(argv) -> Tuple[bool, bool, Optional[str], Optional[str],
-                               Optional[str], List[str]]:
-    """Hand-rolled parse: (fast, verbose, metrics, trace, error, names)."""
-    fast = False
-    verbose = False
-    metrics_path: Optional[str] = None
-    trace_path: Optional[str] = None
-    selected: List[str] = []
+class _CliOptions:
+    """Parsed command-line state."""
+
+    def __init__(self) -> None:
+        self.fast = False
+        self.verbose = False
+        self.metrics_path: Optional[str] = None
+        self.trace_path: Optional[str] = None
+        self.trace_cache_dir: Optional[str] = None
+        self.jobs = 1
+        self.error: Optional[str] = None
+        self.selected: List[str] = []
+
+
+def _parse_args(argv) -> _CliOptions:
+    """Hand-rolled parse (argparse-free, as the seed CLI was)."""
+    options = _CliOptions()
+    value_flags = ("--metrics", "--trace", "--jobs", "--trace-cache")
     index = 0
     while index < len(argv):
         arg = argv[index]
         if arg == "--fast":
-            fast = True
+            options.fast = True
         elif arg == "--verbose-telemetry":
-            verbose = True
-        elif arg in ("--metrics", "--trace"):
-            if index + 1 >= len(argv):
-                return fast, verbose, metrics_path, trace_path, \
-                    f"{arg} requires a PATH argument", selected
-            index += 1
-            if arg == "--metrics":
-                metrics_path = argv[index]
+            options.verbose = True
+        elif arg in value_flags or arg.startswith(
+            tuple(f"{flag}=" for flag in value_flags)
+        ):
+            if "=" in arg:
+                flag, value = arg.split("=", 1)
             else:
-                trace_path = argv[index]
-        elif arg.startswith("--metrics="):
-            metrics_path = arg.split("=", 1)[1]
-        elif arg.startswith("--trace="):
-            trace_path = arg.split("=", 1)[1]
+                flag = arg
+                if index + 1 >= len(argv):
+                    metavar = "N" if flag == "--jobs" else "PATH"
+                    options.error = f"{flag} requires a {metavar} argument"
+                    return options
+                index += 1
+                value = argv[index]
+            if flag == "--metrics":
+                options.metrics_path = value
+            elif flag == "--trace":
+                options.trace_path = value
+            elif flag == "--trace-cache":
+                options.trace_cache_dir = value
+            else:  # --jobs
+                try:
+                    options.jobs = int(value)
+                except ValueError:
+                    options.error = f"--jobs expects an integer, got {value!r}"
+                    return options
+                if options.jobs < 1:
+                    options.error = "--jobs must be >= 1"
+                    return options
         elif arg.startswith("-"):
             pass  # unknown flags are ignored, as before
         else:
-            selected.append(arg)
+            options.selected.append(arg)
         index += 1
-    return fast, verbose, metrics_path, trace_path, None, selected
+    return options
 
 
 def main(argv) -> int:
-    fast, verbose, metrics_path, trace_path, error, selected = \
-        _parse_args(argv)
-    if error:
-        print(error)
+    options = _parse_args(argv)
+    if options.error:
+        print(options.error)
         return 2
-    names = selected if selected else list(EXPERIMENTS)
+    fast = options.fast
+    verbose = options.verbose
+    metrics_path = options.metrics_path
+    trace_path = options.trace_path
+    if options.trace_cache_dir:
+        configure_trace_cache(disk_dir=options.trace_cache_dir)
+    names = options.selected if options.selected else list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; choices: {list(EXPERIMENTS)}")
@@ -154,7 +195,7 @@ def main(argv) -> int:
         print(f"{name}  (repro of the paper's {name.replace('fig', 'Figure ').replace('table', 'Table ')})")
         print("=" * 72)
         with TELEMETRY.span(f"experiment:{name}", "experiment", fast=fast):
-            print(EXPERIMENTS[name](fast))
+            print(EXPERIMENTS[name](fast, options.jobs))
         print(f"[{name} done in {time.time() - started:.1f}s]\n")
 
     if telemetry_wanted:

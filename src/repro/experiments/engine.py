@@ -1,0 +1,212 @@
+"""Parallel experiment engine: deterministic (benchmark × mechanism)
+fan-out for the simulation-backed paper artefacts.
+
+The artefact drivers (Figure 12/13, Table II) decompose into
+independent jobs — one timing simulation (or analytic row) per
+(benchmark, mechanism) pair.  This module shards those jobs across a
+``ProcessPoolExecutor`` while keeping every observable output
+**byte-identical** to the serial run:
+
+* **Job order is the contract.**  Results are merged in submission
+  order (the serial iteration order), never completion order, so
+  metrics/trace exports do not depend on process scheduling.
+* **``--jobs 1`` is the seed path.**  With one job slot everything
+  runs in-process against the global telemetry hub, exactly as the
+  drivers always did; parallelism is strictly opt-in.
+* **Telemetry round-trip.**  When the hub is enabled, each worker
+  captures its job's telemetry into a private hub (unbounded ring,
+  no sampling), ships the registry plus the raw event stream back,
+  and the parent replays events through the global recorder *in job
+  order* — re-applying the parent's sampling, ring capacity, sequence
+  numbers and logical clock — then merges the registries.  The global
+  hub therefore ends in the same state as a serial run.
+* **Trace reuse.**  Jobs synthesize through the content-addressed
+  :mod:`~repro.workloads.trace_cache`, so the four mechanisms of one
+  benchmark share a single synthesis (and, with ``--trace-cache``, so
+  do the worker processes and repeated CLI invocations).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from ..common.config import DEFAULT_GPU_CONFIG, GpuConfig
+from ..sim import (
+    BaggyBoundsTiming,
+    BaselineTiming,
+    GPUShieldTiming,
+    LmiTiming,
+    SimStats,
+    SmSimulator,
+    TimingModel,
+)
+from ..telemetry.runtime import TELEMETRY, capture
+from ..workloads import cached_trace
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: Ring capacity workers capture with: effectively unbounded (deques
+#: with a large ``maxlen`` do not preallocate), so the parent replay
+#: sees every event and can re-apply its own sampling/overflow policy.
+_WORKER_RING_CAPACITY = 1 << 30
+
+
+def model_factory(name: str) -> TimingModel:
+    """Fresh timing model by mechanism name."""
+    if name == "baseline":
+        return BaselineTiming()
+    if name == "lmi":
+        return LmiTiming()
+    if name == "gpushield":
+        return GPUShieldTiming()
+    if name == "baggy":
+        return BaggyBoundsTiming()
+    raise KeyError(f"unknown timing model {name!r}")
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One shardable unit: a benchmark under a timing model."""
+
+    benchmark: str
+    mechanism: str
+    warps: int
+    instructions_per_warp: int
+    seed_salt: int = 0
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Deterministic merge key."""
+        return (self.benchmark, self.mechanism)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one :class:`SimJob`."""
+
+    job: SimJob
+    cycles: int
+    stats: SimStats
+
+
+def _effective_workers(n_jobs: int, n_items: int) -> int:
+    """Worker processes actually worth spawning.
+
+    More workers than CPUs (or items) cannot speed up a CPU-bound
+    simulation — they only add fork/pickle overhead — so the request
+    is capped, and a single effective worker degrades to the
+    in-process serial path (which is byte-identical anyway).
+    """
+    return min(n_jobs, n_items, os.cpu_count() or 1)
+
+
+def _execute_job(job: SimJob, config: GpuConfig) -> JobResult:
+    """Run one job in the current process (trace via the cache)."""
+    trace = cached_trace(
+        job.benchmark,
+        warps=job.warps,
+        instructions_per_warp=job.instructions_per_warp,
+        seed_salt=job.seed_salt,
+    )
+    result = SmSimulator(config, model_factory(job.mechanism)).run(trace)
+    return JobResult(job=job, cycles=result.cycles, stats=result.stats)
+
+
+def _job_worker(payload):
+    """Pool entry point: job + optional private-telemetry capture."""
+    job, config, telemetry_wanted = payload
+    if not telemetry_wanted:
+        TELEMETRY.enabled = False  # forked copies must not double-count
+        return _execute_job(job, config), None
+    with capture(
+        ring_capacity=_WORKER_RING_CAPACITY, sample_every=1
+    ) as hub:
+        result = _execute_job(job, config)
+        events = [
+            (event.kind, dict(event.payload))
+            for event in hub.recorder.events()
+        ]
+        registry = hub.registry
+    return result, (registry, events)
+
+
+def _replay_telemetry(blob) -> None:
+    """Fold one worker's captured telemetry into the global hub."""
+    registry, events = blob
+    emit = TELEMETRY.emit  # parent clock/seq numbers/sampling apply
+    for kind, payload in events:
+        emit(kind, **payload)
+    TELEMETRY.registry.merge(registry)
+
+
+def run_sim_jobs(
+    jobs: Iterable[SimJob],
+    *,
+    config: GpuConfig = DEFAULT_GPU_CONFIG,
+    n_jobs: int = 1,
+) -> List[JobResult]:
+    """Execute *jobs*, fanning out over processes when ``n_jobs > 1``.
+
+    Results come back in submission order regardless of completion
+    order; telemetry (when enabled) is replayed in the same order, so
+    exports are byte-identical across ``n_jobs`` settings.
+    """
+    job_list = list(jobs)
+    workers = _effective_workers(n_jobs, len(job_list))
+    if workers <= 1:
+        return [_execute_job(job, config) for job in job_list]
+
+    telemetry_wanted = TELEMETRY.enabled
+    results: List[JobResult] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_job_worker, (job, config, telemetry_wanted))
+            for job in job_list
+        ]
+        for future in futures:  # submission order == merge order
+            result, blob = future.result()
+            if blob is not None:
+                _replay_telemetry(blob)
+            results.append(result)
+    return results
+
+
+def _fan_worker(payload):
+    function, item = payload
+    return function(item)
+
+
+def fan_out(
+    function: Callable[[ItemT], ResultT],
+    items: Sequence[ItemT],
+    *,
+    n_jobs: int = 1,
+) -> List[ResultT]:
+    """Deterministically-ordered parallel map for analytic artefacts.
+
+    ``function`` must be a picklable top-level callable.  With
+    ``n_jobs <= 1`` this is a plain in-process map (the seed path).
+    Results are collected in input order.
+    """
+    item_list = list(items)
+    workers = _effective_workers(n_jobs, len(item_list))
+    if workers <= 1:
+        return [function(item) for item in item_list]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_fan_worker, (function, item)) for item in item_list
+        ]
+        return [future.result() for future in futures]
+
+
+__all__ = [
+    "SimJob",
+    "JobResult",
+    "model_factory",
+    "run_sim_jobs",
+    "fan_out",
+]

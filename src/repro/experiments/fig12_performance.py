@@ -17,14 +17,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..common.config import DEFAULT_GPU_CONFIG, GpuConfig
-from ..sim import (
-    BaggyBoundsTiming,
-    BaselineTiming,
-    GPUShieldTiming,
-    LmiTiming,
-    SmSimulator,
-)
-from ..workloads import all_benchmarks, synthesize_trace
+from ..workloads import all_benchmarks
+from .engine import SimJob, model_factory, run_sim_jobs
 
 #: Warps per scheduler partition: enough to make the baseline
 #: issue-bound, as on a well-occupied real SM.
@@ -33,17 +27,8 @@ DEFAULT_INSTRUCTIONS = 2000
 
 MECHANISM_ORDER = ("baggy", "gpushield", "lmi")
 
-
-def _model_factory(name: str):
-    if name == "baseline":
-        return BaselineTiming()
-    if name == "lmi":
-        return LmiTiming()
-    if name == "gpushield":
-        return GPUShieldTiming()
-    if name == "baggy":
-        return BaggyBoundsTiming()
-    raise KeyError(f"unknown timing model {name!r}")
+#: Backwards-compatible alias (the factory now lives in the engine).
+_model_factory = model_factory
 
 
 @dataclass
@@ -115,19 +100,36 @@ def run_fig12(
     instructions_per_warp: int = DEFAULT_INSTRUCTIONS,
     mechanisms: Sequence[str] = MECHANISM_ORDER,
     config: GpuConfig = DEFAULT_GPU_CONFIG,
+    jobs: int = 1,
 ) -> Fig12Result:
-    """Simulate every benchmark under every mechanism."""
+    """Simulate every benchmark under every mechanism.
+
+    The (benchmark × mechanism) grid is sharded through the experiment
+    engine; ``jobs`` bounds the worker processes (1 = in-process, the
+    historical serial path).  Results are identical for any ``jobs``.
+    """
     names = list(benchmarks) if benchmarks is not None else all_benchmarks()
+    job_list = [
+        SimJob(
+            benchmark=name,
+            mechanism=mechanism,
+            warps=warps,
+            instructions_per_warp=instructions_per_warp,
+        )
+        for name in names
+        for mechanism in ("baseline", *mechanisms)
+    ]
+    outcomes = {
+        outcome.job.key: outcome
+        for outcome in run_sim_jobs(job_list, config=config, n_jobs=jobs)
+    }
     result = Fig12Result()
     for name in names:
-        trace = synthesize_trace(
-            name, warps=warps, instructions_per_warp=instructions_per_warp
-        )
-        base = SmSimulator(config, _model_factory("baseline")).run(trace)
-        row = Fig12Row(benchmark=name, base_cycles=base.cycles)
+        base_cycles = outcomes[(name, "baseline")].cycles
+        row = Fig12Row(benchmark=name, base_cycles=base_cycles)
         for mechanism in mechanisms:
-            run = SmSimulator(config, _model_factory(mechanism)).run(trace)
-            row.normalized[mechanism] = run.cycles / base.cycles
+            run = outcomes[(name, mechanism)]
+            row.normalized[mechanism] = run.cycles / base_cycles
         result.rows.append(row)
     return result
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..workloads import SUITES, all_benchmarks, profile
+from .engine import fan_out
 
 #: Instrumentation instructions (relative cost units) per memcheck
 #: LD/ST site; calibrated to the paper's x32.98 geomean.
@@ -91,17 +92,27 @@ class Fig13Result:
         return "\n".join(lines)
 
 
-def run_fig13(benchmarks: Optional[Sequence[str]] = None) -> Fig13Result:
-    """Compute the DBI slowdowns for every Figure 13 benchmark."""
+def _row_for(name: str) -> Fig13Row:
+    """One benchmark's analytic slowdowns (picklable engine job)."""
+    spec = profile(name)
+    f_mem = spec.mem_fraction
+    lmi = (1.0 + C_LMI_DBI * spec.dbi_check_ratio * f_mem) * JIT_NVBIT
+    mem = (1.0 + C_MEMCHECK * spec.memcheck_cost_ratio * f_mem) * JIT_MEMCHECK
+    return Fig13Row(benchmark=name, lmi_dbi=lmi, memcheck=mem)
+
+
+def run_fig13(
+    benchmarks: Optional[Sequence[str]] = None, *, jobs: int = 1
+) -> Fig13Result:
+    """Compute the DBI slowdowns for every Figure 13 benchmark.
+
+    ``jobs`` shards the per-benchmark rows through the experiment
+    engine's deterministic fan-out (ordering is input order either
+    way; the model is analytic, so this mainly keeps the engine
+    contract uniform across artefacts).
+    """
     names = list(benchmarks) if benchmarks is not None else fig13_benchmarks()
-    result = Fig13Result()
-    for name in names:
-        spec = profile(name)
-        f_mem = spec.mem_fraction
-        lmi = (1.0 + C_LMI_DBI * spec.dbi_check_ratio * f_mem) * JIT_NVBIT
-        mem = (1.0 + C_MEMCHECK * spec.memcheck_cost_ratio * f_mem) * JIT_MEMCHECK
-        result.rows.append(Fig13Row(benchmark=name, lmi_dbi=lmi, memcheck=mem))
-    return result
+    return Fig13Result(rows=fan_out(_row_for, names, n_jobs=jobs))
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -128,19 +128,22 @@ def run_table2(
     fig12: Optional[Fig12Result] = None,
     *,
     fast: bool = False,
+    jobs: int = 1,
 ) -> Table2Result:
     """Assemble the full table.
 
-    ``fast`` shrinks the Figure 12 simulation for quick test runs.
+    ``fast`` shrinks the Figure 12 simulation for quick test runs;
+    ``jobs`` shards the measured artefacts through the experiment
+    engine (1 = the historical serial path).
     """
     if security is None:
         security = run_security_evaluation()
     if fig12 is None:
         if fast:
-            fig12 = run_fig12(warps=8, instructions_per_warp=400)
+            fig12 = run_fig12(warps=8, instructions_per_warp=400, jobs=jobs)
         else:
-            fig12 = run_fig12()
-    fig13 = run_fig13()
+            fig12 = run_fig12(jobs=jobs)
+    fig13 = run_fig13(jobs=jobs)
 
     result = Table2Result(rows=list(PUBLISHED_ROWS))
     overheads = {

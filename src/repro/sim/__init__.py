@@ -1,8 +1,9 @@
 """Trace-driven GPU timing simulator (MacSim substitute)."""
 
 from .cache import CacheStats, SetAssociativeCache
-from .core import SimResult, SimStats, SmSimulator, simulate
+from .core import SimResult, SimStats, SmSimulator, expanded_streams, simulate
 from .dram import DramModel, DramStats
+from .reference import ReferenceSmSimulator, reference_simulate
 from .gpu import GpuSimResult, GpuSimulator
 from .tracefile import dump_trace, load_trace
 from .timing import (
@@ -22,7 +23,10 @@ __all__ = [
     "SimResult",
     "SimStats",
     "SmSimulator",
+    "expanded_streams",
     "simulate",
+    "ReferenceSmSimulator",
+    "reference_simulate",
     "DramModel",
     "DramStats",
     "GpuSimResult",

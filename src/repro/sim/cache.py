@@ -59,6 +59,7 @@ class SetAssociativeCache:
         self.name = name
         self._line_bits = log2_exact(config.line_bytes)
         self._num_sets = config.num_sets
+        self._ways = config.ways
         # One OrderedDict per set: tag -> None, LRU first.
         self._sets: Dict[int, OrderedDict] = {}
         self.stats = CacheStats()
@@ -69,15 +70,25 @@ class SetAssociativeCache:
 
     def access(self, address: int) -> bool:
         """Look up *address*; fill on miss.  Returns hit?"""
-        set_index, tag = self._locate(address)
-        ways = self._sets.setdefault(set_index, OrderedDict())
+        # Hot path (one call per coalesced transaction): _locate is
+        # inlined and the per-set OrderedDict is fetched with .get —
+        # .setdefault would construct a throwaway OrderedDict on
+        # every single access.
+        line = address >> self._line_bits
+        set_index = line % self._num_sets
+        tag = line // self._num_sets
+        sets = self._sets
+        ways = sets.get(set_index)
+        if ways is None:
+            ways = sets[set_index] = OrderedDict()
+        stats = self.stats
         if tag in ways:
             ways.move_to_end(tag)
-            self.stats.hits += 1
+            stats.hits += 1
             return True
-        self.stats.misses += 1
+        stats.misses += 1
         ways[tag] = None
-        if len(ways) > self.config.ways:
+        if len(ways) > self._ways:
             ways.popitem(last=False)
         return False
 

@@ -11,11 +11,29 @@ oldest ready warp.  Memory instructions walk the L1 → L2 → HBM
 hierarchy per coalesced transaction; extra transactions serialize at
 the LSU.  The active :class:`~repro.sim.timing.TimingModel` injects
 instructions (software schemes) and extra latencies (OCU, RCache).
+
+Scheduling data structure
+-------------------------
+The issue loop is event-driven rather than scan-based: warps are
+partitioned into a *ready* set (``earliest_issue <= clock``, kept as a
+sorted index list so "oldest ready" is ``ready[0]``) and a *pending*
+min-heap keyed on each warp's exact next ``earliest_issue`` cycle.
+A warp's earliest-issue cycle only changes when it issues, so heap
+entries never go stale: after an issue the warp either stays ready
+(next instruction independent, or dependency already satisfied) or is
+pushed onto the heap with its dependency-completion cycle.  When no
+warp is ready, the clock jumps straight to the heap minimum.  This is
+cycle-for-cycle identical to the historical linear scan (retained in
+:mod:`repro.sim.reference` and locked by
+``tests/test_scheduler_equivalence.py``) while doing O(log W) work per
+issue slot instead of O(W).
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import List, Optional
 
 from ..common.config import DEFAULT_GPU_CONFIG, GpuConfig
@@ -33,6 +51,15 @@ _ALU_LATENCY = {OpClass.INT: 4, OpClass.FP: 4}
 _SHARED_LATENCY = 20
 #: Extra LSU serialization cycles per additional coalesced transaction.
 _TRANSACTION_CYCLES = 4
+
+#: Hot-loop scalar copies of :data:`_ALU_LATENCY` (identity checks on
+#: the op avoid hashing enum members per instruction).
+_INT_LATENCY = _ALU_LATENCY[OpClass.INT]
+_FP_LATENCY = _ALU_LATENCY[OpClass.FP]
+
+#: Attribute the per-trace expansion memo hides behind (see
+#: :func:`expanded_streams`).
+_EXPANSION_MEMO_ATTR = "_expansion_memo"
 
 
 @dataclass
@@ -108,8 +135,44 @@ class _WarpState:
         return self.last_issue + 1
 
 
+def expanded_streams(
+    model: TimingModel, trace: KernelTrace
+) -> List[List[TraceInstruction]]:
+    """The per-warp streams *model* issues for *trace*, memoised.
+
+    Identity-expanding models (baseline, LMI, GPUShield) reuse the
+    trace's own streams — :func:`expand_stream` would only copy them.
+    Rewriting models with a stable
+    :meth:`~repro.sim.timing.TimingModel.expansion_key` (Baggy Bounds)
+    memoise the expanded streams on the trace object, so the same
+    trace simulated under equal-keyed model instances expands once.
+    Instructions are immutable and the simulator never mutates
+    streams, so sharing is safe.
+    """
+    key = model.expansion_key()
+    if key == ("identity",):
+        return trace.warps
+    if key is None:
+        return [expand_stream(model, stream) for stream in trace.warps]
+    memo = getattr(trace, _EXPANSION_MEMO_ATTR, None)
+    if memo is None:
+        memo = {}
+        setattr(trace, _EXPANSION_MEMO_ATTR, memo)
+    streams = memo.get(key)
+    if streams is None:
+        streams = [expand_stream(model, stream) for stream in trace.warps]
+        memo[key] = streams
+    return streams
+
+
 class SmSimulator:
-    """One warp-scheduler partition with its cache hierarchy."""
+    """One warp-scheduler partition with its cache hierarchy.
+
+    An instance is safely reusable: per-run counters live in a fresh
+    :class:`SimStats` threaded through the helpers (never stored on
+    the simulator), while cache/DRAM state intentionally persists
+    across runs on the same instance (warm-cache semantics).
+    """
 
     def __init__(
         self,
@@ -125,72 +188,115 @@ class SmSimulator:
 
     # ------------------------------------------------------------------
 
-    def _memory_latency(self, instr: TraceInstruction, now: int) -> int:
+    def _memory_latency(
+        self, instr: TraceInstruction, now: int, stats: SimStats
+    ) -> int:
         """Latency of a memory instruction's slowest transaction."""
-        extra = len(instr.lines) - 1
+        lines = instr.lines
+        extra = len(lines) - 1
         if extra > 0:
-            self._stats.extra_transactions += extra
-            self._stats.lsu_serialization_cycles += _TRANSACTION_CYCLES * extra
-        if instr.op in (OpClass.LDS, OpClass.STS):
+            stats.extra_transactions += extra
+            stats.lsu_serialization_cycles += _TRANSACTION_CYCLES * extra
+        op = instr.op
+        if op is OpClass.LDS or op is OpClass.STS:
             return _SHARED_LATENCY + _TRANSACTION_CYCLES * extra
+        l1_access = self.l1.access
+        l2_access = self.l2.access
+        l1_hit_latency = self.config.l1.hit_latency
+        l2_hit_latency = self.config.l2.hit_latency
+        dram_request = self.dram.request
         slowest = 0
-        for index, line in enumerate(instr.lines):
-            if self.l1.access(line):
-                latency = self.config.l1.hit_latency
-                self._stats.l1_hits += 1
-            elif self.l2.access(line):
-                latency = self.config.l2.hit_latency
-                self._stats.l1_misses += 1
-                self._stats.l2_hits += 1
+        l1_hits = l1_misses = l2_hits = l2_misses = 0
+        for index, line in enumerate(lines):
+            if l1_access(line):
+                latency = l1_hit_latency
+                l1_hits += 1
+            elif l2_access(line):
+                latency = l2_hit_latency
+                l1_misses += 1
+                l2_hits += 1
             else:
-                self._stats.l1_misses += 1
-                self._stats.l2_misses += 1
-                latency = self.dram.request(line, now) - now
-            slowest = max(slowest, latency + _TRANSACTION_CYCLES * index)
+                l1_misses += 1
+                l2_misses += 1
+                latency = dram_request(line, now) - now
+            candidate = latency + _TRANSACTION_CYCLES * index
+            if candidate > slowest:
+                slowest = candidate
+        stats.l1_hits += l1_hits
+        stats.l1_misses += l1_misses
+        stats.l2_hits += l2_hits
+        stats.l2_misses += l2_misses
         return slowest
 
-    def _latency(self, instr: TraceInstruction, now: int) -> int:
-        if instr.op.is_memory:
-            base = self._memory_latency(instr, now)
+    def _latency(
+        self, instr: TraceInstruction, now: int, stats: SimStats
+    ) -> int:
+        op = instr.op
+        if op is OpClass.INT:
+            base = _INT_LATENCY
+        elif op is OpClass.FP:
+            base = _FP_LATENCY
         else:
-            base = _ALU_LATENCY[instr.op]
+            base = self._memory_latency(instr, now, stats)
         return base + self.model.extra_latency(instr, now)
 
     # ------------------------------------------------------------------
 
     def run(self, trace: KernelTrace) -> SimResult:
         """Simulate *trace* to completion; returns cycles and stats."""
-        self._stats = SimStats()
+        stats = SimStats()
+        model = self.model
         warps = [
-            _WarpState(stream=expand_stream(self.model, stream))
-            for stream in trace.warps
+            _WarpState(stream=stream)
+            for stream in expanded_streams(model, trace)
         ]
         if not warps:
             raise SimulationError("trace has no warps")
 
+        # Hot-loop local bindings.
+        telem = TELEMETRY
+        telem_enabled = telem.enabled
+        telem_emit = telem.emit
+        trace_name = trace.name
+        memory_latency = self._memory_latency
+        extra_latency = model.extra_latency
+        # Models that never perturb result latency (baseline, baggy)
+        # skip the per-instruction callback entirely.
+        has_extra = type(model).extra_latency is not TimingModel.extra_latency
+        op_int = OpClass.INT
+        op_fp = OpClass.FP
+        warp_issue = EventKind.WARP_ISSUE
+        warp_stall = EventKind.WARP_STALL
+
         clock = 0
         current = 0
-        telem = TELEMETRY
-        live = [w for w in warps if not w.done]
+        instructions = 0
+        stall_cycles = 0
+
+        # Every non-empty warp starts issue-ready at cycle 0
+        # (last_issue = -1, last_complete = 0 ⇒ earliest_issue = 0).
+        ready: List[int] = [i for i, w in enumerate(warps) if not w.done]
+        is_ready = [not w.done for w in warps]
+        pending: List = []  # (earliest_issue, warp index) min-heap
+        live = len(ready)
+
         while live:
-            # Greedy-then-oldest warp selection.
-            chosen = None
-            if not warps[current].done and warps[current].earliest_issue(clock) <= clock:
-                chosen = current
+            if pending and pending[0][0] <= clock:
+                while pending and pending[0][0] <= clock:
+                    _, index = heappop(pending)
+                    insort(ready, index)
+                    is_ready[index] = True
+            if ready:
+                # Greedy-then-oldest: stick with the current warp while
+                # it is ready, else the lowest-index (oldest) ready warp.
+                chosen = current if is_ready[current] else ready[0]
             else:
-                for index, warp in enumerate(warps):
-                    if not warp.done and warp.earliest_issue(clock) <= clock:
-                        chosen = index
-                        break
-            if chosen is None:
-                next_time = min(
-                    w.earliest_issue(clock) for w in warps if not w.done
-                )
-                self._stats.issue_stall_cycles += next_time - clock
-                if telem.enabled:
-                    telem.emit(
-                        EventKind.WARP_STALL,
-                        trace=trace.name,
+                next_time = pending[0][0]
+                stall_cycles += next_time - clock
+                if telem_enabled:
+                    telem_emit(
+                        warp_stall,
+                        trace=trace_name,
                         cycles=next_time - clock,
                         clock=clock,
                     )
@@ -199,30 +305,58 @@ class SmSimulator:
 
             current = chosen
             warp = warps[chosen]
-            instr = warp.stream[warp.position]
-            warp.position += 1
-            latency = self._latency(instr, clock)
+            stream = warp.stream
+            position = warp.position
+            instr = stream[position]
+            position += 1
+            warp.position = position
+
+            op = instr.op
+            if op is op_int:
+                latency = _INT_LATENCY
+            elif op is op_fp:
+                latency = _FP_LATENCY
+            else:
+                latency = memory_latency(instr, clock, stats)
+            if has_extra:
+                latency += extra_latency(instr, clock)
+
             warp.last_issue = clock
-            warp.last_complete = clock + latency
-            self._stats.instructions += 1
-            if telem.enabled:
-                telem.emit(
-                    EventKind.WARP_ISSUE,
-                    trace=trace.name,
+            complete = clock + latency
+            warp.last_complete = complete
+            instructions += 1
+            if telem_enabled:
+                telem_emit(
+                    warp_issue,
+                    trace=trace_name,
                     warp=chosen,
-                    op=instr.op.name,
+                    op=op.name,
                     clock=clock,
                 )
             clock += 1
-            if warp.done:
-                live = [w for w in warps if not w.done]
+            if position >= len(stream):
+                # Warp retired: drop it from the ready set; `live` is
+                # maintained incrementally (no full-list rebuild).
+                live -= 1
+                is_ready[chosen] = False
+                ready.remove(chosen)
+            elif stream[position].depends and complete > clock:
+                # Next instruction waits on this result: park the warp
+                # on the pending heap until the dependency resolves.
+                is_ready[chosen] = False
+                ready.remove(chosen)
+                heappush(pending, (complete, chosen))
+            # Otherwise the warp is ready again next cycle and keeps
+            # its slot in the sorted ready list.
 
+        stats.instructions = instructions
+        stats.issue_stall_cycles = stall_cycles
         finish = max(w.last_complete for w in warps)
-        if telem.enabled:
-            self._stats.publish(telem.registry, trace=trace.name)
-            self.l1.stats.publish(telem.registry, unit="l1", trace=trace.name)
-            self.l2.stats.publish(telem.registry, unit="l2", trace=trace.name)
-        return SimResult(name=trace.name, cycles=finish, stats=self._stats)
+        if telem_enabled:
+            stats.publish(telem.registry, trace=trace_name)
+            self.l1.stats.publish(telem.registry, unit="l1", trace=trace_name)
+            self.l2.stats.publish(telem.registry, unit="l2", trace=trace_name)
+        return SimResult(name=trace_name, cycles=finish, stats=stats)
 
 
 def simulate(

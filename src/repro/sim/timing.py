@@ -36,6 +36,11 @@ from .trace import OpClass, TraceInstruction
 BAGGY_CHECK_INSTRUCTIONS = 12
 
 
+#: Expansion key of models whose :meth:`TimingModel.expand` is the
+#: identity rewrite (the expanded stream *is* the input stream).
+IDENTITY_EXPANSION = ("identity",)
+
+
 class TimingModel:
     """Baseline interface: identity expansion, no extra latency."""
 
@@ -48,6 +53,19 @@ class TimingModel:
     def expand(self, instr: TraceInstruction) -> Iterator[TraceInstruction]:
         """Rewrite one trace instruction into the issued sequence."""
         yield instr
+
+    def expansion_key(self):
+        """Content key identifying what :meth:`expand` would produce.
+
+        Two model instances with equal keys produce identical expanded
+        streams for the same input, so the simulator may share one
+        expansion between them (a per-trace memo keyed on this value).
+        Models that override :meth:`expand` without overriding this
+        method return ``None``, which disables the memo for them.
+        """
+        if type(self).expand is TimingModel.expand:
+            return IDENTITY_EXPANSION
+        return None
 
     def extra_latency(self, instr: TraceInstruction, now: int) -> int:
         """Additional result latency for *instr* at cycle *now*."""
@@ -131,6 +149,13 @@ class GPUShieldTiming(TimingModel):
         return slowest
 
 
+#: The one injected-check instruction shape: a serially-dependent INT
+#: op (mask build, XOR, AND, compare, predicated trap are all this).
+#: TraceInstruction is frozen, so one shared instance serves every
+#: injection site — expansion allocates nothing per check.
+_BAGGY_CHECK_INSTRUCTION = TraceInstruction(op=OpClass.INT, depends=True)
+
+
 class BaggyBoundsTiming(TimingModel):
     """Software baggy bounds: injected check sequence per pointer op."""
 
@@ -138,14 +163,18 @@ class BaggyBoundsTiming(TimingModel):
 
     def __init__(self, instructions_per_check: int = BAGGY_CHECK_INSTRUCTIONS) -> None:
         self.instructions_per_check = instructions_per_check
+        self._check_chain = (_BAGGY_CHECK_INSTRUCTION,) * instructions_per_check
+
+    def expansion_key(self):
+        """Expansion depends only on the injected-check count."""
+        return ("baggy", self.instructions_per_check)
 
     def expand(self, instr: TraceInstruction) -> Iterator[TraceInstruction]:
         yield instr
         if instr.checked:
-            for index in range(self.instructions_per_check):
-                # The check chain is serially dependent: mask build,
-                # XOR, AND, compare, predicated trap.
-                yield TraceInstruction(op=OpClass.INT, depends=True)
+            # The check chain is serially dependent: mask build, XOR,
+            # AND, compare, predicated trap.
+            yield from self._check_chain
 
 
 def expand_stream(

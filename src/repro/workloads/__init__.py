@@ -8,6 +8,15 @@ from .profiles import (
     profile,
 )
 from .synthetic import synthesize_trace
+from .trace_cache import (
+    TRACE_CACHE,
+    TraceCache,
+    TraceCacheStats,
+    cached_trace,
+    configure_trace_cache,
+    profile_fingerprint,
+    trace_key,
+)
 
 __all__ = [
     "PROFILES",
@@ -16,4 +25,11 @@ __all__ = [
     "all_benchmarks",
     "profile",
     "synthesize_trace",
+    "TRACE_CACHE",
+    "TraceCache",
+    "TraceCacheStats",
+    "cached_trace",
+    "configure_trace_cache",
+    "profile_fingerprint",
+    "trace_key",
 ]

@@ -1,0 +1,262 @@
+"""Content-addressed kernel-trace cache.
+
+Synthesizing a benchmark trace is deterministic — the generator is
+seeded from the benchmark name — yet the paper artefacts re-ran it for
+every (experiment × mechanism × process) combination.  This module
+memoises :func:`~repro.workloads.synthetic.synthesize_trace` behind a
+content-addressed key so identical requests pay synthesis once:
+
+* **key** — SHA-256 over ``(profile name, warps, instructions/warp,
+  seed salt, profile fingerprint)``.  The fingerprint digests every
+  :class:`~repro.workloads.profiles.BenchmarkProfile` field, so
+  editing a profile (or passing a custom ``spec``) can never serve a
+  stale trace.
+* **L1: in-process LRU** — an ``OrderedDict`` bounded by ``capacity``
+  entries.  Hits return the *same* trace object, which also shares the
+  simulator's per-trace expansion memo across mechanisms.
+* **L2: optional on-disk pickle layer** — enabled by the
+  ``REPRO_TRACE_CACHE`` environment variable or the experiments CLI's
+  ``--trace-cache DIR`` flag.  Files are written atomically
+  (temp + ``os.replace``) so concurrent engine workers can share one
+  directory; unreadable/corrupt entries fall back to synthesis.
+
+Traces are treated as immutable once synthesized (instructions are
+frozen dataclasses and the simulator never mutates streams), which is
+what makes sharing one object between simulators safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from ..sim.trace import KernelTrace
+from .profiles import BenchmarkProfile, profile
+from .synthetic import synthesize_trace
+
+
+def profile_fingerprint(spec: BenchmarkProfile) -> str:
+    """Stable digest of every profile field (hex SHA-256)."""
+    rendered = ";".join(
+        f"{field.name}={getattr(spec, field.name)!r}"
+        for field in fields(spec)
+    )
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
+
+
+def trace_key(
+    spec: BenchmarkProfile,
+    *,
+    warps: int,
+    instructions_per_warp: int,
+    seed_salt: int = 0,
+) -> str:
+    """Content address of one synthesis request (hex SHA-256)."""
+    raw = (
+        f"{spec.name}|warps={warps}|instructions={instructions_per_warp}"
+        f"|salt={seed_salt}|profile={profile_fingerprint(spec)}"
+    )
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class TraceCacheStats:
+    """Hit/miss counters for both cache layers."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get_or_synthesize`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """In-process hit fraction (0 when never used)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class TraceCache:
+    """Two-layer (memory LRU + optional disk) trace cache."""
+
+    def __init__(
+        self, capacity: int = 64, disk_dir: Optional[str] = None
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("trace cache capacity must be positive")
+        self.capacity = capacity
+        self.disk_dir = disk_dir
+        self.stats = TraceCacheStats()
+        self._entries: "OrderedDict[str, KernelTrace]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def configure(
+        self,
+        *,
+        capacity: Optional[int] = None,
+        disk_dir: Optional[str] = None,
+        clear: bool = False,
+    ) -> "TraceCache":
+        """Adjust capacity / disk layer; optionally drop all entries."""
+        with self._lock:
+            if capacity is not None:
+                if capacity <= 0:
+                    raise ValueError("trace cache capacity must be positive")
+                self.capacity = capacity
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+            if disk_dir is not None:
+                self.disk_dir = disk_dir or None
+            if clear:
+                self._entries.clear()
+                self.stats = TraceCacheStats()
+        return self
+
+    def clear(self) -> None:
+        """Drop every in-memory entry and zero the counters."""
+        self.configure(clear=True)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+
+    def _disk_path(self, key: str) -> Optional[str]:
+        if not self.disk_dir:
+            return None
+        return os.path.join(self.disk_dir, f"trace-{key}.pkl")
+
+    def _disk_load(self, key: str) -> Optional[KernelTrace]:
+        path = self._disk_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as handle:
+                trace = pickle.load(handle)
+        except Exception:
+            return None  # corrupt/foreign entry: fall back to synthesis
+        if not isinstance(trace, KernelTrace):
+            return None
+        return trace
+
+    def _disk_store(self, key: str, trace: KernelTrace) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            os.makedirs(self.disk_dir, exist_ok=True)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "wb") as handle:
+                pickle.dump(trace, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic under concurrent workers
+            self.stats.disk_writes += 1
+        except OSError:
+            pass  # disk layer is best-effort
+
+    def _remember(self, key: str, trace: KernelTrace) -> None:
+        self._entries[key] = trace
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+
+    def get_or_synthesize(
+        self,
+        benchmark: str,
+        *,
+        warps: int = 8,
+        instructions_per_warp: int = 2000,
+        seed_salt: int = 0,
+        spec: Optional[BenchmarkProfile] = None,
+    ) -> KernelTrace:
+        """The trace for this request, synthesizing at most once."""
+        spec = spec if spec is not None else profile(benchmark)
+        key = trace_key(
+            spec,
+            warps=warps,
+            instructions_per_warp=instructions_per_warp,
+            seed_salt=seed_salt,
+        )
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return cached
+            self.stats.misses += 1
+            trace = self._disk_load(key)
+            if trace is not None:
+                self.stats.disk_hits += 1
+                self._remember(key, trace)
+                return trace
+            trace = synthesize_trace(
+                benchmark,
+                warps=warps,
+                instructions_per_warp=instructions_per_warp,
+                seed_salt=seed_salt,
+                spec=spec,
+            )
+            self._disk_store(key, trace)
+            self._remember(key, trace)
+            return trace
+
+
+#: Process-global cache; the disk layer follows ``REPRO_TRACE_CACHE``.
+TRACE_CACHE = TraceCache(disk_dir=os.environ.get("REPRO_TRACE_CACHE") or None)
+
+
+def cached_trace(
+    benchmark: str,
+    *,
+    warps: int = 8,
+    instructions_per_warp: int = 2000,
+    seed_salt: int = 0,
+    spec: Optional[BenchmarkProfile] = None,
+) -> KernelTrace:
+    """Drop-in cached façade over ``synthesize_trace``."""
+    return TRACE_CACHE.get_or_synthesize(
+        benchmark,
+        warps=warps,
+        instructions_per_warp=instructions_per_warp,
+        seed_salt=seed_salt,
+        spec=spec,
+    )
+
+
+def configure_trace_cache(
+    *,
+    capacity: Optional[int] = None,
+    disk_dir: Optional[str] = None,
+    clear: bool = False,
+) -> TraceCache:
+    """Configure the process-global cache; returns it."""
+    return TRACE_CACHE.configure(
+        capacity=capacity, disk_dir=disk_dir, clear=clear
+    )
+
+
+__all__ = [
+    "TraceCache",
+    "TraceCacheStats",
+    "TRACE_CACHE",
+    "cached_trace",
+    "configure_trace_cache",
+    "profile_fingerprint",
+    "trace_key",
+]

@@ -1,0 +1,176 @@
+"""Content-addressed trace cache: keys, LRU layer, disk layer."""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+
+import pytest
+
+from repro.sim import KernelTrace
+from repro.workloads import (
+    TraceCache,
+    cached_trace,
+    configure_trace_cache,
+    profile,
+    profile_fingerprint,
+    synthesize_trace,
+    trace_key,
+)
+from repro.workloads.trace_cache import TRACE_CACHE
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_cache():
+    """Keep the process-global cache pristine around every test."""
+    saved_dir = TRACE_CACHE.disk_dir
+    configure_trace_cache(clear=True, disk_dir="")
+    yield
+    TRACE_CACHE.disk_dir = saved_dir
+    TRACE_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# Keys
+
+
+def test_trace_key_is_stable_and_parameter_sensitive():
+    spec = profile("gaussian")
+    base = trace_key(spec, warps=4, instructions_per_warp=100)
+    assert base == trace_key(spec, warps=4, instructions_per_warp=100)
+    assert base != trace_key(spec, warps=5, instructions_per_warp=100)
+    assert base != trace_key(spec, warps=4, instructions_per_warp=101)
+    assert base != trace_key(
+        spec, warps=4, instructions_per_warp=100, seed_salt=1
+    )
+
+
+def test_profile_edit_changes_fingerprint_and_key():
+    spec = profile("gaussian")
+    edited = dataclasses.replace(spec, dep_rate=spec.dep_rate / 2)
+    assert profile_fingerprint(edited) != profile_fingerprint(spec)
+    assert trace_key(edited, warps=4, instructions_per_warp=100) != trace_key(
+        spec, warps=4, instructions_per_warp=100
+    )
+
+
+# ----------------------------------------------------------------------
+# In-process LRU layer
+
+
+def test_memory_hit_returns_same_object():
+    cache = TraceCache()
+    first = cache.get_or_synthesize("needle", warps=2, instructions_per_warp=80)
+    second = cache.get_or_synthesize("needle", warps=2, instructions_per_warp=80)
+    assert second is first
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.hit_rate == 0.5
+
+
+def test_cached_trace_matches_direct_synthesis():
+    via_cache = cached_trace("LSTM", warps=2, instructions_per_warp=60)
+    direct = synthesize_trace("LSTM", warps=2, instructions_per_warp=60)
+    assert via_cache.name == direct.name
+    assert via_cache.warps == direct.warps
+
+
+def test_lru_eviction_order():
+    cache = TraceCache(capacity=2)
+    cache.get_or_synthesize("gaussian", warps=2, instructions_per_warp=50)
+    cache.get_or_synthesize("needle", warps=2, instructions_per_warp=50)
+    # Touch gaussian so needle is the LRU victim.
+    cache.get_or_synthesize("gaussian", warps=2, instructions_per_warp=50)
+    cache.get_or_synthesize("hotspot", warps=2, instructions_per_warp=50)
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1
+    before = cache.stats.misses
+    cache.get_or_synthesize("gaussian", warps=2, instructions_per_warp=50)
+    assert cache.stats.misses == before  # survivor still resident
+    cache.get_or_synthesize("needle", warps=2, instructions_per_warp=50)
+    assert cache.stats.misses == before + 1  # victim re-synthesized
+
+
+def test_capacity_shrink_evicts():
+    cache = TraceCache(capacity=4)
+    for name in ("gaussian", "needle", "hotspot"):
+        cache.get_or_synthesize(name, warps=2, instructions_per_warp=40)
+    cache.configure(capacity=1)
+    assert len(cache) == 1
+    with pytest.raises(ValueError):
+        cache.configure(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Disk layer
+
+
+def test_disk_roundtrip(tmp_path):
+    writer = TraceCache(disk_dir=str(tmp_path))
+    trace = writer.get_or_synthesize("bert", warps=2, instructions_per_warp=60)
+    assert writer.stats.disk_writes == 1
+    assert list(tmp_path.glob("trace-*.pkl"))
+
+    reader = TraceCache(disk_dir=str(tmp_path))
+    loaded = reader.get_or_synthesize("bert", warps=2, instructions_per_warp=60)
+    assert reader.stats.disk_hits == 1
+    assert reader.stats.disk_writes == 0
+    assert loaded.name == trace.name
+    assert loaded.warps == trace.warps
+
+
+def test_corrupt_disk_entry_falls_back_to_synthesis(tmp_path):
+    spec = profile("gaussian")
+    key = trace_key(spec, warps=2, instructions_per_warp=50)
+    (tmp_path / f"trace-{key}.pkl").write_bytes(b"not a pickle")
+    cache = TraceCache(disk_dir=str(tmp_path))
+    trace = cache.get_or_synthesize(
+        "gaussian", warps=2, instructions_per_warp=50
+    )
+    assert isinstance(trace, KernelTrace)
+    assert cache.stats.disk_hits == 0
+    # The good trace replaced the corrupt file.
+    assert pickle.loads(
+        (tmp_path / f"trace-{key}.pkl").read_bytes()
+    ).name == trace.name
+
+
+def test_foreign_pickle_rejected(tmp_path):
+    spec = profile("needle")
+    key = trace_key(spec, warps=2, instructions_per_warp=50)
+    (tmp_path / f"trace-{key}.pkl").write_bytes(
+        pickle.dumps({"not": "a trace"})
+    )
+    cache = TraceCache(disk_dir=str(tmp_path))
+    trace = cache.get_or_synthesize(
+        "needle", warps=2, instructions_per_warp=50
+    )
+    assert isinstance(trace, KernelTrace)
+    assert cache.stats.disk_hits == 0
+
+
+def test_env_variable_seeds_global_disk_dir(tmp_path, monkeypatch):
+    """REPRO_TRACE_CACHE wires the disk layer at import time."""
+    import importlib
+
+    import repro.workloads.trace_cache as module
+
+    original = module.TRACE_CACHE
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+    try:
+        reloaded = importlib.reload(module)
+        assert reloaded.TRACE_CACHE.disk_dir == str(tmp_path)
+        reloaded.cached_trace("nn", warps=2, instructions_per_warp=40)
+        assert list(tmp_path.glob("trace-*.pkl"))
+    finally:
+        # Reload re-executed the module in the same namespace; put the
+        # original global cache back so module-level functions (whose
+        # __globals__ is that namespace) keep using it.
+        module.TRACE_CACHE = original
+
+
+def test_configure_trace_cache_returns_global():
+    cache = configure_trace_cache(capacity=8)
+    assert cache is TRACE_CACHE
+    assert cache.capacity == 8
