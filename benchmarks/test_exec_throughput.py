@@ -1,0 +1,145 @@
+"""Bench: functional-executor throughput → ``BENCH_exec.json``.
+
+Measures dynamic IR instructions/second (``LaunchResult.steps`` per
+wall-clock second) of the closure-compiled engine against the retained
+reference interpreter, per mechanism, on a store/load-heavy hot-loop
+kernel.  The two engines run the *same* module instance with the same
+inputs, and the benchmark re-asserts the equivalence invariants (equal
+step counts, equal memory digests) before it trusts the timings.
+
+The archived document lands in ``benchmarks/out/BENCH_exec.json``:
+
+* per-mechanism ``steps_per_second`` for both engines,
+* per-mechanism ``speedup`` plus the geometric mean,
+* the kernel shape used for the measurement.
+
+``REPRO_BENCH_FAST=1`` shrinks the loop for CI smoke runs (the speedup
+floor relaxes accordingly — small loops are noise-dominated).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+
+from conftest import OUT_DIR
+
+from repro.compiler import CmpKind, IRType, KernelBuilder, run_lmi_pass
+from repro.exec import GpuExecutor
+from repro.mechanisms import create_mechanism
+from repro.telemetry.runtime import TELEMETRY
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+#: Hot-loop trip count and measurement repeats.
+ITERATIONS = 4_000 if FAST else 20_000
+REPEATS = 2 if FAST else 3
+#: One representative per mechanism family: unprotected, in-pointer
+#: extents, tag-table, canary.
+MECHANISMS = ("baseline", "lmi", "cucatch", "gmod")
+#: Geometric-mean speedup floor the compiled engine must clear.
+SPEEDUP_FLOOR = 2.0 if FAST else 3.0
+
+
+def _hot_module(iterations: int):
+    """data[i >> 6] += 1 for i in range(iterations) — ~10 dynamic
+    instructions per trip: loads, stores, ptradd, cmp, branch."""
+    b = KernelBuilder("exec_hotloop", params=[("data", IRType.PTR)])
+    i = b.alloca(8, name="i")
+    b.store(i, 0, width=8)
+    b.jump("head")
+    b.new_block("head")
+    iv = b.load(i, width=8)
+    b.branch(b.cmp(CmpKind.LT, iv, iterations), "body", "exit")
+    b.new_block("body")
+    slot = b.ptradd(b.param("data"), b.mul(b.shr(iv, 6), 4))
+    b.store(slot, b.add(b.load(slot, width=4), 1), width=4)
+    b.store(i, b.add(iv, 1), width=8)
+    b.jump("head")
+    b.new_block("exit")
+    b.ret()
+    module = b.module()
+    run_lmi_pass(module)
+    return module
+
+
+def _measure(engine: str, mechanism_name: str):
+    """Best-of-N steps/second for one engine; returns timing + proof."""
+    executor = GpuExecutor(
+        _hot_module(ITERATIONS),
+        create_mechanism(mechanism_name),
+        max_steps=100 * ITERATIONS,
+        executor=engine,
+    )
+    data = executor.host_alloc(4096)
+    saved = TELEMETRY.enabled
+    TELEMETRY.enabled = False
+    try:
+        best, result = float("inf"), None
+        for _ in range(REPEATS):
+            started = time.perf_counter()
+            result = executor.launch({"data": data})
+            best = min(best, time.perf_counter() - started)
+    finally:
+        TELEMETRY.enabled = saved
+    assert result.completed, result.violation
+    return {
+        "steps": result.steps,
+        "seconds": best,
+        "steps_per_second": result.steps / best,
+        "digest": executor.memory.digest(),
+    }
+
+
+def test_exec_throughput():
+    rows = {}
+    speedups = []
+    for mechanism_name in MECHANISMS:
+        compiled = _measure("compiled", mechanism_name)
+        reference = _measure("reference", mechanism_name)
+        # Equivalence before performance: identical dynamic step
+        # counts and identical final memory images.
+        assert compiled["steps"] == reference["steps"]
+        assert compiled["digest"] == reference["digest"]
+        speedup = (
+            compiled["steps_per_second"] / reference["steps_per_second"]
+        )
+        speedups.append(speedup)
+        rows[mechanism_name] = {
+            "steps": compiled["steps"],
+            "compiled_steps_per_second": round(
+                compiled["steps_per_second"]
+            ),
+            "reference_steps_per_second": round(
+                reference["steps_per_second"]
+            ),
+            "speedup": round(speedup, 3),
+        }
+    geomean = math.exp(sum(map(math.log, speedups)) / len(speedups))
+
+    document = {
+        "benchmark": "exec_throughput",
+        "fast": FAST,
+        "kernel": {
+            "name": "exec_hotloop",
+            "iterations": ITERATIONS,
+            "repeats": REPEATS,
+        },
+        "mechanisms": rows,
+        "geomean_speedup": round(geomean, 3),
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "BENCH_exec.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"\n[exec_throughput] archived to {path}")
+    print(json.dumps(document, indent=2, sort_keys=True))
+
+    # The compiled engine must clear the floor on aggregate and never
+    # regress below the reference on any single mechanism.
+    assert geomean >= SPEEDUP_FLOOR, (
+        f"geomean speedup {geomean:.2f}x below {SPEEDUP_FLOOR}x floor"
+    )
+    assert all(s >= 1.0 for s in speedups)

@@ -445,6 +445,26 @@ class Function:
                 return block
         raise CompileError(f"no block {label!r} in function {self.name!r}")
 
+    def block_indices(self) -> Dict[str, int]:
+        """``label -> block index`` map, built once and cached.
+
+        Replaces the per-jump linear label scan both executors used to
+        do.  The cache is invalidated automatically when blocks are
+        appended (builders grow functions incrementally), keyed on the
+        block count.  First occurrence wins on duplicate labels,
+        matching the old first-match scan; :meth:`verify` rejects
+        duplicates anyway.
+        """
+        cached = getattr(self, "_label_cache", None)
+        if cached is not None and cached[0] == len(self.blocks):
+            return cached[1]
+        mapping: Dict[str, int] = {}
+        for index, block in enumerate(self.blocks):
+            if block.label not in mapping:
+                mapping[block.label] = index
+        self._label_cache = (len(self.blocks), mapping)
+        return mapping
+
     @property
     def entry(self) -> BasicBlock:
         """The first basic block."""

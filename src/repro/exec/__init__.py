@@ -1,6 +1,21 @@
-"""Functional SIMT executor."""
+"""Functional SIMT executor.
 
-from .executor import GpuExecutor
+Two interchangeable engines step threads: the closure-compiled
+direct-threaded engine (:mod:`repro.exec.compile`, the default) and the
+original isinstance-chain interpreter (:mod:`repro.exec.reference`,
+``REPRO_EXEC=reference``), locked together by the executor-equivalence
+suite.
+"""
+
+from .compile import CompiledProgram, compile_executor
+from .executor import GpuExecutor, resolve_engine
 from .result import LaunchResult, OracleEvent
 
-__all__ = ["GpuExecutor", "LaunchResult", "OracleEvent"]
+__all__ = [
+    "CompiledProgram",
+    "GpuExecutor",
+    "LaunchResult",
+    "OracleEvent",
+    "compile_executor",
+    "resolve_engine",
+]

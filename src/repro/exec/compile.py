@@ -1,0 +1,1341 @@
+"""Closure-compiled (direct-threaded) SIMT execution engine.
+
+:func:`compile_executor` lowers every IR :class:`~repro.compiler.ir.
+Function` of an executor's module **once** per ``(module, mechanism)``
+pairing into per-basic-block lists of specialized Python closures, then
+:class:`CompiledProgram` instantiates cheap per-thread runners over
+those lists.  The semantics are *exactly* those of the reference
+interpreter (:mod:`repro.exec.reference`) — the equivalence suite locks
+the two byte-for-byte on oracle events, violations, mechanism stats,
+step counts and final memory digests — but the per-step costs are paid
+at compile time instead of on every dynamic instruction:
+
+* **Dispatch** — no ``isinstance`` ladder; each instruction becomes one
+  pre-specialized closure and the run loop just calls ``ops[ip]``.
+* **Operands** — ``Const`` operands are captured as literals; ``Value``
+  operands become dense *frame-slot* indices into a flat ``regs`` list
+  (and a parallel ``prov`` list for pointer provenance) instead of
+  ``id()``-keyed dict lookups.  Undefined-use detection keeps the
+  reference engine's exact error text via a ``_UNDEF`` sentinel.
+* **Control flow** — branch targets resolve to the target block's op
+  list at compile time (via :meth:`Function.block_indices`), so taken
+  branches are two attribute stores, not a label scan.
+* **Memory accesses** — ``Load``/``Store`` split into pre-specialized
+  variants (int/f32/pointer x load/store) with an inline same-page
+  fast path over the sparse memory, an oracle fast path that skips
+  verdict allocation for in-bounds provenanced accesses, and a fast
+  region classifier replacing :func:`repro.memory.layout.space_of`.
+* **Hooks** — mechanism hooks that are provably the base-class no-ops
+  (``translate`` / ``check_access`` / ``on_ptr_arith``) are elided at
+  compile time; overridden hooks are always called, preserving each
+  scheme's stats and detections exactly.
+* **Telemetry** — counter handles are resolved once per compiled site
+  and cached against the live registry (the cache invalidates itself
+  when :func:`repro.telemetry.runtime.capture` swaps registries); the
+  disabled path stays a single ``enabled`` attribute test with zero
+  allocation.
+
+Run-loop signals (returned by each closure): ``None`` falls through to
+the next op, ``1`` means the op retargeted ``frame.ops`` (branch),
+``2`` pushed a callee frame, ``3`` popped a frame (return), ``4`` hit
+a block-wide barrier.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Union
+
+from ..common.errors import MemorySpace, SimulationError, ViolationKind
+from ..compiler.ir import (
+    Alloca,
+    Barrier,
+    BinOp,
+    BinOpKind,
+    BlockIdx,
+    Branch,
+    Call,
+    Cmp,
+    CmpKind,
+    Const,
+    DynSharedRef,
+    Free,
+    Function,
+    Instr,
+    IntToPtr,
+    IRType,
+    InvalidateExtent,
+    Jump,
+    Load,
+    Malloc,
+    Operand,
+    PtrAdd,
+    PtrToInt,
+    Ret,
+    ScopeBegin,
+    ScopeEnd,
+    SharedRef,
+    Store,
+    ThreadIdx,
+    Value,
+)
+from ..memory import layout
+from ..memory.sparse import _PAGE_BITS, _PAGE_MASK, _PAGE_SIZE
+from ..memory.tracker import FieldLayout
+from ..mechanisms.base import Mechanism
+from ..telemetry import EventKind
+from ..telemetry.runtime import TELEMETRY
+from .result import OracleEvent
+
+_U64 = (1 << 64) - 1
+
+#: Sentinel stored in unwritten frame slots; ``is``-tested on every
+#: read so the compiled engine reproduces the reference interpreter's
+#: "use of undefined value" errors exactly.
+_UNDEF = object()
+
+_F32 = struct.Struct("<f")
+_PACK_F32 = _F32.pack
+_UNPACK_F32 = _F32.unpack
+
+
+def _raise_undef(name: str, fname: str) -> None:
+    raise SimulationError(
+        f"use of undefined value %{name} in {fname!r}"
+    ) from None
+
+
+# ----------------------------------------------------------------------
+# Fast address-space classification
+#
+# The region bases are consecutive multiples of REGION_SPAN (2**40), so
+# ``raw >> 40`` indexes the region directly.  Guarded at import time:
+# if the layout ever changes shape we fall back to the linear scan.
+
+
+def _build_space_table() -> Optional[Dict[int, MemorySpace]]:
+    if layout.REGION_SPAN != (1 << 40):
+        return None
+    table: Dict[int, MemorySpace] = {}
+    for space, base in (
+        (MemorySpace.GLOBAL, layout.GLOBAL_BASE),
+        (MemorySpace.HEAP, layout.HEAP_BASE),
+        (MemorySpace.SHARED, layout.SHARED_BASE),
+        (MemorySpace.LOCAL, layout.LOCAL_BASE),
+    ):
+        if base % layout.REGION_SPAN:
+            return None
+        table[base >> 40] = space
+    return table
+
+
+_SPACE_TABLE = _build_space_table()
+
+if _SPACE_TABLE is not None:
+
+    def _space_of(raw: int, _get=_SPACE_TABLE.get) -> Optional[MemorySpace]:
+        return _get(raw >> 40)
+
+else:  # pragma: no cover - defensive fallback
+    _space_of = layout.space_of
+
+
+# ----------------------------------------------------------------------
+# Telemetry handle caches
+#
+# ``TELEMETRY.registry`` is swapped wholesale by ``capture()`` /
+# ``reset()``, so cached Counter handles key on registry *identity* and
+# rebuild lazily after a swap.  The caches are only touched when
+# telemetry is enabled; the disabled path is one attribute test.
+
+
+class _AccessCounterCache:
+    """Per-kind (load/store) ``exec.accesses`` counter handles."""
+
+    __slots__ = ("kind", "registry", "handles")
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.registry = None
+        self.handles: Dict[object, object] = {}
+
+    def inc(self, space) -> None:
+        registry = TELEMETRY.registry
+        if registry is not self.registry:
+            self.registry = registry
+            self.handles = {}
+        handle = self.handles.get(space)
+        if handle is None:
+            handle = registry.counter(
+                "exec.accesses", space=str(space), kind=self.kind
+            )
+            self.handles[space] = handle
+        handle.inc()
+
+
+class _CounterCell:
+    """One fully-labelled counter handle, resolved per registry."""
+
+    __slots__ = ("name", "labels", "registry", "handle")
+
+    def __init__(self, name: str, **labels: object) -> None:
+        self.name = name
+        self.labels = labels
+        self.registry = None
+        self.handle = None
+
+    def get(self):
+        registry = TELEMETRY.registry
+        if registry is not self.registry:
+            self.registry = registry
+            self.handle = registry.counter(self.name, **self.labels)
+        return self.handle
+
+
+# ----------------------------------------------------------------------
+# Oracle slow path (shared by all access variants)
+
+
+def _record_access_violation(
+    executor, verdict, raw, width, thread, space, is_store
+) -> None:
+    if verdict.use_after_free:
+        kind = ViolationKind.TEMPORAL
+        description = "use after free/scope"
+    elif verdict.intra_object_overflow:
+        kind = ViolationKind.SPATIAL
+        description = "intra-object overflow"
+    else:
+        kind = ViolationKind.SPATIAL
+        description = "out-of-bounds access"
+    executor._oracle_events.append(
+        OracleEvent(
+            kind=kind,
+            address=raw,
+            width=width,
+            thread=thread,
+            space=space,
+            is_store=is_store,
+            intra_object=verdict.intra_object_overflow,
+            description=description,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Frames and runner
+
+
+class _CompiledFrame:
+    """One call frame of the compiled engine.
+
+    ``regs``/``prov`` are dense slot-indexed lists (one slot per IR
+    ``Value`` in the function); ``ops`` is the op list of the current
+    basic block and ``ip`` the resume index within it.
+    """
+
+    __slots__ = (
+        "ops",
+        "ip",
+        "regs",
+        "prov",
+        "pending_slot",
+        "pending_is_ptr",
+        "open_scopes",
+    )
+
+    def __init__(self, ops, regs, prov) -> None:
+        self.ops = ops
+        self.ip = 0
+        self.regs = regs
+        self.prov = prov
+        #: Caller-side slot that receives the callee's return value.
+        self.pending_slot: Optional[int] = None
+        self.pending_is_ptr = False
+        #: Stack-allocator frames opened by this call frame.
+        self.open_scopes = 1
+
+
+class _CompiledRunner:
+    """Resumable per-thread state over a :class:`CompiledProgram`.
+
+    Mirrors the reference runner's contract: ``run_phase`` executes to
+    the next block-wide barrier ("barrier") or completion ("done").
+    """
+
+    __slots__ = (
+        "executor",
+        "thread",
+        "block_id",
+        "stack",
+        "frames",
+        "budget",
+        "tid",
+    )
+
+    def __init__(self, executor, thread, block_id, stack, frames) -> None:
+        self.executor = executor
+        self.thread = thread
+        self.block_id = block_id
+        self.stack = stack
+        self.frames = frames
+        self.budget = executor.max_steps
+        #: Flat thread index within the block (ThreadIdx result).
+        self.tid = thread % executor.block_threads
+
+    def run_phase(self) -> str:
+        executor = self.executor
+        frames = self.frames
+        budget = self.budget
+        steps = 0
+        try:
+            while frames:
+                frame = frames[-1]
+                ops = frame.ops
+                ip = frame.ip
+                while True:
+                    op = ops[ip]
+                    ip += 1
+                    steps += 1
+                    budget -= 1
+                    if budget <= 0:
+                        raise SimulationError(
+                            f"thread {self.thread} exceeded "
+                            f"{executor.max_steps} steps"
+                        )
+                    signal = op(self, frame)
+                    if signal is None:
+                        continue
+                    if signal == 1:  # branch retargeted frame.ops
+                        ops = frame.ops
+                        ip = 0
+                        continue
+                    frame.ip = ip
+                    if signal == 4:
+                        return "barrier"
+                    break  # 2 = call pushed, 3 = ret popped
+            return "done"
+        finally:
+            self.budget = budget
+            executor._steps += steps
+
+
+class _CompiledFunction:
+    """Compiled form of one IR function."""
+
+    __slots__ = (
+        "name",
+        "nslots",
+        "params_meta",
+        "blocks",
+        "entry_ops",
+        "source_indices",
+    )
+
+    def __init__(self, fn: Function, nslots: int) -> None:
+        self.name = fn.name
+        self.nslots = nslots
+        #: ``(param name, is pointer)`` per positional parameter; the
+        #: parameter's slot is its position.
+        self.params_meta = [
+            (p.name, p.type is IRType.PTR) for p in fn.params
+        ]
+        #: Per-basic-block op lists, pre-created empty so branch/call
+        #: closures can capture the list objects before they are filled.
+        self.blocks: List[list] = [[] for _ in fn.blocks]
+        self.entry_ops = self.blocks[0] if self.blocks else []
+
+
+class CompiledProgram:
+    """All functions of one module compiled against one mechanism."""
+
+    __slots__ = ("functions", "load_counters", "store_counters")
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, _CompiledFunction] = {}
+        self.load_counters = _AccessCounterCache("load")
+        self.store_counters = _AccessCounterCache("store")
+
+    def make_runner(self, executor, thread: int, block_id: int, args):
+        """Build a per-thread runner with the entry frame populated."""
+        kernel = executor.module.kernel
+        cfunc = self.functions[kernel.name]
+        stack = executor._stack_for(thread)
+        regs: list = [_UNDEF] * cfunc.nslots
+        prov: list = [None] * cfunc.nslots
+        arg_prov = executor._arg_provenance
+        host_records = executor._host_records
+        for slot, (pname, is_ptr) in enumerate(cfunc.params_meta):
+            value = args[pname]
+            regs[slot] = value
+            if is_ptr and isinstance(value, int):
+                pinned = arg_prov.get(pname)
+                prov[slot] = (
+                    pinned if pinned is not None else host_records.get(value)
+                )
+        stack.push_frame()
+        frame = _CompiledFrame(cfunc.entry_ops, regs, prov)
+        return _CompiledRunner(executor, thread, block_id, stack, [frame])
+
+
+# ----------------------------------------------------------------------
+# Operand helpers
+
+
+def _slot_of(slots: Dict[int, int], operand: Operand) -> Optional[int]:
+    """Slot index for a Value operand (None for constants)."""
+    if isinstance(operand, Const):
+        return None
+    return slots[id(operand)]
+
+
+def _getter(operand: Operand, slots: Dict[int, int], fname: str):
+    """Generic operand reader closure (cold paths only)."""
+    if isinstance(operand, Const):
+        value = operand.value
+        return lambda regs: value
+    slot = slots[id(operand)]
+    name = operand.name
+
+    def read(regs):
+        value = regs[slot]
+        if value is _UNDEF:
+            _raise_undef(name, fname)
+        return value
+
+    return read
+
+
+_BINOP_FNS = {
+    BinOpKind.ADD: lambda a, b: a + b,
+    BinOpKind.SUB: lambda a, b: a - b,
+    BinOpKind.MUL: lambda a, b: a * b,
+    BinOpKind.AND: lambda a, b: int(a) & int(b),
+    BinOpKind.OR: lambda a, b: int(a) | int(b),
+    BinOpKind.XOR: lambda a, b: int(a) ^ int(b),
+    BinOpKind.SHL: lambda a, b: int(a) << int(b),
+    BinOpKind.SHR: lambda a, b: int(a) >> int(b),
+    BinOpKind.FADD: lambda a, b: float(a) + float(b),
+    BinOpKind.FMUL: lambda a, b: float(a) * float(b),
+}
+
+_CMP_FNS = {
+    CmpKind.EQ: lambda a, b: a == b,
+    CmpKind.NE: lambda a, b: a != b,
+    CmpKind.LT: lambda a, b: a < b,
+    CmpKind.LE: lambda a, b: a <= b,
+    CmpKind.GT: lambda a, b: a > b,
+    CmpKind.GE: lambda a, b: a >= b,
+}
+
+
+# ----------------------------------------------------------------------
+# Per-instruction emitters
+#
+# Every emitter returns one closure ``op(rt, frame) -> signal``.  The
+# closures capture pre-resolved slots / literals / handles as default
+# arguments or cell variables, so the run loop does no per-step
+# re-derivation.
+
+
+class _Ctx:
+    """Compile-time context shared by all emitters."""
+
+    __slots__ = (
+        "executor",
+        "mech",
+        "tracker",
+        "memory",
+        "pages",
+        "fill_page",
+        "fill_byte",
+        "program",
+        "shells",
+        "translate_identity",
+        "check_noop",
+        "ptr_arith_identity",
+    )
+
+    def __init__(self, executor, program, shells) -> None:
+        self.executor = executor
+        self.mech = executor.mechanism
+        self.tracker = executor.tracker
+        self.memory = executor.memory
+        self.pages = executor.memory._pages
+        self.fill_byte = executor.memory._fill
+        self.fill_page = bytes([self.fill_byte]) * _PAGE_SIZE
+        self.program = program
+        self.shells = shells
+        mech_type = type(self.mech)
+        self.translate_identity = (
+            mech_type.translate is Mechanism.translate
+        )
+        self.check_noop = (
+            mech_type.check_access is Mechanism.check_access
+        )
+        self.ptr_arith_identity = (
+            mech_type.on_ptr_arith is Mechanism.on_ptr_arith
+        )
+
+
+def _emit_alloca(instr: Alloca, slots, fname, ctx: _Ctx):
+    size = instr.size
+    dst = slots[id(instr.result)]
+    field_layouts = tuple(FieldLayout(*f) for f in instr.fields)
+    executor = ctx.executor
+    tracker = ctx.tracker
+    mech = ctx.mech
+    stack_records = executor._stack_records
+    local = MemorySpace.LOCAL
+
+    def op(rt, frame):
+        buffer = rt.stack.alloca(size)
+        base = buffer.base
+        record = tracker.on_alloc(
+            base, size, local, thread=rt.thread, fields=field_layouts
+        )
+        stack_records[base] = record
+        frame.prov[dst] = record
+        frame.regs[dst] = mech.tag_pointer(
+            base, size, local, thread=rt.thread, record=record
+        )
+
+    return op
+
+
+def _emit_malloc(instr: Malloc, slots, fname, ctx: _Ctx):
+    get_size = _getter(instr.size, slots, fname)
+    dst = slots[id(instr.result)]
+    field_layouts = tuple(FieldLayout(*f) for f in instr.fields)
+    tracker = ctx.tracker
+    mech = ctx.mech
+    heap_alloc = ctx.executor._heap_alloc
+    aligned = mech.aligned_heap
+    heap = MemorySpace.HEAP
+
+    def op(rt, frame):
+        size = int(get_size(frame.regs))
+        if aligned:
+            base = heap_alloc.alloc(size).base
+        else:
+            base = heap_alloc.alloc(size, rt.thread).base
+        record = tracker.on_alloc(
+            base, size, heap, thread=rt.thread, fields=field_layouts
+        )
+        frame.prov[dst] = record
+        frame.regs[dst] = mech.tag_pointer(
+            base, size, heap, thread=rt.thread, record=record
+        )
+
+    return op
+
+
+def _emit_free(instr: Free, slots, fname, ctx: _Ctx):
+    get_ptr = _getter(instr.ptr, slots, fname)
+    executor = ctx.executor
+    tracker = ctx.tracker
+    mech = ctx.mech
+    heap_alloc = executor._heap_alloc
+    translate = mech.translate
+    heap = MemorySpace.HEAP
+
+    def op(rt, frame):
+        pointer = int(get_ptr(frame.regs))
+        raw = translate(pointer)
+        if tracker.live_at(raw) is None:
+            executor._record_bad_free(raw, heap, rt.thread)
+        heap_alloc.free(raw)  # raises on invalid/double free
+        freed = tracker.on_free(raw)
+        mech.on_free(pointer, raw, freed, thread=rt.thread)
+
+    return op
+
+
+def _emit_ptradd(instr: PtrAdd, slots, fname, ctx: _Ctx):
+    dst = slots[id(instr.result)]
+    activated = instr.hint_activate
+    mech = ctx.mech
+    identity = ctx.ptr_arith_identity
+    telem = TELEMETRY
+    cell = _CounterCell(
+        "exec.ptr_arith", activated=str(activated).lower()
+    )
+    ptr_arith_kind = EventKind.PTR_ARITH
+
+    pslot = _slot_of(slots, instr.ptr)
+    oslot = _slot_of(slots, instr.offset)
+    pconst = int(instr.ptr.value) if pslot is None else 0
+    oconst = (
+        int(instr.offset.value) if oslot is None else 0
+    )
+    pname = instr.ptr.name if pslot is not None else ""
+    oname = instr.offset.name if oslot is not None else ""
+
+    def op(rt, frame):
+        regs = frame.regs
+        if pslot is None:
+            pointer = pconst
+            src_prov = None
+        else:
+            pointer = regs[pslot]
+            if pointer is _UNDEF:
+                _raise_undef(pname, fname)
+            pointer = int(pointer)
+            src_prov = frame.prov[pslot]
+        if oslot is None:
+            offset = oconst
+        else:
+            offset = regs[oslot]
+            if offset is _UNDEF:
+                _raise_undef(oname, fname)
+            offset = int(offset)
+        raw_result = (pointer + offset) & _U64
+        frame.prov[dst] = src_prov
+        if identity:
+            regs[dst] = raw_result
+        else:
+            regs[dst] = mech.on_ptr_arith(
+                pointer, raw_result, activated=activated, thread=rt.thread
+            )
+        if telem.enabled:
+            telem.emit(
+                ptr_arith_kind,
+                thread=rt.thread,
+                activated=activated,
+                offset=offset,
+            )
+            cell.get().inc()
+
+    return op
+
+
+def _emit_load(instr: Load, slots, fname, ctx: _Ctx):
+    """Pre-specialized load: int / f32 / pointer result variants."""
+    executor = ctx.executor
+    mech = ctx.mech
+    tracker = ctx.tracker
+    memory = ctx.memory
+    pages = ctx.pages
+    width = instr.width
+    expected_field = instr.expected_field
+    dst = slots[id(instr.result)]
+    pslot = _slot_of(slots, instr.ptr)
+    pconst = int(instr.ptr.value) if pslot is None else 0
+    pname = instr.ptr.name if pslot is not None else ""
+    translate = mech.translate
+    translate_identity = ctx.translate_identity
+    check_noop = ctx.check_noop
+    check_access = mech.check_access
+    classify = tracker.classify_provenanced
+    counters = ctx.program.load_counters
+    telem = TELEMETRY
+    access_kind = EventKind.ACCESS_CHECK
+    fill_int = int.from_bytes(
+        bytes([ctx.fill_byte]) * width, "little"
+    )
+    is_f32 = instr.type is IRType.F32
+    is_ptr = instr.type is IRType.PTR
+    fill_f32 = (
+        _UNPACK_F32(bytes([ctx.fill_byte]) * 4)[0] if is_f32 else 0.0
+    )
+    page_limit = _PAGE_SIZE - width
+    #: f32 loads read 4 bytes regardless of the declared width.
+    page_limit_f32 = _PAGE_SIZE - 4
+
+    def op(rt, frame):
+        regs = frame.regs
+        if pslot is None:
+            pointer = pconst
+            provenance = None
+        else:
+            pointer = regs[pslot]
+            if pointer is _UNDEF:
+                _raise_undef(pname, fname)
+            pointer = int(pointer)
+            provenance = frame.prov[pslot]
+        raw = pointer if translate_identity else translate(pointer)
+        space = _space_of(raw)
+        if telem.enabled:
+            counters.inc(space)
+            telem.emit(
+                access_kind,
+                thread=rt.thread,
+                address=raw,
+                width=width,
+                space=space,
+                store=False,
+            )
+        # Oracle: fast path for in-bounds provenanced accesses, the
+        # full classifier (incl. freed-footprint search) otherwise.
+        if (
+            expected_field is not None
+            or provenance is None
+            or not provenance.live
+            or raw < provenance.base
+            or raw + width > provenance.base + provenance.size
+        ):
+            verdict = classify(
+                raw, width, provenance, expected_field=expected_field
+            )
+            if verdict.is_violation:
+                _record_access_violation(
+                    executor, verdict, raw, width, rt.thread, space, False
+                )
+        if not check_noop:
+            check_access(
+                pointer, raw, width, space, thread=rt.thread, is_store=False
+            )
+        offset = raw & _PAGE_MASK
+        if is_f32:
+            if raw >= 0 and offset <= page_limit_f32:
+                page = pages.get(raw >> _PAGE_BITS)
+                value = (
+                    fill_f32
+                    if page is None
+                    else _UNPACK_F32(page[offset : offset + 4])[0]
+                )
+            else:
+                value = memory.load_f32(raw)
+            regs[dst] = value
+            return
+        if raw >= 0 and offset <= page_limit:
+            page = pages.get(raw >> _PAGE_BITS)
+            value = (
+                fill_int
+                if page is None
+                else int.from_bytes(page[offset : offset + width], "little")
+            )
+        else:
+            value = memory.load(raw, width)
+        if is_ptr:
+            value = mech.on_pointer_load(raw, value, thread=rt.thread)
+            frame.prov[dst] = tracker.find_live(translate(value))
+        regs[dst] = value
+
+    return op
+
+
+def _emit_store(instr: Store, slots, fname, ctx: _Ctx):
+    """Pre-specialized store: f32 / pointer / int value variants."""
+    executor = ctx.executor
+    mech = ctx.mech
+    tracker = ctx.tracker
+    memory = ctx.memory
+    pages = ctx.pages
+    fill_page = ctx.fill_page
+    width = instr.width
+    expected_field = instr.expected_field
+    pslot = _slot_of(slots, instr.ptr)
+    pconst = int(instr.ptr.value) if pslot is None else 0
+    pname = instr.ptr.name if pslot is not None else ""
+    get_value = _getter(instr.value, slots, fname)
+    value_type = instr.value.type
+    always_f32 = value_type is IRType.F32
+    is_ptr_value = value_type is IRType.PTR
+    translate = mech.translate
+    translate_identity = ctx.translate_identity
+    check_noop = ctx.check_noop
+    check_access = mech.check_access
+    classify = tracker.classify_provenanced
+    counters = ctx.program.store_counters
+    telem = TELEMETRY
+    access_kind = EventKind.ACCESS_CHECK
+    mask = (1 << (8 * width)) - 1
+    page_limit_int = _PAGE_SIZE - width
+    page_limit_f32 = _PAGE_SIZE - 4
+
+    def op(rt, frame):
+        regs = frame.regs
+        if pslot is None:
+            pointer = pconst
+            provenance = None
+        else:
+            pointer = regs[pslot]
+            if pointer is _UNDEF:
+                _raise_undef(pname, fname)
+            pointer = int(pointer)
+            provenance = frame.prov[pslot]
+        raw = pointer if translate_identity else translate(pointer)
+        space = _space_of(raw)
+        if telem.enabled:
+            counters.inc(space)
+            telem.emit(
+                access_kind,
+                thread=rt.thread,
+                address=raw,
+                width=width,
+                space=space,
+                store=True,
+            )
+        if (
+            expected_field is not None
+            or provenance is None
+            or not provenance.live
+            or raw < provenance.base
+            or raw + width > provenance.base + provenance.size
+        ):
+            verdict = classify(
+                raw, width, provenance, expected_field=expected_field
+            )
+            if verdict.is_violation:
+                _record_access_violation(
+                    executor, verdict, raw, width, rt.thread, space, True
+                )
+        if not check_noop:
+            check_access(
+                pointer, raw, width, space, thread=rt.thread, is_store=True
+            )
+        # Value evaluation happens *after* the access check — exactly
+        # the reference ordering (a detected violation wins over an
+        # undefined store value).
+        value = get_value(regs)
+        if always_f32 or isinstance(value, float):
+            data = _PACK_F32(float(value))
+            offset = raw & _PAGE_MASK
+            if raw >= 0 and offset <= page_limit_f32:
+                page_id = raw >> _PAGE_BITS
+                page = pages.get(page_id)
+                if page is None:
+                    page = bytearray(fill_page)
+                    pages[page_id] = page
+                page[offset : offset + 4] = data
+            else:
+                memory.store_f32(raw, float(value))
+            return
+        value = int(value)
+        if is_ptr_value:
+            mech.on_pointer_store(raw, value, thread=rt.thread)
+        offset = raw & _PAGE_MASK
+        if raw >= 0 and offset <= page_limit_int:
+            page_id = raw >> _PAGE_BITS
+            page = pages.get(page_id)
+            if page is None:
+                page = bytearray(fill_page)
+                pages[page_id] = page
+            page[offset : offset + width] = (value & mask).to_bytes(
+                width, "little"
+            )
+        else:
+            memory.store(raw, value, width)
+
+    return op
+
+
+def _emit_binop(instr: BinOp, slots, fname, ctx: _Ctx):
+    fn = _BINOP_FNS.get(instr.op)
+    if fn is None:  # pragma: no cover - future-proofing
+        op_obj = instr.op
+
+        def bad(rt, frame):
+            raise SimulationError(f"unhandled binop {op_obj}")
+
+        return bad
+    dst = slots[id(instr.result)]
+    lslot = _slot_of(slots, instr.lhs)
+    rslot = _slot_of(slots, instr.rhs)
+    if lslot is None and rslot is None:
+        folded = fn(instr.lhs.value, instr.rhs.value)
+
+        def op_cc(rt, frame):
+            frame.regs[dst] = folded
+
+        return op_cc
+    if rslot is None:
+        rconst = instr.rhs.value
+        lname = instr.lhs.name
+
+        def op_sc(rt, frame):
+            regs = frame.regs
+            lhs = regs[lslot]
+            if lhs is _UNDEF:
+                _raise_undef(lname, fname)
+            regs[dst] = fn(lhs, rconst)
+
+        return op_sc
+    if lslot is None:
+        lconst = instr.lhs.value
+        rname = instr.rhs.name
+
+        def op_cs(rt, frame):
+            regs = frame.regs
+            rhs = regs[rslot]
+            if rhs is _UNDEF:
+                _raise_undef(rname, fname)
+            regs[dst] = fn(lconst, rhs)
+
+        return op_cs
+    lname = instr.lhs.name
+    rname = instr.rhs.name
+
+    def op_ss(rt, frame):
+        regs = frame.regs
+        lhs = regs[lslot]
+        if lhs is _UNDEF:
+            _raise_undef(lname, fname)
+        rhs = regs[rslot]
+        if rhs is _UNDEF:
+            _raise_undef(rname, fname)
+        regs[dst] = fn(lhs, rhs)
+
+    return op_ss
+
+
+def _cmp_getter(operand: Operand, slots, fname, ctx: _Ctx):
+    """Comparison operand reader: pointers compare by raw address."""
+    is_ptr = operand.type is IRType.PTR
+    mech = ctx.mech
+    if isinstance(operand, Const):
+        if is_ptr and not ctx.translate_identity:
+            value = int(operand.value)
+            return lambda regs: mech.translate(value)
+        value = (
+            int(operand.value) if is_ptr else operand.value
+        )
+        return lambda regs: value
+    slot = slots[id(operand)]
+    name = operand.name
+    if is_ptr and not ctx.translate_identity:
+
+        def read_ptr(regs):
+            value = regs[slot]
+            if value is _UNDEF:
+                _raise_undef(name, fname)
+            return mech.translate(int(value))
+
+        return read_ptr
+    if is_ptr:
+
+        def read_ptr_id(regs):
+            value = regs[slot]
+            if value is _UNDEF:
+                _raise_undef(name, fname)
+            return int(value)
+
+        return read_ptr_id
+
+    def read(regs):
+        value = regs[slot]
+        if value is _UNDEF:
+            _raise_undef(name, fname)
+        return value
+
+    return read
+
+
+def _emit_cmp(instr: Cmp, slots, fname, ctx: _Ctx):
+    fn = _CMP_FNS.get(instr.op)
+    if fn is None:  # pragma: no cover - future-proofing
+        op_obj = instr.op
+
+        def bad(rt, frame):
+            raise SimulationError(f"unhandled comparison {op_obj}")
+
+        return bad
+    dst = slots[id(instr.result)]
+    get_lhs = _cmp_getter(instr.lhs, slots, fname, ctx)
+    get_rhs = _cmp_getter(instr.rhs, slots, fname, ctx)
+
+    def op(rt, frame):
+        regs = frame.regs
+        regs[dst] = 1 if fn(get_lhs(regs), get_rhs(regs)) else 0
+
+    return op
+
+
+def _emit_threadidx(instr: ThreadIdx, slots, fname, ctx: _Ctx):
+    dst = slots[id(instr.result)]
+
+    def op(rt, frame):
+        frame.regs[dst] = rt.tid
+
+    return op
+
+
+def _emit_blockidx(instr: BlockIdx, slots, fname, ctx: _Ctx):
+    dst = slots[id(instr.result)]
+
+    def op(rt, frame):
+        frame.regs[dst] = rt.block_id
+
+    return op
+
+
+def _emit_sharedref(instr: SharedRef, slots, fname, ctx: _Ctx):
+    dst = slots[id(instr.result)]
+    array = instr.array
+    shared_ptrs = ctx.executor._shared_ptrs
+
+    def op(rt, frame):
+        pointer, record = shared_ptrs[(rt.block_id, array)]
+        frame.regs[dst] = pointer
+        frame.prov[dst] = record
+
+    return op
+
+
+def _emit_dynsharedref(instr: DynSharedRef, slots, fname, ctx: _Ctx):
+    dst = slots[id(instr.result)]
+    dyn_ptrs = ctx.executor._dyn_shared_ptr
+
+    def op(rt, frame):
+        try:
+            pointer, record = dyn_ptrs[rt.block_id]
+        except KeyError:
+            raise SimulationError(
+                "kernel uses dynamic shared memory but none was launched"
+            ) from None
+        frame.regs[dst] = pointer
+        frame.prov[dst] = record
+
+    return op
+
+
+def _emit_inttoptr(instr: IntToPtr, slots, fname, ctx: _Ctx):
+    dst = slots[id(instr.result)]
+    get_value = _getter(instr.value, slots, fname)
+
+    def op(rt, frame):
+        frame.regs[dst] = int(get_value(frame.regs))
+
+    return op
+
+
+def _emit_ptrtoint(instr: PtrToInt, slots, fname, ctx: _Ctx):
+    dst = slots[id(instr.result)]
+    get_value = _getter(instr.ptr, slots, fname)
+
+    def op(rt, frame):
+        frame.regs[dst] = int(get_value(frame.regs))
+
+    return op
+
+
+def _emit_invalidate(instr: InvalidateExtent, slots, fname, ctx: _Ctx):
+    if isinstance(instr.ptr, Const):
+
+        def noop(rt, frame):
+            return None
+
+        return noop
+    slot = slots[id(instr.ptr)]
+    mech = ctx.mech
+
+    def op(rt, frame):
+        regs = frame.regs
+        value = regs[slot]
+        if value is not _UNDEF:
+            regs[slot] = mech.on_invalidate(int(value), thread=rt.thread)
+
+    return op
+
+
+def _emit_scope_begin(instr: ScopeBegin, slots, fname, ctx: _Ctx):
+    def op(rt, frame):
+        rt.stack.push_frame()
+        frame.open_scopes += 1
+
+    return op
+
+
+def _emit_scope_end(instr: ScopeEnd, slots, fname, ctx: _Ctx):
+    close_scope = ctx.executor._close_scope
+
+    def op(rt, frame):
+        close_scope(frame, rt.stack, rt.thread)
+
+    return op
+
+
+def _emit_barrier(instr: Barrier, slots, fname, ctx: _Ctx):
+    def op(rt, frame):
+        return 4
+
+    return op
+
+
+def _emit_call(instr: Call, slots, fname, ctx: _Ctx):
+    callee_fn = ctx.executor.module.functions.get(instr.callee)
+    if callee_fn is None:
+        callee_name = instr.callee
+
+        def unknown(rt, frame):
+            raise SimulationError(
+                f"call to unknown function {callee_name!r}"
+            )
+
+        return unknown
+    if len(callee_fn.params) != len(instr.args):
+        callee_name = instr.callee
+
+        def arity(rt, frame):
+            raise SimulationError(f"arity mismatch calling {callee_name!r}")
+
+        return arity
+    shell = ctx.shells[instr.callee]
+    entry_ops = shell.entry_ops
+    callee_nslots = shell.nslots
+    mech = ctx.mech
+    # (dst slot, is_ptr, const value, source slot, source name)
+    specs = []
+    for dst, (param, arg) in enumerate(zip(callee_fn.params, instr.args)):
+        is_ptr = param.type is IRType.PTR
+        if isinstance(arg, Const):
+            specs.append((dst, is_ptr, arg.value, None, ""))
+        else:
+            specs.append((dst, is_ptr, None, slots[id(arg)], arg.name))
+    result = instr.result
+    result_slot = slots[id(result)] if result is not None else None
+    result_is_ptr = result is not None and result.type is IRType.PTR
+
+    def op(rt, frame):
+        regs = frame.regs
+        prov = frame.prov
+        nregs = [_UNDEF] * callee_nslots
+        nprov = [None] * callee_nslots
+        for dst, is_ptr, const, sslot, sname in specs:
+            if sslot is None:
+                value = const
+            else:
+                value = regs[sslot]
+                if value is _UNDEF:
+                    _raise_undef(sname, fname)
+            if is_ptr:
+                value = mech.on_call_boundary(int(value))
+                if sslot is not None:
+                    nprov[dst] = prov[sslot]
+            nregs[dst] = value
+        frame.pending_slot = result_slot
+        frame.pending_is_ptr = result_is_ptr
+        rt.stack.push_frame()
+        rt.frames.append(_CompiledFrame(entry_ops, nregs, nprov))
+        return 2
+
+    return op
+
+
+def _emit_ret(instr: Ret, slots, fname, ctx: _Ctx):
+    executor = ctx.executor
+    mech = ctx.mech
+    close_scope = executor._close_scope
+    if instr.value is None:
+        vslot = None
+        vconst = None
+        vname = ""
+        has_value = False
+    else:
+        vslot = _slot_of(slots, instr.value)
+        vconst = instr.value.value if vslot is None else None
+        vname = instr.value.name if vslot is not None else ""
+        has_value = True
+
+    def op(rt, frame):
+        if not has_value:
+            value = None
+            ret_prov = None
+        elif vslot is None:
+            value = vconst
+            ret_prov = None
+        else:
+            value = frame.regs[vslot]
+            if value is _UNDEF:
+                _raise_undef(vname, fname)
+            ret_prov = frame.prov[vslot]
+        while frame.open_scopes:
+            close_scope(frame, rt.stack, rt.thread)
+        frames = rt.frames
+        frames.pop()
+        if frames:
+            caller = frames[-1]
+            target_slot = caller.pending_slot
+            caller.pending_slot = None
+            if target_slot is not None:
+                if value is None:
+                    raise SimulationError(
+                        f"{fname!r} returned no value to a "
+                        "value-expecting call"
+                    )
+                if caller.pending_is_ptr:
+                    value = mech.on_call_boundary(int(value))
+                    caller.prov[target_slot] = ret_prov
+                caller.regs[target_slot] = value
+        return 3
+
+    return op
+
+
+def _emit_branch(instr: Branch, slots, fname, ctx: _Ctx, shell):
+    # Resolve the two target op lists at compile time.
+    fn_indices = shell.source_indices
+    true_index = fn_indices.get(instr.if_true)
+    false_index = fn_indices.get(instr.if_false)
+    if true_index is None:
+        label = instr.if_true
+
+        def bad_true(rt, frame):
+            raise SimulationError(f"branch to unknown label {label!r}")
+
+        return bad_true
+    if false_index is None:
+        label = instr.if_false
+
+        def bad_false(rt, frame):
+            raise SimulationError(f"branch to unknown label {label!r}")
+
+        return bad_false
+    true_ops = shell.blocks[true_index]
+    false_ops = shell.blocks[false_index]
+    cslot = _slot_of(slots, instr.cond)
+    if cslot is None:
+        taken_ops = (
+            true_ops if int(instr.cond.value) else false_ops
+        )
+
+        def op_const(rt, frame):
+            frame.ops = taken_ops
+            return 1
+
+        return op_const
+    cname = instr.cond.name
+
+    def op(rt, frame):
+        cond = frame.regs[cslot]
+        if cond is _UNDEF:
+            _raise_undef(cname, fname)
+        frame.ops = true_ops if int(cond) else false_ops
+        return 1
+
+    return op
+
+
+def _emit_jump(instr: Jump, slots, fname, ctx: _Ctx, shell):
+    index = shell.source_indices.get(instr.target)
+    if index is None:
+        label = instr.target
+
+        def bad(rt, frame):
+            raise SimulationError(f"branch to unknown label {label!r}")
+
+        return bad
+    target_ops = shell.blocks[index]
+
+    def op(rt, frame):
+        frame.ops = target_ops
+        return 1
+
+    return op
+
+
+def _emit_unhandled(instr: Instr):
+    type_name = type(instr).__name__
+
+    def op(rt, frame):
+        raise SimulationError(f"unhandled IR instruction {type_name}")
+
+    return op
+
+
+def _fell_off_guard(label: str, fname: str):
+    """Terminator-less block guard (unreachable after module.verify)."""
+
+    def op(rt, frame):  # pragma: no cover - verify() prevents this
+        raise SimulationError(
+            f"fell off block {label!r} in {fname!r}"
+        )
+
+    return op
+
+
+_SIMPLE_EMITTERS = {
+    Alloca: _emit_alloca,
+    Malloc: _emit_malloc,
+    Free: _emit_free,
+    PtrAdd: _emit_ptradd,
+    Load: _emit_load,
+    Store: _emit_store,
+    BinOp: _emit_binop,
+    Cmp: _emit_cmp,
+    ThreadIdx: _emit_threadidx,
+    BlockIdx: _emit_blockidx,
+    SharedRef: _emit_sharedref,
+    DynSharedRef: _emit_dynsharedref,
+    IntToPtr: _emit_inttoptr,
+    PtrToInt: _emit_ptrtoint,
+    InvalidateExtent: _emit_invalidate,
+    ScopeBegin: _emit_scope_begin,
+    ScopeEnd: _emit_scope_end,
+    Barrier: _emit_barrier,
+    Call: _emit_call,
+    Ret: _emit_ret,
+}
+
+
+# ----------------------------------------------------------------------
+# Function / program compilation
+
+
+def _allocate_slots(fn: Function) -> Dict[int, int]:
+    """Dense slot index for every ``Value`` the function touches.
+
+    Parameters take slots ``0..len(params)-1`` (in order), instruction
+    results and any other referenced values follow.  Values that are
+    read but never defined still get a slot — it simply stays
+    ``_UNDEF`` forever, reproducing the reference engine's
+    undefined-use error.
+    """
+    slots: Dict[int, int] = {}
+    for param in fn.params:
+        slots.setdefault(id(param), len(slots))
+    for instr in fn.instructions():
+        result = instr.result
+        if result is not None and id(result) not in slots:
+            slots[id(result)] = len(slots)
+        for operand in instr.operands():
+            if isinstance(operand, Value) and id(operand) not in slots:
+                slots[id(operand)] = len(slots)
+    return slots
+
+
+def compile_executor(executor) -> CompiledProgram:
+    """Lower every function of *executor*'s module into closures.
+
+    Runs once per ``(module, mechanism)`` pairing (the executor caches
+    the returned program); closures capture the executor's memory,
+    tracker, allocators and mechanism directly, so no per-step
+    attribute chains remain on the hot path.
+    """
+    program = CompiledProgram()
+    module = executor.module
+    # Phase 1: shells, so calls/branches can capture op-list objects
+    # before the lists are populated.
+    shells: Dict[str, _CompiledFunction] = {}
+    slot_maps: Dict[str, Dict[int, int]] = {}
+    for name, fn in module.functions.items():
+        slot_map = _allocate_slots(fn)
+        shell = _CompiledFunction(fn, len(slot_map))
+        shell.source_indices = fn.block_indices()
+        shells[name] = shell
+        slot_maps[name] = slot_map
+    ctx = _Ctx(executor, program, shells)
+    # Phase 2: fill each block's op list.
+    for name, fn in module.functions.items():
+        shell = shells[name]
+        slots = slot_maps[name]
+        for block, ops in zip(fn.blocks, shell.blocks):
+            for instr in block.instrs:
+                kind = type(instr)
+                if kind is Branch:
+                    ops.append(_emit_branch(instr, slots, name, ctx, shell))
+                elif kind is Jump:
+                    ops.append(_emit_jump(instr, slots, name, ctx, shell))
+                else:
+                    emitter = _SIMPLE_EMITTERS.get(kind)
+                    if emitter is None:
+                        ops.append(_emit_unhandled(instr))
+                    else:
+                        ops.append(emitter(instr, slots, name, ctx))
+            ops.append(_fell_off_guard(block.label, name))
+    program.functions = shells
+    return program
+
+
+__all__ = ["CompiledProgram", "compile_executor"]

@@ -13,6 +13,27 @@ producer→consumer ordering across a single barrier phase and is
 sufficient for the security and fragmentation experiments; timing is
 the job of :mod:`repro.sim`.
 
+Execution engines
+-----------------
+:class:`GpuExecutor` owns everything both engines share — host-side
+allocation, launch orchestration, shared-memory setup, per-thread
+stacks, the oracle — and delegates per-thread *stepping* to one of two
+interchangeable engines:
+
+``compiled`` (default)
+    The closure-compiled direct-threaded engine in
+    :mod:`repro.exec.compile`: each function is lowered once per
+    ``(module, mechanism)`` pairing into per-basic-block lists of
+    specialized Python closures with dense frame slots.
+``reference``
+    The original isinstance-chain interpreter, preserved verbatim in
+    :mod:`repro.exec.reference` and locked against the compiled engine
+    by ``tests/test_executor_equivalence.py``.
+
+Select with the ``executor=`` keyword or the ``REPRO_EXEC``
+environment variable (``REPRO_EXEC=reference`` restores the old
+path everywhere with zero call-site changes).
+
 Design notes
 ------------
 * Pointer *comparisons* operate on translated (address) bits, not raw
@@ -27,7 +48,7 @@ Design notes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..allocator.aligned import AlignedAllocator
@@ -37,50 +58,21 @@ from ..allocator.rss import FootprintMeter
 from ..allocator.shared import SharedAllocator
 from ..allocator.stack import StackAllocator
 from ..common.errors import (
+    ConfigurationError,
     MemorySafetyViolation,
     MemorySpace,
     SimulationError,
     ViolationKind,
 )
-from ..compiler.ir import (
-    Alloca,
-    Barrier,
-    BinOp,
-    BinOpKind,
-    BlockIdx,
-    Branch,
-    Call,
-    Cmp,
-    CmpKind,
-    Const,
-    DynSharedRef,
-    Free,
-    Function,
-    Instr,
-    IntToPtr,
-    IRType,
-    InvalidateExtent,
-    Jump,
-    Load,
-    Malloc,
-    Module,
-    Operand,
-    PtrAdd,
-    PtrToInt,
-    Ret,
-    ScopeBegin,
-    ScopeEnd,
-    SharedRef,
-    Store,
-    ThreadIdx,
-    Value,
-)
+from ..compiler.ir import Module
 from ..memory import layout
 from ..memory.sparse import SparseMemory
 from ..memory.tracker import AllocationRecord, AllocationTracker, FieldLayout
 from ..mechanisms.base import ExecContext, Mechanism
 from ..telemetry import EventKind
 from ..telemetry.runtime import TELEMETRY
+from . import reference
+from .compile import compile_executor
 from .result import LaunchResult, OracleEvent
 
 #: Span given to the global and heap allocators (64 MiB is plenty for
@@ -96,22 +88,34 @@ _LOCAL_SPAN = 1 << layout.LOCAL_WINDOW_BITS
 #: window (which is why region-granular schemes miss it).
 _STACK_HEADROOM = 64 * 1024
 
+#: Engine registry names accepted by ``executor=`` / ``REPRO_EXEC``.
+_ENGINE_ALIASES = {
+    "": "compiled",
+    "default": "compiled",
+    "compiled": "compiled",
+    "closure": "compiled",
+    "fast": "compiled",
+    "reference": "reference",
+    "ref": "reference",
+    "interp": "reference",
+    "interpreter": "reference",
+}
 
-@dataclass
-class _Frame:
-    """One interpreter call frame."""
 
-    function: Function
-    block_index: int = 0
-    instr_index: int = 0
-    env: Dict[int, Union[int, float]] = field(default_factory=dict)
-    #: Pointer provenance: IR value id -> originating allocation.
-    prov: Dict[int, Optional[AllocationRecord]] = field(default_factory=dict)
-    #: Value to receive the callee's return (set in the *caller*).
-    pending_result: Optional[Value] = None
-    #: Stack-allocator frames opened by this call frame (function entry
-    #: plus any lexical scopes currently open).
-    open_scopes: int = 0
+def resolve_engine(choice: Optional[str] = None) -> str:
+    """Map an ``executor=`` knob / ``REPRO_EXEC`` value to an engine.
+
+    ``None`` consults the environment; unknown names raise.
+    """
+    if choice is None:
+        choice = os.environ.get("REPRO_EXEC", "")
+    try:
+        return _ENGINE_ALIASES[choice.strip().lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown executor engine {choice!r}; "
+            "choices: compiled, reference"
+        ) from None
 
 
 class GpuExecutor:
@@ -125,6 +129,7 @@ class GpuExecutor:
         grid_blocks: int = 1,
         block_threads: int = 1,
         max_steps: int = 200_000,
+        executor: Optional[str] = None,
     ) -> None:
         if grid_blocks <= 0 or block_threads <= 0:
             raise SimulationError("grid/block dimensions must be positive")
@@ -134,6 +139,10 @@ class GpuExecutor:
         self.grid_blocks = grid_blocks
         self.block_threads = block_threads
         self.max_steps = max_steps
+        self.engine = resolve_engine(executor)
+        #: Closure program, compiled lazily on the first launch so the
+        #: compile pass runs exactly once per (module, mechanism).
+        self._program = None
 
         self.memory = SparseMemory()
         self.tracker = AllocationTracker()
@@ -239,9 +248,10 @@ class GpuExecutor:
         """Oracle record for an invalid or double free.
 
         The allocator raises right after; classify by whether the base
-        was ever a live allocation.
+        was ever a live allocation (O(1) via the tracker's
+        ever-allocated index).
         """
-        ever = any(r.base == raw for r in self.tracker.all_records)
+        ever = self.tracker.ever_allocated(raw)
         kind = ViolationKind.DOUBLE_FREE if ever else ViolationKind.INVALID_FREE
         self._oracle_events.append(
             OracleEvent(
@@ -434,7 +444,7 @@ class GpuExecutor:
                 self._dyn_shared_ptr[block_id] = (pointer, record)
 
     # ------------------------------------------------------------------
-    # Per-thread interpretation
+    # Per-thread engines
 
     def _stack_for(self, thread: int) -> StackAllocator:
         stack = self._stacks.get(thread)
@@ -449,28 +459,14 @@ class GpuExecutor:
 
     def _make_runner(
         self, thread: int, block_id: int, args: Dict[str, Union[int, float]]
-    ) -> "_ThreadRunner":
-        kernel = self.module.kernel
-        stack = self._stack_for(thread)
-        entry = _Frame(function=kernel)
-        for param in kernel.params:
-            value = args[param.name]
-            entry.env[id(param)] = value
-            if param.type is IRType.PTR and isinstance(value, int):
-                pinned = self._arg_provenance.get(param.name)
-                entry.prov[id(param)] = (
-                    pinned if pinned is not None else self._host_records.get(value)
-                )
-        stack.push_frame()
-        entry.open_scopes = 1
-        return _ThreadRunner(
-            executor=self,
-            thread=thread,
-            block_id=block_id,
-            stack=stack,
-            frames=[entry],
-            budget=self.max_steps,
-        )
+    ):
+        """Build the per-thread runner for the selected engine."""
+        if self.engine == "reference":
+            return reference.make_runner(self, thread, block_id, args)
+        program = self._program
+        if program is None:
+            program = self._program = compile_executor(self)
+        return program.make_runner(self, thread, block_id, args)
 
     def _run_thread(
         self, thread: int, block_id: int, args: Dict[str, Union[int, float]]
@@ -481,263 +477,9 @@ class GpuExecutor:
             pass
 
     # ------------------------------------------------------------------
-    # Operand evaluation
+    # Scope lifecycle (shared by both engines)
 
-    def _value(self, frame: _Frame, operand: Operand) -> Union[int, float]:
-        if isinstance(operand, Const):
-            return operand.value
-        try:
-            return frame.env[id(operand)]
-        except KeyError:
-            raise SimulationError(
-                f"use of undefined value %{operand.name} in "
-                f"{frame.function.name!r}"
-            ) from None
-
-    def _prov(self, frame: _Frame, operand: Operand) -> Optional[AllocationRecord]:
-        """Provenance of a pointer operand (None for constants/forged)."""
-        if isinstance(operand, Const):
-            return None
-        return frame.prov.get(id(operand))
-
-    # ------------------------------------------------------------------
-    # Instruction semantics
-
-    def _execute(
-        self,
-        instr: Instr,
-        frame: _Frame,
-        frames: List[_Frame],
-        stack: StackAllocator,
-        thread: int,
-        block_id: int,
-    ) -> Optional[str]:
-        mech = self.mechanism
-        env = frame.env
-
-        if isinstance(instr, Alloca):
-            buffer = stack.alloca(instr.size)
-            record = self.tracker.on_alloc(
-                buffer.base,
-                instr.size,
-                MemorySpace.LOCAL,
-                thread=thread,
-                fields=tuple(FieldLayout(*f) for f in instr.fields),
-            )
-            self._stack_records[buffer.base] = record
-            frame.prov[id(instr.result)] = record
-            env[id(instr.result)] = mech.tag_pointer(
-                buffer.base,
-                instr.size,
-                MemorySpace.LOCAL,
-                thread=thread,
-                record=record,
-            )
-            return
-
-        if isinstance(instr, Malloc):
-            size = int(self._value(frame, instr.size))
-            if mech.aligned_heap:
-                block = self._heap_alloc.alloc(size)
-                base = block.base
-            else:
-                block = self._heap_alloc.alloc(size, thread)
-                base = block.base
-            record = self.tracker.on_alloc(
-                base,
-                size,
-                MemorySpace.HEAP,
-                thread=thread,
-                fields=tuple(FieldLayout(*f) for f in instr.fields),
-            )
-            frame.prov[id(instr.result)] = record
-            env[id(instr.result)] = mech.tag_pointer(
-                base, size, MemorySpace.HEAP, thread=thread, record=record
-            )
-            return
-
-        if isinstance(instr, Free):
-            pointer = int(self._value(frame, instr.ptr))
-            raw = mech.translate(pointer)
-            record = self.tracker.live_at(raw)
-            if record is None:
-                self._record_bad_free(raw, MemorySpace.HEAP, thread)
-            self._heap_alloc.free(raw)  # raises on invalid/double free
-            freed = self.tracker.on_free(raw)
-            mech.on_free(pointer, raw, freed, thread=thread)
-            return
-
-        if isinstance(instr, PtrAdd):
-            pointer = int(self._value(frame, instr.ptr))
-            offset = int(self._value(frame, instr.offset))
-            raw_result = (pointer + offset) & ((1 << 64) - 1)
-            frame.prov[id(instr.result)] = self._prov(frame, instr.ptr)
-            env[id(instr.result)] = mech.on_ptr_arith(
-                pointer,
-                raw_result,
-                activated=instr.hint_activate,
-                thread=thread,
-            )
-            if TELEMETRY.enabled:
-                TELEMETRY.emit(
-                    EventKind.PTR_ARITH,
-                    thread=thread,
-                    activated=instr.hint_activate,
-                    offset=offset,
-                )
-                TELEMETRY.counter(
-                    "exec.ptr_arith",
-                    activated=str(instr.hint_activate).lower(),
-                ).inc()
-            return
-
-        if isinstance(instr, (Load, Store)):
-            self._memory_access(instr, frame, thread)
-            return
-
-        if isinstance(instr, BinOp):
-            lhs = self._value(frame, instr.lhs)
-            rhs = self._value(frame, instr.rhs)
-            env[id(instr.result)] = _apply_binop(instr.op, lhs, rhs)
-            return
-
-        if isinstance(instr, Cmp):
-            lhs = self._comparable(frame, instr.lhs)
-            rhs = self._comparable(frame, instr.rhs)
-            env[id(instr.result)] = int(_apply_cmp(instr.op, lhs, rhs))
-            return
-
-        if isinstance(instr, ThreadIdx):
-            env[id(instr.result)] = thread % self.block_threads
-            return
-
-        if isinstance(instr, BlockIdx):
-            env[id(instr.result)] = block_id
-            return
-
-        if isinstance(instr, SharedRef):
-            pointer, record = self._shared_ptrs[(block_id, instr.array)]
-            env[id(instr.result)] = pointer
-            frame.prov[id(instr.result)] = record
-            return
-
-        if isinstance(instr, DynSharedRef):
-            try:
-                pointer, record = self._dyn_shared_ptr[block_id]
-            except KeyError:
-                raise SimulationError(
-                    "kernel uses dynamic shared memory but none was launched"
-                ) from None
-            env[id(instr.result)] = pointer
-            frame.prov[id(instr.result)] = record
-            return
-
-        if isinstance(instr, IntToPtr):
-            env[id(instr.result)] = int(self._value(frame, instr.value))
-            return
-
-        if isinstance(instr, PtrToInt):
-            env[id(instr.result)] = int(self._value(frame, instr.ptr))
-            return
-
-        if isinstance(instr, InvalidateExtent):
-            if isinstance(instr.ptr, Value) and id(instr.ptr) in env:
-                env[id(instr.ptr)] = mech.on_invalidate(
-                    int(env[id(instr.ptr)]), thread=thread
-                )
-            return
-
-        if isinstance(instr, ScopeBegin):
-            stack.push_frame()
-            frame.open_scopes += 1
-            return
-
-        if isinstance(instr, ScopeEnd):
-            self._close_scope(frame, stack, thread)
-            return
-
-        if isinstance(instr, Barrier):
-            return "barrier"
-
-        if isinstance(instr, Call):
-            callee = self.module.functions.get(instr.callee)
-            if callee is None:
-                raise SimulationError(f"call to unknown function {instr.callee!r}")
-            if len(callee.params) != len(instr.args):
-                raise SimulationError(
-                    f"arity mismatch calling {instr.callee!r}"
-                )
-            new_frame = _Frame(function=callee)
-            for param, arg in zip(callee.params, instr.args):
-                value = self._value(frame, arg)
-                if param.type is IRType.PTR:
-                    value = mech.on_call_boundary(int(value))
-                    new_frame.prov[id(param)] = self._prov(frame, arg)
-                new_frame.env[id(param)] = value
-            frame.pending_result = instr.result
-            stack.push_frame()
-            new_frame.open_scopes = 1
-            frames.append(new_frame)
-            return
-
-        if isinstance(instr, Ret):
-            value = (
-                self._value(frame, instr.value) if instr.value is not None else None
-            )
-            ret_prov = (
-                self._prov(frame, instr.value)
-                if instr.value is not None
-                else None
-            )
-            while frame.open_scopes:
-                self._close_scope(frame, stack, thread)
-            frames.pop()
-            if frames:
-                caller = frames[-1]
-                target = caller.pending_result
-                caller.pending_result = None
-                if target is not None:
-                    if value is None:
-                        raise SimulationError(
-                            f"{frame.function.name!r} returned no value to a "
-                            "value-expecting call"
-                        )
-                    if target.type is IRType.PTR:
-                        value = mech.on_call_boundary(int(value))
-                        caller.prov[id(target)] = ret_prov
-                    caller.env[id(target)] = value
-            return
-
-        if isinstance(instr, Branch):
-            cond = int(self._value(frame, instr.cond))
-            target = instr.if_true if cond else instr.if_false
-            self._goto(frame, target)
-            return
-
-        if isinstance(instr, Jump):
-            self._goto(frame, instr.target)
-            return
-
-        raise SimulationError(f"unhandled IR instruction {type(instr).__name__}")
-
-    def _goto(self, frame: _Frame, label: str) -> None:
-        for index, block in enumerate(frame.function.blocks):
-            if block.label == label:
-                frame.block_index = index
-                frame.instr_index = 0
-                return
-        raise SimulationError(f"branch to unknown label {label!r}")
-
-    def _comparable(self, frame: _Frame, operand: Operand) -> Union[int, float]:
-        """Operand value for comparisons: pointers compare by address."""
-        value = self._value(frame, operand)
-        if isinstance(operand, Value) and operand.type is IRType.PTR:
-            return self.mechanism.translate(int(value))
-        if isinstance(operand, Const) and operand.type is IRType.PTR:
-            return self.mechanism.translate(int(value))
-        return value
-
-    def _close_scope(self, frame: _Frame, stack: StackAllocator, thread: int) -> None:
+    def _close_scope(self, frame, stack: StackAllocator, thread: int) -> None:
         if frame.open_scopes <= 0:
             raise SimulationError("scope end without matching begin")
         frame.open_scopes -= 1
@@ -750,177 +492,3 @@ class GpuExecutor:
                 records.append(record)
         if records:
             self.mechanism.on_scope_exit(records, thread=thread)
-
-    # ------------------------------------------------------------------
-    # Memory accesses
-
-    def _memory_access(
-        self, instr: Union[Load, Store], frame: _Frame, thread: int
-    ) -> None:
-        mech = self.mechanism
-        is_store = isinstance(instr, Store)
-        pointer = int(self._value(frame, instr.ptr))
-        raw = mech.translate(pointer)
-        space = layout.space_of(raw)
-        width = instr.width
-
-        if TELEMETRY.enabled:
-            TELEMETRY.counter(
-                "exec.accesses",
-                space=str(space),
-                kind="store" if is_store else "load",
-            ).inc()
-            TELEMETRY.emit(
-                EventKind.ACCESS_CHECK,
-                thread=thread,
-                address=raw,
-                width=width,
-                space=space,
-                store=is_store,
-            )
-
-        verdict = self.tracker.classify_provenanced(
-            raw,
-            width,
-            self._prov(frame, instr.ptr),
-            expected_field=instr.expected_field,
-        )
-        if verdict.is_violation:
-            if verdict.use_after_free:
-                kind = ViolationKind.TEMPORAL
-                description = "use after free/scope"
-            elif verdict.intra_object_overflow:
-                kind = ViolationKind.SPATIAL
-                description = "intra-object overflow"
-            else:
-                kind = ViolationKind.SPATIAL
-                description = "out-of-bounds access"
-            self._oracle_events.append(
-                OracleEvent(
-                    kind=kind,
-                    address=raw,
-                    width=width,
-                    thread=thread,
-                    space=space,
-                    is_store=is_store,
-                    intra_object=verdict.intra_object_overflow,
-                    description=description,
-                )
-            )
-
-        mech.check_access(
-            pointer, raw, width, space, thread=thread, is_store=is_store
-        )
-
-        if is_store:
-            value = self._value(frame, instr.value)
-            value_type = (
-                instr.value.type
-                if isinstance(instr.value, (Value, Const))
-                else None
-            )
-            if value_type is IRType.F32 or isinstance(value, float):
-                self.memory.store_f32(raw, float(value))
-            else:
-                if value_type is IRType.PTR:
-                    mech.on_pointer_store(raw, int(value), thread=thread)
-                self.memory.store(raw, int(value), width)
-        else:
-            if instr.type is IRType.F32:
-                frame.env[id(instr.result)] = self.memory.load_f32(raw)
-            else:
-                loaded = self.memory.load(raw, width)
-                if instr.type is IRType.PTR:
-                    loaded = mech.on_pointer_load(raw, loaded, thread=thread)
-                    frame.prov[id(instr.result)] = self.tracker.find_live(
-                        mech.translate(loaded)
-                    )
-                frame.env[id(instr.result)] = loaded
-
-
-
-@dataclass
-class _ThreadRunner:
-    """Resumable per-thread interpreter state.
-
-    ``run_phase`` executes until the next block-wide barrier (returns
-    "barrier") or until the thread finishes (returns "done").  The
-    launch loop interleaves runners phase by phase, giving correct
-    ``__syncthreads`` producer/consumer ordering.
-    """
-
-    executor: "GpuExecutor"
-    thread: int
-    block_id: int
-    stack: StackAllocator
-    frames: List[_Frame]
-    budget: int
-
-    def run_phase(self) -> str:
-        executor = self.executor
-        while self.frames:
-            frame = self.frames[-1]
-            block = frame.function.blocks[frame.block_index]
-            if frame.instr_index >= len(block.instrs):
-                raise SimulationError(
-                    f"fell off block {block.label!r} in "
-                    f"{frame.function.name!r}"
-                )
-            instr = block.instrs[frame.instr_index]
-            frame.instr_index += 1
-            self.budget -= 1
-            executor._steps += 1
-            if self.budget <= 0:
-                raise SimulationError(
-                    f"thread {self.thread} exceeded "
-                    f"{executor.max_steps} steps"
-                )
-            signal = executor._execute(
-                instr, frame, self.frames, self.stack, self.thread,
-                self.block_id,
-            )
-            if signal == "barrier":
-                return "barrier"
-        return "done"
-
-
-def _apply_binop(
-    op: BinOpKind, lhs: Union[int, float], rhs: Union[int, float]
-) -> Union[int, float]:
-    if op is BinOpKind.ADD:
-        return lhs + rhs
-    if op is BinOpKind.SUB:
-        return lhs - rhs
-    if op is BinOpKind.MUL:
-        return lhs * rhs
-    if op is BinOpKind.AND:
-        return int(lhs) & int(rhs)
-    if op is BinOpKind.OR:
-        return int(lhs) | int(rhs)
-    if op is BinOpKind.XOR:
-        return int(lhs) ^ int(rhs)
-    if op is BinOpKind.SHL:
-        return int(lhs) << int(rhs)
-    if op is BinOpKind.SHR:
-        return int(lhs) >> int(rhs)
-    if op is BinOpKind.FADD:
-        return float(lhs) + float(rhs)
-    if op is BinOpKind.FMUL:
-        return float(lhs) * float(rhs)
-    raise SimulationError(f"unhandled binop {op}")
-
-
-def _apply_cmp(op: CmpKind, lhs, rhs) -> bool:
-    if op is CmpKind.EQ:
-        return lhs == rhs
-    if op is CmpKind.NE:
-        return lhs != rhs
-    if op is CmpKind.LT:
-        return lhs < rhs
-    if op is CmpKind.LE:
-        return lhs <= rhs
-    if op is CmpKind.GT:
-        return lhs > rhs
-    if op is CmpKind.GE:
-        return lhs >= rhs
-    raise SimulationError(f"unhandled comparison {op}")

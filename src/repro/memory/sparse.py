@@ -118,6 +118,21 @@ class SparseMemory:
             if start >= address:
                 self.write_bytes(start, bytes([self._fill]) * (end - start))
 
+    def digest(self) -> str:
+        """SHA-256 over all materialised pages (sorted by page id).
+
+        The byte-for-byte fingerprint the executor-equivalence suite
+        locks the compiled and reference engines against: two runs
+        that performed the same stores produce identical digests.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for page_id in sorted(self._pages):
+            h.update(page_id.to_bytes(8, "little"))
+            h.update(self._pages[page_id])
+        return h.hexdigest()
+
     @property
     def resident_pages(self) -> int:
         """Number of materialised pages (a proxy for RSS)."""

@@ -88,6 +88,17 @@ class AllocationTracker:
         self._records: List[AllocationRecord] = []
         self._bases: List[int] = []  # sorted bases of *live* records
         self._live_by_base: Dict[int, AllocationRecord] = {}
+        # Freed-record index mirroring the live ``_bases`` structure:
+        # a bisect-sorted list of distinct freed bases, the records
+        # freed at each base (several generations can share a base),
+        # and the largest freed size ever seen (bounds the leftward
+        # scan in :meth:`find_freed`).
+        self._freed_bases: List[int] = []
+        self._freed_by_base: Dict[int, List[AllocationRecord]] = {}
+        self._max_freed_size = 1
+        #: Every base ever handed out, live or not (O(1) bad-free
+        #: classification instead of a scan over ``all_records``).
+        self._ever_bases: set = set()
         self._next_id = 1
 
     # ------------------------------------------------------------------
@@ -125,6 +136,7 @@ class AllocationTracker:
         index = bisect.bisect_left(self._bases, base)
         self._bases.insert(index, base)
         self._live_by_base[base] = record
+        self._ever_bases.add(base)
         if TELEMETRY.enabled:
             TELEMETRY.counter("alloc.count", space=str(space)).inc()
             TELEMETRY.counter("alloc.bytes", space=str(space)).inc(size)
@@ -149,6 +161,14 @@ class AllocationTracker:
         record.live = False
         index = bisect.bisect_left(self._bases, base)
         del self._bases[index]
+        freed_here = self._freed_by_base.get(base)
+        if freed_here is None:
+            self._freed_by_base[base] = [record]
+            bisect.insort(self._freed_bases, base)
+        else:
+            freed_here.append(record)
+        if record.size > self._max_freed_size:
+            self._max_freed_size = record.size
         if TELEMETRY.enabled:
             TELEMETRY.counter("free.count", space=str(record.space)).inc()
             TELEMETRY.emit(
@@ -178,12 +198,37 @@ class AllocationTracker:
         return None
 
     def find_freed(self, address: int, width: int = 1) -> Optional[AllocationRecord]:
-        """The most recently freed allocation covering the access."""
+        """The most recently freed allocation covering the access.
+
+        Uses the bisect-sorted freed-base index instead of scanning
+        every record ever allocated: only bases within the largest
+        freed size of *address* can possibly cover it, so the scan
+        walks left from the bisect point and stops at that horizon.
+        Ties (overlapping freed footprints) resolve to the highest
+        ``alloc_id`` — identical to the old last-match linear scan.
+        """
+        bases = self._freed_bases
+        index = bisect.bisect_right(bases, address) - 1
+        if index < 0:
+            return None
         best = None
-        for record in self._records:
-            if not record.live and record.contains(address, width):
-                best = record
+        horizon = self._max_freed_size
+        freed_by_base = self._freed_by_base
+        while index >= 0:
+            base = bases[index]
+            if address - base > horizon:
+                break
+            for record in freed_by_base[base]:
+                if record.contains(address, width) and (
+                    best is None or record.alloc_id > best.alloc_id
+                ):
+                    best = record
+            index -= 1
         return best
+
+    def ever_allocated(self, base: int) -> bool:
+        """True iff *base* was ever the base of an allocation."""
+        return base in self._ever_bases
 
     def classify(
         self,

@@ -1,0 +1,273 @@
+"""Executor-equivalence suite: compiled engine vs reference interpreter.
+
+The closure-compiled engine (``repro.exec.compile``) and the original
+isinstance-chain interpreter (``repro.exec.reference``) must be
+indistinguishable through every observable surface: oracle events,
+mechanism verdicts and stats, step counts, thread completion, and the
+byte-for-byte final memory image (``SparseMemory.digest``).  This
+suite locks them together over
+
+* the whole kernel corpus x every registered mechanism (grid of 2
+  blocks x 8 threads, deterministic non-trivial input buffers),
+* the paper's Figure 14 delayed-termination walker (one-past-the-end
+  pointer, loop exit by address comparison, poisoned deref),
+* the full Table III security suite (spatial + temporal + intra-object
+  cases) under representative mechanisms,
+* telemetry parity: identical counter sets when the hub is enabled,
+* engine selection (``executor=`` / ``REPRO_EXEC``) plumbing.
+"""
+
+import pytest
+
+from repro.compiler import CmpKind, IRType, KernelBuilder, run_lmi_pass
+from repro.exec import GpuExecutor, resolve_engine
+from repro.exec.compile import _CompiledRunner
+from repro.exec.reference import ReferenceThreadRunner
+from repro.common.errors import ConfigurationError
+from repro.mechanisms import MECHANISMS, create_mechanism
+from repro.security.testcases import all_cases
+from repro.telemetry.runtime import capture
+from repro.workloads.kernels import KERNEL_CORPUS
+
+ENGINES = ("compiled", "reference")
+ALL_MECHANISMS = sorted(MECHANISMS)
+#: Mechanisms spanning every design family (pointer-tagged, table,
+#: canary, region, baseline) for the heavier security-suite sweep.
+SECURITY_MECHANISMS = ["baseline", "lmi", "lmi-inmem", "cucatch", "gmod"]
+
+
+# ----------------------------------------------------------------------
+# Harness
+
+
+def _walker_module(deref_after=False):
+    """Figure 14: one-past-the-end walker (see tests/test_integration)."""
+    b = KernelBuilder("walker")
+    start = b.malloc(256, name="arr")  # 64 ints, exact power of two
+    end = b.ptradd(start, 256, name="end")  # one past the end!
+    p = b.alloca(8, name="pslot")
+    b.store(p, 0, width=8)
+    b.jump("head")
+    b.new_block("head")
+    iv = b.load(p, width=8)
+    cond = b.cmp(CmpKind.LT, iv, 64)
+    b.branch(cond, "body", "exit")
+    b.new_block("body")
+    slot = b.ptradd(start, b.mul(iv, 4))
+    b.store(slot, b.add(b.load(slot, width=4), 1), width=4)
+    b.store(p, b.add(iv, 1), width=8)
+    b.jump("head")
+    b.new_block("exit")
+    if deref_after:
+        b.load(end, width=4)
+    b.ret()
+    module = b.module()
+    run_lmi_pass(module)
+    return module
+
+
+def _fingerprint(executor, result):
+    """Everything an engine can observably influence, in one tuple."""
+    violation = result.violation
+    return (
+        result.completed,
+        None
+        if violation is None
+        else (type(violation).__name__, str(violation)),
+        result.steps,
+        result.threads_completed,
+        tuple(result.oracle_events),
+        result.mechanism_stats,
+        executor.memory.digest(),
+        executor.memory.resident_pages,
+        executor.tracker.live_bytes(),
+        len(executor.tracker.all_records),
+        executor._steps,
+    )
+
+
+def _run_corpus_kernel(engine, build, mechanism_name):
+    """Launch one corpus kernel with deterministic inputs; fingerprint."""
+    module = build()
+    executor = GpuExecutor(
+        module,
+        create_mechanism(mechanism_name),
+        grid_blocks=2,
+        block_threads=8,
+        executor=engine,
+    )
+    args = {}
+    for index, param in enumerate(module.kernel.params):
+        if param.type is IRType.PTR:
+            pointer = executor.host_alloc(1024)
+            raw = executor.mechanism.translate(pointer)
+            executor.memory.write_bytes(
+                raw,
+                bytes((7 * i + 3 * index + 1) % 13 for i in range(1024)),
+            )
+            args[param.name] = pointer
+        else:
+            args[param.name] = 3
+    result = executor.launch(args)
+    return _fingerprint(executor, result)
+
+
+# ----------------------------------------------------------------------
+# Corpus x mechanism matrix
+
+
+class TestCorpusEquivalence:
+    @pytest.mark.parametrize("mechanism", ALL_MECHANISMS)
+    @pytest.mark.parametrize("kernel", sorted(KERNEL_CORPUS))
+    def test_engines_agree(self, kernel, mechanism):
+        build = KERNEL_CORPUS[kernel]
+        compiled = _run_corpus_kernel("compiled", build, mechanism)
+        reference = _run_corpus_kernel("reference", build, mechanism)
+        assert compiled == reference
+
+
+# ----------------------------------------------------------------------
+# Figure 14 delayed termination
+
+
+class TestDelayedTerminationEquivalence:
+    @pytest.mark.parametrize("deref_after", [False, True])
+    @pytest.mark.parametrize("mechanism", ["baseline", "lmi", "cucatch"])
+    def test_walker(self, mechanism, deref_after):
+        prints = {}
+        for engine in ENGINES:
+            executor = GpuExecutor(
+                _walker_module(deref_after),
+                create_mechanism(mechanism),
+                executor=engine,
+            )
+            prints[engine] = _fingerprint(executor, executor.launch({}))
+        assert prints["compiled"] == prints["reference"]
+
+    def test_walker_completes_and_poisons_under_lmi(self):
+        """Sanity: the compiled engine preserves the paper's semantics."""
+        mechanism = create_mechanism("lmi")
+        result = GpuExecutor(
+            _walker_module(), mechanism, executor="compiled"
+        ).launch({})
+        assert result.completed
+        assert not result.oracle_violated
+        assert mechanism.ocu.stats.overflows >= 1
+
+
+# ----------------------------------------------------------------------
+# Security suite (Table III): spatial, temporal, intra-object
+
+
+class TestSecuritySuiteEquivalence:
+    @pytest.mark.parametrize("mechanism", SECURITY_MECHANISMS)
+    def test_all_cases_agree(self, mechanism, monkeypatch):
+        for case in all_cases():
+            outcomes = {}
+            for engine in ENGINES:
+                monkeypatch.setenv("REPRO_EXEC", engine)
+                outcome = case.run(create_mechanism(mechanism))
+                outcomes[engine] = (
+                    outcome.detected,
+                    outcome.oracle,
+                    None
+                    if outcome.violation is None
+                    else (
+                        type(outcome.violation).__name__,
+                        str(outcome.violation),
+                    ),
+                )
+            assert outcomes["compiled"] == outcomes["reference"], (
+                f"case {case.case_id} diverged under {mechanism}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Telemetry parity
+
+
+class TestTelemetryEquivalence:
+    @pytest.mark.parametrize("kernel", ["vector_add", "per_thread_scratch"])
+    def test_counters_match_when_enabled(self, kernel):
+        snapshots = {}
+        for engine in ENGINES:
+            with capture() as telem:
+                _run_corpus_kernel("compiled" if engine == "compiled"
+                                   else "reference",
+                                   KERNEL_CORPUS[kernel], "lmi")
+                snapshots[engine] = telem.registry.snapshot()["counters"]
+        assert snapshots["compiled"] == snapshots["reference"]
+        joined = " ".join(snapshots["compiled"])
+        assert "exec.accesses" in joined
+        assert "exec.steps" in joined
+
+
+# ----------------------------------------------------------------------
+# Engine selection plumbing
+
+
+class TestEngineSelection:
+    def test_default_is_compiled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXEC", raising=False)
+        assert resolve_engine() == "compiled"
+
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("compiled", "compiled"),
+            ("closure", "compiled"),
+            ("fast", "compiled"),
+            ("default", "compiled"),
+            ("reference", "reference"),
+            ("REF", "reference"),
+            ("interp", "reference"),
+            (" interpreter ", "reference"),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert resolve_engine(alias) == expected
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_engine("turbo")
+        with pytest.raises(ConfigurationError):
+            GpuExecutor(
+                KERNEL_CORPUS["vector_add"](), executor="turbo"
+            )
+
+    def test_env_var_selects_reference(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC", "reference")
+        executor = GpuExecutor(KERNEL_CORPUS["vector_add"]())
+        assert executor.engine == "reference"
+        runner = executor._make_runner(0, 0, {
+            p.name: executor.host_alloc(64)
+            for p in executor.module.kernel.params
+        })
+        assert isinstance(runner, ReferenceThreadRunner)
+
+    def test_keyword_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC", "reference")
+        executor = GpuExecutor(
+            KERNEL_CORPUS["vector_add"](), executor="compiled"
+        )
+        assert executor.engine == "compiled"
+        runner = executor._make_runner(0, 0, {
+            p.name: executor.host_alloc(64)
+            for p in executor.module.kernel.params
+        })
+        assert isinstance(runner, _CompiledRunner)
+
+    def test_program_compiled_once_and_lazily(self):
+        executor = GpuExecutor(
+            KERNEL_CORPUS["vector_add"](), executor="compiled"
+        )
+        assert executor._program is None  # lazy: nothing until launch
+        args = {
+            p.name: executor.host_alloc(64)
+            for p in executor.module.kernel.params
+        }
+        executor.launch(args)
+        program = executor._program
+        assert program is not None
+        executor.launch(args)
+        assert executor._program is program  # reused, not recompiled
