@@ -1,0 +1,179 @@
+"""Bench: columnar simulator throughput → ``BENCH_sim.json``.
+
+Measures the columnar data plane (and its C executor, when a toolchain
+is present) against the pinned scalar pipeline over the Figure 12
+profile set, one cell per (benchmark × timing model):
+
+1. **Equivalence gate.**  Every cell first simulates cold under both
+   engines and asserts identical cycles and :class:`SimStats` — the
+   speedup of a wrong simulator is meaningless, so timing only starts
+   after the digests match.
+2. **Interleaved timing.**  Scalar and columnar runs alternate inside
+   the same measurement window (min of N reps each), so slow machine
+   drift cannot manufacture or hide a speedup.
+3. **Floor.**  The archived geomean speedup must clear ``3.0×`` when
+   the native executor is active (it measures ~12–20× here); without a
+   C toolchain the pure-Python columnar loop must simply never be
+   slower.
+
+Throughput is reported as *trace records per second*: dynamic
+instructions actually issued (including model-injected checks) divided
+by wall time.  ``REPRO_BENCH_FAST=1`` shrinks the profile set and
+trace sizes for CI smoke runs.  The document lands in
+``benchmarks/out/BENCH_sim.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import time
+
+from conftest import OUT_DIR
+
+from repro.experiments import run_fig12
+from repro.experiments.engine import model_factory
+from repro.sim import SmSimulator, native_available, reference_simulate
+from repro.telemetry.runtime import TELEMETRY
+from repro.workloads import synthesize_trace
+from repro.workloads.profiles import all_benchmarks
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+MODELS = ("baseline", "lmi", "gpushield", "baggy")
+
+#: The fig12 profile set (all 28 benchmarks), or a smoke subset.
+BENCHMARKS = (
+    ("gaussian", "needle", "LSTM", "bert", "bfs", "hotspot")
+    if FAST
+    else tuple(all_benchmarks())
+)
+WARPS, INSTRUCTIONS = (8, 600) if FAST else (16, 2000)
+REPS = 2 if FAST else 3
+
+#: Geomean speedup the columnar engine must clear over the scalar
+#: pipeline.  The native C executor has an order of magnitude of
+#: headroom over this; the pure-Python loop (no toolchain) must only
+#: never be slower.
+FLOOR = 3.0
+
+
+def _geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _cell(trace, mechanism):
+    """Equivalence-gate then time one (trace, model) cell.
+
+    Returns ``(digest, records, scalar_seconds, columnar_seconds)``
+    with both times the min over *REPS* interleaved fresh-simulator
+    runs.
+    """
+    # 1. Equivalence gate: cold caches, both engines, full stats.
+    want = reference_simulate(trace, model_factory(mechanism))
+    got = SmSimulator(model=model_factory(mechanism)).run(trace)
+    assert got.cycles == want.cycles, (trace.name, mechanism)
+    assert got.stats == want.stats, (trace.name, mechanism)
+    digest = hashlib.sha256(
+        repr((got.cycles, sorted(got.stats.__dict__.items()))).encode()
+    ).hexdigest()[:16]
+
+    # 2. Interleaved timing: scalar/columnar alternate per rep.
+    scalar = columnar = float("inf")
+    for _ in range(REPS):
+        started = time.perf_counter()
+        reference_simulate(trace, model_factory(mechanism))
+        scalar = min(scalar, time.perf_counter() - started)
+        started = time.perf_counter()
+        SmSimulator(model=model_factory(mechanism)).run(trace)
+        columnar = min(columnar, time.perf_counter() - started)
+    return digest, got.stats.instructions, scalar, columnar
+
+
+def test_sim_throughput():
+    saved = TELEMETRY.enabled
+    # Telemetry must be off: the columnar engine only engages without
+    # a live event stream (per-issue events force the scalar path).
+    TELEMETRY.enabled = False
+    try:
+        per_model = {
+            m: {"records": 0, "scalar_s": 0.0, "columnar_s": 0.0,
+                "speedups": []}
+            for m in MODELS
+        }
+        digests = {}
+        for name in BENCHMARKS:
+            trace = synthesize_trace(
+                name, warps=WARPS, instructions_per_warp=INSTRUCTIONS
+            )
+            for mechanism in MODELS:
+                digest, records, scalar_s, columnar_s = _cell(
+                    trace, mechanism
+                )
+                digests[f"{name}/{mechanism}"] = digest
+                bucket = per_model[mechanism]
+                bucket["records"] += records
+                bucket["scalar_s"] += scalar_s
+                bucket["columnar_s"] += columnar_s
+                bucket["speedups"].append(scalar_s / columnar_s)
+
+        speedups = [s for b in per_model.values() for s in b["speedups"]]
+        geomean = _geomean(speedups)
+
+        # fig12 --fast wall clock under the columnar engine.
+        started = time.perf_counter()
+        run_fig12(
+            BENCHMARKS if FAST else None,
+            warps=8,
+            instructions_per_warp=400,
+            jobs=1,
+        )
+        fig12_fast_seconds = time.perf_counter() - started
+    finally:
+        TELEMETRY.enabled = saved
+
+    document = {
+        "benchmark": "sim_throughput",
+        "fast": FAST,
+        "executor": "native" if native_available() else "python",
+        "grid": {
+            "benchmarks": list(BENCHMARKS),
+            "models": list(MODELS),
+            "warps": WARPS,
+            "instructions_per_warp": INSTRUCTIONS,
+            "reps": REPS,
+        },
+        "equivalence_digests": digests,
+        "models": {
+            m: {
+                "records": b["records"],
+                "scalar_records_per_second": round(
+                    b["records"] / b["scalar_s"]
+                ),
+                "columnar_records_per_second": round(
+                    b["records"] / b["columnar_s"]
+                ),
+                "geomean_speedup": round(_geomean(b["speedups"]), 3),
+                "min_speedup": round(min(b["speedups"]), 3),
+            }
+            for m, b in per_model.items()
+        },
+        "geomean_speedup": round(geomean, 3),
+        "floor": FLOOR if native_available() else 1.0,
+        "fig12_fast_seconds": round(fig12_fast_seconds, 4),
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "BENCH_sim.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"\n[sim_throughput] archived to {path}")
+    print(json.dumps(document, indent=2, sort_keys=True))
+
+    # The floor only applies after every cell passed its equivalence
+    # gate above — a fast wrong simulator would have failed already.
+    if native_available():
+        assert geomean >= FLOOR, f"geomean {geomean:.2f}x below {FLOOR}x"
+    else:
+        assert geomean >= 1.0, f"columnar slower than scalar: {geomean:.2f}x"
+    assert fig12_fast_seconds > 0

@@ -24,27 +24,50 @@ independent jobs — one timing simulation (or analytic row) per
   :mod:`~repro.workloads.trace_cache`, so the four mechanisms of one
   benchmark share a single synthesis (and, with ``--trace-cache``, so
   do the worker processes and repeated CLI invocations).
+* **Columnar shipping.**  When fanning out, the parent synthesizes
+  each *unique* trace once and publishes it as a versioned columnar
+  ``.npz`` in a shared directory (the ``--trace-cache`` dir when
+  configured, else a pool-scoped temp dir); workers load the arrays —
+  which pre-seed the columnar plan memo — instead of re-synthesizing
+  or unpickling per-instruction dataclass lists.  The round-trip is
+  lossless (locked by the trace tests), so results stay byte-identical
+  across ``--jobs`` settings.
 """
 
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from ..common.config import DEFAULT_GPU_CONFIG, GpuConfig
 from ..sim import (
     BaggyBoundsTiming,
     BaselineTiming,
     GPUShieldTiming,
+    KernelTrace,
     LmiTiming,
     SimStats,
     SmSimulator,
     TimingModel,
 )
+from ..sim.tracefile import dump_trace_npz, load_trace_npz
 from ..telemetry.runtime import TELEMETRY, capture
 from ..workloads import cached_trace
+from ..workloads.profiles import profile
+from ..workloads.trace_cache import TRACE_CACHE, trace_key
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
@@ -104,34 +127,106 @@ def _effective_workers(n_jobs: int, n_items: int) -> int:
     return min(n_jobs, n_items, os.cpu_count() or 1)
 
 
-def _execute_job(job: SimJob, config: GpuConfig) -> JobResult:
-    """Run one job in the current process (trace via the cache)."""
-    trace = cached_trace(
-        job.benchmark,
-        warps=job.warps,
-        instructions_per_warp=job.instructions_per_warp,
-        seed_salt=job.seed_salt,
-    )
+#: Per-process memo of shipped ``.npz`` traces, so one worker serving
+#: several mechanisms of a benchmark decodes the columns only once.
+_SHIPPED_TRACES: Dict[str, KernelTrace] = {}
+
+
+def _load_shipped(path: str) -> KernelTrace:
+    trace = _SHIPPED_TRACES.get(path)
+    if trace is None:
+        trace = load_trace_npz(path)
+        _SHIPPED_TRACES[path] = trace
+    return trace
+
+
+def _execute_job(
+    job: SimJob, config: GpuConfig, trace_path: Optional[str] = None
+) -> JobResult:
+    """Run one job in the current process (trace via npz or cache)."""
+    trace = None
+    if trace_path is not None:
+        try:
+            trace = _load_shipped(trace_path)
+        except Exception:
+            trace = None  # racing cleanup/corruption: synthesize
+    if trace is None:
+        trace = cached_trace(
+            job.benchmark,
+            warps=job.warps,
+            instructions_per_warp=job.instructions_per_warp,
+            seed_salt=job.seed_salt,
+        )
     result = SmSimulator(config, model_factory(job.mechanism)).run(trace)
     return JobResult(job=job, cycles=result.cycles, stats=result.stats)
 
 
 def _job_worker(payload):
     """Pool entry point: job + optional private-telemetry capture."""
-    job, config, telemetry_wanted = payload
+    job, config, telemetry_wanted, trace_path = payload
     if not telemetry_wanted:
         TELEMETRY.enabled = False  # forked copies must not double-count
-        return _execute_job(job, config), None
+        return _execute_job(job, config, trace_path), None
     with capture(
         ring_capacity=_WORKER_RING_CAPACITY, sample_every=1
     ) as hub:
-        result = _execute_job(job, config)
+        result = _execute_job(job, config, trace_path)
         events = [
             (event.kind, dict(event.payload))
             for event in hub.recorder.events()
         ]
         registry = hub.registry
     return result, (registry, events)
+
+
+def _trace_request(job: SimJob) -> Tuple[str, int, int, int]:
+    return (
+        job.benchmark,
+        job.warps,
+        job.instructions_per_warp,
+        job.seed_salt,
+    )
+
+
+def _ship_traces(
+    job_list: Sequence[SimJob],
+) -> Tuple[Dict[Tuple[str, int, int, int], str], Optional[str]]:
+    """Publish each unique trace as a shared columnar ``.npz``.
+
+    Returns the request → path map plus a directory to remove after
+    the pool drains (``None`` when the persistent ``--trace-cache``
+    directory is the share point).
+    """
+    share_dir = TRACE_CACHE.disk_dir
+    cleanup: Optional[str] = None
+    if share_dir is None:
+        share_dir = cleanup = tempfile.mkdtemp(prefix="repro-traces-")
+    paths: Dict[Tuple[str, int, int, int], str] = {}
+    for job in job_list:
+        request = _trace_request(job)
+        if request in paths:
+            continue
+        benchmark, warps, instructions_per_warp, seed_salt = request
+        trace = cached_trace(
+            benchmark,
+            warps=warps,
+            instructions_per_warp=instructions_per_warp,
+            seed_salt=seed_salt,
+        )
+        key = trace_key(
+            profile(benchmark),
+            warps=warps,
+            instructions_per_warp=instructions_per_warp,
+            seed_salt=seed_salt,
+        )
+        path = os.path.join(share_dir, f"trace-{key}.npz")
+        if not os.path.exists(path):
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "wb") as handle:
+                dump_trace_npz(trace, handle)
+            os.replace(tmp, path)
+        paths[request] = path
+    return paths, cleanup
 
 
 def _replay_telemetry(blob) -> None:
@@ -162,16 +257,29 @@ def run_sim_jobs(
 
     telemetry_wanted = TELEMETRY.enabled
     results: List[JobResult] = []
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(_job_worker, (job, config, telemetry_wanted))
-            for job in job_list
-        ]
-        for future in futures:  # submission order == merge order
-            result, blob = future.result()
-            if blob is not None:
-                _replay_telemetry(blob)
-            results.append(result)
+    trace_paths, cleanup = _ship_traces(job_list)
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _job_worker,
+                    (
+                        job,
+                        config,
+                        telemetry_wanted,
+                        trace_paths.get(_trace_request(job)),
+                    ),
+                )
+                for job in job_list
+            ]
+            for future in futures:  # submission order == merge order
+                result, blob = future.result()
+                if blob is not None:
+                    _replay_telemetry(blob)
+                results.append(result)
+    finally:
+        if cleanup is not None:
+            shutil.rmtree(cleanup, ignore_errors=True)
     return results
 
 

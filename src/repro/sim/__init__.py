@@ -1,11 +1,32 @@
 """Trace-driven GPU timing simulator (MacSim substitute)."""
 
-from .cache import CacheStats, SetAssociativeCache
-from .core import SimResult, SimStats, SmSimulator, expanded_streams, simulate
+from .cache import (
+    ArrayLruCache,
+    CacheStats,
+    SetAssociativeCache,
+    cache_for_engine,
+)
+from .columnar import (
+    ColumnarTrace,
+    IssuePlan,
+    columnar_of,
+    expand_columnar,
+    expanded_columnar,
+    plan_for,
+)
+from .core import (
+    SimResult,
+    SimStats,
+    SmSimulator,
+    expanded_streams,
+    resolve_sim_engine,
+    simulate,
+)
 from .dram import DramModel, DramStats
+from .native import NATIVE_ENV, native_available
 from .reference import ReferenceSmSimulator, reference_simulate
 from .gpu import GpuSimResult, GpuSimulator
-from .tracefile import dump_trace, load_trace
+from .tracefile import dump_trace, dump_trace_npz, load_trace, load_trace_npz
 from .timing import (
     BAGGY_CHECK_INSTRUCTIONS,
     BaggyBoundsTiming,
@@ -15,24 +36,37 @@ from .timing import (
     TimingModel,
     expand_stream,
 )
-from .trace import KernelTrace, OpClass, TraceInstruction
+from .trace import KernelTrace, OpClass, TraceInstruction, TraceMemo, trace_memo
 
 __all__ = [
+    "ArrayLruCache",
     "CacheStats",
     "SetAssociativeCache",
+    "cache_for_engine",
+    "ColumnarTrace",
+    "IssuePlan",
+    "columnar_of",
+    "expand_columnar",
+    "expanded_columnar",
+    "plan_for",
     "SimResult",
     "SimStats",
     "SmSimulator",
     "expanded_streams",
+    "resolve_sim_engine",
     "simulate",
     "ReferenceSmSimulator",
     "reference_simulate",
     "DramModel",
     "DramStats",
+    "NATIVE_ENV",
+    "native_available",
     "GpuSimResult",
     "GpuSimulator",
     "dump_trace",
+    "dump_trace_npz",
     "load_trace",
+    "load_trace_npz",
     "BAGGY_CHECK_INSTRUCTIONS",
     "BaggyBoundsTiming",
     "BaselineTiming",
@@ -43,4 +77,6 @@ __all__ = [
     "KernelTrace",
     "OpClass",
     "TraceInstruction",
+    "TraceMemo",
+    "trace_memo",
 ]

@@ -31,6 +31,7 @@ issue slot instead of O(W).
 
 from __future__ import annotations
 
+import os
 from bisect import insort
 from dataclasses import dataclass
 from heapq import heappop, heappush
@@ -41,25 +42,70 @@ from ..common.errors import SimulationError
 from ..telemetry import EventKind
 from ..telemetry.registry import MetricsRegistry
 from ..telemetry.runtime import TELEMETRY
-from .cache import SetAssociativeCache
+from .cache import ArrayLruCache, cache_for_engine
 from .dram import DramModel
-from .timing import BaselineTiming, TimingModel, expand_stream
-from .trace import KernelTrace, OpClass, TraceInstruction
+from .timing import (
+    ALU_LATENCY_CYCLES,
+    BaselineTiming,
+    SHARED_LATENCY_CYCLES,
+    TRANSACTION_CYCLES,
+    TimingModel,
+    expand_stream,
+)
+from .trace import KernelTrace, OpClass, TraceInstruction, trace_memo
 
-#: Base result latencies per op class (cycles).
-_ALU_LATENCY = {OpClass.INT: 4, OpClass.FP: 4}
-_SHARED_LATENCY = 20
+#: Base result latencies per op class (cycles).  Kept under their
+#: historical names — :mod:`repro.sim.reference` imports these — but
+#: sourced from the shared :mod:`repro.sim.timing` constants so the
+#: scalar, reference and columnar engines cannot drift apart.
+_ALU_LATENCY = {
+    OpClass.INT: ALU_LATENCY_CYCLES,
+    OpClass.FP: ALU_LATENCY_CYCLES,
+}
+_SHARED_LATENCY = SHARED_LATENCY_CYCLES
 #: Extra LSU serialization cycles per additional coalesced transaction.
-_TRANSACTION_CYCLES = 4
+_TRANSACTION_CYCLES = TRANSACTION_CYCLES
 
 #: Hot-loop scalar copies of :data:`_ALU_LATENCY` (identity checks on
 #: the op avoid hashing enum members per instruction).
 _INT_LATENCY = _ALU_LATENCY[OpClass.INT]
 _FP_LATENCY = _ALU_LATENCY[OpClass.FP]
 
-#: Attribute the per-trace expansion memo hides behind (see
-#: :func:`expanded_streams`).
-_EXPANSION_MEMO_ATTR = "_expansion_memo"
+#: Environment variable selecting the simulation engine.
+SIM_ENGINE_ENV = "REPRO_SIM"
+
+#: Recognized engine spellings → canonical engine name.
+_ENGINE_ALIASES = {
+    "": "columnar",
+    "default": "columnar",
+    "columnar": "columnar",
+    "vector": "columnar",
+    "vectorized": "columnar",
+    "fast": "columnar",
+    "reference": "reference",
+    "ref": "reference",
+    "scalar": "reference",
+}
+
+
+def resolve_sim_engine(choice: Optional[str] = None) -> str:
+    """Canonical simulation engine name for *choice*.
+
+    ``None`` consults the ``REPRO_SIM`` environment variable; an empty
+    or unset variable selects the columnar engine (the default data
+    plane).  ``REPRO_SIM=reference`` pins the historical scalar
+    pipeline.  Unknown names raise :class:`SimulationError` so typos
+    fail loudly instead of silently changing the measured engine.
+    """
+    if choice is None:
+        choice = os.environ.get(SIM_ENGINE_ENV, "")
+    canonical = _ENGINE_ALIASES.get(choice.strip().lower())
+    if canonical is None:
+        raise SimulationError(
+            "unknown simulation engine %r (expected one of %s)"
+            % (choice, ", ".join(sorted(set(_ENGINE_ALIASES) - {""})))
+        )
+    return canonical
 
 
 @dataclass
@@ -144,8 +190,12 @@ def expanded_streams(
     trace's own streams — :func:`expand_stream` would only copy them.
     Rewriting models with a stable
     :meth:`~repro.sim.timing.TimingModel.expansion_key` (Baggy Bounds)
-    memoise the expanded streams on the trace object, so the same
-    trace simulated under equal-keyed model instances expands once.
+    memoise the expanded streams on the trace's bounded
+    :class:`~repro.sim.trace.TraceMemo`, so the same trace simulated
+    under equal-keyed model instances expands once.  Memo keys are
+    namespaced by the model's class, so two model families emitting
+    equal content keys can never alias each other's entries, and the
+    memo's LRU cap bounds what a long-lived cached trace can accrete.
     Instructions are immutable and the simulator never mutates
     streams, so sharing is safe.
     """
@@ -154,14 +204,15 @@ def expanded_streams(
         return trace.warps
     if key is None:
         return [expand_stream(model, stream) for stream in trace.warps]
-    memo = getattr(trace, _EXPANSION_MEMO_ATTR, None)
-    if memo is None:
-        memo = {}
-        setattr(trace, _EXPANSION_MEMO_ATTR, memo)
-    streams = memo.get(key)
+    cls = type(model)
+    memo = trace_memo(trace)
+    memo_key = ("expand", cls.__module__, cls.__qualname__) + tuple(key)
+    streams = memo.get(memo_key)
     if streams is None:
-        streams = [expand_stream(model, stream) for stream in trace.warps]
-        memo[key] = streams
+        streams = memo.put(
+            memo_key,
+            [expand_stream(model, stream) for stream in trace.warps],
+        )
     return streams
 
 
@@ -172,17 +223,29 @@ class SmSimulator:
     :class:`SimStats` threaded through the helpers (never stored on
     the simulator), while cache/DRAM state intentionally persists
     across runs on the same instance (warm-cache semantics).
+
+    The *engine* argument selects the data plane: ``"columnar"`` (the
+    default, via :func:`resolve_sim_engine` / ``REPRO_SIM``) runs
+    supported timing models through the vectorized issue loop of
+    :mod:`repro.sim.columnar` over :class:`ArrayLruCache` state;
+    ``"reference"`` pins the historical scalar pipeline.  Both produce
+    identical cycles and statistics (locked by
+    ``tests/test_sim_columnar_equivalence.py``); runs with telemetry
+    enabled, or with timing models the columnar lowering does not
+    understand, transparently take the scalar path.
     """
 
     def __init__(
         self,
         config: GpuConfig = DEFAULT_GPU_CONFIG,
         model: Optional[TimingModel] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.config = config
         self.model = model if model is not None else BaselineTiming()
-        self.l1 = SetAssociativeCache(config.l1, "l1")
-        self.l2 = SetAssociativeCache(config.l2, "l2")
+        self.engine = resolve_sim_engine(engine)
+        self.l1 = cache_for_engine(self.engine, config.l1, "l1")
+        self.l2 = cache_for_engine(self.engine, config.l2, "l2")
         self.dram = DramModel(config)
         self.model.bind(self)
 
@@ -244,6 +307,40 @@ class SmSimulator:
 
     def run(self, trace: KernelTrace) -> SimResult:
         """Simulate *trace* to completion; returns cycles and stats."""
+        if self.engine == "columnar" and not TELEMETRY.enabled:
+            from .columnar import plan_for, run_columnar
+
+            plan = plan_for(trace, self.model, self.config)
+            if plan is not None and plan.mem_probes is not None:
+                # GPUShield plans inline RCache probe rows; that needs
+                # the array-backed RCache the model binds under this
+                # engine.  A warm scalar RCache keeps the scalar path.
+                if not isinstance(
+                    getattr(self.model, "rcache", None), ArrayLruCache
+                ):
+                    plan = None
+            if (
+                plan is not None
+                and isinstance(self.l1, ArrayLruCache)
+                and isinstance(self.l2, ArrayLruCache)
+            ):
+                if not plan.runs:
+                    raise SimulationError("trace has no warps")
+                stats = SimStats()
+                # The C executor replays the very same plan against
+                # the same cache/DRAM state; it returns None (no
+                # toolchain, >64 warps, or REPRO_SIM_NATIVE=0) to
+                # hand the plan to the pure-Python issue loop.
+                from .native import run_native
+
+                cycles = run_native(self, plan, stats)
+                if cycles is None:
+                    cycles = run_columnar(self, trace, plan, stats)
+                return SimResult(name=trace.name, cycles=cycles, stats=stats)
+        return self._run_scalar(trace)
+
+    def _run_scalar(self, trace: KernelTrace) -> SimResult:
+        """The historical scalar event-heap pipeline."""
         stats = SimStats()
         model = self.model
         warps = [
@@ -363,6 +460,7 @@ def simulate(
     trace: KernelTrace,
     model: Optional[TimingModel] = None,
     config: GpuConfig = DEFAULT_GPU_CONFIG,
+    engine: Optional[str] = None,
 ) -> SimResult:
     """Convenience wrapper: fresh simulator per run."""
-    return SmSimulator(config, model).run(trace)
+    return SmSimulator(config, model, engine=engine).run(trace)

@@ -36,14 +36,34 @@ class DramModel:
             1, config.dram_bandwidth_bytes_per_cycle // self.channels
         )
         self.line_cycles = max(1, line_bytes // per_channel_bw)
-        self._channel_free_at: List[int] = [0] * self.channels
+        #: Bank/channel busy-until array: next free cycle per channel.
+        #: The columnar engine binds this list once per run and updates
+        #: it in place (the ``request`` method path stays coherent with
+        #: it — both mutate the same array).
+        self.channel_free_at: List[int] = [0] * self.channels
         self.stats = DramStats()
+
+    @property
+    def _channel_free_at(self) -> List[int]:
+        """Backwards-compatible alias for :attr:`channel_free_at`."""
+        return self.channel_free_at
 
     def request(self, line_address: int, now: int) -> int:
         """Issue a line fetch at cycle *now*; returns completion cycle."""
         channel = (line_address >> 7) % self.channels
-        start = max(now, self._channel_free_at[channel])
-        self._channel_free_at[channel] = start + self.line_cycles
-        self.stats.requests += 1
-        self.stats.queue_delay_cycles += start - now
+        free_at = self.channel_free_at
+        free = free_at[channel]
+        start = now if now >= free else free
+        free_at[channel] = start + self.line_cycles
+        stats = self.stats
+        stats.requests += 1
+        stats.queue_delay_cycles += start - now
         return start + self.latency
+
+    def request_run(self, line_addresses, now: int) -> List[int]:
+        """Batch variant: completion cycles for a run of line fetches.
+
+        Per-address order (and therefore channel queuing) matches a
+        sequence of :meth:`request` calls exactly.
+        """
+        return [self.request(address, now) for address in line_addresses]

@@ -1,0 +1,673 @@
+"""Native (C) executor for columnar issue plans.
+
+The columnar engine's pure-Python issue loop (:func:`repro.sim.columnar.
+run_columnar`) bottoms out at CPython bytecode dispatch: ~0.5µs per
+scheduler event no matter how the wake structures are arranged.  This
+module removes that floor when a C toolchain is present: the issue
+plan's per-warp run descriptors, memory-record tables and pre-resolved
+line/probe geometry are flattened into contiguous ``int64`` columns
+(:class:`NativePlan`) and handed — as raw pointers — to a small C
+kernel that replays the *exact* scheduler, cache and DRAM semantics of
+the Python loop.
+
+Design constraints:
+
+* **ABI-only.**  The kernel is plain C compiled with ``cc -O2 -shared``
+  and loaded through :mod:`cffi`'s ``dlopen`` mode, so no Python
+  headers or build backends are required; the build is memoized on a
+  source digest under a per-user temp directory.
+* **Shared state, not shadow state.**  The kernel operates on
+  *exported* snapshots of the simulator's array-backed caches
+  (:class:`~repro.sim.cache.ArrayLruCache` rows, LRU→MRU order) and the
+  DRAM channel-free timeline, and writes them back afterwards (only
+  touched cache sets are rebuilt), so warm-cache reruns and engine
+  interleaving behave identically to the Python loop.
+* **Graceful refusal.**  :func:`run_native` returns ``None`` — and the
+  caller falls back to the Python loop — whenever the toolchain is
+  missing, compilation fails, the warp count exceeds the 64-bit ready
+  mask, or ``REPRO_SIM_NATIVE=0`` disables the path.
+
+The scheduler in C mirrors the Python loop's semantics: a ready
+bitmask (oldest warp = lowest set bit, GTO keeps the current warp on
+ties), per-warp wake times with an exact ``next_wake`` minimum, the
+single-ready fast-forward, and the sign-encoded ``comp_delta``
+recovery for runs ending in a stateful memory instruction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from shutil import which
+from typing import List, Optional
+
+import numpy as np
+
+from .timing import TRANSACTION_CYCLES
+
+__all__ = [
+    "NATIVE_ENV",
+    "NativePlan",
+    "native_available",
+    "pack_native_plan",
+    "run_native",
+]
+
+#: Set to ``0``/``false`` to disable the native executor (the columnar
+#: engine then always runs the pure-Python issue loop).
+NATIVE_ENV = "REPRO_SIM_NATIVE"
+
+#: Ready-mask width: plans with more warps per SM fall back to Python.
+_MAX_WARPS = 64
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+#define NEVER ((int64_t)1 << 62)
+
+/* Set-associative LRU row: row[0] = LRU ... row[occupancy-1] = MRU,
+ * -1 marks empty slots.  Mirrors ArrayLruCache's insertion-ordered
+ * dict rows exactly (hit promotes to MRU, miss fills or evicts the
+ * LRU slot). */
+static int cache_access(int64_t *row, int64_t ways, int64_t tag) {
+    int64_t i, j, t;
+    for (i = 0; i < ways; i++) {
+        t = row[i];
+        if (t == tag) {
+            for (j = i + 1; j < ways && row[j] != -1; j++)
+                row[j - 1] = row[j];
+            row[j - 1] = tag;
+            return 1;
+        }
+        if (t == -1)
+            break;
+    }
+    if (i == ways) {
+        for (j = 1; j < ways; j++)
+            row[j - 1] = row[j];
+        row[ways - 1] = tag;
+    } else {
+        row[i] = tag;
+    }
+    return 0;
+}
+
+int64_t lmi_run(
+    int64_t warp_count,
+    int64_t l1_ways, int64_t l1_lat,
+    int64_t l2_ways, int64_t l2_lat,
+    int64_t dram_latency, int64_t line_cycles, int64_t tx_cycles,
+    const int64_t *run_start,
+    const int64_t *run_length, const int64_t *run_comp,
+    const int64_t *run_mem_lo, const int64_t *run_mem_hi,
+    const int64_t *rec_base, const int64_t *rec_rel,
+    const int64_t *rec_line_start,
+    const int64_t *line_l1s, const int64_t *line_l1t,
+    const int64_t *line_l2s, const int64_t *line_l2t,
+    const int64_t *line_ch, const int64_t *line_txo,
+    int64_t has_probes,
+    const int64_t *rec_probe_start,
+    const int64_t *probe_rcs, const int64_t *probe_rct,
+    const int64_t *probe_mls, const int64_t *probe_mlt,
+    const int64_t *probe_mch,
+    int64_t rc_ways,
+    int64_t *l1_tags, int64_t *l2_tags, int64_t *rc_tags,
+    uint8_t *l1_touched, uint8_t *l2_touched, uint8_t *rc_touched,
+    int64_t *free_at,
+    int64_t *out)
+{
+    int64_t wake_at[64];
+    int64_t ridx[64];
+    int64_t finals[64];
+    uint64_t ready = 0, current_bit = 1;
+    int64_t live = 0, clock = 0, next_wake = NEVER, stall = 0;
+    int64_t l1h = 0, l1m = 0, l2h = 0, l2m = 0;
+    int64_t dreq = 0, dqd = 0;
+    int64_t rch = 0, rcm = 0, pl2h = 0, pl2m = 0;
+    int current = 0;
+    int64_t w;
+
+    for (w = 0; w < warp_count; w++) {
+        wake_at[w] = NEVER;
+        finals[w] = 0;
+        ridx[w] = run_start[w];
+        if (run_start[w] < run_start[w + 1]) {
+            ready |= (uint64_t)1 << w;
+            live++;
+        }
+    }
+
+    while (live) {
+        if (next_wake <= clock) {
+            int64_t nw = NEVER, t;
+            for (w = 0; w < warp_count; w++) {
+                t = wake_at[w];
+                if (t <= clock) {
+                    ready |= (uint64_t)1 << w;
+                    wake_at[w] = NEVER;
+                } else if (t < nw) {
+                    nw = t;
+                }
+            }
+            next_wake = nw;
+        }
+        if (ready) {
+            if (!(ready & current_bit)) {
+                current = __builtin_ctzll(ready);
+                current_bit = (uint64_t)1 << current;
+            }
+        } else {
+            stall += next_wake - clock;
+            clock = next_wake;
+            continue;
+        }
+        w = current;
+        {
+            int64_t ri = ridx[w]++;
+            int64_t length = run_length[ri];
+            int64_t comp = run_comp[ri];
+            int64_t lo = run_mem_lo[ri];
+            int64_t hi = run_mem_hi[ri];
+            int64_t complete;
+
+            if (lo != hi) {
+                int64_t base = rec_base[w];
+                int64_t last = (comp >= 0) ? hi : hi - 1;
+                int64_t m, li, rec;
+                for (m = lo; m < last; m++) {
+                    rec = base + m;
+                    for (li = rec_line_start[rec];
+                         li < rec_line_start[rec + 1]; li++) {
+                        int64_t s1 = line_l1s[li];
+                        l1_touched[s1] = 1;
+                        if (cache_access(l1_tags + s1 * l1_ways, l1_ways,
+                                         line_l1t[li])) {
+                            l1h++;
+                        } else {
+                            int64_t s2 = line_l2s[li];
+                            l1m++;
+                            l2_touched[s2] = 1;
+                            if (cache_access(l2_tags + s2 * l2_ways,
+                                             l2_ways, line_l2t[li])) {
+                                l2h++;
+                            } else {
+                                int64_t now = clock + rec_rel[rec];
+                                int64_t ch = line_ch[li];
+                                int64_t fr = free_at[ch];
+                                int64_t st = now >= fr ? now : fr;
+                                l2m++;
+                                free_at[ch] = st + line_cycles;
+                                dreq++;
+                                dqd += st - now;
+                            }
+                        }
+                    }
+                    if (has_probes) {
+                        for (li = rec_probe_start[rec];
+                             li < rec_probe_start[rec + 1]; li++) {
+                            int64_t rs = probe_rcs[li];
+                            rc_touched[rs] = 1;
+                            if (cache_access(rc_tags + rs * rc_ways,
+                                             rc_ways, probe_rct[li])) {
+                                rch++;
+                                continue;
+                            }
+                            rcm++;
+                            {
+                                int64_t s2 = probe_mls[li];
+                                l2_touched[s2] = 1;
+                                if (cache_access(l2_tags + s2 * l2_ways,
+                                                 l2_ways, probe_mlt[li])) {
+                                    pl2h++;
+                                } else {
+                                    int64_t now = clock + rec_rel[rec];
+                                    int64_t ch = probe_mch[li];
+                                    int64_t fr = free_at[ch];
+                                    int64_t st = now >= fr ? now : fr;
+                                    pl2m++;
+                                    free_at[ch] = st + line_cycles;
+                                    dreq++;
+                                    dqd += st - now;
+                                }
+                            }
+                        }
+                    }
+                }
+                if (comp < 0) {
+                    int64_t slowest = 0;
+                    int64_t now, lat, cand;
+                    rec = base + last;
+                    now = clock + rec_rel[rec];
+                    for (li = rec_line_start[rec];
+                         li < rec_line_start[rec + 1]; li++) {
+                        int64_t s1 = line_l1s[li];
+                        l1_touched[s1] = 1;
+                        if (cache_access(l1_tags + s1 * l1_ways, l1_ways,
+                                         line_l1t[li])) {
+                            l1h++;
+                            lat = l1_lat;
+                        } else {
+                            int64_t s2 = line_l2s[li];
+                            l1m++;
+                            l2_touched[s2] = 1;
+                            if (cache_access(l2_tags + s2 * l2_ways,
+                                             l2_ways, line_l2t[li])) {
+                                l2h++;
+                                lat = l2_lat;
+                            } else {
+                                int64_t ch = line_ch[li];
+                                int64_t fr = free_at[ch];
+                                int64_t st = now >= fr ? now : fr;
+                                l2m++;
+                                free_at[ch] = st + line_cycles;
+                                dreq++;
+                                dqd += st - now;
+                                lat = st + dram_latency - now;
+                            }
+                        }
+                        cand = lat + line_txo[li];
+                        if (cand > slowest)
+                            slowest = cand;
+                    }
+                    if (has_probes) {
+                        int64_t extra = 0, pslow = 0, plat;
+                        for (li = rec_probe_start[rec];
+                             li < rec_probe_start[rec + 1]; li++) {
+                            int64_t rs = probe_rcs[li];
+                            rc_touched[rs] = 1;
+                            if (cache_access(rc_tags + rs * rc_ways,
+                                             rc_ways, probe_rct[li])) {
+                                rch++;
+                                continue;
+                            }
+                            rcm++;
+                            extra++;
+                            {
+                                int64_t s2 = probe_mls[li];
+                                l2_touched[s2] = 1;
+                                if (cache_access(l2_tags + s2 * l2_ways,
+                                                 l2_ways, probe_mlt[li])) {
+                                    pl2h++;
+                                    plat = l2_lat;
+                                } else {
+                                    int64_t ch = probe_mch[li];
+                                    int64_t fr = free_at[ch];
+                                    int64_t st = now >= fr ? now : fr;
+                                    pl2m++;
+                                    free_at[ch] = st + line_cycles;
+                                    dreq++;
+                                    dqd += st - now;
+                                    plat = st + dram_latency - now;
+                                }
+                            }
+                            if (plat > pslow)
+                                pslow = plat;
+                        }
+                        if (extra > 1)
+                            pslow += tx_cycles * (extra - 1);
+                        slowest += pslow;
+                    }
+                    comp = length - 2 + slowest - comp;
+                }
+            }
+
+            complete = clock + comp;
+            clock += length;
+            if (ridx[w] == run_start[w + 1]) {
+                live--;
+                ready &= ~current_bit;
+                finals[w] = complete;
+            } else if (complete > clock) {
+                if (ready == current_bit && next_wake >= complete) {
+                    stall += complete - clock;
+                    clock = complete;
+                } else {
+                    ready &= ~current_bit;
+                    wake_at[w] = complete;
+                    if (complete < next_wake)
+                        next_wake = complete;
+                }
+            }
+        }
+    }
+
+    {
+        int64_t finish = 0;
+        for (w = 0; w < warp_count; w++)
+            if (finals[w] > finish)
+                finish = finals[w];
+        out[0] = l1h;
+        out[1] = l1m;
+        out[2] = l2h;
+        out[3] = l2m;
+        out[4] = dreq;
+        out[5] = dqd;
+        out[6] = rch;
+        out[7] = rcm;
+        out[8] = pl2h;
+        out[9] = pl2m;
+        out[10] = stall;
+        out[11] = finish;
+        return finish;
+    }
+}
+"""
+
+_CDEF = """
+int64_t lmi_run(
+    int64_t warp_count,
+    int64_t l1_ways, int64_t l1_lat,
+    int64_t l2_ways, int64_t l2_lat,
+    int64_t dram_latency, int64_t line_cycles, int64_t tx_cycles,
+    const int64_t *run_start,
+    const int64_t *run_length, const int64_t *run_comp,
+    const int64_t *run_mem_lo, const int64_t *run_mem_hi,
+    const int64_t *rec_base, const int64_t *rec_rel,
+    const int64_t *rec_line_start,
+    const int64_t *line_l1s, const int64_t *line_l1t,
+    const int64_t *line_l2s, const int64_t *line_l2t,
+    const int64_t *line_ch, const int64_t *line_txo,
+    int64_t has_probes,
+    const int64_t *rec_probe_start,
+    const int64_t *probe_rcs, const int64_t *probe_rct,
+    const int64_t *probe_mls, const int64_t *probe_mlt,
+    const int64_t *probe_mch,
+    int64_t rc_ways,
+    int64_t *l1_tags, int64_t *l2_tags, int64_t *rc_tags,
+    uint8_t *l1_touched, uint8_t *l2_touched, uint8_t *rc_touched,
+    int64_t *free_at,
+    int64_t *out);
+"""
+
+# Lazy singleton: None = untried, False = unavailable, else (ffi, lib).
+_NATIVE = None
+
+
+def _build_dir() -> str:
+    env = os.environ.get("REPRO_NATIVE_CACHE")
+    if env:
+        return env
+    tag = f"repro-sim-native-{os.getuid()}" if hasattr(os, "getuid") else (
+        "repro-sim-native"
+    )
+    return os.path.join(tempfile.gettempdir(), tag)
+
+
+def _load() -> object:
+    """Compile (once) and dlopen the kernel; ``False`` on any failure."""
+    global _NATIVE
+    if _NATIVE is not None:
+        return _NATIVE
+    try:
+        from cffi import FFI
+
+        cc = which("cc") or which("gcc") or which("clang")
+        if cc is None:
+            _NATIVE = False
+            return _NATIVE
+        digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+        build = _build_dir()
+        os.makedirs(build, exist_ok=True)
+        so_path = os.path.join(build, f"lmi_native_{digest}.so")
+        if not os.path.exists(so_path):
+            src_path = os.path.join(build, f"lmi_native_{digest}.c")
+            with open(src_path, "w", encoding="utf-8") as fh:
+                fh.write(_C_SOURCE)
+            tmp_so = so_path + f".tmp{os.getpid()}"
+            subprocess.run(
+                [cc, "-O2", "-shared", "-fPIC", "-o", tmp_so, src_path],
+                check=True,
+                capture_output=True,
+            )
+            os.replace(tmp_so, so_path)
+        ffi = FFI()
+        ffi.cdef(_CDEF)
+        lib = ffi.dlopen(so_path)
+        _NATIVE = (ffi, lib)
+    except Exception:  # toolchain missing / sandboxed: fall back
+        _NATIVE = False
+    return _NATIVE
+
+
+def native_available() -> bool:
+    """True when the C executor can be compiled and loaded."""
+    if os.environ.get(NATIVE_ENV, "").lower() in ("0", "false", "no"):
+        return False
+    return bool(_load())
+
+
+def _flat(values: List[int]) -> np.ndarray:
+    return np.asarray(values if values else [0], dtype=np.int64)
+
+
+@dataclass
+class NativePlan:
+    """Flattened, C-contiguous ``int64`` columns of an IssuePlan."""
+
+    warp_count: int
+    run_start: np.ndarray
+    run_length: np.ndarray
+    run_comp: np.ndarray
+    run_mem_lo: np.ndarray
+    run_mem_hi: np.ndarray
+    rec_base: np.ndarray
+    rec_rel: np.ndarray
+    rec_line_start: np.ndarray
+    line_cols: List[np.ndarray]
+    has_probes: bool
+    rec_probe_start: np.ndarray
+    probe_cols: List[np.ndarray]
+
+
+def pack_native_plan(plan) -> NativePlan:
+    """Flatten *plan* (memoized on the plan object)."""
+    packed = getattr(plan, "_native_plan", None)
+    if packed is not None:
+        return packed
+    warp_count = len(plan.runs)
+    run_start = [0]
+    lengths: List[int] = []
+    comps: List[int] = []
+    los: List[int] = []
+    his: List[int] = []
+    rec_base: List[int] = []
+    rec_rel: List[int] = []
+    rec_line_start = [0]
+    line_cols: List[List[int]] = [[], [], [], [], [], []]
+    has_probes = plan.mem_probes is not None
+    rec_probe_start = [0]
+    probe_cols: List[List[int]] = [[], [], [], [], []]
+    for w in range(warp_count):
+        for run in reversed(plan.runs[w]):
+            lengths.append(run[0])
+            comps.append(run[1])
+            los.append(run[2])
+            his.append(run[3])
+        run_start.append(len(lengths))
+        rec_base.append(len(rec_rel))
+        rec_rel.extend(plan.mem_rel[w])
+        for lines in plan.mem_geom[w]:
+            for line in lines:
+                for c, v in zip(line_cols, line):
+                    c.append(v)
+            rec_line_start.append(len(line_cols[0]))
+        if has_probes:
+            for probes in plan.mem_probes[w]:
+                for probe in probes:
+                    for c, v in zip(probe_cols, probe):
+                        c.append(v)
+                rec_probe_start.append(len(probe_cols[0]))
+    packed = NativePlan(
+        warp_count=warp_count,
+        run_start=_flat(run_start),
+        run_length=_flat(lengths),
+        run_comp=_flat(comps),
+        run_mem_lo=_flat(los),
+        run_mem_hi=_flat(his),
+        rec_base=_flat(rec_base),
+        rec_rel=_flat(rec_rel),
+        rec_line_start=_flat(rec_line_start),
+        line_cols=[_flat(c) for c in line_cols],
+        has_probes=has_probes,
+        rec_probe_start=_flat(rec_probe_start),
+        probe_cols=[_flat(c) for c in probe_cols],
+    )
+    try:
+        plan._native_plan = packed
+    except AttributeError:  # pragma: no cover - slotted plans
+        pass
+    return packed
+
+
+def _export_rows(rows, ways: int) -> np.ndarray:
+    """Snapshot dict rows into a dense ``sets*ways`` tag array."""
+    arr = np.full(len(rows) * ways, -1, dtype=np.int64)
+    base = 0
+    for row in rows:
+        if row:
+            arr[base : base + len(row)] = list(row)
+        base += ways
+    return arr
+
+
+def _import_rows(rows, arr: np.ndarray, touched: np.ndarray, ways: int):
+    """Rebuild the dict rows the kernel touched, preserving LRU order."""
+    flat = arr.tolist()
+    for s in np.flatnonzero(touched).tolist():
+        row = {}
+        base = s * ways
+        for tag in flat[base : base + ways]:
+            if tag < 0:
+                break
+            row[tag] = None
+        rows[s] = row
+
+
+def run_native(simulator, plan, stats) -> Optional[int]:
+    """Run *plan* through the C kernel; ``None`` → use the Python loop.
+
+    Mutates *stats* and the simulator's cache/DRAM state exactly like
+    :func:`repro.sim.columnar.run_columnar` only when it commits to
+    running (all refusal checks happen first).
+    """
+    if os.environ.get(NATIVE_ENV, "").lower() in ("0", "false", "no"):
+        return None
+    native = _load()
+    if not native:
+        return None
+    if len(plan.runs) > _MAX_WARPS:
+        return None
+    ffi, lib = native
+
+    npl = pack_native_plan(plan)
+    config = simulator.config
+    l1 = simulator.l1
+    l2 = simulator.l2
+    dram = simulator.dram
+    l1_ways = l1._ways
+    l2_ways = l2._ways
+    l1_tags = _export_rows(l1.rows, l1_ways)
+    l2_tags = _export_rows(l2.rows, l2_ways)
+    l1_touched = np.zeros(len(l1.rows), dtype=np.uint8)
+    l2_touched = np.zeros(len(l2.rows), dtype=np.uint8)
+    if npl.has_probes:
+        rcache = simulator.model.rcache
+        rc_ways = rcache._ways
+        rc_tags = _export_rows(rcache.rows, rc_ways)
+        rc_touched = np.zeros(len(rcache.rows), dtype=np.uint8)
+    else:
+        rcache = None
+        rc_ways = 0
+        rc_tags = np.zeros(1, dtype=np.int64)
+        rc_touched = np.zeros(1, dtype=np.uint8)
+    free_at = np.asarray(dram.channel_free_at, dtype=np.int64)
+    out = np.zeros(12, dtype=np.int64)
+
+    def p(arr):
+        return ffi.cast("int64_t *", arr.ctypes.data)
+
+    line = npl.line_cols
+    probe = npl.probe_cols
+    finish = lib.lmi_run(
+        npl.warp_count,
+        l1_ways,
+        config.l1.hit_latency,
+        l2_ways,
+        config.l2.hit_latency,
+        dram.latency,
+        dram.line_cycles,
+        TRANSACTION_CYCLES,
+        p(npl.run_start),
+        p(npl.run_length),
+        p(npl.run_comp),
+        p(npl.run_mem_lo),
+        p(npl.run_mem_hi),
+        p(npl.rec_base),
+        p(npl.rec_rel),
+        p(npl.rec_line_start),
+        p(line[0]),
+        p(line[1]),
+        p(line[2]),
+        p(line[3]),
+        p(line[4]),
+        p(line[5]),
+        1 if npl.has_probes else 0,
+        p(npl.rec_probe_start),
+        p(probe[0]),
+        p(probe[1]),
+        p(probe[2]),
+        p(probe[3]),
+        p(probe[4]),
+        rc_ways,
+        p(l1_tags),
+        p(l2_tags),
+        p(rc_tags),
+        ffi.cast("uint8_t *", l1_touched.ctypes.data),
+        ffi.cast("uint8_t *", l2_touched.ctypes.data),
+        ffi.cast("uint8_t *", rc_touched.ctypes.data),
+        p(free_at),
+        p(out),
+    )
+
+    _import_rows(l1.rows, l1_tags, l1_touched, l1_ways)
+    _import_rows(l2.rows, l2_tags, l2_touched, l2_ways)
+    if rcache is not None:
+        _import_rows(rcache.rows, rc_tags, rc_touched, rc_ways)
+    dram.channel_free_at[:] = free_at.tolist()
+
+    (
+        l1_hits,
+        l1_misses,
+        l2_hits,
+        l2_misses,
+        dram_requests,
+        dram_queue_delay,
+        rc_hits,
+        rc_misses,
+        p_l2_hits,
+        p_l2_misses,
+        stall_cycles,
+        _finish,
+    ) = out.tolist()
+
+    stats.instructions = plan.total_instructions
+    stats.issue_stall_cycles = stall_cycles
+    stats.extra_transactions = plan.extra_transactions
+    stats.lsu_serialization_cycles = plan.lsu_serialization_cycles
+    stats.l1_hits = l1_hits
+    stats.l1_misses = l1_misses
+    stats.l2_hits = l2_hits
+    stats.l2_misses = l2_misses
+    l1.stats.hits += l1_hits
+    l1.stats.misses += l1_misses
+    l2.stats.hits += l2_hits + p_l2_hits
+    l2.stats.misses += l2_misses + p_l2_misses
+    dram.stats.requests += dram_requests
+    dram.stats.queue_delay_cycles += dram_queue_delay
+    if rcache is not None:
+        rcache.stats.hits += rc_hits
+        rcache.stats.misses += rc_misses
+    return int(finish)

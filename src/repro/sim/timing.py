@@ -27,13 +27,20 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from ..common.config import CacheConfig
-from .cache import SetAssociativeCache
+from .cache import ArrayLruCache, SetAssociativeCache
 from .trace import OpClass, TraceInstruction
 
 #: Injected SASS instructions per software baggy-bounds check
 #: (64-bit pointer: mask build, shift, xor, and, compare, trap branch,
 #: spilled across both 32-bit halves).
 BAGGY_CHECK_INSTRUCTIONS = 12
+
+#: Base result latency of ALU (INT/FP) instructions, cycles.
+ALU_LATENCY_CYCLES = 4
+#: Base result latency of shared-memory instructions, cycles.
+SHARED_LATENCY_CYCLES = 20
+#: Extra LSU serialization cycles per additional coalesced transaction.
+TRANSACTION_CYCLES = 4
 
 
 #: Expansion key of models whose :meth:`TimingModel.expand` is the
@@ -71,6 +78,22 @@ class TimingModel:
         """Additional result latency for *instr* at cycle *now*."""
         return 0
 
+    def columnar_plan_key(self):
+        """Content key of this model's columnar issue-plan lowering.
+
+        The columnar engine (:mod:`repro.sim.columnar`) pre-decodes a
+        trace into packed per-warp issue descriptors whose shape
+        depends only on the model family and its timing parameters —
+        never on simulator state.  Two instances with equal keys decode
+        to identical plans, so the per-trace memo may share one.
+        ``None`` (the default for user subclasses) declares the model
+        opaque to the vectorized lowering; the simulator then falls
+        back to the scalar pipeline for it.
+        """
+        if type(self) in (TimingModel, BaselineTiming):
+            return ("baseline",)
+        return None
+
 
 class BaselineTiming(TimingModel):
     """Unprotected GPU."""
@@ -88,6 +111,12 @@ class LmiTiming(TimingModel):
         if instr.checked:
             return self.ocu_cycles
         return 0
+
+    def columnar_plan_key(self):
+        """The OCU penalty is the only decode-relevant parameter."""
+        if type(self) is LmiTiming:
+            return ("lmi", self.ocu_cycles)
+        return None
 
 
 class GPUShieldTiming(TimingModel):
@@ -121,6 +150,29 @@ class GPUShieldTiming(TimingModel):
         self.entry_bytes = entry_bytes
         self._simulator = None
 
+    def bind(self, simulator) -> None:
+        """Receive the owning simulator; align the RCache data plane.
+
+        Under the columnar engine the issue loop inlines RCache probes
+        against :class:`ArrayLruCache` recency rows, so a still-cold
+        RCache (no accesses, no contents) is swapped to the array-backed
+        model here.  The :class:`~repro.sim.cache.CacheStats` object is
+        carried over, so external references to ``rcache.stats`` keep
+        observing the live counters.  A warm RCache is left alone — its
+        contents are simulation state — which makes the simulator fall
+        back to the scalar pipeline instead of silently flushing it.
+        """
+        self._simulator = simulator
+        if (
+            getattr(simulator, "engine", None) == "columnar"
+            and type(self.rcache) is SetAssociativeCache
+            and not self.rcache.stats.accesses
+            and not self.rcache._sets
+        ):
+            replacement = ArrayLruCache(self.rcache.config, name=self.rcache.name)
+            replacement.stats = self.rcache.stats
+            self.rcache = replacement
+
     def extra_latency(self, instr: TraceInstruction, now: int) -> int:
         if instr.op not in (OpClass.LDG, OpClass.STG, OpClass.LDL, OpClass.STL):
             return 0
@@ -148,6 +200,18 @@ class GPUShieldTiming(TimingModel):
             slowest += 4 * (extra_misses - 1)
         return slowest
 
+    def columnar_plan_key(self):
+        """Probe addresses depend only on the metadata entry size.
+
+        RCache *state* deliberately stays out of the key: the plan
+        pre-computes the probe address list per memory instruction,
+        while the stateful lookup itself runs against the live RCache
+        during simulation.
+        """
+        if type(self) is GPUShieldTiming:
+            return ("gpushield", self.entry_bytes, self.rcache.config.num_sets)
+        return None
+
 
 #: The one injected-check instruction shape: a serially-dependent INT
 #: op (mask build, XOR, AND, compare, predicated trap are all this).
@@ -168,6 +232,12 @@ class BaggyBoundsTiming(TimingModel):
     def expansion_key(self):
         """Expansion depends only on the injected-check count."""
         return ("baggy", self.instructions_per_check)
+
+    def columnar_plan_key(self):
+        """Decode follows the expansion: keyed on the check count."""
+        if type(self) is BaggyBoundsTiming:
+            return ("baggy", self.instructions_per_check)
+        return None
 
     def expand(self, instr: TraceInstruction) -> Iterator[TraceInstruction]:
         yield instr

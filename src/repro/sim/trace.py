@@ -13,10 +13,78 @@ addresses of its coalesced transactions plus the buffer it targets
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from ..common.errors import MemorySpace, TraceFormatError
+
+#: Attribute name the per-trace derived-data memo hides behind.  The
+#: leading ``_repro`` namespace keeps it from colliding with the
+#: historical ad-hoc ``_expansion_memo`` attribute (possibly present on
+#: traces un-pickled from old disk caches — those stale dicts are now
+#: simply ignored).
+_TRACE_MEMO_ATTR = "_repro_trace_memo"
+
+#: Default cap on derived-data entries memoised per trace.  A fig12-
+#: style sweep needs one columnar conversion, one issue plan per
+#: timing-model family and one expansion per rewriting model — well
+#: under the cap — while pathological callers (e.g. a parameter sweep
+#: over ``BaggyBoundsTiming(instructions_per_check=n)``) can no longer
+#: grow an unbounded dict on a cached trace.
+TRACE_MEMO_CAPACITY = 16
+
+
+class TraceMemo:
+    """Bounded LRU memo for per-trace derived data.
+
+    Keys are tuples whose first elements name the *purpose* and the
+    *producer* (e.g. ``("expand", "repro.sim.timing.BaggyBoundsTiming",
+    key...)``), so two mechanisms that happen to emit equal content
+    keys can never read each other's entries through a shared cached
+    trace.  The entry count is capped (LRU eviction), bounding what a
+    long-lived :mod:`~repro.workloads.trace_cache` entry can accrete.
+    """
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int = TRACE_MEMO_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("trace memo capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable):
+        """Entry for *key* (refreshing recency), or ``None``."""
+        entries = self._entries
+        value = entries.get(key)
+        if value is not None:
+            entries.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> Any:
+        """Store *value* under *key*, evicting the LRU entry if full."""
+        entries = self._entries
+        entries[key] = value
+        entries.move_to_end(key)
+        while len(entries) > self.capacity:
+            entries.popitem(last=False)
+        return value
+
+
+def trace_memo(trace: "KernelTrace") -> TraceMemo:
+    """The (lazily created) derived-data memo of *trace*."""
+    memo = getattr(trace, _TRACE_MEMO_ATTR, None)
+    if memo is None:
+        memo = TraceMemo()
+        object.__setattr__(trace, _TRACE_MEMO_ATTR, memo)
+    return memo
 
 
 class OpClass(enum.Enum):
@@ -83,47 +151,86 @@ class TraceInstruction:
 
 @dataclass
 class KernelTrace:
-    """Per-warp instruction streams for one kernel."""
+    """Per-warp instruction streams for one kernel.
+
+    Traces are immutable once constructed (instructions are frozen and
+    no code path mutates ``warps``), so the summary statistics below
+    are computed once and cached on the instance — invalidation-free.
+    Cached values are copied on the way out, so callers may mutate the
+    returned dicts freely.
+    """
 
     name: str
     warps: List[List[TraceInstruction]] = field(default_factory=list)
 
+    def _summaries(self) -> Dict[str, Any]:
+        cache = getattr(self, "_summary_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_summary_cache", cache)
+        return cache
+
     @property
     def total_instructions(self) -> int:
         """Dynamic instruction count across all warps."""
-        return sum(len(stream) for stream in self.warps)
+        cache = self._summaries()
+        total = cache.get("total")
+        if total is None:
+            total = cache["total"] = sum(
+                len(stream) for stream in self.warps
+            )
+        return total
 
     def op_histogram(self) -> Dict[OpClass, int]:
         """Dynamic count per op class (the Figure 1 raw data)."""
-        counts: Dict[OpClass, int] = {op: 0 for op in OpClass}
-        for stream in self.warps:
-            for instr in stream:
-                counts[instr.op] += 1
-        return counts
+        cache = self._summaries()
+        counts = cache.get("histogram")
+        if counts is None:
+            counts = {op: 0 for op in OpClass}
+            for stream in self.warps:
+                for instr in stream:
+                    counts[instr.op] += 1
+            cache["histogram"] = counts
+        return dict(counts)
 
     def memory_region_mix(self) -> Dict[str, float]:
         """Fraction of memory instructions per region (Figure 1)."""
-        histogram = self.op_histogram()
-        global_ops = histogram[OpClass.LDG] + histogram[OpClass.STG]
-        shared_ops = histogram[OpClass.LDS] + histogram[OpClass.STS]
-        local_ops = histogram[OpClass.LDL] + histogram[OpClass.STL]
-        total = global_ops + shared_ops + local_ops
-        if total == 0:
-            return {"global": 0.0, "shared": 0.0, "local": 0.0}
-        return {
-            "global": global_ops / total,
-            "shared": shared_ops / total,
-            "local": local_ops / total,
-        }
+        cache = self._summaries()
+        mix = cache.get("region_mix")
+        if mix is None:
+            histogram = self.op_histogram()
+            global_ops = histogram[OpClass.LDG] + histogram[OpClass.STG]
+            shared_ops = histogram[OpClass.LDS] + histogram[OpClass.STS]
+            local_ops = histogram[OpClass.LDL] + histogram[OpClass.STL]
+            total = global_ops + shared_ops + local_ops
+            if total == 0:
+                mix = {"global": 0.0, "shared": 0.0, "local": 0.0}
+            else:
+                mix = {
+                    "global": global_ops / total,
+                    "shared": shared_ops / total,
+                    "local": local_ops / total,
+                }
+            cache["region_mix"] = mix
+        return dict(mix)
 
     def checked_count(self) -> int:
         """Instructions carrying the A hint bit."""
-        return sum(
-            1 for stream in self.warps for instr in stream if instr.checked
-        )
+        cache = self._summaries()
+        checked = cache.get("checked")
+        if checked is None:
+            checked = cache["checked"] = sum(
+                1 for stream in self.warps for instr in stream if instr.checked
+            )
+        return checked
 
     def memory_count(self) -> int:
         """Total memory instructions."""
-        return sum(
-            1 for stream in self.warps for instr in stream if instr.op.is_memory
-        )
+        cache = self._summaries()
+        memory = cache.get("memory")
+        if memory is None:
+            histogram = self.op_histogram()
+            memory = cache["memory"] = sum(
+                count for op, count in histogram.items() if op.is_memory
+            )
+        return memory

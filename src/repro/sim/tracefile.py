@@ -12,19 +12,44 @@ Record format (per instruction, positional for compactness)::
 
 with ``flags`` bit 0 = depends, bit 1 = checked; ``lines`` and
 ``buffer_ids`` omitted for ALU ops.
+
+Next to the JSON-lines form there is a **columnar ``.npz`` format**
+(:func:`dump_trace_npz` / :func:`load_trace_npz`): the
+:class:`~repro.sim.columnar.ColumnarTrace` arrays plus a versioned
+header, written with ``np.savez_compressed``.  It is the on-disk shape
+the trace cache and the parallel experiment engine ship between
+processes — loading it seeds the trace's columnar memo, so a follow-up
+simulation pays no dataclass→array conversion.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import List, TextIO, Union
+from typing import BinaryIO, List, TextIO, Union
+
+import numpy as np
 
 from ..common.errors import TraceFormatError
 from .trace import KernelTrace, OpClass, TraceInstruction
 
 #: Format identifier written into the header line.
 FORMAT_VERSION = 1
+
+#: Format identifier of the columnar ``.npz`` container.
+NPZ_FORMAT_VERSION = 1
+
+#: Column names stored in the ``.npz`` container, in schema order.
+_NPZ_COLUMNS = (
+    "ops",
+    "depends",
+    "checked",
+    "warp_offsets",
+    "line_offsets",
+    "lines",
+    "buffer_offsets",
+    "buffers",
+)
 
 
 def _encode_instruction(instr: TraceInstruction) -> list:
@@ -111,3 +136,74 @@ def load_trace(source: Union[str, Path, TextIO]) -> KernelTrace:
     finally:
         if own:
             stream.close()
+
+
+# ----------------------------------------------------------------------
+# Columnar .npz container.
+
+
+def dump_trace_npz(
+    trace: KernelTrace, target: Union[str, Path, BinaryIO]
+) -> None:
+    """Write *trace* as a versioned columnar ``.npz`` container.
+
+    The container holds the :class:`~repro.sim.columnar.ColumnarTrace`
+    arrays verbatim plus a ``header`` array carrying the format version
+    and the (UTF-8 encoded) kernel name, so the file is self-describing
+    and refuses to load under an incompatible schema.
+    """
+    from .columnar import columnar_of
+
+    columnar = columnar_of(trace)
+    payload = {name: getattr(columnar, name) for name in _NPZ_COLUMNS}
+    payload["header"] = np.frombuffer(
+        json.dumps(
+            {"format": NPZ_FORMAT_VERSION, "name": columnar.name}
+        ).encode("utf-8"),
+        dtype=np.uint8,
+    )
+    own = isinstance(target, (str, Path))
+    stream = open(target, "wb") if own else target
+    try:
+        np.savez_compressed(stream, **payload)
+    finally:
+        if own:
+            stream.close()
+
+
+def load_trace_npz(source: Union[str, Path, BinaryIO]) -> KernelTrace:
+    """Read a trace written by :func:`dump_trace_npz`.
+
+    The returned :class:`KernelTrace` has its columnar memo pre-seeded,
+    so simulating it under the columnar engine performs no
+    dataclass→array conversion.
+    """
+    from .columnar import ColumnarTrace
+
+    try:
+        with np.load(source, allow_pickle=False) as archive:
+            if "header" not in archive:
+                raise TraceFormatError("npz trace missing header")
+            try:
+                header = json.loads(bytes(archive["header"]).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise TraceFormatError("unparsable npz trace header") from error
+            if header.get("format") != NPZ_FORMAT_VERSION:
+                raise TraceFormatError(
+                    f"unsupported npz trace format {header.get('format')!r}"
+                )
+            missing = [c for c in _NPZ_COLUMNS if c not in archive]
+            if missing:
+                raise TraceFormatError(
+                    f"npz trace missing columns: {missing}"
+                )
+            columnar = ColumnarTrace(
+                name=str(header.get("name", "trace")),
+                **{
+                    name: np.ascontiguousarray(archive[name])
+                    for name in _NPZ_COLUMNS
+                },
+            )
+    except (OSError, ValueError, KeyError) as error:
+        raise TraceFormatError(f"unreadable npz trace: {error}") from error
+    return columnar.to_trace()

@@ -14,11 +14,15 @@ content-addressed key so identical requests pay synthesis once:
 * **L1: in-process LRU** — an ``OrderedDict`` bounded by ``capacity``
   entries.  Hits return the *same* trace object, which also shares the
   simulator's per-trace expansion memo across mechanisms.
-* **L2: optional on-disk pickle layer** — enabled by the
+* **L2: optional on-disk columnar layer** — enabled by the
   ``REPRO_TRACE_CACHE`` environment variable or the experiments CLI's
-  ``--trace-cache DIR`` flag.  Files are written atomically
-  (temp + ``os.replace``) so concurrent engine workers can share one
-  directory; unreadable/corrupt entries fall back to synthesis.
+  ``--trace-cache DIR`` flag.  Entries are versioned columnar ``.npz``
+  containers (:func:`~repro.sim.tracefile.dump_trace_npz`), written
+  atomically (temp + ``os.replace``) so concurrent engine workers can
+  share one directory; unreadable/corrupt entries fall back to
+  synthesis.  Legacy ``trace-{key}.pkl`` pickles from older runs are
+  still honoured (with a :class:`DeprecationWarning`) and rewritten as
+  ``.npz`` on the next store.
 
 Traces are treated as immutable once synthesized (instructions are
 frozen dataclasses and the simulator never mutates streams), which is
@@ -31,11 +35,13 @@ import hashlib
 import os
 import pickle
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, fields
 from typing import Optional
 
 from ..sim.trace import KernelTrace
+from ..sim.tracefile import dump_trace_npz, load_trace_npz
 from .profiles import BenchmarkProfile, profile
 from .synthetic import synthesize_trace
 
@@ -138,19 +144,42 @@ class TraceCache:
     def _disk_path(self, key: str) -> Optional[str]:
         if not self.disk_dir:
             return None
+        return os.path.join(self.disk_dir, f"trace-{key}.npz")
+
+    def _legacy_path(self, key: str) -> Optional[str]:
+        if not self.disk_dir:
+            return None
         return os.path.join(self.disk_dir, f"trace-{key}.pkl")
 
     def _disk_load(self, key: str) -> Optional[KernelTrace]:
         path = self._disk_path(key)
-        if path is None or not os.path.exists(path):
+        if path is None:
+            return None
+        if os.path.exists(path):
+            try:
+                # Loading an .npz pre-seeds the trace's columnar memo,
+                # so the simulator's plan decode starts from the same
+                # arrays that crossed the process boundary.
+                return load_trace_npz(path)
+            except Exception:
+                return None  # corrupt/foreign entry: fall back
+        legacy = self._legacy_path(key)
+        if legacy is None or not os.path.exists(legacy):
             return None
         try:
-            with open(path, "rb") as handle:
+            with open(legacy, "rb") as handle:
                 trace = pickle.load(handle)
         except Exception:
-            return None  # corrupt/foreign entry: fall back to synthesis
+            return None
         if not isinstance(trace, KernelTrace):
             return None
+        warnings.warn(
+            "loaded legacy pickle trace-cache entry; the pickle layer "
+            "is deprecated — entries are rewritten as columnar .npz",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        self._disk_store(key, trace)  # upgrade in place
         return trace
 
     def _disk_store(self, key: str, trace: KernelTrace) -> None:
@@ -161,7 +190,7 @@ class TraceCache:
             os.makedirs(self.disk_dir, exist_ok=True)
             tmp = f"{path}.tmp.{os.getpid()}"
             with open(tmp, "wb") as handle:
-                pickle.dump(trace, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                dump_trace_npz(trace, handle)
             os.replace(tmp, path)  # atomic under concurrent workers
             self.stats.disk_writes += 1
         except OSError:

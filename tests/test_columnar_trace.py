@@ -1,0 +1,317 @@
+"""Columnar trace substrate: converters, ``.npz`` container, memos.
+
+Locks the lossless round-trip contracts the columnar engine rests on:
+
+* ``KernelTrace ⇄ ColumnarTrace`` is the identity (property-based over
+  randomly shaped traces, plus seeded workload traces);
+* the versioned columnar ``.npz`` container round-trips bytes-exactly,
+  refuses future format versions, and its v1 schema is locked by a
+  golden file committed under ``tests/data/``;
+* the trace cache's legacy pickle entries still load (with a
+  deprecation note) and are upgraded to ``.npz`` in place;
+* the ``np.repeat`` Baggy Bounds lowering produces exactly the
+  dataclass :func:`~repro.sim.timing.expand_stream` streams;
+* :class:`KernelTrace` summary statistics are computed once and
+  cached, and returned copies are safe to mutate.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import TraceFormatError
+from repro.sim import (
+    KernelTrace,
+    OpClass,
+    TraceInstruction,
+    dump_trace_npz,
+    load_trace_npz,
+    simulate,
+)
+from repro.sim.columnar import ColumnarTrace, columnar_of, expand_columnar
+from repro.sim.timing import BaggyBoundsTiming, expand_stream
+from repro.sim.tracefile import NPZ_FORMAT_VERSION
+from repro.workloads import synthesize_trace
+from repro.workloads.trace_cache import TraceCache, trace_key
+from repro.workloads.profiles import profile
+
+DATA_DIR = Path(__file__).parent / "data"
+GOLDEN_NPZ = DATA_DIR / "golden_trace_v1.npz"
+
+_MEMORY_OPS = [op for op in OpClass if op.is_memory]
+
+
+@st.composite
+def trace_instructions(draw):
+    """One random, invariant-respecting trace instruction."""
+    op = draw(st.sampled_from(list(OpClass)))
+    depends = draw(st.booleans())
+    if op.is_memory:
+        lines = tuple(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=1 << 40),
+                    min_size=1,
+                    max_size=4,
+                )
+            )
+        )
+        buffer_ids = tuple(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=64),
+                    min_size=1,
+                    max_size=3,
+                )
+            )
+        )
+        return TraceInstruction(
+            op=op, depends=depends, lines=lines, buffer_ids=buffer_ids
+        )
+    checked = op is OpClass.INT and draw(st.booleans())
+    return TraceInstruction(op=op, depends=depends, checked=checked)
+
+
+@st.composite
+def kernel_traces(draw):
+    """A random trace: 1–4 warps, any of which may be empty."""
+    warps = draw(
+        st.lists(
+            st.lists(trace_instructions(), min_size=0, max_size=12),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    return KernelTrace(name=draw(st.sampled_from(["t", "κ-trace"])),
+                       warps=warps)
+
+
+# ----------------------------------------------------------------------
+# KernelTrace ⇄ ColumnarTrace.
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace=kernel_traces())
+def test_columnar_roundtrip_property(trace):
+    columnar = ColumnarTrace.from_trace(trace)
+    back = columnar.to_trace()
+    assert back.name == trace.name
+    assert back.warps == trace.warps
+
+
+@pytest.mark.parametrize("name", ["gaussian", "bfs", "LSTM"])
+def test_columnar_roundtrip_workloads(name):
+    trace = synthesize_trace(name, warps=4, instructions_per_warp=150)
+    assert ColumnarTrace.from_trace(trace).to_trace().warps == trace.warps
+
+
+def test_columnar_of_is_memoized():
+    trace = synthesize_trace("nn", warps=2, instructions_per_warp=60)
+    assert columnar_of(trace) is columnar_of(trace)
+
+
+# ----------------------------------------------------------------------
+# The versioned .npz container.
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=kernel_traces())
+def test_npz_roundtrip_property(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("npz") / "trace.npz"
+    dump_trace_npz(trace, path)
+    back = load_trace_npz(path)
+    assert back.name == trace.name
+    assert back.warps == trace.warps
+
+
+def test_npz_preseeds_columnar_memo(tmp_path):
+    """Loading an .npz must leave the columnar arrays on the trace."""
+    trace = synthesize_trace("needle", warps=3, instructions_per_warp=120)
+    path = tmp_path / "trace.npz"
+    dump_trace_npz(trace, path)
+    back = load_trace_npz(path)
+    assert columnar_of(back) == columnar_of(trace)
+    # Simulating the loaded trace is indistinguishable from the source.
+    got, want = simulate(back), simulate(trace)
+    assert (got.cycles, got.stats) == (want.cycles, want.stats)
+
+
+def test_npz_rejects_future_format(tmp_path):
+    trace = synthesize_trace("nn", warps=2, instructions_per_warp=40)
+    path = tmp_path / "trace.npz"
+    dump_trace_npz(trace, path)
+    with np.load(path) as archive:
+        payload = {name: archive[name] for name in archive.files}
+    payload["header"] = np.frombuffer(
+        b'{"format": 999, "name": "future"}', dtype=np.uint8
+    ).copy()
+    np.savez_compressed(path, **payload)
+    with pytest.raises(TraceFormatError, match="unsupported npz"):
+        load_trace_npz(path)
+
+
+def test_npz_rejects_missing_columns(tmp_path):
+    trace = synthesize_trace("nn", warps=2, instructions_per_warp=40)
+    path = tmp_path / "trace.npz"
+    dump_trace_npz(trace, path)
+    with np.load(path) as archive:
+        payload = {name: archive[name] for name in archive.files}
+    payload.pop("lines")
+    np.savez_compressed(path, **payload)
+    with pytest.raises(TraceFormatError, match="missing columns"):
+        load_trace_npz(path)
+
+
+def test_npz_rejects_garbage(tmp_path):
+    path = tmp_path / "junk.npz"
+    path.write_bytes(b"not an npz at all")
+    with pytest.raises(TraceFormatError):
+        load_trace_npz(path)
+
+
+def _golden_trace() -> KernelTrace:
+    """The hand-built trace frozen inside the golden v1 container."""
+    return KernelTrace(
+        name="golden-v1",
+        warps=[
+            [
+                TraceInstruction(op=OpClass.INT, checked=True),
+                TraceInstruction(
+                    op=OpClass.LDG,
+                    depends=True,
+                    lines=(0x100, 0x180),
+                    buffer_ids=(3,),
+                ),
+                TraceInstruction(op=OpClass.FP, depends=True),
+            ],
+            [],
+            [
+                TraceInstruction(
+                    op=OpClass.STS, lines=(0x40,), buffer_ids=(0, 7)
+                ),
+                TraceInstruction(op=OpClass.LDL, lines=(0x2000,)),
+            ],
+        ],
+    )
+
+
+def test_golden_npz_schema_locked():
+    """The committed v1 file must keep loading, byte-for-byte.
+
+    This is the schema lock: any change to the column set, dtypes or
+    header layout that cannot read v1 files must bump
+    ``NPZ_FORMAT_VERSION`` (and grow a migration), not silently break
+    every on-disk trace cache.
+    """
+    assert NPZ_FORMAT_VERSION == 1
+    loaded = load_trace_npz(GOLDEN_NPZ)
+    want = _golden_trace()
+    assert loaded.name == want.name
+    assert loaded.warps == want.warps
+
+
+def test_golden_npz_matches_fresh_dump(tmp_path):
+    """Today's writer still produces a container the v1 reader maps to
+    the same trace (columns may compress differently; content may not
+    drift)."""
+    path = tmp_path / "fresh.npz"
+    dump_trace_npz(_golden_trace(), path)
+    assert load_trace_npz(path).warps == load_trace_npz(GOLDEN_NPZ).warps
+
+
+# ----------------------------------------------------------------------
+# Trace-cache disk layer: npz-primary, pickle honoured + upgraded.
+
+
+def test_disk_layer_writes_npz(tmp_path):
+    cache = TraceCache(disk_dir=str(tmp_path))
+    cache.get_or_synthesize("gaussian", warps=2, instructions_per_warp=80)
+    key = trace_key(
+        profile("gaussian"), warps=2, instructions_per_warp=80
+    )
+    assert (tmp_path / f"trace-{key}.npz").exists()
+    # A second cache over the same directory hits disk, not synthesis.
+    other = TraceCache(disk_dir=str(tmp_path))
+    other.get_or_synthesize("gaussian", warps=2, instructions_per_warp=80)
+    assert other.stats.disk_hits == 1
+
+
+def test_legacy_pickle_loads_with_deprecation_and_upgrades(tmp_path):
+    trace = synthesize_trace("needle", warps=2, instructions_per_warp=90)
+    key = trace_key(profile("needle"), warps=2, instructions_per_warp=90)
+    with open(tmp_path / f"trace-{key}.pkl", "wb") as handle:
+        pickle.dump(trace, handle)
+    cache = TraceCache(disk_dir=str(tmp_path))
+    with pytest.deprecated_call(match="legacy pickle"):
+        loaded = cache.get_or_synthesize(
+            "needle", warps=2, instructions_per_warp=90
+        )
+    assert loaded.warps == trace.warps
+    assert cache.stats.disk_hits == 1
+    # Upgraded in place: the .npz now exists and wins next time.
+    assert (tmp_path / f"trace-{key}.npz").exists()
+    fresh = TraceCache(disk_dir=str(tmp_path))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        again = fresh.get_or_synthesize(
+            "needle", warps=2, instructions_per_warp=90
+        )
+    assert again.warps == trace.warps
+
+
+# ----------------------------------------------------------------------
+# Vectorized Baggy Bounds expansion ≡ dataclass expansion.
+
+
+@pytest.mark.parametrize("checks", [1, 3, 5])
+def test_expand_columnar_matches_expand_stream(checks):
+    trace = synthesize_trace("srad_v1", warps=3, instructions_per_warp=140)
+    model = BaggyBoundsTiming(instructions_per_check=checks)
+    vectorized = expand_columnar(columnar_of(trace), model).to_trace()
+    assert vectorized.warps == [
+        expand_stream(model, stream) for stream in trace.warps
+    ]
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=kernel_traces())
+def test_expand_columnar_matches_expand_stream_property(trace):
+    model = BaggyBoundsTiming()
+    vectorized = expand_columnar(
+        ColumnarTrace.from_trace(trace), model
+    ).to_trace()
+    assert vectorized.warps == [
+        expand_stream(model, stream) for stream in trace.warps
+    ]
+
+
+# ----------------------------------------------------------------------
+# Cached KernelTrace summaries.
+
+
+def test_summaries_cached_and_copies_safe():
+    trace = synthesize_trace("bert", warps=3, instructions_per_warp=120)
+    histogram = trace.op_histogram()
+    assert sum(histogram.values()) == trace.total_instructions
+    histogram[OpClass.INT] = -1  # mutate the returned copy
+    assert trace.op_histogram()[OpClass.INT] != -1
+    mix = trace.memory_region_mix()
+    assert mix == pytest.approx(trace.memory_region_mix())
+    mix["global"] = 99.0
+    assert trace.memory_region_mix()["global"] != 99.0
+    # The cache is hit: underlying stored dicts are the same objects.
+    cache = trace._summaries()
+    assert trace.checked_count() == cache["checked"]
+    assert cache["histogram"] is trace._summaries()["histogram"]
+    assert trace.memory_count() == sum(
+        count
+        for op, count in trace.op_histogram().items()
+        if op.is_memory
+    )

@@ -1,0 +1,333 @@
+"""Columnar-engine equivalence suite.
+
+The vectorized data plane of :mod:`repro.sim.columnar` (and its
+optional C executor in :mod:`repro.sim.native`) must be cycle-for-cycle
+and stat-for-stat identical to the locked linear-scan ground truth in
+:mod:`repro.sim.reference` — not just cycles and :class:`SimStats`,
+but the L1/L2/RCache hit-miss counters and DRAM queueing state too,
+because warm-cache semantics are part of the simulator contract.
+
+Coverage:
+
+* a seeded (profile × warps × instructions) grid × all four timing
+  models × every execution path (native C, pure-Python columnar loop,
+  pinned ``REPRO_SIM=reference`` scalar engine);
+* ``REPRO_SIM`` plumbing (aliases, typo rejection, env default);
+* warm-run parity (cache/DRAM state carried across runs);
+* edge shapes the grid cannot hit: empty warp streams, >64-warp traces
+  (past the native executor's bitmask width), ``hit_latency=1``
+  geometry, custom timing models that force the scalar fallback;
+* the :class:`~repro.sim.trace.TraceMemo` bound/namespacing contract;
+* byte-identity of the experiment engine's ``.npz``-shipping fan-out.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import DEFAULT_GPU_CONFIG, CacheConfig, GpuConfig
+from repro.common.errors import SimulationError
+from repro.experiments import engine as engine_module
+from repro.experiments.engine import SimJob, run_sim_jobs
+from repro.sim import (
+    KernelTrace,
+    OpClass,
+    SmSimulator,
+    TraceInstruction,
+    native_available,
+    reference_simulate,
+    resolve_sim_engine,
+)
+from repro.sim.columnar import expanded_columnar
+from repro.sim.core import SIM_ENGINE_ENV, expanded_streams
+from repro.sim.native import NATIVE_ENV
+from repro.sim.reference import ReferenceSmSimulator
+from repro.sim.timing import BaggyBoundsTiming, TimingModel
+from repro.sim.trace import TRACE_MEMO_CAPACITY, TraceMemo, trace_memo
+from repro.workloads import synthesize_trace
+
+# ----------------------------------------------------------------------
+# The equivalence grid.
+
+#: Seeded (benchmark, warps, instructions) corpus: ≥10 combos spanning
+#: memory-heavy, compute-bound, uncoalesced and mixed profiles at
+#: several occupancies (including a 16-warp fig12-shaped point).
+CORPUS = [
+    ("gaussian", 4, 260),
+    ("gaussian", 16, 200),
+    ("needle", 3, 280),
+    ("LSTM", 5, 240),
+    ("LSTM", 12, 180),
+    ("bert", 4, 260),
+    ("hotspot", 6, 220),
+    ("lud_cuda", 3, 260),
+    ("bfs", 7, 200),
+    ("srad_v1", 2, 300),
+    ("nn", 1, 200),
+]
+
+MODELS = ("baseline", "lmi", "gpushield", "baggy")
+
+#: Execution paths under test.  ``native`` lets the C executor run
+#: (skipped when no toolchain), ``python`` pins the pure-Python
+#: columnar issue loop, ``scalar`` pins the historical event-heap
+#: pipeline via ``REPRO_SIM=reference``.
+PATHS = ("native", "python", "scalar")
+
+
+def _combo_id(combo) -> str:
+    benchmark, warps, instructions = combo
+    return f"{benchmark}-w{warps}-i{instructions}"
+
+
+def _pin_path(monkeypatch, path: str) -> str:
+    """Pin one execution path via the environment; returns the engine."""
+    if path == "native":
+        if not native_available():
+            pytest.skip("no C toolchain for the native executor")
+        monkeypatch.delenv(NATIVE_ENV, raising=False)
+        return "columnar"
+    if path == "python":
+        monkeypatch.setenv(NATIVE_ENV, "0")
+        return "columnar"
+    monkeypatch.setenv(SIM_ENGINE_ENV, "reference")
+    return "reference"
+
+
+def _state(sim) -> tuple:
+    """Externally observable simulator state after a run."""
+    rcache = getattr(sim.model, "rcache", None)
+    return (
+        (sim.l1.stats.hits, sim.l1.stats.misses),
+        (sim.l2.stats.hits, sim.l2.stats.misses),
+        (sim.dram.stats.requests, sim.dram.stats.queue_delay_cycles),
+        None
+        if rcache is None
+        else (rcache.stats.hits, rcache.stats.misses),
+    )
+
+
+def _run_both(trace, mechanism, engine, config=DEFAULT_GPU_CONFIG, runs=1):
+    """(got, want, got_state, want_state) after *runs* warm runs."""
+    sim = SmSimulator(
+        config, engine_module.model_factory(mechanism), engine=engine
+    )
+    ref = ReferenceSmSimulator(config, engine_module.model_factory(mechanism))
+    for _ in range(runs):
+        got = sim.run(trace)
+        want = ref.run(trace)
+    return got, want, _state(sim), _state(ref)
+
+
+@pytest.mark.parametrize("path", PATHS)
+@pytest.mark.parametrize("mechanism", MODELS)
+@pytest.mark.parametrize("combo", CORPUS, ids=_combo_id)
+def test_columnar_matches_reference(combo, mechanism, path, monkeypatch):
+    benchmark, warps, instructions = combo
+    engine = _pin_path(monkeypatch, path)
+    trace = synthesize_trace(
+        benchmark, warps=warps, instructions_per_warp=instructions
+    )
+    got, want, got_state, want_state = _run_both(trace, mechanism, engine)
+    assert got.cycles == want.cycles
+    assert got.stats == want.stats
+    assert got.name == want.name
+    assert got_state == want_state
+
+
+@pytest.mark.parametrize("path", PATHS)
+@pytest.mark.parametrize("mechanism", MODELS)
+def test_warm_run_state_parity(mechanism, path, monkeypatch):
+    """Cache/DRAM state must carry identically across warm runs."""
+    engine = _pin_path(monkeypatch, path)
+    trace = synthesize_trace("hotspot", warps=6, instructions_per_warp=220)
+    got, want, got_state, want_state = _run_both(
+        trace, mechanism, engine, runs=2
+    )
+    assert got.cycles == want.cycles
+    assert got.stats == want.stats
+    assert got_state == want_state
+
+
+@pytest.mark.parametrize("path", PATHS)
+def test_hit_latency_one_geometry(path, monkeypatch):
+    """Degenerate hit_latency=1 geometry (tiny caches, few channels)."""
+    engine = _pin_path(monkeypatch, path)
+    config = GpuConfig(
+        l1=CacheConfig(size_bytes=2048, line_bytes=128, ways=2,
+                       hit_latency=1),
+        l2=CacheConfig(size_bytes=8192, line_bytes=128, ways=4,
+                       hit_latency=3),
+        dram_latency=40,
+        dram_channels=2,
+    )
+    trace = synthesize_trace("bfs", warps=5, instructions_per_warp=240)
+    for mechanism in MODELS:
+        got, want, got_state, want_state = _run_both(
+            trace, mechanism, engine, config=config
+        )
+        assert got.cycles == want.cycles
+        assert got.stats == want.stats
+        assert got_state == want_state
+
+
+@pytest.mark.parametrize("path", PATHS)
+def test_empty_stream_warp(path, monkeypatch):
+    """Zero-instruction warps must not wedge any engine."""
+    engine = _pin_path(monkeypatch, path)
+    busy = [
+        TraceInstruction(op=OpClass.INT),
+        TraceInstruction(op=OpClass.LDG, lines=(0x100,), depends=True),
+        TraceInstruction(op=OpClass.FP, depends=True),
+    ]
+    trace = KernelTrace(name="edge", warps=[list(busy), [], list(busy)])
+    got, want, got_state, want_state = _run_both(trace, "baseline", engine)
+    assert got.cycles == want.cycles
+    assert got.stats == want.stats
+    assert got_state == want_state
+
+
+def test_no_warps_raises(monkeypatch):
+    for path in ("python", "scalar"):
+        engine = _pin_path(monkeypatch, path)
+        with pytest.raises(SimulationError):
+            SmSimulator(engine=engine).run(KernelTrace(name="empty"))
+
+
+def test_past_native_bitmask_width(monkeypatch):
+    """>64 warps exceed the C executor's ready mask: the columnar
+    engine must hand the plan to the Python loop and stay correct."""
+    trace = synthesize_trace("gaussian", warps=65, instructions_per_warp=40)
+    got, want, got_state, want_state = _run_both(trace, "lmi", "columnar")
+    assert got.cycles == want.cycles
+    assert got.stats == want.stats
+    assert got_state == want_state
+
+
+# ----------------------------------------------------------------------
+# REPRO_SIM plumbing.
+
+
+def test_resolve_sim_engine_aliases():
+    assert resolve_sim_engine("") == "columnar"
+    assert resolve_sim_engine("default") == "columnar"
+    assert resolve_sim_engine("VECTOR") == "columnar"
+    assert resolve_sim_engine("reference") == "reference"
+    assert resolve_sim_engine(" scalar ") == "reference"
+
+
+def test_resolve_sim_engine_env(monkeypatch):
+    monkeypatch.delenv(SIM_ENGINE_ENV, raising=False)
+    assert resolve_sim_engine() == "columnar"
+    monkeypatch.setenv(SIM_ENGINE_ENV, "reference")
+    assert resolve_sim_engine() == "reference"
+    assert SmSimulator().engine == "reference"
+
+
+def test_resolve_sim_engine_rejects_typos():
+    with pytest.raises(SimulationError):
+        resolve_sim_engine("columnarr")
+
+
+# ----------------------------------------------------------------------
+# Scalar fallback for timing models the lowering does not understand.
+
+
+class _JitterTiming(TimingModel):
+    """A custom model: perturbs latency, no stable expansion key."""
+
+    def extra_latency(self, instr, now):  # noqa: D102
+        return 2 if instr.op.is_memory else 0
+
+    def expansion_key(self):  # noqa: D102
+        return None
+
+
+def test_custom_model_takes_scalar_path():
+    trace = synthesize_trace("needle", warps=4, instructions_per_warp=200)
+    got = SmSimulator(DEFAULT_GPU_CONFIG, _JitterTiming()).run(trace)
+    want = ReferenceSmSimulator(DEFAULT_GPU_CONFIG, _JitterTiming()).run(
+        trace
+    )
+    assert got.cycles == want.cycles
+    assert got.stats == want.stats
+
+
+# ----------------------------------------------------------------------
+# TraceMemo: bounded, namespaced, legacy-attribute proof.
+
+
+def test_trace_memo_is_bounded():
+    memo = TraceMemo(capacity=4)
+    for n in range(10):
+        memo.put(("k", n), n)
+    assert len(memo) == 4
+    assert memo.get(("k", 9)) == 9
+    assert memo.get(("k", 0)) is None
+    with pytest.raises(ValueError):
+        TraceMemo(capacity=0)
+
+
+def test_trace_memo_namespaces_model_families():
+    """Equal content keys from different model classes cannot alias."""
+
+    class _OtherBaggy(BaggyBoundsTiming):
+        pass
+
+    trace = synthesize_trace("gaussian", warps=2, instructions_per_warp=120)
+    a = expanded_streams(BaggyBoundsTiming(), trace)
+    b = expanded_streams(_OtherBaggy(), trace)
+    assert a is not b  # same ("baggy", n) key, distinct namespaces
+    assert a is expanded_streams(BaggyBoundsTiming(), trace)  # memo hit
+    ca = expanded_columnar(trace, BaggyBoundsTiming())
+    cb = expanded_columnar(trace, _OtherBaggy())
+    assert ca is not cb
+    assert ca is expanded_columnar(trace, BaggyBoundsTiming())
+    assert len(trace_memo(trace)) <= TRACE_MEMO_CAPACITY
+
+
+def test_trace_memo_sweep_stays_bounded():
+    """A parameter sweep over rewriting models cannot grow the memo
+    past its cap (the historical unbounded ``_expansion_memo``)."""
+    trace = synthesize_trace("needle", warps=2, instructions_per_warp=80)
+    for n in range(1, 2 * TRACE_MEMO_CAPACITY + 2):
+        expanded_streams(BaggyBoundsTiming(instructions_per_check=n), trace)
+    assert len(trace_memo(trace)) <= TRACE_MEMO_CAPACITY
+
+
+def test_trace_memo_ignores_legacy_attribute():
+    """Stale ``_expansion_memo`` dicts (old pickled traces) are inert."""
+    trace = synthesize_trace("nn", warps=2, instructions_per_warp=60)
+    object.__setattr__(trace, "_expansion_memo", {("baggy", 4): "stale"})
+    streams = expanded_streams(BaggyBoundsTiming(), trace)
+    assert streams != "stale"
+    assert all(isinstance(s, list) for s in streams)
+
+
+# ----------------------------------------------------------------------
+# Engine fan-out: the columnar .npz shipping keeps --jobs byte-identical.
+
+
+def _job_rows(results):
+    return [
+        (r.job.key, r.cycles, r.stats.__dict__) for r in results
+    ]
+
+
+def test_jobs_npz_shipping_byte_identical(monkeypatch):
+    """run_sim_jobs must merge worker results (shipped as columnar
+    ``.npz``) into exactly the serial outcome, in submission order."""
+    jobs = [
+        SimJob(
+            benchmark=benchmark,
+            mechanism=mechanism,
+            warps=3,
+            instructions_per_warp=160,
+        )
+        for benchmark in ("gaussian", "needle", "LSTM")
+        for mechanism in MODELS
+    ]
+    serial = run_sim_jobs(jobs, n_jobs=1)
+    monkeypatch.setattr(engine_module.os, "cpu_count", lambda: 4)
+    fanned = run_sim_jobs(jobs, n_jobs=4)
+    assert _job_rows(fanned) == _job_rows(serial)

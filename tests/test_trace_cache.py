@@ -8,7 +8,7 @@ import pickle
 
 import pytest
 
-from repro.sim import KernelTrace
+from repro.sim import KernelTrace, load_trace_npz
 from repro.workloads import (
     TraceCache,
     cached_trace,
@@ -110,7 +110,7 @@ def test_disk_roundtrip(tmp_path):
     writer = TraceCache(disk_dir=str(tmp_path))
     trace = writer.get_or_synthesize("bert", warps=2, instructions_per_warp=60)
     assert writer.stats.disk_writes == 1
-    assert list(tmp_path.glob("trace-*.pkl"))
+    assert list(tmp_path.glob("trace-*.npz"))  # columnar container
 
     reader = TraceCache(disk_dir=str(tmp_path))
     loaded = reader.get_or_synthesize("bert", warps=2, instructions_per_warp=60)
@@ -123,7 +123,7 @@ def test_disk_roundtrip(tmp_path):
 def test_corrupt_disk_entry_falls_back_to_synthesis(tmp_path):
     spec = profile("gaussian")
     key = trace_key(spec, warps=2, instructions_per_warp=50)
-    (tmp_path / f"trace-{key}.pkl").write_bytes(b"not a pickle")
+    (tmp_path / f"trace-{key}.npz").write_bytes(b"not an npz")
     cache = TraceCache(disk_dir=str(tmp_path))
     trace = cache.get_or_synthesize(
         "gaussian", warps=2, instructions_per_warp=50
@@ -131,8 +131,8 @@ def test_corrupt_disk_entry_falls_back_to_synthesis(tmp_path):
     assert isinstance(trace, KernelTrace)
     assert cache.stats.disk_hits == 0
     # The good trace replaced the corrupt file.
-    assert pickle.loads(
-        (tmp_path / f"trace-{key}.pkl").read_bytes()
+    assert load_trace_npz(
+        tmp_path / f"trace-{key}.npz"
     ).name == trace.name
 
 
@@ -162,7 +162,7 @@ def test_env_variable_seeds_global_disk_dir(tmp_path, monkeypatch):
         reloaded = importlib.reload(module)
         assert reloaded.TRACE_CACHE.disk_dir == str(tmp_path)
         reloaded.cached_trace("nn", warps=2, instructions_per_warp=40)
-        assert list(tmp_path.glob("trace-*.pkl"))
+        assert list(tmp_path.glob("trace-*.npz"))
     finally:
         # Reload re-executed the module in the same namespace; put the
         # original global cache back so module-level functions (whose
