@@ -21,22 +21,33 @@ instructions actually issued (including model-injected checks) divided
 by wall time.  ``REPRO_BENCH_FAST=1`` shrinks the profile set and
 trace sizes for CI smoke runs.  The document lands in
 ``benchmarks/out/BENCH_sim.json``.
+
+4. **Telemetry overhead budget.**  The fast path now carries live
+   telemetry (batched counters + sampled warp-issue events), so this
+   benchmark also times columnar runs with telemetry *on* (sparse
+   ``1/1024`` sampling, the documented production setting) against
+   telemetry *off*, interleaved the same way, and asserts the
+   overhead stays within the ≤5% budget from DESIGN.md.  The measured
+   fraction is archived under ``telemetry_overhead`` in
+   ``BENCH_sim.json`` and rendered by ``repro report``.
 """
 
 from __future__ import annotations
 
+import gc
 import hashlib
 import json
 import math
 import os
+import statistics
 import time
 
-from conftest import OUT_DIR
+from conftest import OUT_DIR, record_run
 
 from repro.experiments import run_fig12
 from repro.experiments.engine import model_factory
 from repro.sim import SmSimulator, native_available, reference_simulate
-from repro.telemetry.runtime import TELEMETRY
+from repro.telemetry.runtime import SAMPLE_ENV, TELEMETRY
 from repro.workloads import synthesize_trace
 from repro.workloads.profiles import all_benchmarks
 
@@ -58,6 +69,12 @@ REPS = 2 if FAST else 3
 #: headroom over this; the pure-Python loop (no toolchain) must only
 #: never be slower.
 FLOOR = 3.0
+
+#: Telemetry overhead budget on the columnar fast path (DESIGN.md,
+#: "Observability"): with metrics on and sparse event sampling the
+#: engine must stay within 5% of its telemetry-off throughput.
+TELEMETRY_BUDGET = 0.05
+TELEMETRY_SAMPLE = "1/1024"
 
 
 def _geomean(values):
@@ -92,10 +109,85 @@ def _cell(trace, mechanism):
     return digest, got.stats.instructions, scalar, columnar
 
 
+def _telemetry_overhead(mechanism="lmi"):
+    """Columnar wall time with telemetry on (sparse) vs off.
+
+    Telemetry-on runs use the documented production sampling
+    (``REPRO_TELEMETRY_SAMPLE=1/1024``) so the event comb — not a
+    flood of per-issue emits — is what gets measured.  Traces are
+    always production-sized (16 warps × 2000 instructions, the
+    full-mode grid) even under ``REPRO_BENCH_FAST``: the per-run
+    publish cost is fixed, so smoke-sized traces would measure
+    amortisation, not the fast path.
+
+    Each rep times one off-pass and one on-pass over all traces,
+    back to back, and records the on/off ratio of that pair; the
+    overhead is the *median* ratio minus one.  Single runs here are
+    a few milliseconds, where scheduler noise on an extreme
+    statistic (min or sum) swamps a percent-level signal — pairing
+    cancels drift and the median discards the reps a spike lands
+    on.  The collector is disabled inside the timed windows (the
+    ``timeit`` convention): collection cycles amortise over the
+    whole process but tend to *trigger* inside whichever window
+    allocates, which mis-attributes a process-wide cost to the
+    telemetry side of the pair.  Returns ``(overhead_fraction,
+    off_seconds, on_seconds)`` with the seconds the median pass
+    times; the fraction may be slightly negative on a noisy
+    machine.
+    """
+    names = BENCHMARKS[:3] if FAST else BENCHMARKS[:6]
+    traces = [
+        synthesize_trace(name, warps=16, instructions_per_warp=2000)
+        for name in names
+    ]
+    saved_env = os.environ.get(SAMPLE_ENV)
+    os.environ[SAMPLE_ENV] = TELEMETRY_SAMPLE
+    ratios, off_passes, on_passes = [], [], []
+    try:
+        # Warm-up: pay the one-off columnar plan build per trace
+        # outside the timed window (it lands on whichever side runs
+        # first and would otherwise dwarf the percent-level signal).
+        TELEMETRY.enabled = False
+        for trace in traces:
+            SmSimulator(model=model_factory(mechanism)).run(trace)
+        gc.collect()
+        gc.disable()
+        try:
+            for _ in range(max(REPS + 1, 9)):
+                TELEMETRY.enabled = False
+                started = time.perf_counter()
+                for trace in traces:
+                    SmSimulator(model=model_factory(mechanism)).run(trace)
+                off = time.perf_counter() - started
+                TELEMETRY.enabled = True
+                started = time.perf_counter()
+                for trace in traces:
+                    SmSimulator(model=model_factory(mechanism)).run(trace)
+                on = time.perf_counter() - started
+                ratios.append(on / off)
+                off_passes.append(off)
+                on_passes.append(on)
+        finally:
+            gc.enable()
+    finally:
+        TELEMETRY.enabled = False
+        if saved_env is None:
+            os.environ.pop(SAMPLE_ENV, None)
+        else:
+            os.environ[SAMPLE_ENV] = saved_env
+    overhead = statistics.median(ratios) - 1.0
+    return (
+        overhead,
+        statistics.median(off_passes),
+        statistics.median(on_passes),
+    )
+
+
 def test_sim_throughput():
     saved = TELEMETRY.enabled
-    # Telemetry must be off: the columnar engine only engages without
-    # a live event stream (per-issue events force the scalar path).
+    # Telemetry off for the engine comparison so the scalar/columnar
+    # cells measure the data plane alone; the live-telemetry cost is
+    # measured separately below against its own ≤5% budget.
     TELEMETRY.enabled = False
     try:
         per_model = {
@@ -121,6 +213,9 @@ def test_sim_throughput():
 
         speedups = [s for b in per_model.values() for s in b["speedups"]]
         geomean = _geomean(speedups)
+
+        # Telemetry overhead on the fast path (sparse sampling).
+        overhead, off_seconds, on_seconds = _telemetry_overhead()
 
         # fig12 --fast wall clock under the columnar engine.
         started = time.perf_counter()
@@ -163,12 +258,38 @@ def test_sim_throughput():
         "geomean_speedup": round(geomean, 3),
         "floor": FLOOR if native_available() else 1.0,
         "fig12_fast_seconds": round(fig12_fast_seconds, 4),
+        "telemetry_overhead": {
+            "overhead_fraction": round(overhead, 4),
+            "budget_fraction": TELEMETRY_BUDGET,
+            "sample": TELEMETRY_SAMPLE,
+            "off_seconds": round(off_seconds, 4),
+            "on_seconds": round(on_seconds, 4),
+        },
     }
     OUT_DIR.mkdir(exist_ok=True)
     path = OUT_DIR / "BENCH_sim.json"
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     print(f"\n[sim_throughput] archived to {path}")
     print(json.dumps(document, indent=2, sort_keys=True))
+
+    total_records = sum(b["records"] for b in per_model.values())
+    total_columnar = sum(b["columnar_s"] for b in per_model.values())
+    record_run(
+        "sim_throughput",
+        config={
+            "fast": FAST,
+            "executor": document["executor"],
+            "warps": WARPS,
+            "instructions_per_warp": INSTRUCTIONS,
+        },
+        counters={"records": total_records},
+        metrics={
+            "throughput": total_records / total_columnar,
+            "geomean_speedup": geomean,
+            "telemetry_overhead_fraction": overhead,
+        },
+        wall_seconds=fig12_fast_seconds,
+    )
 
     # The floor only applies after every cell passed its equivalence
     # gate above — a fast wrong simulator would have failed already.
@@ -177,3 +298,10 @@ def test_sim_throughput():
     else:
         assert geomean >= 1.0, f"columnar slower than scalar: {geomean:.2f}x"
     assert fig12_fast_seconds > 0
+    # Fast-path observability budget (tentpole): live metrics plus
+    # sparse event sampling must cost ≤5% columnar throughput.
+    assert overhead <= TELEMETRY_BUDGET, (
+        f"telemetry overhead {overhead * 100:.1f}% exceeds "
+        f"{TELEMETRY_BUDGET * 100:.0f}% budget "
+        f"(off {off_seconds:.3f}s, on {on_seconds:.3f}s)"
+    )

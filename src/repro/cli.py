@@ -1,0 +1,147 @@
+"""The ``repro`` command-line front end.
+
+Subcommands::
+
+    repro report [--ledger PATH] [--bench-dir DIR] [--out PATH]
+                 [--metric NAME] [--threshold FRACTION] [--check]
+    repro experiments [...]   # forwards to python -m repro.experiments
+
+``repro report`` renders a self-contained HTML report (no network
+access: inline CSS and SVG only) from the run ledger plus any
+``BENCH_*.json`` documents, and with ``--check`` exits nonzero when
+the latest throughput of any ledger series falls more than the
+threshold (default 20%) below the median of its prior history.
+
+Installed as a console script via ``pyproject.toml``; also reachable
+as ``python -m repro`` when the package is only on ``PYTHONPATH``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List, Optional
+
+from .telemetry.ledger import RunLedger, default_ledger_path
+from .telemetry.report import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    load_bench_documents,
+    write_report,
+)
+
+_REPORT_USAGE = """\
+usage: repro report [--ledger PATH] [--bench-dir DIR] [--out PATH]
+                    [--metric NAME] [--threshold FRACTION] [--check]
+
+Renders a self-contained HTML report from the run ledger and any
+BENCH_*.json benchmark documents; --check exits 1 on a throughput
+regression against the ledger median."""
+
+_USAGE = """\
+usage: repro <command> [...]
+
+commands:
+  report        render the HTML run report / regression check
+  experiments   run the paper-reproduction experiments CLI"""
+
+
+def _report_main(argv: List[str]) -> int:
+    ledger_path = default_ledger_path()
+    bench_dir = os.path.dirname(ledger_path) or "."
+    bench_dir_given = False
+    out_path: Optional[str] = None
+    metric = "throughput"
+    threshold = DEFAULT_REGRESSION_THRESHOLD
+    check = False
+
+    value_flags = (
+        "--ledger", "--bench-dir", "--out", "--metric", "--threshold"
+    )
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg in ("-h", "--help"):
+            print(_REPORT_USAGE)
+            return 0
+        if arg == "--check":
+            check = True
+        elif arg in value_flags or arg.startswith(
+            tuple(f"{flag}=" for flag in value_flags)
+        ):
+            if "=" in arg:
+                flag, value = arg.split("=", 1)
+            else:
+                flag = arg
+                if index + 1 >= len(argv):
+                    print(f"{flag} requires a value")
+                    return 2
+                index += 1
+                value = argv[index]
+            if flag == "--ledger":
+                ledger_path = value
+                if not bench_dir_given:
+                    bench_dir = os.path.dirname(value) or "."
+            elif flag == "--bench-dir":
+                bench_dir = value
+                bench_dir_given = True
+            elif flag == "--out":
+                out_path = value
+            elif flag == "--metric":
+                metric = value
+            else:  # --threshold
+                try:
+                    threshold = float(value)
+                except ValueError:
+                    print(f"--threshold expects a fraction, got {value!r}")
+                    return 2
+                if not 0 < threshold < 1:
+                    print("--threshold must be in (0, 1)")
+                    return 2
+        else:
+            print(f"unknown report argument {arg!r}")
+            print(_REPORT_USAGE)
+            return 2
+        index += 1
+
+    if out_path is None:
+        out_path = os.path.join(bench_dir, "report.html")
+
+    ledger = RunLedger(ledger_path)
+    bench_docs = load_bench_documents(bench_dir)
+    path, failures = write_report(
+        out_path, ledger, bench_docs, metric=metric, threshold=threshold
+    )
+    print(
+        f"[report] {len(ledger.read())} ledger records, "
+        f"{len(bench_docs)} benchmark documents -> {path}"
+    )
+    for message in failures:
+        print(f"[report] REGRESSION: {message}")
+    if check and failures:
+        print(f"[report] --check failed ({len(failures)} regression(s))")
+        return 1
+    if check:
+        print("[report] --check passed")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_USAGE)
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "report":
+        return _report_main(rest)
+    if command == "experiments":
+        from .experiments.__main__ import main as experiments_main
+
+        return experiments_main(rest)
+    print(f"unknown command {command!r}")
+    print(_USAGE)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -21,6 +21,14 @@ Observability flags (any of them switches telemetry on)::
     python -m repro.experiments fig12 --metrics out/fig12.metrics.json \
         --trace out/fig12.trace.json        # Prometheus/JSON + Perfetto
     python -m repro.experiments --fast --verbose-telemetry
+    python -m repro.experiments fig12 --ledger benchmarks/out/ledger.jsonl
+
+``--ledger PATH`` appends one structured record per experiment (git
+SHA, config, ``sim.*`` counter deltas, throughput, wall time) to the
+JSONL run ledger consumed by ``repro report`` / ``repro report
+--check``.  Telemetry stays on the fast columnar/native engines;
+``REPRO_TELEMETRY_SAMPLE=1/N`` thins the recorded warp-issue events
+deterministically (seed-derived phase, identical for any ``--jobs``).
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from ..telemetry.export import write_chrome_trace, write_metrics
+from ..telemetry.ledger import RunLedger, git_sha
 from ..telemetry.runtime import TELEMETRY
 from ..workloads import configure_trace_cache
 
@@ -115,6 +124,7 @@ class _CliOptions:
         self.verbose = False
         self.metrics_path: Optional[str] = None
         self.trace_path: Optional[str] = None
+        self.ledger_path: Optional[str] = None
         self.trace_cache_dir: Optional[str] = None
         self.jobs = 1
         self.error: Optional[str] = None
@@ -124,7 +134,9 @@ class _CliOptions:
 def _parse_args(argv) -> _CliOptions:
     """Hand-rolled parse (argparse-free, as the seed CLI was)."""
     options = _CliOptions()
-    value_flags = ("--metrics", "--trace", "--jobs", "--trace-cache")
+    value_flags = (
+        "--metrics", "--trace", "--jobs", "--trace-cache", "--ledger"
+    )
     index = 0
     while index < len(argv):
         arg = argv[index]
@@ -149,6 +161,8 @@ def _parse_args(argv) -> _CliOptions:
                 options.metrics_path = value
             elif flag == "--trace":
                 options.trace_path = value
+            elif flag == "--ledger":
+                options.ledger_path = value
             elif flag == "--trace-cache":
                 options.trace_cache_dir = value
             else:  # --jobs
@@ -168,6 +182,21 @@ def _parse_args(argv) -> _CliOptions:
     return options
 
 
+#: Registry totals tracked per experiment for the run ledger.
+_LEDGER_COUNTERS = (
+    "sim.instructions",
+    "sim.issue_stall_cycles",
+    "sim.l1_misses",
+    "sim.l2_misses",
+    "sim.extra_transactions",
+)
+
+
+def _sim_totals(registry) -> Dict[str, float]:
+    """Current ``sim.*`` totals (ledger counter baseline/delta)."""
+    return {name: registry.total(name) for name in _LEDGER_COUNTERS}
+
+
 def main(argv) -> int:
     options = _parse_args(argv)
     if options.error:
@@ -185,18 +214,44 @@ def main(argv) -> int:
         print(f"unknown experiments: {unknown}; choices: {list(EXPERIMENTS)}")
         return 2
 
-    telemetry_wanted = bool(metrics_path or trace_path or verbose)
+    ledger_path = options.ledger_path
+    telemetry_wanted = bool(
+        metrics_path or trace_path or verbose or ledger_path
+    )
     if telemetry_wanted:
         TELEMETRY.configure(enabled=True, deterministic=True)
+    ledger = RunLedger(ledger_path) if ledger_path else None
+    sha = git_sha() if ledger is not None else None
 
     for name in names:
         started = time.time()
         print("=" * 72)
         print(f"{name}  (repro of the paper's {name.replace('fig', 'Figure ').replace('table', 'Table ')})")
         print("=" * 72)
+        counters_before = _sim_totals(TELEMETRY.registry)
         with TELEMETRY.span(f"experiment:{name}", "experiment", fast=fast):
             print(EXPERIMENTS[name](fast, options.jobs))
-        print(f"[{name} done in {time.time() - started:.1f}s]\n")
+        elapsed = time.time() - started
+        print(f"[{name} done in {elapsed:.1f}s]\n")
+        if ledger is not None:
+            counters = {
+                key: value - counters_before[key]
+                for key, value in _sim_totals(TELEMETRY.registry).items()
+            }
+            metrics = {}
+            if counters.get("sim.instructions", 0) > 0 and elapsed > 0:
+                metrics["throughput"] = (
+                    counters["sim.instructions"] / elapsed
+                )
+            ledger.record(
+                "experiment",
+                name,
+                config={"fast": fast, "jobs": options.jobs},
+                counters=counters,
+                metrics=metrics or None,
+                wall_seconds=elapsed,
+                sha=sha,
+            )
 
     if telemetry_wanted:
         meta = {"experiments": names, "fast": fast}
@@ -213,6 +268,8 @@ def main(argv) -> int:
         if verbose:
             print(TELEMETRY.summary())
         TELEMETRY.configure(enabled=False)
+    if ledger is not None:
+        print(f"[ledger updated at {ledger.path}]")
     return 0
 
 

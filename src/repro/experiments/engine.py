@@ -19,7 +19,12 @@ independent jobs — one timing simulation (or analytic row) per
   and the parent replays events through the global recorder *in job
   order* — re-applying the parent's sampling, ring capacity, sequence
   numbers and logical clock — then merges the registries.  The global
-  hub therefore ends in the same state as a serial run.
+  hub therefore ends in the same state as a serial run.  This now
+  includes the *fast-path* telemetry of the columnar/native engines
+  (batch-published counters plus seed-derived sampled run events), and
+  each job's telemetry is wrapped in a ``job:<benchmark>:<mechanism>``
+  span whose ``tid`` is the submission index, giving the Perfetto
+  export one track per job.
 * **Trace reuse.**  Jobs synthesize through the content-addressed
   :mod:`~repro.workloads.trace_cache`, so the four mechanisms of one
   benchmark share a single synthesis (and, with ``--trace-cache``, so
@@ -229,6 +234,24 @@ def _ship_traces(
     return paths, cleanup
 
 
+def _job_span(job: SimJob, index: int):
+    """Span wrapping one job's telemetry (live or replayed).
+
+    ``tid`` is the submission index, so the Perfetto export renders
+    one track per job regardless of which worker process ran it —
+    and the span placement is identical between the serial path
+    (around live execution) and the fan-out path (around the replay),
+    preserving clock determinism.
+    """
+    return TELEMETRY.span(
+        f"job:{job.benchmark}:{job.mechanism}",
+        "job",
+        tid=index,
+        benchmark=job.benchmark,
+        mechanism=job.mechanism,
+    )
+
+
 def _replay_telemetry(blob) -> None:
     """Fold one worker's captured telemetry into the global hub."""
     registry, events = blob
@@ -252,10 +275,21 @@ def run_sim_jobs(
     """
     job_list = list(jobs)
     workers = _effective_workers(n_jobs, len(job_list))
-    if workers <= 1:
-        return [_execute_job(job, config) for job in job_list]
-
     telemetry_wanted = TELEMETRY.enabled
+    if workers <= 1:
+        if not telemetry_wanted:
+            return [_execute_job(job, config) for job in job_list]
+        # One span per job, tid = submission index.  The fan-out path
+        # below opens the *same* spans around each job's telemetry
+        # replay, so the logical clock advances identically and
+        # --metrics/--trace artifacts stay byte-identical across
+        # --jobs values — while Perfetto renders one track per job.
+        serial_results: List[JobResult] = []
+        for index, job in enumerate(job_list):
+            with _job_span(job, index):
+                serial_results.append(_execute_job(job, config))
+        return serial_results
+
     results: List[JobResult] = []
     trace_paths, cleanup = _ship_traces(job_list)
     try:
@@ -272,10 +306,12 @@ def run_sim_jobs(
                 )
                 for job in job_list
             ]
-            for future in futures:  # submission order == merge order
+            # submission order == merge order
+            for index, future in enumerate(futures):
                 result, blob = future.result()
                 if blob is not None:
-                    _replay_telemetry(blob)
+                    with _job_span(job_list[index], index):
+                        _replay_telemetry(blob)
                 results.append(result)
     finally:
         if cleanup is not None:

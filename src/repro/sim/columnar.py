@@ -644,7 +644,15 @@ def plan_for(
 # The columnar issue loop.
 
 
-def run_columnar(simulator, trace: KernelTrace, plan: IssuePlan, stats) -> int:
+def run_columnar(
+    simulator,
+    trace: KernelTrace,
+    plan: IssuePlan,
+    stats,
+    events: Optional[List[Tuple[int, int, int]]] = None,
+    sample_every: int = 1,
+    sample_phase: int = 0,
+) -> int:
     """Simulate *trace* on *simulator* through *plan*.
 
     Fills *stats* (a :class:`~repro.sim.core.SimStats`) and returns the
@@ -653,6 +661,17 @@ def run_columnar(simulator, trace: KernelTrace, plan: IssuePlan, stats) -> int:
     instances — their dense rows are manipulated inline;
     :class:`~repro.sim.core.SmSimulator` guarantees that under the
     columnar engine.
+
+    When *events* is a list, the loop appends one ``(issue_cycle,
+    warp, run_length)`` tuple per *sampled* issue run: the *k*-th run
+    issued overall is kept iff ``k % sample_every == sample_phase``.
+    The caller (``SmSimulator.run``) derives the phase from a stable
+    hash of the trace name (:func:`repro.telemetry.runtime.
+    sample_phase`), so the sampling comb — and therefore the recorded
+    ring — is identical across processes, reruns and ``--jobs``
+    values.  The native C executor applies the *same* comb to the
+    *same* run sequence, so both fast paths produce byte-identical
+    event lists.
 
     Loop structure
     --------------
@@ -699,6 +718,12 @@ def run_columnar(simulator, trace: KernelTrace, plan: IssuePlan, stats) -> int:
         rcache = model.rcache
         rc_rows = rcache.rows
         rc_ways = rcache._ways
+
+    # Sampled run-issue event recording (telemetry fast path).
+    ev_append = events.append if events is not None else None
+    ev_every = sample_every
+    ev_phase = sample_phase
+    issue_seq = 0
 
     # Per-simulation consumable copies of the (memoized) reversed
     # per-warp run lists.
@@ -765,6 +790,11 @@ def run_columnar(simulator, trace: KernelTrace, plan: IssuePlan, stats) -> int:
 
         runs_w = runs_left[w]
         length, comp_delta, mem_lo, mem_hi = runs_w.pop()
+
+        if ev_append is not None:
+            if issue_seq % ev_every == ev_phase:
+                ev_append((clock, w, length))
+            issue_seq += 1
 
         if mem_lo != mem_hi:
             # Stateful portion: walk the run's global/local memory

@@ -41,7 +41,7 @@ from ..common.config import DEFAULT_GPU_CONFIG, GpuConfig
 from ..common.errors import SimulationError
 from ..telemetry import EventKind
 from ..telemetry.registry import MetricsRegistry
-from ..telemetry.runtime import TELEMETRY
+from ..telemetry.runtime import TELEMETRY, resolve_sample_every, sample_phase
 from .cache import ArrayLruCache, cache_for_engine
 from .dram import DramModel
 from .timing import (
@@ -230,9 +230,12 @@ class SmSimulator:
     :mod:`repro.sim.columnar` over :class:`ArrayLruCache` state;
     ``"reference"`` pins the historical scalar pipeline.  Both produce
     identical cycles and statistics (locked by
-    ``tests/test_sim_columnar_equivalence.py``); runs with telemetry
-    enabled, or with timing models the columnar lowering does not
-    understand, transparently take the scalar path.
+    ``tests/test_sim_columnar_equivalence.py``), and both publish the
+    same ``sim.*``/``cache.*`` counter totals when telemetry is
+    enabled — the fast path batch-publishes at end of run and records
+    sampled run-issue events (``REPRO_TELEMETRY_SAMPLE``), so enabling
+    observability no longer changes the engine.  Only timing models
+    the columnar lowering does not understand take the scalar path.
     """
 
     def __init__(
@@ -307,7 +310,7 @@ class SmSimulator:
 
     def run(self, trace: KernelTrace) -> SimResult:
         """Simulate *trace* to completion; returns cycles and stats."""
-        if self.engine == "columnar" and not TELEMETRY.enabled:
+        if self.engine == "columnar":
             from .columnar import plan_for, run_columnar
 
             plan = plan_for(trace, self.model, self.config)
@@ -327,17 +330,68 @@ class SmSimulator:
                 if not plan.runs:
                     raise SimulationError("trace has no warps")
                 stats = SimStats()
+                # Fast-path telemetry: counters are batch-published at
+                # end of run (never per record), and the issue loops
+                # record one (cycle, warp, run_length) triple per
+                # *sampled* issue run — the comb is seed-derived from
+                # the trace name so the recorded ring is identical
+                # across processes and --jobs values.
+                telem = TELEMETRY
+                if telem.enabled:
+                    events: Optional[list] = []
+                    every = resolve_sample_every()
+                    phase = sample_phase(trace.name, every)
+                else:
+                    events = None
+                    every = 1
+                    phase = 0
                 # The C executor replays the very same plan against
                 # the same cache/DRAM state; it returns None (no
                 # toolchain, >64 warps, or REPRO_SIM_NATIVE=0) to
                 # hand the plan to the pure-Python issue loop.
                 from .native import run_native
 
-                cycles = run_native(self, plan, stats)
+                cycles = run_native(
+                    self, plan, stats,
+                    events=events, sample_every=every, sample_phase=phase,
+                )
                 if cycles is None:
-                    cycles = run_columnar(self, trace, plan, stats)
+                    cycles = run_columnar(
+                        self, trace, plan, stats,
+                        events=events, sample_every=every,
+                        sample_phase=phase,
+                    )
+                if events is not None:
+                    self._publish_fast_path(trace.name, stats, events, telem)
                 return SimResult(name=trace.name, cycles=cycles, stats=stats)
         return self._run_scalar(trace)
+
+    def _publish_fast_path(
+        self, trace_name: str, stats: SimStats, events, telem
+    ) -> None:
+        """End-of-run telemetry flush for the columnar/native engines.
+
+        Emits the sampled run-issue events collected by the issue loop
+        (one :data:`~repro.telemetry.events.EventKind.WARP_ISSUE` per
+        kept run, carrying the simulated issue cycle, warp index and
+        run length), then folds the run's counter totals into the
+        registry with exactly the calls the scalar pipeline makes — so
+        registry snapshots from the fast and scalar paths agree
+        byte-for-byte (locked by the columnar equivalence suite).
+        """
+        emit = telem.emit
+        warp_issue = EventKind.WARP_ISSUE
+        for cycle, warp, length in events:
+            emit(
+                warp_issue,
+                trace=trace_name,
+                warp=warp,
+                clock=cycle,
+                instructions=length,
+            )
+        stats.publish(telem.registry, trace=trace_name)
+        self.l1.stats.publish(telem.registry, unit="l1", trace=trace_name)
+        self.l2.stats.publish(telem.registry, unit="l2", trace=trace_name)
 
     def _run_scalar(self, trace: KernelTrace) -> SimResult:
         """The historical scalar event-heap pipeline."""

@@ -117,6 +117,7 @@ int64_t lmi_run(
     int64_t *l1_tags, int64_t *l2_tags, int64_t *rc_tags,
     uint8_t *l1_touched, uint8_t *l2_touched, uint8_t *rc_touched,
     int64_t *free_at,
+    int64_t ev_every, int64_t ev_phase, int64_t ev_cap, int64_t *ev_buf,
     int64_t *out)
 {
     int64_t wake_at[64];
@@ -127,6 +128,7 @@ int64_t lmi_run(
     int64_t l1h = 0, l1m = 0, l2h = 0, l2m = 0;
     int64_t dreq = 0, dqd = 0;
     int64_t rch = 0, rcm = 0, pl2h = 0, pl2m = 0;
+    int64_t ev_seq = 0, ev_n = 0;
     int current = 0;
     int64_t w;
 
@@ -172,6 +174,17 @@ int64_t lmi_run(
             int64_t lo = run_mem_lo[ri];
             int64_t hi = run_mem_hi[ri];
             int64_t complete;
+
+            if (ev_buf) {
+                if (ev_seq % ev_every == ev_phase && ev_n < ev_cap) {
+                    int64_t eb = ev_n * 3;
+                    ev_buf[eb] = clock;
+                    ev_buf[eb + 1] = w;
+                    ev_buf[eb + 2] = length;
+                    ev_n++;
+                }
+                ev_seq++;
+            }
 
             if (lo != hi) {
                 int64_t base = rec_base[w];
@@ -351,6 +364,7 @@ int64_t lmi_run(
         out[9] = pl2m;
         out[10] = stall;
         out[11] = finish;
+        out[12] = ev_n;
         return finish;
     }
 }
@@ -379,6 +393,7 @@ int64_t lmi_run(
     int64_t *l1_tags, int64_t *l2_tags, int64_t *rc_tags,
     uint8_t *l1_touched, uint8_t *l2_touched, uint8_t *rc_touched,
     int64_t *free_at,
+    int64_t ev_every, int64_t ev_phase, int64_t ev_cap, int64_t *ev_buf,
     int64_t *out);
 """
 
@@ -546,12 +561,26 @@ def _import_rows(rows, arr: np.ndarray, touched: np.ndarray, ways: int):
         rows[s] = row
 
 
-def run_native(simulator, plan, stats) -> Optional[int]:
+def run_native(
+    simulator,
+    plan,
+    stats,
+    events: Optional[List] = None,
+    sample_every: int = 1,
+    sample_phase: int = 0,
+) -> Optional[int]:
     """Run *plan* through the C kernel; ``None`` → use the Python loop.
 
     Mutates *stats* and the simulator's cache/DRAM state exactly like
     :func:`repro.sim.columnar.run_columnar` only when it commits to
     running (all refusal checks happen first).
+
+    When *events* is a list, the kernel records one ``(issue_cycle,
+    warp, run_length)`` triple per sampled issue run into a
+    preallocated ``int64`` buffer (the same ``seq % every == phase``
+    comb as the Python loop, applied to the same run sequence), and
+    the triples are appended to *events* after the run — so the C and
+    Python fast paths produce byte-identical event lists.
     """
     if os.environ.get(NATIVE_ENV, "").lower() in ("0", "false", "no"):
         return None
@@ -584,10 +613,20 @@ def run_native(simulator, plan, stats) -> Optional[int]:
         rc_tags = np.zeros(1, dtype=np.int64)
         rc_touched = np.zeros(1, dtype=np.uint8)
     free_at = np.asarray(dram.channel_free_at, dtype=np.int64)
-    out = np.zeros(12, dtype=np.int64)
+    out = np.zeros(13, dtype=np.int64)
 
     def p(arr):
         return ffi.cast("int64_t *", arr.ctypes.data)
+
+    if events is not None:
+        total_runs = int(npl.run_start[-1])
+        ev_cap = total_runs // sample_every + 1
+        ev_buf = np.empty(ev_cap * 3, dtype=np.int64)
+        ev_ptr = p(ev_buf)
+    else:
+        ev_cap = 0
+        ev_buf = None
+        ev_ptr = ffi.NULL
 
     line = npl.line_cols
     probe = npl.probe_cols
@@ -629,6 +668,10 @@ def run_native(simulator, plan, stats) -> Optional[int]:
         ffi.cast("uint8_t *", l2_touched.ctypes.data),
         ffi.cast("uint8_t *", rc_touched.ctypes.data),
         p(free_at),
+        sample_every,
+        sample_phase,
+        ev_cap,
+        ev_ptr,
         p(out),
     )
 
@@ -651,7 +694,14 @@ def run_native(simulator, plan, stats) -> Optional[int]:
         p_l2_misses,
         stall_cycles,
         _finish,
+        ev_count,
     ) = out.tolist()
+
+    if events is not None and ev_count:
+        flat = ev_buf[: ev_count * 3].tolist()
+        append = events.append
+        for i in range(0, ev_count * 3, 3):
+            append((flat[i], flat[i + 1], flat[i + 2]))
 
     stats.instructions = plan.total_instructions
     stats.issue_stall_cycles = stall_cycles

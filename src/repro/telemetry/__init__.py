@@ -42,6 +42,8 @@ from .runtime import (
     get_telemetry,
     telemetry_enabled,
 )
+from .ledger import LEDGER_SCHEMA, RunLedger, git_sha, make_record
+from .report import build_html, check_regressions, write_report
 from .spans import Instant, LogicalClock, Span, Tracer, WallClock
 
 __all__ = [
@@ -74,4 +76,11 @@ __all__ = [
     "Span",
     "Tracer",
     "WallClock",
+    "LEDGER_SCHEMA",
+    "RunLedger",
+    "git_sha",
+    "make_record",
+    "build_html",
+    "check_regressions",
+    "write_report",
 ]

@@ -1,0 +1,218 @@
+"""Persistent run ledger: one JSONL record per experiment/benchmark run.
+
+The telemetry subsystem observes a *single* run; the ledger gives the
+repository a *trajectory*.  Every experiment or benchmark invocation
+can append one structured record — git SHA, engine/mechanism
+configuration, :class:`~repro.sim.core.SimStats`-style counter totals,
+throughput and wall time — to a versioned, append-only JSONL file.
+The ``repro report`` CLI (:mod:`repro.telemetry.report`) then renders
+the accumulated history as perf-trajectory sparklines and runs the
+``--check`` regression gate against the ledger median, so a slowdown
+is noticed when it lands rather than when a 3× floor assert finally
+trips.
+
+Format
+------
+One JSON object per line.  Every record carries:
+
+``schema``
+    :data:`LEDGER_SCHEMA` (``repro.telemetry.ledger/v1``).  Unknown
+    schemas are skipped on read, so the format can evolve.
+``kind``
+    Record family — ``"experiment"`` or ``"benchmark"``.
+``name``
+    Stable series key (e.g. ``"fig12"``, ``"sim_throughput"``).
+``git_sha``
+    Short commit SHA of the working tree (``"unknown"`` outside git).
+``created_at``
+    UTC ISO-8601 timestamp (wall clock; the only non-deterministic
+    field, and the reason the ledger itself is never compared
+    byte-for-byte).
+
+plus caller-provided ``config``, ``counters``, ``metrics`` (numeric
+series the regression check consumes, e.g. ``throughput``) and
+``wall_seconds``.
+
+Appends are atomic at line granularity: the record is rendered to one
+``\\n``-terminated line and written with a single ``O_APPEND`` write,
+so concurrent benchmark processes interleave whole records, never
+partial ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from datetime import datetime, timezone
+from typing import Dict, List, Optional
+
+#: Version tag stamped into (and required of) every ledger record.
+LEDGER_SCHEMA = "repro.telemetry.ledger/v1"
+
+#: Environment variable overriding the default ledger location.
+LEDGER_ENV = "REPRO_LEDGER"
+
+#: Default on-disk location (shared with the benchmark artifacts).
+DEFAULT_LEDGER_PATH = os.path.join("benchmarks", "out", "ledger.jsonl")
+
+
+def default_ledger_path() -> str:
+    """The ledger path: ``REPRO_LEDGER`` or the benchmarks/out default."""
+    return os.environ.get(LEDGER_ENV) or DEFAULT_LEDGER_PATH
+
+
+def git_sha(cwd: Optional[str] = None) -> str:
+    """Short commit SHA of the working tree (``"unknown"`` outside git)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def make_record(
+    kind: str,
+    name: str,
+    *,
+    config: Optional[Dict[str, object]] = None,
+    counters: Optional[Dict[str, object]] = None,
+    metrics: Optional[Dict[str, float]] = None,
+    wall_seconds: Optional[float] = None,
+    meta: Optional[Dict[str, object]] = None,
+    sha: Optional[str] = None,
+) -> Dict[str, object]:
+    """Build one schema-stamped ledger record (not yet persisted).
+
+    *metrics* is the numeric series dict the regression check reads
+    (conventionally including ``throughput``); *counters* carries
+    registry/SimStats totals; *config* the engine/mechanism settings
+    that produced them.
+    """
+    record: Dict[str, object] = {
+        "schema": LEDGER_SCHEMA,
+        "kind": kind,
+        "name": name,
+        "git_sha": sha if sha is not None else git_sha(),
+        "created_at": datetime.now(timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+    }
+    if config:
+        record["config"] = config
+    if counters:
+        record["counters"] = counters
+    if metrics:
+        record["metrics"] = {k: float(v) for k, v in metrics.items()}
+    if wall_seconds is not None:
+        record["wall_seconds"] = round(float(wall_seconds), 6)
+    if meta:
+        record["meta"] = meta
+    return record
+
+
+class RunLedger:
+    """Append-only JSONL ledger of experiment/benchmark runs."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path if path is not None else default_ledger_path()
+
+    # ------------------------------------------------------------------
+    # Writing
+
+    def append(self, record: Dict[str, object]) -> Dict[str, object]:
+        """Persist one record (schema-stamping it if needed).
+
+        Parent directories are created; the line lands with a single
+        ``O_APPEND`` write so concurrent writers interleave whole
+        records.
+        """
+        if record.get("schema") != LEDGER_SCHEMA:
+            record = dict(record)
+            record["schema"] = LEDGER_SCHEMA
+        line = json.dumps(record, sort_keys=True) + "\n"
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+        return record
+
+    def record(self, kind: str, name: str, **fields) -> Dict[str, object]:
+        """:func:`make_record` + :meth:`append` in one call."""
+        return self.append(make_record(kind, name, **fields))
+
+    # ------------------------------------------------------------------
+    # Reading
+
+    def read(self) -> List[Dict[str, object]]:
+        """All valid records, in append order.
+
+        Malformed lines and unknown schemas are skipped (the ledger
+        must survive version bumps and torn writes from killed runs).
+        """
+        if not os.path.exists(self.path):
+            return []
+        records: List[Dict[str, object]] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if (
+                    isinstance(record, dict)
+                    and record.get("schema") == LEDGER_SCHEMA
+                ):
+                    records.append(record)
+        return records
+
+    def series(
+        self, name: str, metric: str = "throughput"
+    ) -> List[float]:
+        """Chronological values of ``metrics[metric]`` for series *name*."""
+        out: List[float] = []
+        for record in self.read():
+            if record.get("name") != name:
+                continue
+            metrics = record.get("metrics")
+            if isinstance(metrics, dict) and metric in metrics:
+                try:
+                    out.append(float(metrics[metric]))
+                except (TypeError, ValueError):
+                    continue
+        return out
+
+    def names(self) -> List[str]:
+        """Distinct series names, in first-seen order."""
+        seen: List[str] = []
+        for record in self.read():
+            name = record.get("name")
+            if isinstance(name, str) and name not in seen:
+                seen.append(name)
+        return seen
+
+
+__all__ = [
+    "LEDGER_SCHEMA",
+    "LEDGER_ENV",
+    "DEFAULT_LEDGER_PATH",
+    "default_ledger_path",
+    "git_sha",
+    "make_record",
+    "RunLedger",
+]

@@ -272,14 +272,21 @@ class MetricsRegistry:
         return out
 
     def to_prometheus(self, prefix: str = "repro") -> str:
-        """Prometheus text exposition format (version 0.0.4)."""
+        """Prometheus text exposition format (version 0.0.4).
+
+        Emits exactly one ``# HELP``/``# TYPE`` pair per metric family
+        (label variants of one metric share a family), escapes label
+        values per the exposition spec (``\\`` → ``\\\\``, ``"`` →
+        ``\\"``, newline → ``\\n``) and HELP text (``\\`` and newline),
+        and always includes the cumulative ``+Inf`` histogram bucket.
+        """
         lines: List[str] = []
         seen_types: Dict[str, str] = {}
         for inst in self:
             metric = _prom_name(prefix, inst.name)
             if metric not in seen_types:
                 seen_types[metric] = inst.kind
-                lines.append(f"# HELP {metric} {inst.name}")
+                lines.append(f"# HELP {metric} {_prom_help(inst.name)}")
                 lines.append(f"# TYPE {metric} {inst.kind}")
             if isinstance(inst, (Counter, Gauge)):
                 lines.append(
@@ -318,12 +325,23 @@ def _prom_name(prefix: str, name: str) -> str:
     return f"{prefix}_{cleaned}" if prefix else cleaned
 
 
+def _prom_help(text: str) -> str:
+    """Escape HELP text per the exposition format (``\\`` and LF)."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value: backslash, double-quote and newline."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
 def _prom_labels(labels: LabelKey) -> str:
     if not labels:
         return ""
     rendered = ",".join(
-        '{}="{}"'.format(k, str(v).replace("\\", r"\\").replace('"', r"\""))
-        for k, v in labels
+        '{}="{}"'.format(k, _escape_label_value(str(v))) for k, v in labels
     )
     return "{" + rendered + "}"
 

@@ -1,0 +1,336 @@
+"""Self-contained HTML reports and regression checks over the ledger.
+
+Closes the observability loop: raw counters land in BENCH_*.json and
+the run ledger (:mod:`repro.telemetry.ledger`); this module turns them
+into something a human (or a CI gate) reads:
+
+* :func:`build_html` — one dependency-free HTML file (inline CSS,
+  inline SVG sparklines, **no network access**) with three sections:
+  per-mechanism simulator-overhead bars, the latest benchmark metric
+  tables from ``BENCH_engine/exec/sim.json``, and perf-trajectory
+  sparklines over the ledger history of every recorded series.
+* :func:`check_regressions` — the ``repro report --check`` gate: for
+  every ledger series, compare the latest ``throughput`` (or other
+  chosen metric) against the **median of the prior history**; a drop
+  beyond the threshold (default 20%) is a failure.  The median makes
+  the gate robust to one noisy CI machine in the history, and series
+  with fewer than ``min_history`` prior points pass, so a fresh
+  ledger is green by construction.
+
+Everything here is pure formatting over dicts — no telemetry state is
+touched, so it can run on artifacts from another machine.
+"""
+
+from __future__ import annotations
+
+import glob
+import html
+import json
+import os
+import statistics
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .export import write_text_atomic
+from .ledger import RunLedger
+
+#: Default relative throughput drop that fails ``repro report --check``.
+DEFAULT_REGRESSION_THRESHOLD = 0.20
+
+
+# ----------------------------------------------------------------------
+# Inputs
+
+
+def load_bench_documents(directory: str) -> Dict[str, Dict]:
+    """All ``BENCH_*.json`` documents in *directory*, keyed by stem.
+
+    Unreadable or non-JSON files are skipped (a half-written benchmark
+    artifact must not take the report down with it).
+    """
+    documents: Dict[str, Dict] = {}
+    pattern = os.path.join(directory, "BENCH_*.json")
+    for path in sorted(glob.glob(pattern)):
+        stem = os.path.splitext(os.path.basename(path))[0]
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if isinstance(document, dict):
+            documents[stem] = document
+    return documents
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+
+
+def check_regressions(
+    ledger: RunLedger,
+    *,
+    metric: str = "throughput",
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+    min_history: int = 2,
+) -> List[str]:
+    """Failure messages for series whose latest value regressed.
+
+    For each series in *ledger* carrying *metric*: with at least
+    *min_history* prior points, the latest value must not fall more
+    than *threshold* below the **median of the prior points**.  Series
+    with too little history pass (a fresh ledger is green by
+    construction).  Returns human-readable failure strings; empty
+    means the gate passes.
+    """
+    failures: List[str] = []
+    for name in ledger.names():
+        series = ledger.series(name, metric)
+        if len(series) < min_history + 1:
+            continue
+        latest = series[-1]
+        baseline = statistics.median(series[:-1])
+        if baseline <= 0:
+            continue
+        drop = 1.0 - latest / baseline
+        if drop > threshold:
+            failures.append(
+                f"{name}: {metric} {latest:.6g} is {drop * 100:.1f}% below "
+                f"the ledger median {baseline:.6g} "
+                f"(threshold {threshold * 100:.0f}%, "
+                f"{len(series) - 1} prior runs)"
+            )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# HTML rendering helpers (all inline; the file must be self-contained)
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 64rem; color: #1a1a2e; }
+h1 { border-bottom: 2px solid #1a1a2e; padding-bottom: .3rem; }
+h2 { margin-top: 2rem; }
+table { border-collapse: collapse; margin: .8rem 0; font-size: .9rem; }
+th, td { border: 1px solid #c8c8d8; padding: .25rem .6rem;
+         text-align: right; }
+th { background: #eef0f6; }
+td.k, th.k { text-align: left; font-family: ui-monospace, monospace; }
+.bar { display: inline-block; height: .8rem; background: #4466cc;
+       vertical-align: middle; }
+.bar.warn { background: #cc5544; }
+.meta { color: #667; font-size: .8rem; }
+.fail { color: #b00020; font-weight: 600; }
+.ok { color: #107040; font-weight: 600; }
+svg.spark { vertical-align: middle; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return _esc(value)
+
+
+def sparkline_svg(
+    values: Sequence[float], *, width: int = 140, height: int = 28
+) -> str:
+    """Inline SVG polyline sparkline for *values* (last point marked)."""
+    points = [float(v) for v in values]
+    if not points:
+        return ""
+    if len(points) == 1:
+        points = points * 2
+    lo, hi = min(points), max(points)
+    span = (hi - lo) or 1.0
+    pad = 2.0
+    step = (width - 2 * pad) / (len(points) - 1)
+    coords = [
+        (
+            round(pad + i * step, 2),
+            round(height - pad - (v - lo) / span * (height - 2 * pad), 2),
+        )
+        for i, v in enumerate(points)
+    ]
+    path = " ".join(f"{x},{y}" for x, y in coords)
+    lx, ly = coords[-1]
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" '
+        'xmlns="http://www.w3.org/2000/svg">'
+        f'<polyline fill="none" stroke="#4466cc" stroke-width="1.5" '
+        f'points="{path}"/>'
+        f'<circle cx="{lx}" cy="{ly}" r="2.5" fill="#cc5544"/>'
+        "</svg>"
+    )
+
+
+def _bar(fraction: float, *, warn: bool = False, scale: float = 220) -> str:
+    width = max(1, int(round(min(max(fraction, 0.0), 1.0) * scale)))
+    cls = "bar warn" if warn else "bar"
+    return f'<span class="{cls}" style="width:{width}px"></span>'
+
+
+def _overhead_section(bench_docs: Dict[str, Dict]) -> List[str]:
+    """Per-mechanism simulator overhead bars from BENCH_sim.json."""
+    sim = bench_docs.get("BENCH_sim")
+    if not sim or "models" not in sim:
+        return []
+    lines = ["<h2>Per-mechanism simulator throughput</h2>", "<table>"]
+    lines.append(
+        "<tr><th class=k>mechanism</th><th>records/s (columnar)</th>"
+        "<th>speedup vs scalar</th><th></th></tr>"
+    )
+    models = sim["models"]
+    try:
+        top = max(
+            float(row.get("columnar_records_per_second", 0) or 0)
+            for row in models.values()
+        ) or 1.0
+    except ValueError:
+        return []
+    for name in sorted(models):
+        row = models[name]
+        rps = float(row.get("columnar_records_per_second", 0) or 0)
+        speedup = row.get("geomean_speedup", "")
+        lines.append(
+            f"<tr><td class=k>{_esc(name)}</td><td>{_fmt(rps)}</td>"
+            f"<td>{_fmt(speedup)}×</td><td>{_bar(rps / top)}</td></tr>"
+        )
+    lines.append("</table>")
+    overhead = sim.get("telemetry_overhead")
+    if isinstance(overhead, dict):
+        pct = float(overhead.get("overhead_fraction", 0.0)) * 100
+        budget = float(overhead.get("budget_fraction", 0.05)) * 100
+        cls = "ok" if pct <= budget else "fail"
+        lines.append(
+            f'<p>Telemetry overhead (metrics on): <span class="{cls}">'
+            f"{pct:.2f}%</span> of a {budget:.0f}% budget "
+            f"(sampling {_esc(overhead.get('sample', '1'))}).</p>"
+        )
+    return lines
+
+
+def _bench_tables(bench_docs: Dict[str, Dict]) -> List[str]:
+    """Flat key→value tables for each BENCH_*.json document."""
+    lines: List[str] = []
+    for stem in sorted(bench_docs):
+        document = bench_docs[stem]
+        lines.append(f"<h2>{_esc(stem)}</h2>")
+        lines.append("<table>")
+        lines.append("<tr><th class=k>metric</th><th>value</th></tr>")
+        for key in sorted(document):
+            value = document[key]
+            if isinstance(value, (dict, list)):
+                continue
+            lines.append(
+                f"<tr><td class=k>{_esc(key)}</td>"
+                f"<td>{_fmt(value)}</td></tr>"
+            )
+        lines.append("</table>")
+    return lines
+
+
+def _trajectory_section(
+    ledger: RunLedger, metric: str, failures: Sequence[str]
+) -> List[str]:
+    names = ledger.names()
+    lines = ["<h2>Perf trajectory (ledger history)</h2>"]
+    if not names:
+        lines.append("<p class=meta>No ledger records yet.</p>")
+        return lines
+    failed = {message.split(":", 1)[0] for message in failures}
+    lines.append("<table>")
+    lines.append(
+        f"<tr><th class=k>series</th><th>runs</th><th>latest {metric}"
+        "</th><th>median</th><th>trend</th><th>status</th></tr>"
+    )
+    for name in names:
+        series = ledger.series(name, metric)
+        if not series:
+            continue
+        latest = series[-1]
+        baseline = (
+            statistics.median(series[:-1]) if len(series) > 1 else latest
+        )
+        status = (
+            '<span class=fail>regressed</span>'
+            if name in failed
+            else '<span class=ok>ok</span>'
+        )
+        lines.append(
+            f"<tr><td class=k>{_esc(name)}</td><td>{len(series)}</td>"
+            f"<td>{_fmt(latest)}</td><td>{_fmt(baseline)}</td>"
+            f"<td>{sparkline_svg(series)}</td><td>{status}</td></tr>"
+        )
+    lines.append("</table>")
+    return lines
+
+
+def build_html(
+    ledger: RunLedger,
+    bench_docs: Optional[Dict[str, Dict]] = None,
+    *,
+    metric: str = "throughput",
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+    title: str = "repro run report",
+) -> Tuple[str, List[str]]:
+    """Render the self-contained HTML report.
+
+    Returns ``(html_text, failures)`` where *failures* is the
+    :func:`check_regressions` result embedded in the report header —
+    so ``repro report`` renders and gates from one pass.
+    """
+    bench_docs = bench_docs or {}
+    failures = check_regressions(ledger, metric=metric, threshold=threshold)
+    records = ledger.read()
+    latest_sha = records[-1].get("git_sha", "unknown") if records else "n/a"
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        f"<p class=meta>{len(records)} ledger records · "
+        f"latest git {_esc(latest_sha)} · regression threshold "
+        f"{threshold * 100:.0f}% vs ledger median</p>",
+    ]
+    if failures:
+        parts.append("<p class=fail>Regressions detected:</p><ul>")
+        parts.extend(
+            f"<li class=fail>{_esc(message)}</li>" for message in failures
+        )
+        parts.append("</ul>")
+    else:
+        parts.append('<p class=ok>No regressions against ledger history.</p>')
+    parts.extend(_overhead_section(bench_docs))
+    parts.extend(_trajectory_section(ledger, metric, failures))
+    parts.extend(_bench_tables(bench_docs))
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n", failures
+
+
+def write_report(
+    path: str,
+    ledger: RunLedger,
+    bench_docs: Optional[Dict[str, Dict]] = None,
+    **kwargs,
+) -> Tuple[str, List[str]]:
+    """Render and atomically write the report; returns (path, failures)."""
+    text, failures = build_html(ledger, bench_docs, **kwargs)
+    write_text_atomic(path, text)
+    return path, failures
+
+
+__all__ = [
+    "DEFAULT_REGRESSION_THRESHOLD",
+    "load_bench_documents",
+    "check_regressions",
+    "sparkline_svg",
+    "build_html",
+    "write_report",
+]

@@ -1,0 +1,284 @@
+"""Tests for the run ledger, regression gate, and HTML report.
+
+Covers the persistence layer the perf trajectory rides on:
+
+* JSONL ledger round-trips, schema stamping, malformed-line and
+  unknown-schema tolerance, ``REPRO_LEDGER`` resolution;
+* :func:`check_regressions` — green on a fresh ledger, red on an
+  injected synthetic regression, median-robust against one outlier;
+* the HTML report is fully self-contained (no network fetches) and
+  embeds sparklines, overhead budget and failure callouts;
+* the ``repro report`` CLI exit codes: 0 clean, 1 on ``--check``
+  regression, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.telemetry.ledger import (
+    LEDGER_ENV,
+    LEDGER_SCHEMA,
+    RunLedger,
+    default_ledger_path,
+    git_sha,
+    make_record,
+)
+from repro.telemetry.report import (
+    build_html,
+    check_regressions,
+    load_bench_documents,
+    sparkline_svg,
+    write_report,
+)
+
+
+# ----------------------------------------------------------------------
+# Ledger persistence
+
+
+class TestRunLedger:
+    def test_round_trip_and_schema_stamp(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+        ledger.record(
+            "benchmark",
+            "sim_throughput",
+            config={"fast": True},
+            counters={"records": 1000},
+            metrics={"throughput": 2.5e6},
+            wall_seconds=1.25,
+            sha="abc1234",
+        )
+        ledger.record("experiment", "fig12", metrics={"throughput": 3.0e6})
+        records = ledger.read()
+        assert [r["name"] for r in records] == ["sim_throughput", "fig12"]
+        assert all(r["schema"] == LEDGER_SCHEMA for r in records)
+        assert records[0]["git_sha"] == "abc1234"
+        assert records[0]["metrics"]["throughput"] == 2.5e6
+        assert records[0]["wall_seconds"] == 1.25
+        assert ledger.names() == ["sim_throughput", "fig12"]
+        assert ledger.series("fig12") == [3.0e6]
+
+    def test_malformed_and_foreign_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(str(path))
+        ledger.record("benchmark", "a", metrics={"throughput": 1.0})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{torn json\n")
+            handle.write(json.dumps({"schema": "other/v9", "name": "x"}))
+            handle.write("\n\n")
+        ledger.record("benchmark", "a", metrics={"throughput": 2.0})
+        assert ledger.series("a") == [1.0, 2.0]
+        assert ledger.names() == ["a"]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "never-written.jsonl"))
+        assert ledger.read() == []
+        assert ledger.names() == []
+
+    def test_append_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "ledger.jsonl"
+        RunLedger(str(path)).record("benchmark", "b")
+        assert path.exists()
+
+    def test_env_overrides_default_path(self, monkeypatch, tmp_path):
+        override = str(tmp_path / "elsewhere.jsonl")
+        monkeypatch.setenv(LEDGER_ENV, override)
+        assert default_ledger_path() == override
+        assert RunLedger().path == override
+        monkeypatch.delenv(LEDGER_ENV)
+        assert default_ledger_path().endswith("ledger.jsonl")
+
+    def test_make_record_stamps_sha_and_timestamp(self):
+        record = make_record("experiment", "fig4", sha="deadbee")
+        assert record["git_sha"] == "deadbee"
+        assert re.fullmatch(
+            r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z", record["created_at"]
+        )
+
+    def test_git_sha_in_repo_or_unknown(self):
+        sha = git_sha()
+        assert sha == "unknown" or re.fullmatch(r"[0-9a-f]{4,40}", sha)
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+
+
+def _seed_series(ledger, name, values):
+    for value in values:
+        ledger.record("benchmark", name, metrics={"throughput": value})
+
+
+class TestCheckRegressions:
+    def test_fresh_ledger_is_green(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "l.jsonl"))
+        assert check_regressions(ledger) == []
+        _seed_series(ledger, "sim", [100.0])
+        assert check_regressions(ledger) == []  # < min_history
+
+    def test_stable_series_passes(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "l.jsonl"))
+        _seed_series(ledger, "sim", [100.0, 102.0, 98.0, 101.0])
+        assert check_regressions(ledger) == []
+
+    def test_injected_regression_fails(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "l.jsonl"))
+        _seed_series(ledger, "sim", [100.0, 102.0, 98.0, 50.0])
+        failures = check_regressions(ledger)
+        assert len(failures) == 1
+        assert failures[0].startswith("sim: throughput 50")
+        assert "below the ledger median" in failures[0]
+
+    def test_median_baseline_absorbs_one_outlier(self, tmp_path):
+        # One absurdly fast historical run must not fail a normal run.
+        ledger = RunLedger(str(tmp_path / "l.jsonl"))
+        _seed_series(ledger, "sim", [100.0, 1000.0, 102.0, 99.0])
+        assert check_regressions(ledger) == []
+
+    def test_threshold_and_metric_are_configurable(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "l.jsonl"))
+        for value in (10.0, 10.0, 9.0):
+            ledger.record("benchmark", "s", metrics={"speedup": value})
+        assert check_regressions(ledger, metric="speedup") == []
+        assert check_regressions(
+            ledger, metric="speedup", threshold=0.05
+        ) != []
+
+
+# ----------------------------------------------------------------------
+# HTML report
+
+
+class TestReportHtml:
+    def _ledger(self, tmp_path, values=(100.0, 102.0, 98.0)):
+        ledger = RunLedger(str(tmp_path / "l.jsonl"))
+        _seed_series(ledger, "sim_throughput", values)
+        return ledger
+
+    def test_report_is_self_contained(self, tmp_path):
+        html_text, failures = build_html(self._ledger(tmp_path))
+        assert failures == []
+        assert "<!DOCTYPE html>" in html_text
+        assert "<style>" in html_text
+        assert '<svg class="spark"' in html_text
+        # No network fetches of any kind.
+        assert "http://" not in html_text.replace(
+            "http://www.w3.org/2000/svg", ""
+        )
+        assert "https://" not in html_text
+        assert "<script" not in html_text
+        assert "<link" not in html_text
+        assert 'src="' not in html_text
+
+    def test_report_renders_overhead_budget(self, tmp_path):
+        bench_docs = {
+            "BENCH_sim": {
+                "models": {
+                    "lmi": {
+                        "columnar_records_per_second": 2_000_000,
+                        "geomean_speedup": 12.5,
+                    },
+                },
+                "telemetry_overhead": {
+                    "overhead_fraction": 0.021,
+                    "budget_fraction": 0.05,
+                    "sample": "1/1024",
+                },
+            }
+        }
+        html_text, _ = build_html(self._ledger(tmp_path), bench_docs)
+        assert "Telemetry overhead" in html_text
+        assert "2.10%" in html_text and "5% budget" in html_text
+        assert "1/1024" in html_text
+
+    def test_report_flags_regression(self, tmp_path):
+        ledger = self._ledger(tmp_path, values=(100.0, 102.0, 98.0, 40.0))
+        html_text, failures = build_html(ledger)
+        assert failures
+        assert "Regressions detected" in html_text
+        assert "regressed" in html_text
+
+    def test_write_report_creates_dirs(self, tmp_path):
+        out = tmp_path / "nested" / "report.html"
+        path, failures = write_report(str(out), self._ledger(tmp_path))
+        assert out.exists() and failures == []
+        assert path == str(out)
+
+    def test_load_bench_documents_skips_garbage(self, tmp_path):
+        (tmp_path / "BENCH_good.json").write_text('{"a": 1}')
+        (tmp_path / "BENCH_bad.json").write_text("{torn")
+        (tmp_path / "BENCH_list.json").write_text("[1, 2]")
+        (tmp_path / "unrelated.json").write_text('{"b": 2}')
+        docs = load_bench_documents(str(tmp_path))
+        assert docs == {"BENCH_good": {"a": 1}}
+
+    def test_sparkline_svg_shapes(self):
+        assert sparkline_svg([]) == ""
+        single = sparkline_svg([5.0])
+        assert "<polyline" in single and "<circle" in single
+        multi = sparkline_svg([1.0, 3.0, 2.0])
+        assert multi.count("<circle") == 1
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes
+
+
+class TestReportCli:
+    def test_clean_ledger_exits_zero(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        _seed_series(RunLedger(str(ledger)), "sim", [100.0, 101.0, 99.0])
+        out = tmp_path / "report.html"
+        assert cli_main([
+            "report", "--ledger", str(ledger),
+            "--out", str(out), "--check",
+        ]) == 0
+        assert out.exists()
+        assert "--check passed" in capsys.readouterr().out
+
+    def test_injected_regression_exits_one_with_check(
+        self, tmp_path, capsys
+    ):
+        ledger = tmp_path / "ledger.jsonl"
+        _seed_series(
+            RunLedger(str(ledger)), "sim", [100.0, 101.0, 99.0, 40.0]
+        )
+        out = tmp_path / "report.html"
+        argv = ["report", "--ledger", str(ledger), "--out", str(out)]
+        # Without --check the regression is reported but not fatal.
+        assert cli_main(argv) == 0
+        assert "REGRESSION" in capsys.readouterr().out
+        assert cli_main(argv + ["--check"]) == 1
+        printed = capsys.readouterr().out
+        assert "REGRESSION" in printed and "--check failed" in printed
+
+    def test_usage_errors_exit_two(self, capsys):
+        assert cli_main(["report", "--threshold", "nope"]) == 2
+        assert cli_main(["report", "--threshold", "5"]) == 2
+        assert cli_main(["report", "--ledger"]) == 2
+        assert cli_main(["report", "--bogus"]) == 2
+        assert cli_main(["frobnicate"]) == 2
+        capsys.readouterr()
+
+    def test_help_paths(self, capsys):
+        assert cli_main(["--help"]) == 0
+        assert cli_main(["report", "--help"]) == 0
+        assert cli_main([]) == 2
+        printed = capsys.readouterr().out
+        assert "repro report" in printed
+
+    def test_bench_dir_defaults_to_ledger_dir(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        _seed_series(RunLedger(str(ledger)), "sim", [10.0, 11.0])
+        (tmp_path / "BENCH_x.json").write_text('{"score": 7}')
+        out = tmp_path / "report.html"
+        assert cli_main(
+            ["report", "--ledger", str(ledger), "--out", str(out)]
+        ) == 0
+        assert "1 benchmark documents" in capsys.readouterr().out
+        assert "BENCH_x" in out.read_text()

@@ -23,6 +23,8 @@ Coverage:
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.common.config import DEFAULT_GPU_CONFIG, CacheConfig, GpuConfig
@@ -44,6 +46,9 @@ from repro.sim.native import NATIVE_ENV
 from repro.sim.reference import ReferenceSmSimulator
 from repro.sim.timing import BaggyBoundsTiming, TimingModel
 from repro.sim.trace import TRACE_MEMO_CAPACITY, TraceMemo, trace_memo
+from repro.telemetry import EventKind, capture, chrome_trace, dumps, \
+    metrics_json
+from repro.telemetry.runtime import SAMPLE_ENV
 from repro.workloads import synthesize_trace
 
 # ----------------------------------------------------------------------
@@ -331,3 +336,111 @@ def test_jobs_npz_shipping_byte_identical(monkeypatch):
     monkeypatch.setattr(engine_module.os, "cpu_count", lambda: 4)
     fanned = run_sim_jobs(jobs, n_jobs=4)
     assert _job_rows(fanned) == _job_rows(serial)
+
+
+# ----------------------------------------------------------------------
+# Fast-path telemetry: the columnar/native engines stay engaged with
+# telemetry live, publish scalar-identical counters, and keep the
+# metrics/trace artifacts byte-identical for any --jobs value.
+
+
+def test_telemetry_enabled_keeps_columnar_engine(monkeypatch):
+    """With telemetry live the fast path must not fall back to the
+    scalar pipeline (the pre-fast-path behaviour this PR removed)."""
+    trace = synthesize_trace("gaussian", warps=3, instructions_per_warp=160)
+
+    def boom(self, _trace):
+        raise AssertionError("telemetry forced the scalar fallback")
+
+    with capture() as t:
+        monkeypatch.setattr(SmSimulator, "_run_scalar", boom)
+        result = SmSimulator(
+            model=engine_module.model_factory("lmi")
+        ).run(trace)
+        assert result.cycles > 0
+        assert t.registry.total("sim.instructions") \
+            == result.stats.instructions
+        assert any(
+            e.kind is EventKind.WARP_ISSUE for e in t.recorder.events()
+        )
+
+
+@pytest.mark.parametrize("mechanism", MODELS)
+def test_fast_path_counter_parity_with_scalar(mechanism, monkeypatch):
+    """Registry snapshots from the fast and scalar paths must agree
+    byte-for-byte: `_publish_fast_path` makes exactly the publish
+    calls the scalar pipeline makes, over identically evolving
+    SimStats/CacheStats."""
+    trace = synthesize_trace("LSTM", warps=5, instructions_per_warp=240)
+
+    def registry_json(engine):
+        with capture() as t:
+            SmSimulator(
+                model=engine_module.model_factory(mechanism), engine=engine
+            ).run(trace)
+            return json.dumps(t.registry.snapshot(), sort_keys=True)
+
+    assert registry_json("columnar") == registry_json("reference")
+
+
+def test_fast_path_events_native_python_identical(monkeypatch):
+    """The C executor and the pure-Python issue loop apply the same
+    seed-derived sampling comb, so the recorded event rings are
+    byte-identical under any REPRO_TELEMETRY_SAMPLE."""
+    if not native_available():
+        pytest.skip("no C toolchain for the native executor")
+    trace = synthesize_trace("bfs", warps=6, instructions_per_warp=220)
+
+    def ring(native, sample):
+        if native:
+            monkeypatch.delenv(NATIVE_ENV, raising=False)
+        else:
+            monkeypatch.setenv(NATIVE_ENV, "0")
+        monkeypatch.setenv(SAMPLE_ENV, sample)
+        with capture() as t:
+            simulate_result = SmSimulator(
+                model=engine_module.model_factory("lmi")
+            ).run(trace)
+            assert simulate_result.cycles > 0
+            return [
+                (e.seq, e.ts, dict(e.payload))
+                for e in t.recorder.events()
+            ]
+
+    for sample in ("1", "1/7", "16"):
+        native_ring = ring(True, sample)
+        python_ring = ring(False, sample)
+        assert native_ring, (sample, "empty ring")
+        assert native_ring == python_ring, sample
+
+
+def test_jobs_metrics_and_trace_export_byte_identical(monkeypatch):
+    """--metrics/--trace artifacts from a telemetry-enabled fast-path
+    run must be byte-identical for any --jobs value: workers ship
+    registry snapshots + event rings, the parent replays them in
+    submission order under identical per-job spans."""
+    monkeypatch.setenv(SAMPLE_ENV, "1/3")
+    jobs = [
+        SimJob(
+            benchmark=benchmark,
+            mechanism=mechanism,
+            warps=3,
+            instructions_per_warp=160,
+        )
+        for benchmark in ("gaussian", "needle")
+        for mechanism in ("baseline", "lmi")
+    ]
+
+    def artifacts(n_jobs):
+        with capture() as t:
+            run_sim_jobs(jobs, n_jobs=n_jobs)
+            return (
+                dumps(metrics_json(t.registry, recorder=t.recorder)),
+                dumps(chrome_trace(t.tracer, t.recorder)),
+            )
+
+    serial = artifacts(1)
+    monkeypatch.setattr(engine_module.os, "cpu_count", lambda: 4)
+    fanned = artifacts(4)
+    assert fanned[0] == serial[0]
+    assert fanned[1] == serial[1]

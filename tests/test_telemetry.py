@@ -12,6 +12,7 @@ Covers the contract the observability layer promises:
 """
 
 import json
+import re
 import tracemalloc
 
 import pytest
@@ -32,6 +33,13 @@ from repro.telemetry import (
     chrome_trace,
     dumps,
     metrics_json,
+    write_json,
+)
+from repro.telemetry.export import write_text_atomic
+from repro.telemetry.runtime import (
+    SAMPLE_ENV,
+    resolve_sample_every,
+    sample_phase,
 )
 from repro.telemetry.spans import LogicalClock, Tracer
 from repro.workloads import synthesize_trace
@@ -402,3 +410,164 @@ class TestCliArtifacts:
         from repro.experiments.__main__ import main
         assert main(["--fast", "fig4", "--verbose-telemetry"]) == 0
         assert "telemetry:" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition lint
+
+
+#: Exposition-format sample-line grammar (metric, optional label set
+#: with escaped values, a numeric value).
+_PROM_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\\n])*"'
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    rf"(?:\{{{_PROM_LABEL}(?:,{_PROM_LABEL})*\}})?"
+    r" -?(?:[0-9.e+-]+|[0-9]+)$"
+)
+_PROM_COMMENT = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* \S")
+
+
+class TestPrometheusLint:
+    def test_one_help_type_pair_per_family(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.l1_misses", trace="a").inc(1)
+        reg.counter("sim.l1_misses", trace="b").inc(2)
+        reg.histogram("alloc.size_bytes", unit="b").observe(7)
+        reg.histogram("alloc.size_bytes", unit="kb").observe(9)
+        text = reg.to_prometheus()
+        assert text.count("# HELP repro_sim_l1_misses ") == 1
+        assert text.count("# TYPE repro_sim_l1_misses counter") == 1
+        assert text.count("# TYPE repro_alloc_size_bytes histogram") == 1
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "odd", path="a\\b", quote='say "hi"', multi="x\ny"
+        ).inc()
+        text = reg.to_prometheus()
+        assert r'path="a\\b"' in text
+        assert r'quote="say \"hi\""' in text
+        assert r'multi="x\ny"' in text
+
+    def test_help_text_escapes_backslash(self):
+        reg = MetricsRegistry()
+        reg.counter("a\\b.c").inc()
+        text = reg.to_prometheus()
+        assert "# HELP repro_a_b_c a\\\\b.c" in text
+
+    def test_histogram_inf_bucket_matches_count(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", unit="l1")
+        for v in (1, 3, 10**9):
+            hist.observe(v)
+        text = reg.to_prometheus()
+        assert 'repro_lat_bucket{unit="l1",le="+Inf"} 3' in text
+        assert 'repro_lat_count{unit="l1"} 3' in text
+
+    def test_every_line_matches_exposition_grammar(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.instructions", trace='we"ird\n\\x').inc(12)
+        reg.gauge("depth").set(-3.5)
+        reg.histogram("sizes", space="heap").observe(42)
+        for line in reg.to_prometheus().splitlines():
+            assert _PROM_COMMENT.match(line) or _PROM_SAMPLE.match(line), (
+                f"invalid exposition line: {line!r}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Atomic artifact writes
+
+
+class TestAtomicWrites:
+    def test_write_json_creates_parent_dirs_and_leaves_no_tmp(
+        self, tmp_path
+    ):
+        target = tmp_path / "deep" / "nested" / "metrics.json"
+        write_json(str(target), {"a": 1})
+        assert json.loads(target.read_text()) == {"a": 1}
+        leftovers = [
+            p for p in target.parent.iterdir() if p.name != target.name
+        ]
+        assert leftovers == []
+
+    def test_write_text_atomic_replaces_existing(self, tmp_path):
+        target = tmp_path / "report.html"
+        write_text_atomic(str(target), "first")
+        write_text_atomic(str(target), "second")
+        assert target.read_text() == "second"
+        assert [p.name for p in tmp_path.iterdir()] == ["report.html"]
+
+
+# ----------------------------------------------------------------------
+# Fast-path event sampling
+
+
+class TestSampling:
+    def test_resolve_sample_every_spellings(self, monkeypatch):
+        assert resolve_sample_every("1/16") == 16
+        assert resolve_sample_every("8") == 8
+        assert resolve_sample_every("") == 1
+        monkeypatch.setenv(SAMPLE_ENV, "1/32")
+        assert resolve_sample_every() == 32
+        monkeypatch.delenv(SAMPLE_ENV)
+        assert resolve_sample_every(default=4) == 4
+
+    def test_resolve_sample_every_rejects_typos(self):
+        for bad in ("banana", "2/3", "1/0", "0", "-4", "1/x"):
+            with pytest.raises(ValueError):
+                resolve_sample_every(bad)
+
+    def test_sample_phase_stable_across_processes(self):
+        # sha256-derived, so these constants hold for every
+        # PYTHONHASHSEED and on every machine (the --jobs contract).
+        assert sample_phase("gaussian", 1024) == 146
+        assert sample_phase("needle", 1024) == 162
+        assert sample_phase("gaussian", 1) == 0
+        phase = sample_phase("gaussian", 7)
+        assert 0 <= phase < 7
+        assert phase == sample_phase("gaussian", 7)
+
+    def test_sampled_fast_path_events_identical_across_runs(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv(SAMPLE_ENV, "1/5")
+        trace = synthesize_trace(
+            "gaussian", warps=4, instructions_per_warp=240
+        )
+
+        def issue_events():
+            with capture() as t:
+                simulate(trace)
+                return [
+                    (e.seq, e.ts, dict(e.payload))
+                    for e in t.recorder.events(EventKind.WARP_ISSUE)
+                ]
+
+        first = issue_events()
+        assert first, "sampling 1/5 must keep some warp-issue events"
+        assert issue_events() == first
+        # A different comb keeps a different (smaller) set.
+        monkeypatch.setenv(SAMPLE_ENV, "1/50")
+        sparser = issue_events()
+        assert len(sparser) < len(first)
+
+    def test_disabled_sim_run_records_nothing(self):
+        trace = synthesize_trace(
+            "gaussian", warps=2, instructions_per_warp=64
+        )
+        assert TELEMETRY.enabled is False
+        before = (
+            len(TELEMETRY.registry),
+            len(TELEMETRY.recorder),
+            TELEMETRY.recorder.emitted,
+            len(TELEMETRY.tracer.spans),
+        )
+        simulate(trace)
+        after = (
+            len(TELEMETRY.registry),
+            len(TELEMETRY.recorder),
+            TELEMETRY.recorder.emitted,
+            len(TELEMETRY.tracer.spans),
+        )
+        assert after == before
