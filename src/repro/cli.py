@@ -4,6 +4,9 @@ Subcommands::
 
     repro report [--ledger PATH] [--bench-dir DIR] [--out PATH]
                  [--metric NAME] [--threshold FRACTION] [--check]
+                 [--json PATH]
+    repro top [--url URL | --port PORT [--host HOST]]
+              [--interval SECS] [--limit N] [--once]
     repro experiments [...]   # forwards to python -m repro.experiments
 
 ``repro report`` renders a self-contained HTML report (no network
@@ -11,6 +14,13 @@ access: inline CSS and SVG only) from the run ledger plus any
 ``BENCH_*.json`` documents, and with ``--check`` exits nonzero when
 the latest throughput of any ledger series falls more than the
 threshold (default 20%) below the median of its prior history.
+``--json PATH`` additionally writes the machine-readable summary
+(:data:`repro.telemetry.report.REPORT_SUMMARY_SCHEMA`).
+
+``repro top`` is the live companion: it polls the ``/progress``
+endpoint of a run started with ``--serve`` (or
+``REPRO_METRICS_PORT``) and redraws a terminal table of in-flight
+jobs — state, phase, wall time, throughput, ETA, violation counts.
 
 Installed as a console script via ``pyproject.toml``; also reachable
 as ``python -m repro`` when the package is only on ``PYTHONPATH``.
@@ -18,30 +28,50 @@ as ``python -m repro`` when the package is only on ``PYTHONPATH``.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
-from typing import List, Optional
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
 
 from .telemetry.ledger import RunLedger, default_ledger_path
 from .telemetry.report import (
+    DEFAULT_MIN_HISTORY,
     DEFAULT_REGRESSION_THRESHOLD,
+    gateable_series,
     load_bench_documents,
     write_report,
+    write_summary,
 )
 
 _REPORT_USAGE = """\
 usage: repro report [--ledger PATH] [--bench-dir DIR] [--out PATH]
                     [--metric NAME] [--threshold FRACTION] [--check]
+                    [--json PATH]
 
 Renders a self-contained HTML report from the run ledger and any
 BENCH_*.json benchmark documents; --check exits 1 on a throughput
-regression against the ledger median."""
+regression against the ledger median (and says so explicitly when the
+ledger has too little history to gate anything).  --json PATH also
+writes the machine-readable summary document."""
+
+_TOP_USAGE = """\
+usage: repro top [--url URL | --port PORT [--host HOST]]
+                 [--interval SECS] [--limit N] [--once]
+
+Polls the /progress endpoint of a run started with
+`python -m repro.experiments ... --serve PORT` and redraws a live
+table of jobs, phases, throughput and ETA.  --once prints a single
+snapshot and exits (nonzero if the server is unreachable)."""
 
 _USAGE = """\
 usage: repro <command> [...]
 
 commands:
   report        render the HTML run report / regression check
+  top           live terminal view of a --serve'd experiments run
   experiments   run the paper-reproduction experiments CLI"""
 
 
@@ -50,12 +80,14 @@ def _report_main(argv: List[str]) -> int:
     bench_dir = os.path.dirname(ledger_path) or "."
     bench_dir_given = False
     out_path: Optional[str] = None
+    json_path: Optional[str] = None
     metric = "throughput"
     threshold = DEFAULT_REGRESSION_THRESHOLD
     check = False
 
     value_flags = (
-        "--ledger", "--bench-dir", "--out", "--metric", "--threshold"
+        "--ledger", "--bench-dir", "--out", "--metric", "--threshold",
+        "--json",
     )
     index = 0
     while index < len(argv):
@@ -86,6 +118,8 @@ def _report_main(argv: List[str]) -> int:
                 bench_dir_given = True
             elif flag == "--out":
                 out_path = value
+            elif flag == "--json":
+                json_path = value
             elif flag == "--metric":
                 metric = value
             else:  # --threshold
@@ -115,14 +149,220 @@ def _report_main(argv: List[str]) -> int:
         f"[report] {len(ledger.read())} ledger records, "
         f"{len(bench_docs)} benchmark documents -> {path}"
     )
+    if json_path:
+        _, summary = write_summary(
+            json_path, ledger, bench_docs,
+            metric=metric, threshold=threshold,
+        )
+        print(
+            f"[report] JSON summary "
+            f"({len(summary['series'])} series) -> {json_path}"
+        )
     for message in failures:
         print(f"[report] REGRESSION: {message}")
     if check and failures:
         print(f"[report] --check failed ({len(failures)} regression(s))")
         return 1
     if check:
-        print("[report] --check passed")
+        gateable = gateable_series(ledger, metric=metric)
+        if not gateable:
+            print(
+                "[report] --check skipped: ledger has no series with "
+                "enough history to compare (need at least "
+                f"{DEFAULT_MIN_HISTORY + 1} runs of metric {metric!r}); "
+                "nothing to gate yet"
+            )
+            return 0
+        print(
+            f"[report] --check passed ({len(gateable)} series gated)"
+        )
     return 0
+
+
+# ----------------------------------------------------------------------
+# repro top — live terminal view over /progress
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 90:
+        return f"{value / 60:.1f}m"
+    return f"{value:.1f}s"
+
+
+def format_top(snapshot: Dict[str, object], limit: int = 12) -> str:
+    """Render one ``/progress`` snapshot as a terminal table.
+
+    Pure formatting (no I/O, no clock reads) so tests can feed it
+    canned snapshots; ``repro top`` redraws its output every poll.
+    """
+    run = snapshot.get("run") or {}
+    phases = snapshot.get("phases") or {}
+    violations = snapshot.get("violations") or {}
+    jobs = snapshot.get("jobs") or []
+    lines: List[str] = []
+    status = run.get("status", "idle")
+    meta = run.get("meta") or {}
+    meta_text = " ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+    title = run.get("name") or "(no run)"
+    lines.append(
+        f"run {title} — {status}"
+        + (f"  [{meta_text}]" if meta_text else "")
+    )
+    lines.append(
+        f"jobs {run.get('done', 0)}/{run.get('total', 0)} done · "
+        f"{run.get('running', 0)} running · "
+        f"{run.get('queued', 0)} queued · "
+        f"{run.get('failed', 0)} failed · "
+        f"{run.get('retries', 0)} retries"
+    )
+    rate = run.get("jobs_per_second")
+    lines.append(
+        "throughput "
+        + (f"{rate:.2f} jobs/s" if isinstance(rate, (int, float)) else "-")
+        + f" · ewma {_fmt_seconds(run.get('ewma_job_seconds'))}/job"
+        + f" · eta {_fmt_seconds(run.get('eta_seconds'))}"
+        + f" · uptime {_fmt_seconds(run.get('uptime_seconds'))}"
+    )
+    if phases:
+        total = sum(
+            entry.get("seconds", 0.0) for entry in phases.values()
+        ) or 1.0
+        parts = [
+            f"{name} {entry.get('seconds', 0.0):.1f}s "
+            f"({entry.get('seconds', 0.0) / total * 100:.0f}%)"
+            for name, entry in sorted(
+                phases.items(),
+                key=lambda kv: -kv[1].get("seconds", 0.0),
+            )
+        ]
+        lines.append("phases: " + " · ".join(parts))
+    if violations:
+        lines.append(
+            "violations: "
+            + " · ".join(
+                f"{name} {int(value)}"
+                for name, value in sorted(violations.items())
+            )
+        )
+    if jobs:
+        lines.append("")
+        lines.append(
+            f"{'JOB':<34} {'STATE':<8} {'PHASE':<12} {'WALL':>8}"
+        )
+        for job in jobs[:limit]:
+            label = f"{job.get('benchmark', '?')}/{job.get('mechanism', '?')}"
+            retries = job.get("retries") or 0
+            if retries:
+                label += f" (retry {retries})"
+            lines.append(
+                f"{label:<34.34} {str(job.get('state', '?')):<8} "
+                f"{str(job.get('phase') or '-'):<12} "
+                f"{_fmt_seconds(job.get('wall_seconds')):>8}"
+            )
+        hidden = len(jobs) - min(len(jobs), limit)
+        if hidden > 0:
+            lines.append(f"... {hidden} more job(s)")
+    return "\n".join(lines)
+
+
+def _fetch_snapshot(url: str, timeout: float = 2.0) -> Dict[str, object]:
+    """GET ``url`` and parse the JSON body (raises on any failure)."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        payload = json.loads(response.read().decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError(f"unexpected /progress payload: {payload!r}")
+    return payload
+
+
+def _top_main(argv: List[str]) -> int:
+    url: Optional[str] = None
+    host = "127.0.0.1"
+    port: Optional[int] = None
+    interval = 1.0
+    limit = 12
+    once = False
+
+    value_flags = ("--url", "--host", "--port", "--interval", "--limit")
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg in ("-h", "--help"):
+            print(_TOP_USAGE)
+            return 0
+        if arg == "--once":
+            once = True
+        elif arg in value_flags or arg.startswith(
+            tuple(f"{flag}=" for flag in value_flags)
+        ):
+            if "=" in arg:
+                flag, value = arg.split("=", 1)
+            else:
+                flag = arg
+                if index + 1 >= len(argv):
+                    print(f"{flag} requires a value")
+                    return 2
+                index += 1
+                value = argv[index]
+            if flag == "--url":
+                url = value
+            elif flag == "--host":
+                host = value
+            elif flag in ("--port", "--interval", "--limit"):
+                try:
+                    number = float(value)
+                except ValueError:
+                    print(f"{flag} expects a number, got {value!r}")
+                    return 2
+                if flag == "--port":
+                    port = int(number)
+                elif flag == "--interval":
+                    interval = max(0.05, number)
+                else:
+                    limit = max(1, int(number))
+        else:
+            print(f"unknown top argument {arg!r}")
+            print(_TOP_USAGE)
+            return 2
+        index += 1
+
+    if url is None:
+        if port is None:
+            env_port = os.environ.get("REPRO_METRICS_PORT", "").strip()
+            if env_port.isdigit():
+                port = int(env_port)
+        if port is None:
+            print(
+                "repro top: no server given — pass --url/--port or set "
+                "REPRO_METRICS_PORT"
+            )
+            return 2
+        url = f"http://{host}:{port}"
+    progress_url = url.rstrip("/") + f"/progress?jobs={limit}"
+
+    try:
+        while True:
+            try:
+                snapshot = _fetch_snapshot(progress_url)
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                print(f"repro top: cannot reach {progress_url}: {exc}")
+                return 1
+            text = format_top(snapshot, limit=limit)
+            if once:
+                print(text)
+                return 0
+            # Clear + home, then redraw (plain ANSI; no curses dep).
+            sys.stdout.write("\x1b[H\x1b[2J" + text + "\n")
+            sys.stdout.flush()
+            run = snapshot.get("run") or {}
+            if not snapshot.get("active") and run.get("status") in (
+                "done", "failed"
+            ):
+                return 0 if run.get("status") == "done" else 1
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -134,6 +374,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     command, rest = argv[0], argv[1:]
     if command == "report":
         return _report_main(rest)
+    if command == "top":
+        return _top_main(rest)
     if command == "experiments":
         from .experiments.__main__ import main as experiments_main
 

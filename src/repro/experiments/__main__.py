@@ -24,22 +24,40 @@ Observability flags (any of them switches telemetry on)::
     python -m repro.experiments fig12 --ledger benchmarks/out/ledger.jsonl
 
 ``--ledger PATH`` appends one structured record per experiment (git
-SHA, config, ``sim.*`` counter deltas, throughput, wall time) to the
-JSONL run ledger consumed by ``repro report`` / ``repro report
---check``.  Telemetry stays on the fast columnar/native engines;
-``REPRO_TELEMETRY_SAMPLE=1/N`` thins the recorded warp-issue events
-deterministically (seed-derived phase, identical for any ``--jobs``).
+SHA, config, ``sim.*`` counter deltas, throughput, wall time, phase
+attribution) to the JSONL run ledger consumed by ``repro report`` /
+``repro report --check``.  Telemetry stays on the fast columnar/native
+engines; ``REPRO_TELEMETRY_SAMPLE=1/N`` thins the recorded warp-issue
+events deterministically (seed-derived phase, identical for any
+``--jobs``).
+
+Live observability (the in-flight view)::
+
+    python -m repro.experiments fig12 --fast --jobs 4 --serve 9155
+    REPRO_METRICS_PORT=9155 python -m repro.experiments fig12 --fast
+
+``--serve PORT`` (or ``REPRO_METRICS_PORT``; 0 picks an ephemeral
+port) starts the observability HTTP server for the duration of the
+run: ``/metrics`` (live Prometheus text), ``/healthz``, ``/progress``
+(JSON + SSE stream) — watch it with ``repro top``.  The server is
+read-only over telemetry state, so ``--metrics``/``--trace`` exports
+stay byte-identical to a no-server run.  ``REPRO_SERVE_LINGER=SECS``
+keeps the server (and process) alive that long after the experiments
+finish, so scrapers racing a short run still get their snapshot.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from typing import Callable, Dict, List, Optional
 
 from ..telemetry.export import write_chrome_trace, write_metrics
 from ..telemetry.ledger import RunLedger, git_sha
+from ..telemetry.progress import PROGRESS
 from ..telemetry.runtime import TELEMETRY
+from ..telemetry.server import ObservabilityServer, port_from_env
 from ..workloads import configure_trace_cache
 
 from .feasibility_study import run_feasibility_study
@@ -127,6 +145,7 @@ class _CliOptions:
         self.ledger_path: Optional[str] = None
         self.trace_cache_dir: Optional[str] = None
         self.jobs = 1
+        self.serve_port: Optional[int] = None
         self.error: Optional[str] = None
         self.selected: List[str] = []
 
@@ -135,7 +154,8 @@ def _parse_args(argv) -> _CliOptions:
     """Hand-rolled parse (argparse-free, as the seed CLI was)."""
     options = _CliOptions()
     value_flags = (
-        "--metrics", "--trace", "--jobs", "--trace-cache", "--ledger"
+        "--metrics", "--trace", "--jobs", "--trace-cache", "--ledger",
+        "--serve",
     )
     index = 0
     while index < len(argv):
@@ -152,7 +172,11 @@ def _parse_args(argv) -> _CliOptions:
             else:
                 flag = arg
                 if index + 1 >= len(argv):
-                    metavar = "N" if flag == "--jobs" else "PATH"
+                    metavar = (
+                        "N" if flag == "--jobs"
+                        else "PORT" if flag == "--serve"
+                        else "PATH"
+                    )
                     options.error = f"{flag} requires a {metavar} argument"
                     return options
                 index += 1
@@ -165,6 +189,17 @@ def _parse_args(argv) -> _CliOptions:
                 options.ledger_path = value
             elif flag == "--trace-cache":
                 options.trace_cache_dir = value
+            elif flag == "--serve":
+                try:
+                    options.serve_port = int(value)
+                except ValueError:
+                    options.error = (
+                        f"--serve expects a port number, got {value!r}"
+                    )
+                    return options
+                if not 0 <= options.serve_port <= 65535:
+                    options.error = "--serve port must be in [0, 65535]"
+                    return options
             else:  # --jobs
                 try:
                     options.jobs = int(value)
@@ -197,6 +232,21 @@ def _sim_totals(registry) -> Dict[str, float]:
     return {name: registry.total(name) for name in _LEDGER_COUNTERS}
 
 
+#: Environment variable holding the post-run server linger in seconds.
+SERVE_LINGER_ENV = "REPRO_SERVE_LINGER"
+
+
+def _serve_linger_seconds() -> float:
+    """How long ``--serve`` keeps the server up after the run (>= 0)."""
+    raw = os.environ.get(SERVE_LINGER_ENV, "").strip()
+    if not raw:
+        return 0.0
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return 0.0
+
+
 def main(argv) -> int:
     options = _parse_args(argv)
     if options.error:
@@ -214,62 +264,122 @@ def main(argv) -> int:
         print(f"unknown experiments: {unknown}; choices: {list(EXPERIMENTS)}")
         return 2
 
+    serve_port = options.serve_port
+    if serve_port is None:
+        try:
+            serve_port = port_from_env()
+        except ValueError as exc:
+            print(str(exc))
+            return 2
+
     ledger_path = options.ledger_path
     telemetry_wanted = bool(
         metrics_path or trace_path or verbose or ledger_path
+        or serve_port is not None
     )
     if telemetry_wanted:
         TELEMETRY.configure(enabled=True, deterministic=True)
     ledger = RunLedger(ledger_path) if ledger_path else None
     sha = git_sha() if ledger is not None else None
 
-    for name in names:
-        started = time.time()
-        print("=" * 72)
-        print(f"{name}  (repro of the paper's {name.replace('fig', 'Figure ').replace('table', 'Table ')})")
-        print("=" * 72)
-        counters_before = _sim_totals(TELEMETRY.registry)
-        with TELEMETRY.span(f"experiment:{name}", "experiment", fast=fast):
-            print(EXPERIMENTS[name](fast, options.jobs))
-        elapsed = time.time() - started
-        print(f"[{name} done in {elapsed:.1f}s]\n")
-        if ledger is not None:
-            counters = {
-                key: value - counters_before[key]
-                for key, value in _sim_totals(TELEMETRY.registry).items()
-            }
-            metrics = {}
-            if counters.get("sim.instructions", 0) > 0 and elapsed > 0:
-                metrics["throughput"] = (
-                    counters["sim.instructions"] / elapsed
-                )
-            ledger.record(
-                "experiment",
-                name,
-                config={"fast": fast, "jobs": options.jobs},
-                counters=counters,
-                metrics=metrics or None,
-                wall_seconds=elapsed,
-                sha=sha,
-            )
+    PROGRESS.begin_run(
+        " ".join(names),
+        meta={"fast": fast, "jobs": options.jobs},
+    )
+    server = None
+    if serve_port is not None:
+        server = ObservabilityServer(serve_port).start()
+        print(
+            f"[observability server at {server.url} "
+            "(/metrics /healthz /progress)]"
+        )
 
-    if telemetry_wanted:
-        meta = {"experiments": names, "fast": fast}
-        if metrics_path:
-            write_metrics(
-                metrics_path, TELEMETRY.registry,
-                meta=meta, recorder=TELEMETRY.recorder,
-            )
-            print(f"[metrics written to {metrics_path}]")
-        if trace_path:
-            write_chrome_trace(trace_path, TELEMETRY.tracer,
-                               TELEMETRY.recorder)
-            print(f"[trace written to {trace_path}]")
-        if verbose:
-            print(TELEMETRY.summary())
-        TELEMETRY.configure(enabled=False)
-    if ledger is not None:
-        print(f"[ledger updated at {ledger.path}]")
+    run_failed = False
+    try:
+        for name in names:
+            started = time.time()
+            print("=" * 72)
+            print(f"{name}  (repro of the paper's {name.replace('fig', 'Figure ').replace('table', 'Table ')})")
+            print("=" * 72)
+            counters_before = _sim_totals(TELEMETRY.registry)
+            phases_before = PROGRESS.phase_totals()
+            with TELEMETRY.span(
+                f"experiment:{name}", "experiment", fast=fast
+            ):
+                print(EXPERIMENTS[name](fast, options.jobs))
+            elapsed = time.time() - started
+            print(f"[{name} done in {elapsed:.1f}s]\n")
+            if ledger is not None:
+                counters = {
+                    key: value - counters_before[key]
+                    for key, value in _sim_totals(TELEMETRY.registry).items()
+                }
+                phases = {
+                    key: value - phases_before.get(key, 0.0)
+                    for key, value in PROGRESS.phase_totals().items()
+                    if value - phases_before.get(key, 0.0) > 0
+                }
+                metrics = {}
+                if counters.get("sim.instructions", 0) > 0 and elapsed > 0:
+                    metrics["throughput"] = (
+                        counters["sim.instructions"] / elapsed
+                    )
+                ledger.record(
+                    "experiment",
+                    name,
+                    config={"fast": fast, "jobs": options.jobs},
+                    counters=counters,
+                    metrics=metrics or None,
+                    wall_seconds=elapsed,
+                    phases=phases or None,
+                    sha=sha,
+                )
+
+        if telemetry_wanted:
+            meta = {"experiments": names, "fast": fast}
+            export_started = time.perf_counter()
+            if metrics_path:
+                write_metrics(
+                    metrics_path, TELEMETRY.registry,
+                    meta=meta, recorder=TELEMETRY.recorder,
+                )
+                print(f"[metrics written to {metrics_path}]")
+            if trace_path:
+                write_chrome_trace(trace_path, TELEMETRY.tracer,
+                                   TELEMETRY.recorder)
+                print(f"[trace written to {trace_path}]")
+            if metrics_path or trace_path:
+                export_seconds = time.perf_counter() - export_started
+                PROGRESS.record_phase("export", export_seconds)
+                if ledger is not None:
+                    ledger.record(
+                        "run",
+                        "experiments",
+                        config={"fast": fast, "jobs": options.jobs},
+                        wall_seconds=export_seconds,
+                        phases={"export": export_seconds},
+                        sha=sha,
+                    )
+            if verbose:
+                print(TELEMETRY.summary())
+        if ledger is not None:
+            print(f"[ledger updated at {ledger.path}]")
+    except BaseException:
+        run_failed = True
+        raise
+    finally:
+        PROGRESS.end_run("failed" if run_failed else "done")
+        if server is not None:
+            linger = _serve_linger_seconds()
+            if linger > 0 and not run_failed:
+                print(
+                    f"[observability server lingering {linger:.0f}s "
+                    f"at {server.url}]"
+                )
+                time.sleep(linger)
+            server.stop()
+        if telemetry_wanted:
+            TELEMETRY.configure(enabled=False)
     return 0
 
 

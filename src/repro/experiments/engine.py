@@ -37,6 +37,21 @@ independent jobs — one timing simulation (or analytic row) per
   or unpickling per-instruction dataclass lists.  The round-trip is
   lossless (locked by the trace tests), so results stay byte-identical
   across ``--jobs`` settings.
+* **Live progress.**  When a run is being tracked (``--serve`` /
+  ``REPRO_METRICS_PORT``), every job is registered on the global
+  :data:`~repro.telemetry.progress.PROGRESS` board and driven through
+  queued → running → done/failed.  On the serial path transitions
+  bracket the actual execution; on the fan-out path jobs are promoted
+  to *running* up to the pool width and advanced from each future's
+  completion callback — the pool is FIFO, so the board mirrors real
+  dispatch without any extra worker→parent traffic.  Results still
+  merge in submission order through the **existing result pipe**, so
+  ``--metrics``/``--trace`` exports stay byte-identical at any job
+  count (the board never touches telemetry state).  Independently of
+  tracking, each job's per-phase wall time (``trace_expand`` /
+  ``compile`` / ``sim``) is measured in :func:`_execute_job`, shipped
+  back on the :class:`JobResult`, and folded into the board's phase
+  aggregates — which the CLI deltas into the run ledger.
 """
 
 from __future__ import annotations
@@ -44,8 +59,10 @@ from __future__ import annotations
 import os
 import shutil
 import tempfile
+import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     Callable,
     Dict,
@@ -69,6 +86,7 @@ from ..sim import (
     TimingModel,
 )
 from ..sim.tracefile import dump_trace_npz, load_trace_npz
+from ..telemetry.progress import PROGRESS
 from ..telemetry.runtime import TELEMETRY, capture
 from ..workloads import cached_trace
 from ..workloads.profiles import profile
@@ -119,6 +137,10 @@ class JobResult:
     job: SimJob
     cycles: int
     stats: SimStats
+    #: Wall-clock phase attribution (``trace_expand``/``compile``/
+    #: ``sim`` → seconds), measured where the job actually ran and
+    #: shipped back on the result pipe.
+    phases: Dict[str, float] = field(default_factory=dict)
 
 
 def _effective_workers(n_jobs: int, n_items: int) -> int:
@@ -148,7 +170,15 @@ def _load_shipped(path: str) -> KernelTrace:
 def _execute_job(
     job: SimJob, config: GpuConfig, trace_path: Optional[str] = None
 ) -> JobResult:
-    """Run one job in the current process (trace via npz or cache)."""
+    """Run one job in the current process (trace via npz or cache).
+
+    Each phase is timed with the wall clock for the live plane's
+    attribution: ``trace_expand`` (npz load or cached synthesis),
+    ``compile`` (model + simulator construction, which pays the
+    one-off closure/plan specialization), ``sim`` (the timed run).
+    """
+    phases: Dict[str, float] = {}
+    started = time.perf_counter()
     trace = None
     if trace_path is not None:
         try:
@@ -162,8 +192,16 @@ def _execute_job(
             instructions_per_warp=job.instructions_per_warp,
             seed_salt=job.seed_salt,
         )
-    result = SmSimulator(config, model_factory(job.mechanism)).run(trace)
-    return JobResult(job=job, cycles=result.cycles, stats=result.stats)
+    now = time.perf_counter()
+    phases["trace_expand"] = now - started
+    simulator = SmSimulator(config, model_factory(job.mechanism))
+    started, now = now, time.perf_counter()
+    phases["compile"] = now - started
+    result = simulator.run(trace)
+    phases["sim"] = time.perf_counter() - now
+    return JobResult(
+        job=job, cycles=result.cycles, stats=result.stats, phases=phases
+    )
 
 
 def _job_worker(payload):
@@ -276,9 +314,23 @@ def run_sim_jobs(
     job_list = list(jobs)
     workers = _effective_workers(n_jobs, len(job_list))
     telemetry_wanted = TELEMETRY.enabled
+    board = PROGRESS
+    # Registering returns None while the board is inactive; every
+    # transition below is a no-op on None, so untracked runs pay one
+    # attribute test per job.
+    job_ids = [
+        board.job_queued(job.benchmark, job.mechanism) for job in job_list
+    ]
     if workers <= 1:
         if not telemetry_wanted:
-            return [_execute_job(job, config) for job in job_list]
+            serial_results = []
+            for job, job_id in zip(job_list, job_ids):
+                board.job_running(job_id)
+                result = _execute_job(job, config)
+                board.record_phases(result.phases)
+                board.job_finished(job_id)
+                serial_results.append(result)
+            return serial_results
         # One span per job, tid = submission index.  The fan-out path
         # below opens the *same* spans around each job's telemetry
         # replay, so the logical clock advances identically and
@@ -286,16 +338,39 @@ def run_sim_jobs(
         # --jobs values — while Perfetto renders one track per job.
         serial_results: List[JobResult] = []
         for index, job in enumerate(job_list):
+            board.job_running(job_ids[index])
             with _job_span(job, index):
-                serial_results.append(_execute_job(job, config))
+                result = _execute_job(job, config)
+            board.record_phases(result.phases)
+            board.job_finished(job_ids[index])
+            serial_results.append(result)
         return serial_results
 
     results: List[JobResult] = []
     trace_paths, cleanup = _ship_traces(job_list)
+    # The pool dispatches FIFO: the first `workers` submissions run
+    # immediately, and each completion frees a slot for the next
+    # queued job.  Mirror that on the board — mark the first `workers`
+    # running now, promote one more from each future's completion
+    # callback.  Callbacks fire on completion order (the *live* truth)
+    # while the result pipe below still merges in submission order.
+    pending_ids = deque(job_ids[workers:])
+    for job_id in job_ids[:workers]:
+        board.job_running(job_id)
+
+    def _on_done(future, job_id):
+        board.job_finished(job_id, ok=future.exception() is None)
+        try:
+            next_id = pending_ids.popleft()
+        except IndexError:
+            return
+        board.job_running(next_id)
+
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(
+            futures = []
+            for job, job_id in zip(job_list, job_ids):
+                future = pool.submit(
                     _job_worker,
                     (
                         job,
@@ -304,11 +379,15 @@ def run_sim_jobs(
                         trace_paths.get(_trace_request(job)),
                     ),
                 )
-                for job in job_list
-            ]
+                if job_id is not None:
+                    future.add_done_callback(
+                        lambda f, job_id=job_id: _on_done(f, job_id)
+                    )
+                futures.append(future)
             # submission order == merge order
             for index, future in enumerate(futures):
                 result, blob = future.result()
+                board.record_phases(result.phases)
                 if blob is not None:
                     with _job_span(job_list[index], index):
                         _replay_telemetry(blob)

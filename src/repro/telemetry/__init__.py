@@ -13,6 +13,14 @@ The observability layer of the reproduction (see DESIGN.md,
 
 Exporters produce a Perfetto-loadable Chrome trace and a combined
 Prometheus-text + JSON metrics document.
+
+On top of the post-hoc stack sits the **live plane** (DESIGN.md,
+"Observability" → "Live plane"): :class:`ProgressBoard` tracks
+in-flight jobs (queued → running → done/failed, EWMA ETA, per-phase
+wall-time attribution) and :class:`ObservabilityServer` exposes
+``/metrics``, ``/healthz`` and ``/progress`` (+ SSE) over it —
+opt-in via ``--serve`` / ``REPRO_METRICS_PORT``, read-only over
+telemetry state so exports stay byte-identical.
 """
 
 from .events import IMPORTANT_KINDS, EventKind, FlightRecorder, TelemetryEvent
@@ -43,7 +51,17 @@ from .runtime import (
     telemetry_enabled,
 )
 from .ledger import LEDGER_SCHEMA, RunLedger, git_sha, make_record
-from .report import build_html, check_regressions, write_report
+from .progress import PROGRESS, PROGRESS_SCHEMA, ProgressBoard, get_progress
+from .registry import lint_prometheus
+from .report import (
+    build_html,
+    build_summary,
+    check_regressions,
+    gateable_series,
+    write_report,
+    write_summary,
+)
+from .server import SERVE_ENV, ObservabilityServer, port_from_env, start_server
 from .spans import Instant, LogicalClock, Span, Tracer, WallClock
 
 __all__ = [
@@ -81,6 +99,18 @@ __all__ = [
     "git_sha",
     "make_record",
     "build_html",
+    "build_summary",
     "check_regressions",
+    "gateable_series",
     "write_report",
+    "write_summary",
+    "lint_prometheus",
+    "PROGRESS",
+    "PROGRESS_SCHEMA",
+    "ProgressBoard",
+    "get_progress",
+    "SERVE_ENV",
+    "ObservabilityServer",
+    "port_from_env",
+    "start_server",
 ]

@@ -37,6 +37,17 @@ Appends are atomic at line granularity: the record is rendered to one
 ``\\n``-terminated line and written with a single ``O_APPEND`` write,
 so concurrent benchmark processes interleave whole records, never
 partial ones.
+
+Growth cap
+----------
+The ledger is append-only but not unbounded: when an append pushes the
+file past ``REPRO_LEDGER_MAX_MB`` (default 64, 0 disables) it is
+compacted in place to the **newest** records fitting half the cap —
+written to a same-directory temp file and published with
+``os.replace``, so readers racing a compaction see either the old or
+the new file, never a torn one.  Compacting to half the cap keeps the
+amortized cost O(1) per append instead of recompacting on every write
+at the boundary.
 """
 
 from __future__ import annotations
@@ -53,6 +64,13 @@ LEDGER_SCHEMA = "repro.telemetry.ledger/v1"
 #: Environment variable overriding the default ledger location.
 LEDGER_ENV = "REPRO_LEDGER"
 
+#: Environment variable bounding the ledger file size in MiB
+#: (fractions allowed; ``0`` disables rotation).
+LEDGER_MAX_MB_ENV = "REPRO_LEDGER_MAX_MB"
+
+#: Default growth cap in MiB.
+DEFAULT_LEDGER_MAX_MB = 64.0
+
 #: Default on-disk location (shared with the benchmark artifacts).
 DEFAULT_LEDGER_PATH = os.path.join("benchmarks", "out", "ledger.jsonl")
 
@@ -60,6 +78,25 @@ DEFAULT_LEDGER_PATH = os.path.join("benchmarks", "out", "ledger.jsonl")
 def default_ledger_path() -> str:
     """The ledger path: ``REPRO_LEDGER`` or the benchmarks/out default."""
     return os.environ.get(LEDGER_ENV) or DEFAULT_LEDGER_PATH
+
+
+def ledger_max_bytes() -> int:
+    """The rotation threshold in bytes (0 = rotation disabled).
+
+    Reads ``REPRO_LEDGER_MAX_MB``; invalid values fall back to the
+    default rather than silently disabling the cap.
+    """
+    raw = os.environ.get(LEDGER_MAX_MB_ENV, "").strip()
+    if raw:
+        try:
+            megabytes = float(raw)
+        except ValueError:
+            megabytes = DEFAULT_LEDGER_MAX_MB
+    else:
+        megabytes = DEFAULT_LEDGER_MAX_MB
+    if megabytes <= 0:
+        return 0
+    return int(megabytes * 1024 * 1024)
 
 
 def git_sha(cwd: Optional[str] = None) -> str:
@@ -86,6 +123,7 @@ def make_record(
     counters: Optional[Dict[str, object]] = None,
     metrics: Optional[Dict[str, float]] = None,
     wall_seconds: Optional[float] = None,
+    phases: Optional[Dict[str, float]] = None,
     meta: Optional[Dict[str, object]] = None,
     sha: Optional[str] = None,
 ) -> Dict[str, object]:
@@ -113,6 +151,10 @@ def make_record(
         record["metrics"] = {k: float(v) for k, v in metrics.items()}
     if wall_seconds is not None:
         record["wall_seconds"] = round(float(wall_seconds), 6)
+    if phases:
+        record["phases"] = {
+            k: round(float(v), 6) for k, v in phases.items()
+        }
     if meta:
         record["meta"] = meta
     return record
@@ -147,7 +189,65 @@ class RunLedger:
             os.write(fd, line.encode("utf-8"))
         finally:
             os.close(fd)
+        self._maybe_rotate()
         return record
+
+    def _maybe_rotate(self) -> None:
+        """Compact to the newest records when the size cap is hit.
+
+        Keeps the newest valid lines whose total size fits half of
+        ``REPRO_LEDGER_MAX_MB`` (so rotations amortize instead of
+        firing on every append at the boundary) and publishes the
+        compacted file atomically via ``os.replace``.  Malformed and
+        foreign-schema lines are dropped during compaction — they
+        carry no replayable history.
+        """
+        max_bytes = ledger_max_bytes()
+        if max_bytes <= 0:
+            return
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return
+        if size <= max_bytes:
+            return
+        keep_budget = max_bytes // 2
+        kept: List[bytes] = []
+        kept_size = 0
+        try:
+            with open(self.path, "rb") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return
+        for raw in reversed(lines):  # newest first
+            text = raw.strip()
+            if not text:
+                continue
+            try:
+                record = json.loads(text)
+            except ValueError:
+                continue
+            if (
+                not isinstance(record, dict)
+                or record.get("schema") != LEDGER_SCHEMA
+            ):
+                continue
+            if kept and kept_size + len(raw) > keep_budget:
+                break
+            kept.append(text + b"\n")
+            kept_size += len(raw)
+        kept.reverse()
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as handle:
+                handle.writelines(kept)
+            os.replace(tmp, self.path)
+        finally:
+            if os.path.exists(tmp):  # pragma: no cover - error cleanup
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
 
     def record(self, kind: str, name: str, **fields) -> Dict[str, object]:
         """:func:`make_record` + :meth:`append` in one call."""

@@ -26,6 +26,7 @@ Design notes
 from __future__ import annotations
 
 import bisect
+import re
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 Number = Union[int, float]
@@ -346,10 +347,43 @@ def _prom_labels(labels: LabelKey) -> str:
     return "{" + rendered + "}"
 
 
+# ----------------------------------------------------------------------
+# Exposition lint
+
+#: Exposition-format sample-line grammar (metric, optional label set
+#: with escaped values, a numeric value).  Shared by the telemetry
+#: tests, the live-server tests and the CI smoke validation.
+_PROM_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\\n])*"'
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    rf"(?:\{{{_PROM_LABEL}(?:,{_PROM_LABEL})*\}})?"
+    r" -?(?:[0-9.e+-]+|[0-9]+)$"
+)
+_PROM_COMMENT = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* \S")
+
+
+def lint_prometheus(text: str) -> List[str]:
+    """Lines of *text* that violate the exposition-format grammar.
+
+    Empty result means the document lints clean.  Deliberately
+    strict — it is the gate both ``to_prometheus`` unit tests and the
+    live ``/metrics`` endpoint are held to.
+    """
+    bad: List[str] = []
+    for line in text.splitlines():
+        if not line:
+            continue
+        if _PROM_COMMENT.match(line) or _PROM_SAMPLE.match(line):
+            continue
+        bad.append(line)
+    return bad
+
+
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "lint_prometheus",
 ]

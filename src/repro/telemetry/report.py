@@ -30,11 +30,17 @@ import os
 import statistics
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .export import write_text_atomic
+from .export import write_json, write_text_atomic
 from .ledger import RunLedger
 
 #: Default relative throughput drop that fails ``repro report --check``.
 DEFAULT_REGRESSION_THRESHOLD = 0.20
+
+#: Schema tag stamped into the ``repro report --json`` summary.
+REPORT_SUMMARY_SCHEMA = "repro.telemetry.report/v1"
+
+#: Prior runs a series needs before the regression gate applies to it.
+DEFAULT_MIN_HISTORY = 2
 
 
 # ----------------------------------------------------------------------
@@ -70,7 +76,7 @@ def check_regressions(
     *,
     metric: str = "throughput",
     threshold: float = DEFAULT_REGRESSION_THRESHOLD,
-    min_history: int = 2,
+    min_history: int = DEFAULT_MIN_HISTORY,
 ) -> List[str]:
     """Failure messages for series whose latest value regressed.
 
@@ -99,6 +105,125 @@ def check_regressions(
                 f"{len(series) - 1} prior runs)"
             )
     return failures
+
+
+def gateable_series(
+    ledger: RunLedger,
+    *,
+    metric: str = "throughput",
+    min_history: int = DEFAULT_MIN_HISTORY,
+) -> List[str]:
+    """Series names with enough history for the gate to compare.
+
+    A series is gateable once it carries ``min_history`` prior values
+    *plus* a latest one for *metric*.  ``repro report --check`` uses
+    an empty result to say, explicitly, that it had nothing to gate —
+    rather than printing a silently-vacuous "passed".
+    """
+    return [
+        name
+        for name in ledger.names()
+        if len(ledger.series(name, metric)) >= min_history + 1
+    ]
+
+
+# ----------------------------------------------------------------------
+# Machine-readable summary (``repro report --json``)
+
+
+def build_summary(
+    ledger: RunLedger,
+    bench_docs: Optional[Dict[str, Dict]] = None,
+    *,
+    metric: str = "throughput",
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+    min_history: int = DEFAULT_MIN_HISTORY,
+) -> Dict[str, object]:
+    """One JSON document with everything a CI step branches on.
+
+    Latest-vs-median per series, the regression verdicts, the
+    telemetry-overhead budget from ``BENCH_sim.json``, and the latest
+    per-phase wall-time attribution — the machine-readable companion
+    of :func:`build_html`, written by ``repro report --json``.
+    """
+    bench_docs = bench_docs or {}
+    failures = check_regressions(
+        ledger, metric=metric, threshold=threshold, min_history=min_history
+    )
+    failed = {message.split(":", 1)[0] for message in failures}
+    series_out: Dict[str, object] = {}
+    for name in ledger.names():
+        series = ledger.series(name, metric)
+        if not series:
+            continue
+        latest = series[-1]
+        prior = series[:-1]
+        median_prior = statistics.median(prior) if prior else None
+        drop = (
+            1.0 - latest / median_prior
+            if median_prior and median_prior > 0
+            else None
+        )
+        series_out[name] = {
+            "runs": len(series),
+            "latest": latest,
+            "median_prior": median_prior,
+            "drop_fraction": round(drop, 6) if drop is not None else None,
+            "gated": len(series) >= min_history + 1,
+            "regressed": name in failed,
+        }
+    summary: Dict[str, object] = {
+        "schema": REPORT_SUMMARY_SCHEMA,
+        "metric": metric,
+        "threshold": threshold,
+        "min_history": min_history,
+        "gateable_series": gateable_series(
+            ledger, metric=metric, min_history=min_history
+        ),
+        "failures": failures,
+        "failure_count": len(failures),
+        "series": series_out,
+        "phases": latest_phase_attribution(ledger),
+    }
+    sim = bench_docs.get("BENCH_sim")
+    overhead = sim.get("telemetry_overhead") if isinstance(sim, dict) else None
+    summary["telemetry_overhead"] = (
+        overhead if isinstance(overhead, dict) else None
+    )
+    return summary
+
+
+def write_summary(
+    path: str,
+    ledger: RunLedger,
+    bench_docs: Optional[Dict[str, Dict]] = None,
+    **kwargs,
+) -> Tuple[str, Dict[str, object]]:
+    """Render and atomically write the JSON summary; returns
+    ``(path, summary)``."""
+    summary = build_summary(ledger, bench_docs, **kwargs)
+    write_json(path, summary)
+    return path, summary
+
+
+def latest_phase_attribution(ledger: RunLedger) -> Dict[str, float]:
+    """Per-phase seconds summed over the **latest** record of each
+    series that carries a ``phases`` block (live-plane attribution)."""
+    latest: Dict[str, Dict[str, float]] = {}
+    for record in ledger.read():
+        phases = record.get("phases")
+        name = record.get("name")
+        if isinstance(phases, dict) and isinstance(name, str):
+            latest[name] = {
+                k: float(v)
+                for k, v in phases.items()
+                if isinstance(v, (int, float))
+            }
+    totals: Dict[str, float] = {}
+    for phases in latest.values():
+        for phase, seconds in phases.items():
+            totals[phase] = round(totals.get(phase, 0.0) + seconds, 6)
+    return dict(sorted(totals.items()))
 
 
 # ----------------------------------------------------------------------
@@ -271,6 +396,34 @@ def _trajectory_section(
     return lines
 
 
+def _phase_section(ledger: RunLedger) -> List[str]:
+    """Per-phase wall-time attribution from the latest ledger records."""
+    totals = latest_phase_attribution(ledger)
+    if not totals:
+        return []
+    grand = sum(totals.values()) or 1.0
+    lines = ["<h2>Phase attribution (latest runs)</h2>", "<table>"]
+    lines.append(
+        "<tr><th class=k>phase</th><th>seconds</th><th>share</th>"
+        "<th></th></tr>"
+    )
+    for phase, seconds in sorted(
+        totals.items(), key=lambda kv: -kv[1]
+    ):
+        share = seconds / grand
+        lines.append(
+            f"<tr><td class=k>{_esc(phase)}</td><td>{_fmt(seconds)}</td>"
+            f"<td>{share * 100:.1f}%</td><td>{_bar(share)}</td></tr>"
+        )
+    lines.append("</table>")
+    lines.append(
+        "<p class=meta>compile / trace_expand / sim / export wall "
+        "seconds, summed over the latest ledger record of each series "
+        "that carries them.</p>"
+    )
+    return lines
+
+
 def build_html(
     ledger: RunLedger,
     bench_docs: Optional[Dict[str, Dict]] = None,
@@ -309,6 +462,7 @@ def build_html(
         parts.append('<p class=ok>No regressions against ledger history.</p>')
     parts.extend(_overhead_section(bench_docs))
     parts.extend(_trajectory_section(ledger, metric, failures))
+    parts.extend(_phase_section(ledger))
     parts.extend(_bench_tables(bench_docs))
     parts.append("</body></html>")
     return "\n".join(parts) + "\n", failures
@@ -328,8 +482,14 @@ def write_report(
 
 __all__ = [
     "DEFAULT_REGRESSION_THRESHOLD",
+    "DEFAULT_MIN_HISTORY",
+    "REPORT_SUMMARY_SCHEMA",
     "load_bench_documents",
     "check_regressions",
+    "gateable_series",
+    "build_summary",
+    "write_summary",
+    "latest_phase_attribution",
     "sparkline_svg",
     "build_html",
     "write_report",

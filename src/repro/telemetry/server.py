@@ -1,0 +1,328 @@
+"""Live observability HTTP server: ``/metrics``, ``/healthz``,
+``/progress`` (+ SSE stream).
+
+A dependency-free threaded HTTP server over the live telemetry hub
+and :class:`~repro.telemetry.progress.ProgressBoard`, so an in-flight
+fig12/fig13 grid (or a future ``repro.serve`` daemon) is observable
+*while it runs* instead of only after its exports land:
+
+``GET /metrics``
+    Prometheus text exposition (version 0.0.4) rendered from the
+    **live** registry via
+    :meth:`~repro.telemetry.registry.MetricsRegistry.to_prometheus` —
+    the same renderer behind ``--metrics``, so a scrape mid-run and
+    the final artifact agree on names/labels.
+``GET /healthz``
+    Small JSON liveness document: status, uptime, run counts.
+``GET /progress``
+    JSON :meth:`~repro.telemetry.progress.ProgressBoard.snapshot`
+    (``?jobs=N`` bounds the per-job list).
+``GET /progress/stream`` (or ``/progress?stream=1``)
+    Server-Sent Events: one ``event: progress`` per board version
+    change, ``: keep-alive`` comments while idle.  ``repro top``
+    could ride this; it polls the JSON endpoint instead so it also
+    works through one-shot proxies.
+
+The server is strictly **read-only** over telemetry state: it never
+emits events, never creates instruments, and therefore cannot perturb
+the byte-identical ``--metrics``/``--trace`` contract (locked by
+``tests/test_observability_server.py``).  Opt-in via ``--serve PORT``
+on the experiments CLI or ``REPRO_METRICS_PORT``; port 0 binds an
+ephemeral port (the chosen one is exposed as
+:attr:`ObservabilityServer.port`, which tests rely on).
+
+Shutdown discipline: :meth:`ObservabilityServer.stop` flips a
+``stopping`` flag, wakes every SSE waiter through the board, stops
+``serve_forever`` and then ``server_close()``s — which joins the
+per-connection handler threads — so no thread of ours outlives the
+call (asserted by the tests).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+from .progress import PROGRESS, ProgressBoard
+from .runtime import TELEMETRY, Telemetry
+
+#: Environment variable enabling the server (same port semantics as
+#: the ``--serve`` CLI flag; 0 = ephemeral).
+SERVE_ENV = "REPRO_METRICS_PORT"
+
+#: Content type of the Prometheus exposition endpoint.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: SSE idle keep-alive cadence (seconds between comment frames).
+SSE_KEEPALIVE_SECONDS = 0.5
+
+
+def port_from_env(environ=os.environ) -> Optional[int]:
+    """The ``REPRO_METRICS_PORT`` port, or None when unset/invalid.
+
+    Invalid values raise so a typo'd port fails loudly rather than
+    silently disabling observability.
+    """
+    raw = environ.get(SERVE_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        port = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid {SERVE_ENV} value {raw!r} (expected an integer port)"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"{SERVE_ENV} must be in [0, 65535], got {port}")
+    return port
+
+
+class _ObservabilityHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the hub/board references."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    telemetry: Telemetry
+    board: ProgressBoard
+    stopping: bool
+    started_at: float
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-observability/1"
+    #: Bound read timeout so a half-open client cannot pin a handler
+    #: thread past shutdown.
+    timeout = 5
+
+    # ------------------------------------------------------------------
+    # Plumbing
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        """Silence per-request stderr logging (a mid-run scrape must
+        not interleave with experiment output)."""
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, document: object) -> None:
+        body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+        self._send(status, "application/json; charset=utf-8", body)
+
+    # ------------------------------------------------------------------
+    # Routes
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib dispatch name
+        parts = urlsplit(self.path)
+        path = parts.path.rstrip("/") or "/"
+        query = parse_qs(parts.query)
+        try:
+            if path == "/metrics":
+                self._get_metrics()
+            elif path == "/healthz":
+                self._get_healthz()
+            elif path == "/progress":
+                if query.get("stream", ["0"])[0] not in ("0", ""):
+                    self._stream_progress()
+                else:
+                    self._get_progress(query)
+            elif path == "/progress/stream":
+                self._stream_progress()
+            else:
+                self._send_json(
+                    404,
+                    {
+                        "error": "not found",
+                        "endpoints": [
+                            "/metrics",
+                            "/healthz",
+                            "/progress",
+                            "/progress/stream",
+                        ],
+                    },
+                )
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response
+
+    def _get_metrics(self) -> None:
+        registry = self.server.telemetry.registry
+        text = ""
+        # The engine may register a new instrument between our key
+        # snapshot and the value reads; one retry is enough because
+        # instruments are only ever added, never removed, mid-run.
+        for _ in range(5):
+            try:
+                text = registry.to_prometheus()
+                break
+            except RuntimeError:
+                continue
+        self._send(200, PROMETHEUS_CONTENT_TYPE, text.encode("utf-8"))
+
+    def _get_healthz(self) -> None:
+        board = self.server.board
+        snap = board.snapshot(max_jobs=0)
+        run = snap["run"]
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "uptime_seconds": round(
+                    time.perf_counter() - self.server.started_at, 3
+                ),
+                "run": {
+                    "name": run["name"],
+                    "status": run["status"],
+                    "total": run["total"],
+                    "done": run["done"],
+                    "failed": run["failed"],
+                },
+                "metrics": len(self.server.telemetry.registry),
+            },
+        )
+
+    def _get_progress(self, query) -> None:
+        try:
+            max_jobs = int(query.get("jobs", ["256"])[0])
+        except ValueError:
+            self._send_json(400, {"error": "jobs must be an integer"})
+            return
+        board = self.server.board
+        self._send_json(200, board.snapshot(max_jobs=max_jobs))
+
+    def _stream_progress(self) -> None:
+        board = self.server.board
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        version = -1  # board.version starts at 0+: first wait fires
+        while not self.server.stopping:
+            version, changed = board.wait_for_change(
+                version, timeout=SSE_KEEPALIVE_SECONDS
+            )
+            if self.server.stopping:
+                break
+            if changed:
+                payload = json.dumps(
+                    board.snapshot(max_jobs=64), sort_keys=True
+                )
+                frame = f"event: progress\ndata: {payload}\n\n"
+            else:
+                frame = ": keep-alive\n\n"
+            self.wfile.write(frame.encode("utf-8"))
+            self.wfile.flush()
+
+
+class ObservabilityServer:
+    """Lifecycle wrapper: bind, serve in a thread, stop cleanly."""
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        *,
+        telemetry: Optional[Telemetry] = None,
+        board: Optional[ProgressBoard] = None,
+    ) -> None:
+        self.requested_port = port
+        self.host = host
+        self.telemetry = telemetry if telemetry is not None else TELEMETRY
+        self.board = board if board is not None else PROGRESS
+        self._httpd: Optional[_ObservabilityHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves port-0 ephemeral binds)."""
+        if self._httpd is None:
+            return self.requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should hit."""
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ObservabilityServer":
+        """Bind and serve in a named daemon thread; returns self."""
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        httpd = _ObservabilityHTTPServer(
+            (self.host, self.requested_port), _Handler
+        )
+        httpd.telemetry = self.telemetry
+        httpd.board = self.board
+        httpd.stopping = False
+        httpd.started_at = time.perf_counter()
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name=f"repro-observability:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop serving and join every thread we created."""
+        httpd, thread = self._httpd, self._thread
+        if httpd is None:
+            return
+        httpd.stopping = True
+        self.board.wake()  # unblock SSE waiters promptly
+        httpd.shutdown()
+        if thread is not None:
+            thread.join(timeout)
+        # Joins the per-connection handler threads (ThreadingMixIn
+        # block_on_close): by now every SSE loop has seen `stopping`.
+        httpd.server_close()
+        self._httpd = None
+        self._thread = None
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "ObservabilityServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_server(
+    port: int = 0,
+    host: str = "127.0.0.1",
+    *,
+    telemetry: Optional[Telemetry] = None,
+    board: Optional[ProgressBoard] = None,
+) -> ObservabilityServer:
+    """Convenience: construct + start an :class:`ObservabilityServer`."""
+    return ObservabilityServer(
+        port, host, telemetry=telemetry, board=board
+    ).start()
+
+
+__all__ = [
+    "SERVE_ENV",
+    "PROMETHEUS_CONTENT_TYPE",
+    "port_from_env",
+    "ObservabilityServer",
+    "start_server",
+]

@@ -22,15 +22,21 @@ import pytest
 from repro.cli import main as cli_main
 from repro.telemetry.ledger import (
     LEDGER_ENV,
+    LEDGER_MAX_MB_ENV,
     LEDGER_SCHEMA,
     RunLedger,
     default_ledger_path,
     git_sha,
+    ledger_max_bytes,
     make_record,
 )
 from repro.telemetry.report import (
+    REPORT_SUMMARY_SCHEMA,
     build_html,
+    build_summary,
     check_regressions,
+    gateable_series,
+    latest_phase_attribution,
     load_bench_documents,
     sparkline_svg,
     write_report,
@@ -104,6 +110,77 @@ class TestRunLedger:
         sha = git_sha()
         assert sha == "unknown" or re.fullmatch(r"[0-9a-f]{4,40}", sha)
 
+    def test_phases_round_trip(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "l.jsonl"))
+        ledger.record(
+            "experiment", "fig12",
+            phases={"sim": 1.23456789, "compile": 0.5},
+        )
+        record = ledger.read()[0]
+        assert record["phases"] == {"sim": 1.234568, "compile": 0.5}
+
+
+# ----------------------------------------------------------------------
+# Size-based rotation
+
+
+class TestLedgerRotation:
+    def _fill(self, ledger, count, name="series"):
+        for index in range(count):
+            ledger.record(
+                "benchmark", name,
+                metrics={"throughput": float(index)},
+                config={"pad": "x" * 64},
+            )
+
+    def test_rotation_keeps_newest_records(self, monkeypatch, tmp_path):
+        # ~300 B/record; cap the file at 4 KiB => keep <= 2 KiB.
+        monkeypatch.setenv(LEDGER_MAX_MB_ENV, str(4 / 1024))
+        path = tmp_path / "l.jsonl"
+        ledger = RunLedger(str(path))
+        self._fill(ledger, 40)
+        assert path.stat().st_size <= 4096
+        values = ledger.series("series")
+        # Newest survive, oldest were compacted away, order preserved.
+        assert values == sorted(values)
+        assert values[-1] == 39.0
+        assert 0 < len(values) < 40
+
+    def test_rotation_drops_malformed_lines(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(LEDGER_MAX_MB_ENV, str(4 / 1024))
+        path = tmp_path / "l.jsonl"
+        ledger = RunLedger(str(path))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{torn json\n" * 50)
+        self._fill(ledger, 20)
+        raw = path.read_text()
+        assert "torn" not in raw
+        assert ledger.series("series")  # survivors parse cleanly
+
+    def test_zero_disables_rotation(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(LEDGER_MAX_MB_ENV, "0")
+        assert ledger_max_bytes() == 0
+        path = tmp_path / "l.jsonl"
+        ledger = RunLedger(str(path))
+        self._fill(ledger, 40)
+        assert len(ledger.series("series")) == 40
+
+    def test_invalid_env_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv(LEDGER_MAX_MB_ENV, "lots")
+        assert ledger_max_bytes() == 64 * 1024 * 1024
+        monkeypatch.delenv(LEDGER_MAX_MB_ENV)
+        assert ledger_max_bytes() == 64 * 1024 * 1024
+
+    def test_rotation_always_keeps_latest_record(
+        self, monkeypatch, tmp_path
+    ):
+        # A cap smaller than one record must still keep the newest.
+        monkeypatch.setenv(LEDGER_MAX_MB_ENV, str(64 / (1024 * 1024)))
+        ledger = RunLedger(str(tmp_path / "l.jsonl"))
+        self._fill(ledger, 3)
+        values = ledger.series("series")
+        assert values == [2.0]
+
 
 # ----------------------------------------------------------------------
 # Regression gate
@@ -148,6 +225,66 @@ class TestCheckRegressions:
         assert check_regressions(
             ledger, metric="speedup", threshold=0.05
         ) != []
+
+
+# ----------------------------------------------------------------------
+# Machine-readable summary
+
+
+class TestSummary:
+    def test_gateable_series_requires_history(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "l.jsonl"))
+        assert gateable_series(ledger) == []
+        _seed_series(ledger, "young", [1.0, 2.0])
+        assert gateable_series(ledger) == []  # 1 prior < min_history 2
+        _seed_series(ledger, "old", [1.0, 2.0, 3.0])
+        assert gateable_series(ledger) == ["old"]
+
+    def test_build_summary_schema_and_series(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "l.jsonl"))
+        _seed_series(ledger, "sim", [100.0, 102.0, 98.0, 50.0])
+        _seed_series(ledger, "fresh", [10.0])
+        summary = build_summary(ledger)
+        assert summary["schema"] == REPORT_SUMMARY_SCHEMA
+        assert summary["metric"] == "throughput"
+        assert summary["gateable_series"] == ["sim"]
+        assert summary["failure_count"] == 1
+        sim = summary["series"]["sim"]
+        assert sim["runs"] == 4 and sim["latest"] == 50.0
+        assert sim["median_prior"] == 100.0
+        assert sim["gated"] and sim["regressed"]
+        fresh = summary["series"]["fresh"]
+        assert fresh["median_prior"] is None
+        assert not fresh["gated"] and not fresh["regressed"]
+
+    def test_summary_carries_overhead_and_phases(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "l.jsonl"))
+        ledger.record(
+            "experiment", "fig12",
+            metrics={"throughput": 1.0},
+            phases={"sim": 2.0, "compile": 0.5},
+        )
+        ledger.record(
+            "experiment", "fig12",
+            metrics={"throughput": 1.0},
+            phases={"sim": 3.0, "export": 0.25},
+        )
+        overhead = {"overhead_fraction": 0.01, "budget_fraction": 0.05}
+        summary = build_summary(
+            ledger, {"BENCH_sim": {"telemetry_overhead": overhead}}
+        )
+        # Latest record per series wins; phases merge across series.
+        assert summary["phases"] == {"export": 0.25, "sim": 3.0}
+        assert summary["telemetry_overhead"] == overhead
+
+    def test_latest_phase_attribution_sums_series(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "l.jsonl"))
+        ledger.record("experiment", "fig12", phases={"sim": 2.0})
+        ledger.record("experiment", "fig13", phases={"sim": 1.0})
+        ledger.record("run", "experiments", phases={"export": 0.5})
+        assert latest_phase_attribution(ledger) == {
+            "export": 0.5, "sim": 3.0,
+        }
 
 
 # ----------------------------------------------------------------------
@@ -256,6 +393,57 @@ class TestReportCli:
         assert cli_main(argv + ["--check"]) == 1
         printed = capsys.readouterr().out
         assert "REGRESSION" in printed and "--check failed" in printed
+
+    def test_check_with_thin_ledger_skips_cleanly(self, tmp_path, capsys):
+        # Empty ledger, and one with too little history: both exit 0
+        # and say explicitly that there was nothing to gate.
+        out = tmp_path / "report.html"
+        empty = tmp_path / "empty.jsonl"
+        assert cli_main([
+            "report", "--ledger", str(empty),
+            "--out", str(out), "--check",
+        ]) == 0
+        assert "--check skipped" in capsys.readouterr().out
+        thin = tmp_path / "thin.jsonl"
+        _seed_series(RunLedger(str(thin)), "sim", [100.0, 101.0])
+        assert cli_main([
+            "report", "--ledger", str(thin),
+            "--out", str(out), "--check",
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "--check skipped" in printed
+        assert "nothing to gate" in printed
+
+    def test_json_summary_flag(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        _seed_series(RunLedger(str(ledger)), "sim", [100.0, 101.0, 99.0])
+        out = tmp_path / "report.html"
+        summary_path = tmp_path / "summary.json"
+        assert cli_main([
+            "report", "--ledger", str(ledger), "--out", str(out),
+            "--json", str(summary_path),
+        ]) == 0
+        assert "JSON summary" in capsys.readouterr().out
+        summary = json.loads(summary_path.read_text())
+        assert summary["schema"] == REPORT_SUMMARY_SCHEMA
+        assert summary["series"]["sim"]["runs"] == 3
+        assert summary["failure_count"] == 0
+
+    def test_json_summary_reports_regression(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        _seed_series(
+            RunLedger(str(ledger)), "sim", [100.0, 101.0, 99.0, 40.0]
+        )
+        summary_path = tmp_path / "summary.json"
+        assert cli_main([
+            "report", "--ledger", str(ledger),
+            "--out", str(tmp_path / "r.html"),
+            "--json", str(summary_path),
+        ]) == 0
+        capsys.readouterr()
+        summary = json.loads(summary_path.read_text())
+        assert summary["failure_count"] == 1
+        assert summary["series"]["sim"]["regressed"] is True
 
     def test_usage_errors_exit_two(self, capsys):
         assert cli_main(["report", "--threshold", "nope"]) == 2

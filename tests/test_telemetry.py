@@ -12,7 +12,6 @@ Covers the contract the observability layer promises:
 """
 
 import json
-import re
 import tracemalloc
 
 import pytest
@@ -27,6 +26,7 @@ from repro.telemetry import (
     EventKind,
     FlightRecorder,
     MetricsRegistry,
+    lint_prometheus,
     TELEMETRY,
     Telemetry,
     capture,
@@ -416,15 +416,8 @@ class TestCliArtifacts:
 # Prometheus exposition lint
 
 
-#: Exposition-format sample-line grammar (metric, optional label set
-#: with escaped values, a numeric value).
-_PROM_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\\n])*"'
-_PROM_SAMPLE = re.compile(
-    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
-    rf"(?:\{{{_PROM_LABEL}(?:,{_PROM_LABEL})*\}})?"
-    r" -?(?:[0-9.e+-]+|[0-9]+)$"
-)
-_PROM_COMMENT = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* \S")
+# The exposition grammar itself lives in the registry module
+# (promoted so the live /metrics endpoint and CI share one gate).
 
 
 class TestPrometheusLint:
@@ -469,10 +462,11 @@ class TestPrometheusLint:
         reg.counter("sim.instructions", trace='we"ird\n\\x').inc(12)
         reg.gauge("depth").set(-3.5)
         reg.histogram("sizes", space="heap").observe(42)
-        for line in reg.to_prometheus().splitlines():
-            assert _PROM_COMMENT.match(line) or _PROM_SAMPLE.match(line), (
-                f"invalid exposition line: {line!r}"
-            )
+        assert lint_prometheus(reg.to_prometheus()) == []
+
+    def test_lint_reports_violating_lines(self):
+        bad = "this is not exposition format\n# HELP ok ok\nok 1\n"
+        assert lint_prometheus(bad) == ["this is not exposition format"]
 
 
 # ----------------------------------------------------------------------
