@@ -13,8 +13,12 @@ Performance flags::
 
 ``--jobs N`` shards the simulation-backed artefacts (fig12, fig13,
 table2) over N worker processes; outputs are byte-identical for any N.
-``--trace-cache DIR`` (or ``REPRO_TRACE_CACHE``) persists synthesized
-kernel traces, so repeated runs skip synthesis entirely.
+``--batch N`` (or ``REPRO_SIM_BATCH``; default 8) sets how many
+serial-path jobs cross the native FFI per call — ``--batch 1``
+restores the one-job-at-a-time loop; outputs are byte-identical for
+any batch width.  ``--trace-cache DIR`` (or ``REPRO_TRACE_CACHE``)
+persists synthesized kernel traces, so repeated runs skip synthesis
+entirely.
 
 Observability flags (any of them switches telemetry on)::
 
@@ -60,6 +64,7 @@ from ..telemetry.runtime import TELEMETRY
 from ..telemetry.server import ObservabilityServer, port_from_env
 from ..workloads import configure_trace_cache
 
+from .engine import BATCH_ENV
 from .feasibility_study import run_feasibility_study
 from .fig1_memory_mix import run_fig1
 from .fig4_fragmentation import run_fig4
@@ -145,6 +150,7 @@ class _CliOptions:
         self.ledger_path: Optional[str] = None
         self.trace_cache_dir: Optional[str] = None
         self.jobs = 1
+        self.batch: Optional[int] = None
         self.serve_port: Optional[int] = None
         self.error: Optional[str] = None
         self.selected: List[str] = []
@@ -154,8 +160,8 @@ def _parse_args(argv) -> _CliOptions:
     """Hand-rolled parse (argparse-free, as the seed CLI was)."""
     options = _CliOptions()
     value_flags = (
-        "--metrics", "--trace", "--jobs", "--trace-cache", "--ledger",
-        "--serve",
+        "--metrics", "--trace", "--jobs", "--batch", "--trace-cache",
+        "--ledger", "--serve",
     )
     index = 0
     while index < len(argv):
@@ -173,7 +179,7 @@ def _parse_args(argv) -> _CliOptions:
                 flag = arg
                 if index + 1 >= len(argv):
                     metavar = (
-                        "N" if flag == "--jobs"
+                        "N" if flag in ("--jobs", "--batch")
                         else "PORT" if flag == "--serve"
                         else "PATH"
                     )
@@ -199,6 +205,17 @@ def _parse_args(argv) -> _CliOptions:
                     return options
                 if not 0 <= options.serve_port <= 65535:
                     options.error = "--serve port must be in [0, 65535]"
+                    return options
+            elif flag == "--batch":
+                try:
+                    options.batch = int(value)
+                except ValueError:
+                    options.error = (
+                        f"--batch expects an integer, got {value!r}"
+                    )
+                    return options
+                if options.batch < 1:
+                    options.error = "--batch must be >= 1"
                     return options
             else:  # --jobs
                 try:
@@ -258,6 +275,11 @@ def main(argv) -> int:
     trace_path = options.trace_path
     if options.trace_cache_dir:
         configure_trace_cache(disk_dir=options.trace_cache_dir)
+    if options.batch is not None:
+        # The engine reads the env at each run_sim_jobs call, so the
+        # flag reaches every experiment driver without threading a
+        # parameter through each of them.
+        os.environ[BATCH_ENV] = str(options.batch)
     names = options.selected if options.selected else list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:

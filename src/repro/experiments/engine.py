@@ -25,6 +25,15 @@ independent jobs — one timing simulation (or analytic row) per
   each job's telemetry is wrapped in a ``job:<benchmark>:<mechanism>``
   span whose ``tid`` is the submission index, giving the Perfetto
   export one track per job.
+* **Batched native dispatch.**  The serial path prepares jobs in
+  groups (``--batch`` / ``REPRO_SIM_BATCH``, default 8) and ships
+  every plan-bearing job of a group through *one*
+  :func:`~repro.sim.native.run_native_batch` FFI crossing — grouped
+  by codegen cell, fanned over threads when the kernel was compiled
+  with OpenMP/pthread support.  Telemetry publication still happens
+  per job, in submission order, inside each job's span, so exports
+  are byte-identical at any batch width (``--batch 1`` restores the
+  historical loop exactly).
 * **Trace reuse.**  Jobs synthesize through the content-addressed
   :mod:`~repro.workloads.trace_cache`, so the four mechanisms of one
   benchmark share a single synthesis (and, with ``--trace-cache``, so
@@ -99,6 +108,32 @@ ResultT = TypeVar("ResultT")
 #: with a large ``maxlen`` do not preallocate), so the parent replay
 #: sees every event and can re-apply its own sampling/overflow policy.
 _WORKER_RING_CAPACITY = 1 << 30
+
+#: Environment variable selecting the serial-path native batch width.
+BATCH_ENV = "REPRO_SIM_BATCH"
+
+#: Default batch width: covers all four mechanisms of one benchmark
+#: (the common job grouping) twice over without holding an unbounded
+#: number of prepared simulators alive.
+_DEFAULT_BATCH = 8
+
+
+def resolve_batch_size(choice: Optional[int] = None) -> int:
+    """Effective serial batch width.
+
+    *choice* wins when given; otherwise ``REPRO_SIM_BATCH`` (empty or
+    ``auto`` → the default, unparsable → the default, ``1`` disables
+    batching and restores the historical one-job-at-a-time loop).
+    """
+    if choice is None:
+        raw = os.environ.get(BATCH_ENV, "").strip().lower()
+        if raw in ("", "auto"):
+            return _DEFAULT_BATCH
+        try:
+            choice = int(raw)
+        except ValueError:
+            return _DEFAULT_BATCH
+    return max(1, choice)
 
 
 def model_factory(name: str) -> TimingModel:
@@ -299,17 +334,194 @@ def _replay_telemetry(blob) -> None:
     TELEMETRY.registry.merge(registry)
 
 
+@dataclass
+class _BatchEntry:
+    """One job's prepared state inside a serial native batch."""
+
+    job: SimJob
+    job_id: object
+    index: int
+    simulator: SmSimulator
+    trace: KernelTrace
+    plan: object  # IssuePlan, or None → scalar pipeline
+    stats: SimStats
+    events: Optional[list]
+    every: int
+    phase: int
+    phases: Dict[str, float]
+    cycles: Optional[int] = None
+
+
+def _finish_batch_entry(entry: _BatchEntry, run_columnar) -> None:
+    """Complete one prepared job (caller wraps this in its span).
+
+    Plan-less entries run the scalar pipeline (which publishes its
+    telemetry live, exactly like an unbatched run); native-refused
+    entries run the Python issue loop.  Either way the fast path's
+    end-of-run publication happens here — inside the job span — so
+    the logical clock and registry sequence match the unbatched
+    serial path event for event.
+    """
+    simulator = entry.simulator
+    if entry.plan is None:
+        started = time.perf_counter()
+        result = simulator._run_scalar(entry.trace)
+        entry.phases["sim"] = time.perf_counter() - started
+        entry.cycles = result.cycles
+        entry.stats = result.stats
+        return
+    if entry.cycles is None:
+        started = time.perf_counter()
+        entry.cycles = run_columnar(
+            simulator,
+            entry.trace,
+            entry.plan,
+            entry.stats,
+            events=entry.events,
+            sample_every=entry.every,
+            sample_phase=entry.phase,
+        )
+        entry.phases["sim"] = (
+            entry.phases.get("sim", 0.0) + time.perf_counter() - started
+        )
+    if entry.events is not None:
+        simulator._publish_fast_path(
+            entry.trace.name, entry.stats, entry.events, TELEMETRY
+        )
+
+
+def _run_serial_batched(
+    job_list: Sequence[SimJob],
+    job_ids: Sequence[object],
+    config: GpuConfig,
+    batch: int,
+    telemetry_wanted: bool,
+    board,
+) -> List[JobResult]:
+    """Serial execution with cross-trace native batching.
+
+    Jobs are prepared *batch* at a time — trace (one deduped cache
+    pass per group), simulator, issue plan, telemetry decisions — and
+    every plan-bearing job in the group crosses the FFI in a single
+    :func:`~repro.sim.native.run_native_batch` call (grouped by
+    codegen cell, optionally threaded).  Completion then proceeds in
+    submission order: each job's telemetry publication (and any
+    scalar/columnar fallback execution) happens inside its own
+    ``job:`` span, so ``--metrics``/``--trace`` exports are
+    byte-identical to the unbatched serial path at any batch width.
+    The batched FFI call's wall time is attributed across its jobs
+    proportionally to instruction count for the live plane's phase
+    aggregates.
+    """
+    from ..sim.columnar import run_columnar
+    from ..sim.native import run_native_batch
+
+    results: List[JobResult] = []
+    for start in range(0, len(job_list), batch):
+        group = job_list[start : start + batch]
+        group_ids = job_ids[start : start + batch]
+        for job_id in group_ids:
+            board.job_running(job_id)
+        started = time.perf_counter()
+        traces = TRACE_CACHE.get_or_synthesize_many(
+            [_trace_request(job) for job in group]
+        )
+        trace_seconds = (time.perf_counter() - started) / len(group)
+        entries: List[_BatchEntry] = []
+        for offset, (job, job_id, trace) in enumerate(
+            zip(group, group_ids, traces)
+        ):
+            phases: Dict[str, float] = {"trace_expand": trace_seconds}
+            started = time.perf_counter()
+            simulator = SmSimulator(config, model_factory(job.mechanism))
+            plan = None
+            if simulator.engine == "columnar":
+                plan = simulator._fast_plan(trace)
+                if plan is not None and not plan.runs:
+                    # Empty trace: the scalar pipeline raises the
+                    # same SimulationError run() would.
+                    plan = None
+            stats = SimStats()
+            if plan is not None:
+                _, events, every, phase = simulator._fast_telemetry(trace)
+            else:
+                events, every, phase = None, 1, 0
+            phases["compile"] = time.perf_counter() - started
+            entries.append(
+                _BatchEntry(
+                    job=job,
+                    job_id=job_id,
+                    index=start + offset,
+                    simulator=simulator,
+                    trace=trace,
+                    plan=plan,
+                    stats=stats,
+                    events=events,
+                    every=every,
+                    phase=phase,
+                    phases=phases,
+                )
+            )
+        native_entries = [e for e in entries if e.plan is not None]
+        if native_entries:
+            started = time.perf_counter()
+            cycles_list = run_native_batch(
+                [
+                    (e.simulator, e.plan, e.stats, e.events, e.every, e.phase)
+                    for e in native_entries
+                ]
+            )
+            native_seconds = time.perf_counter() - started
+            weight = sum(
+                e.plan.total_instructions for e in native_entries
+            ) or 1
+            for entry, cycles in zip(native_entries, cycles_list):
+                entry.cycles = cycles
+                if cycles is not None:
+                    entry.phases["sim"] = (
+                        native_seconds
+                        * entry.plan.total_instructions
+                        / weight
+                    )
+        for entry in entries:
+            if telemetry_wanted:
+                with _job_span(entry.job, entry.index):
+                    _finish_batch_entry(entry, run_columnar)
+            else:
+                _finish_batch_entry(entry, run_columnar)
+            board.record_phases(entry.phases)
+            board.job_finished(entry.job_id)
+            results.append(
+                JobResult(
+                    job=entry.job,
+                    cycles=entry.cycles,
+                    stats=entry.stats,
+                    phases=entry.phases,
+                )
+            )
+    return results
+
+
 def run_sim_jobs(
     jobs: Iterable[SimJob],
     *,
     config: GpuConfig = DEFAULT_GPU_CONFIG,
     n_jobs: int = 1,
+    batch_size: Optional[int] = None,
 ) -> List[JobResult]:
     """Execute *jobs*, fanning out over processes when ``n_jobs > 1``.
 
     Results come back in submission order regardless of completion
     order; telemetry (when enabled) is replayed in the same order, so
     exports are byte-identical across ``n_jobs`` settings.
+
+    On the serial path, jobs are dispatched *batch_size* at a time
+    (default :func:`resolve_batch_size` → ``REPRO_SIM_BATCH`` or 8)
+    through the generated native kernels — one FFI crossing per
+    codegen cell per group — which amortizes call overhead and lets
+    the threaded kernels run traces concurrently.  ``batch_size=1``
+    restores the historical one-job loop; outputs are byte-identical
+    either way.
     """
     job_list = list(jobs)
     workers = _effective_workers(n_jobs, len(job_list))
@@ -322,6 +534,11 @@ def run_sim_jobs(
         board.job_queued(job.benchmark, job.mechanism) for job in job_list
     ]
     if workers <= 1:
+        batch = resolve_batch_size(batch_size)
+        if batch > 1 and len(job_list) > 1:
+            return _run_serial_batched(
+                job_list, job_ids, config, batch, telemetry_wanted, board
+            )
         if not telemetry_wanted:
             serial_results = []
             for job, job_id in zip(job_list, job_ids):
@@ -429,7 +646,9 @@ def fan_out(
 __all__ = [
     "SimJob",
     "JobResult",
+    "BATCH_ENV",
     "model_factory",
+    "resolve_batch_size",
     "run_sim_jobs",
     "fan_out",
 ]

@@ -22,8 +22,16 @@ from .core import (
     resolve_sim_engine,
     simulate,
 )
+from .codegen import CODEGEN_STATS, CellSpec, load_cell, resolve_threads
 from .dram import DramModel, DramStats
-from .native import NATIVE_ENV, native_available
+from .native import (
+    NATIVE_DIAG,
+    NATIVE_ENV,
+    fallback_counts,
+    native_available,
+    run_native,
+    run_native_batch,
+)
 from .reference import ReferenceSmSimulator, reference_simulate
 from .gpu import GpuSimResult, GpuSimulator
 from .tracefile import dump_trace, dump_trace_npz, load_trace, load_trace_npz
@@ -57,10 +65,18 @@ __all__ = [
     "simulate",
     "ReferenceSmSimulator",
     "reference_simulate",
+    "CODEGEN_STATS",
+    "CellSpec",
+    "load_cell",
+    "resolve_threads",
     "DramModel",
     "DramStats",
+    "NATIVE_DIAG",
     "NATIVE_ENV",
+    "fallback_counts",
     "native_available",
+    "run_native",
+    "run_native_batch",
     "GpuSimResult",
     "GpuSimulator",
     "dump_trace",

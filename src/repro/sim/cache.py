@@ -21,7 +21,9 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..common.bitops import log2_exact
 from ..common.config import CacheConfig
@@ -145,13 +147,88 @@ class ArrayLruCache:
         self._line_bits = log2_exact(config.line_bytes)
         self._num_sets = config.num_sets
         self._ways = config.ways
-        #: Dense per-set recency rows (insertion-ordered tag maps); the
-        #: columnar issue loop binds this list once per run and
-        #: manipulates the rows in place.
-        self.rows: List[Dict[int, None]] = [
-            {} for _ in range(self._num_sets)
-        ]
+        # Recency state lives in (up to) two coherent representations:
+        # lazily-built dict rows for the Python paths, and a dense
+        # tag array the native executor mutates in place (kept
+        # authoritative between native runs so back-to-back kernel
+        # calls never round-trip through dicts).  ``_stale`` marks the
+        # sets whose dict rows lag the array; reading :attr:`rows`
+        # folds exactly those sets back.
+        self._rows: Optional[List[Dict[int, None]]] = None
+        self._tags: Optional[np.ndarray] = None
+        self._stale: Optional[np.ndarray] = None
         self.stats = CacheStats()
+
+    @property
+    def rows(self) -> List[Dict[int, None]]:
+        """Dense per-set recency rows (insertion-ordered tag maps).
+
+        The columnar issue loop binds this list once per run and
+        manipulates the rows in place.  Rows materialize on first
+        read — a cache that only ever feeds the native executor never
+        builds a dict — and any sets the native kernel touched since
+        the last read are rebuilt here (LRU→MRU order preserved)
+        before the list is returned.
+        """
+        rows = self._rows
+        if rows is None:
+            rows = self._rows = [{} for _ in range(self._num_sets)]
+        if self._tags is not None:
+            self._fold_native(rows)
+        return rows
+
+    def _fold_native(self, rows: List[Dict[int, None]]) -> None:
+        """Fold native-executor state back into the dict rows.
+
+        Only sets marked stale are rebuilt; the dense array is then
+        dropped (dict rows become the single authority again, so
+        Python-side mutations cannot be shadowed by a stale array).
+        """
+        tags, stale = self._tags, self._stale
+        self._tags = None
+        self._stale = None
+        ways = self._ways
+        flat = tags.tolist()
+        fromkeys = dict.fromkeys
+        for s in np.flatnonzero(stale).tolist():
+            base = s * ways
+            chunk = flat[base : base + ways]
+            if chunk[-1] == -1:
+                chunk = chunk[: chunk.index(-1)]
+            rows[s] = fromkeys(chunk)
+
+    def native_export(self) -> Tuple[np.ndarray, np.ndarray]:
+        """State handoff to the native executor.
+
+        Returns ``(tags, touched)``: the dense ``sets*ways`` recency
+        array (row-major, LRU→MRU per set, ``-1`` empty) the kernel
+        mutates in place, and a zeroed per-set ``uint8`` buffer it
+        marks for every set it touches.  The caller must hand both to
+        :meth:`native_commit` after the kernel returns — and nothing
+        may read :attr:`rows` in between.  Between commit and the next
+        Python read the array stays authoritative, so back-to-back
+        native runs skip the dict round-trip entirely.
+        """
+        tags = self._tags
+        if tags is None:
+            tags = np.full(self._num_sets * self._ways, -1, dtype=np.int64)
+            rows = self._rows
+            if rows is not None:
+                ways = self._ways
+                base = 0
+                for row in rows:
+                    if row:
+                        tags[base : base + len(row)] = list(row)
+                    base += ways
+        return tags, np.zeros(self._num_sets, dtype=np.uint8)
+
+    def native_commit(self, tags: np.ndarray, touched: np.ndarray) -> None:
+        """Accept mutated kernel state from :meth:`native_export`."""
+        if self._tags is None:
+            self._tags = tags
+            self._stale = touched
+        else:
+            np.bitwise_or(self._stale, touched, out=self._stale)
 
     def access(self, address: int) -> bool:
         """Look up *address*; fill on miss.  Returns hit?"""
@@ -213,8 +290,11 @@ class ArrayLruCache:
 
     def flush(self) -> None:
         """Drop all contents (stats survive)."""
-        for row in self.rows:
-            row.clear()
+        self._tags = None
+        self._stale = None
+        if self._rows is not None:
+            for row in self._rows:
+                row.clear()
 
     @property
     def hit_latency(self) -> int:

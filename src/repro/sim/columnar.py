@@ -402,6 +402,16 @@ class IssuePlan:
         default=None, repr=False, compare=False
     )
 
+    @property
+    def total_runs(self) -> int:
+        """Issue runs across all warps (scheduler events per replay).
+
+        One run is one uninterrupted issue burst; this is the unit the
+        sampled-event comb walks and the batch/throughput accounting
+        of the native executor reports against.
+        """
+        return sum(len(runs) for runs in self.runs)
+
 
 #: Cache/DRAM geometry baked into a plan: ``(l1_line_bits, l1_sets,
 #: l2_line_bits, l2_sets, dram_channels)``.
@@ -669,9 +679,9 @@ def run_columnar(
     hash of the trace name (:func:`repro.telemetry.runtime.
     sample_phase`), so the sampling comb — and therefore the recorded
     ring — is identical across processes, reruns and ``--jobs``
-    values.  The native C executor applies the *same* comb to the
-    *same* run sequence, so both fast paths produce byte-identical
-    event lists.
+    values.  The native executor's generated kernels
+    (:mod:`repro.sim.codegen`) apply the *same* comb to the *same* run
+    sequence, so both fast paths produce byte-identical event lists.
 
     Loop structure
     --------------

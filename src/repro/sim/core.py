@@ -308,47 +308,67 @@ class SmSimulator:
 
     # ------------------------------------------------------------------
 
+    def _fast_plan(self, trace: KernelTrace):
+        """The issue plan when this run can take the fast path.
+
+        Returns ``None`` — with the reason recorded on the native
+        diagnostics registry (:func:`repro.sim.native.note_fallback`)
+        — when the model has no columnar lowering or warm non-array
+        cache state pins the scalar pipeline.  Used by both
+        :meth:`run` and the experiment engine's batched dispatch.
+        """
+        from .columnar import plan_for
+        from .native import note_fallback
+
+        plan = plan_for(trace, self.model, self.config)
+        if plan is None:
+            note_fallback("custom-model")
+            return None
+        if plan.mem_probes is not None and not isinstance(
+            getattr(self.model, "rcache", None), ArrayLruCache
+        ):
+            # GPUShield plans inline RCache probe rows; that needs the
+            # array-backed RCache the model binds under this engine.
+            # A warm scalar RCache keeps the scalar path.
+            note_fallback("warm-rcache")
+            return None
+        if not (
+            isinstance(self.l1, ArrayLruCache)
+            and isinstance(self.l2, ArrayLruCache)
+        ):
+            note_fallback("cache-model")
+            return None
+        return plan
+
+    def _fast_telemetry(self, trace: KernelTrace):
+        """Fast-path telemetry decisions for one run.
+
+        Counters are batch-published at end of run (never per record),
+        and the issue loops record one (cycle, warp, run_length)
+        triple per *sampled* issue run — the comb is seed-derived from
+        the trace name so the recorded ring is identical across
+        processes, batch sizes and --jobs values.
+        """
+        telem = TELEMETRY
+        if telem.enabled:
+            every = resolve_sample_every()
+            return telem, [], every, sample_phase(trace.name, every)
+        return telem, None, 1, 0
+
     def run(self, trace: KernelTrace) -> SimResult:
         """Simulate *trace* to completion; returns cycles and stats."""
         if self.engine == "columnar":
-            from .columnar import plan_for, run_columnar
-
-            plan = plan_for(trace, self.model, self.config)
-            if plan is not None and plan.mem_probes is not None:
-                # GPUShield plans inline RCache probe rows; that needs
-                # the array-backed RCache the model binds under this
-                # engine.  A warm scalar RCache keeps the scalar path.
-                if not isinstance(
-                    getattr(self.model, "rcache", None), ArrayLruCache
-                ):
-                    plan = None
-            if (
-                plan is not None
-                and isinstance(self.l1, ArrayLruCache)
-                and isinstance(self.l2, ArrayLruCache)
-            ):
+            plan = self._fast_plan(trace)
+            if plan is not None:
                 if not plan.runs:
                     raise SimulationError("trace has no warps")
                 stats = SimStats()
-                # Fast-path telemetry: counters are batch-published at
-                # end of run (never per record), and the issue loops
-                # record one (cycle, warp, run_length) triple per
-                # *sampled* issue run — the comb is seed-derived from
-                # the trace name so the recorded ring is identical
-                # across processes and --jobs values.
-                telem = TELEMETRY
-                if telem.enabled:
-                    events: Optional[list] = []
-                    every = resolve_sample_every()
-                    phase = sample_phase(trace.name, every)
-                else:
-                    events = None
-                    every = 1
-                    phase = 0
-                # The C executor replays the very same plan against
-                # the same cache/DRAM state; it returns None (no
-                # toolchain, >64 warps, or REPRO_SIM_NATIVE=0) to
-                # hand the plan to the pure-Python issue loop.
+                telem, events, every, phase = self._fast_telemetry(trace)
+                # The generated C kernel replays the very same plan
+                # against the same cache/DRAM state; it returns None
+                # (no toolchain, compile failure, REPRO_SIM_NATIVE=0)
+                # to hand the plan to the pure-Python issue loop.
+                from .columnar import run_columnar
                 from .native import run_native
 
                 cycles = run_native(

@@ -1,457 +1,189 @@
-"""Native (C) executor for columnar issue plans.
+"""Native executor for columnar issue plans, built on per-cell codegen.
 
-The columnar engine's pure-Python issue loop (:func:`repro.sim.columnar.
-run_columnar`) bottoms out at CPython bytecode dispatch: ~0.5µs per
-scheduler event no matter how the wake structures are arranged.  This
-module removes that floor when a C toolchain is present: the issue
-plan's per-warp run descriptors, memory-record tables and pre-resolved
-line/probe geometry are flattened into contiguous ``int64`` columns
-(:class:`NativePlan`) and handed — as raw pointers — to a small C
-kernel that replays the *exact* scheduler, cache and DRAM semantics of
-the Python loop.
+The columnar engine's pure-Python issue loop (:func:`repro.sim.
+columnar.run_columnar`) bottoms out at CPython bytecode dispatch;
+this module removes that floor when a C toolchain is present.  The
+issue plan's per-warp run descriptors, memory-record tables and
+pre-resolved line/probe geometry are flattened into contiguous
+``int64`` columns (:class:`NativePlan`) and handed — as a pointer
+slab — to a kernel *generated for the exact (timing-model,
+mechanism) cell* by :mod:`repro.sim.codegen`: latencies and cache
+way counts are compile-time constants, the GPUShield probe path is
+compiled out of cells that never take it, and every cell carries
+both a single-word (≤64 warps) and a multi-word ready-mask
+scheduler, so wide traces no longer fall back to Python.
 
 Design constraints:
 
-* **ABI-only.**  The kernel is plain C compiled with ``cc -O2 -shared``
-  and loaded through :mod:`cffi`'s ``dlopen`` mode, so no Python
-  headers or build backends are required; the build is memoized on a
-  source digest under a per-user temp directory.
-* **Shared state, not shadow state.**  The kernel operates on
-  *exported* snapshots of the simulator's array-backed caches
-  (:class:`~repro.sim.cache.ArrayLruCache` rows, LRU→MRU order) and the
-  DRAM channel-free timeline, and writes them back afterwards (only
-  touched cache sets are rebuilt), so warm-cache reruns and engine
-  interleaving behave identically to the Python loop.
-* **Graceful refusal.**  :func:`run_native` returns ``None`` — and the
-  caller falls back to the Python loop — whenever the toolchain is
-  missing, compilation fails, the warp count exceeds the 64-bit ready
-  mask, or ``REPRO_SIM_NATIVE=0`` disables the path.
+* **ABI-only.**  Kernels are plain C compiled with ``cc -O2 -shared``
+  and loaded through :mod:`cffi`'s ``dlopen`` mode — no Python
+  headers or build backends; builds are cached on disk keyed by
+  (source digest, compiler identity) with an atomic, lock-guarded
+  publish (see :mod:`repro.sim.codegen`).
+* **Shared state, not shadow state.**  Kernels operate on the
+  simulator's :meth:`~repro.sim.cache.ArrayLruCache.native_export`
+  arrays and the DRAM channel-free timeline.  The dense tag arrays
+  stay authoritative between native runs (committed via
+  :meth:`~repro.sim.cache.ArrayLruCache.native_commit`); dict rows
+  are rebuilt lazily — and only for touched sets — when Python next
+  reads them.  Warm-cache reruns and engine interleaving therefore
+  behave identically to the Python loop.
+* **Batching.**  :func:`run_native_batch` ships N independent traces
+  through **one** FFI crossing per cell group — and, when the cell
+  was compiled with OpenMP or pthreads, fans the group out across
+  cores (``REPRO_SIM_NATIVE_THREADS``).
+* **Observable refusal.**  Every fallback to the Python loop is
+  counted in :data:`NATIVE_DIAG` (``sim.native_fallback{reason=…}``)
+  and logged once per reason per process.  The diagnostics registry
+  is deliberately separate from the main telemetry registry: exported
+  ``--metrics`` snapshots must stay byte-identical across engines,
+  batch sizes and ``--jobs`` values, so engine-selection diagnostics
+  cannot ride in them.
 
-The scheduler in C mirrors the Python loop's semantics: a ready
-bitmask (oldest warp = lowest set bit, GTO keeps the current warp on
-ties), per-warp wake times with an exact ``next_wake`` minimum, the
-single-ready fast-forward, and the sign-encoded ``comp_delta``
-recovery for runs ending in a stateful memory instruction.
+The generated scheduler mirrors the Python loop's semantics exactly:
+a ready bitmask (oldest warp = lowest set bit, GTO keeps the current
+warp on ties), per-warp wake times with an exact ``next_wake``
+minimum, the single-ready fast-forward, and the sign-encoded
+``comp_delta`` recovery for runs ending in a stateful memory
+instruction — locked cell by cell against :mod:`repro.sim.reference`.
 """
 
 from __future__ import annotations
 
-import hashlib
+import logging
 import os
-import subprocess
-import tempfile
 from dataclasses import dataclass
-from shutil import which
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..telemetry.registry import MetricsRegistry
+from .codegen import (
+    CODEGEN_STATS,
+    NPTRS,
+    NSCALARS,
+    OUT_SLOTS,
+    CellSpec,
+    CompiledCell,
+    load_cell,
+    resolve_threads,
+)
 from .timing import TRANSACTION_CYCLES
 
 __all__ = [
     "NATIVE_ENV",
+    "NATIVE_DIAG",
     "NativePlan",
+    "cell_spec_for",
+    "fallback_counts",
     "native_available",
+    "note_fallback",
     "pack_native_plan",
     "run_native",
+    "run_native_batch",
 ]
+
+log = logging.getLogger("repro.sim.native")
 
 #: Set to ``0``/``false`` to disable the native executor (the columnar
 #: engine then always runs the pure-Python issue loop).
 NATIVE_ENV = "REPRO_SIM_NATIVE"
 
-#: Ready-mask width: plans with more warps per SM fall back to Python.
-_MAX_WARPS = 64
+#: Diagnostics registry for engine-selection observability
+#: (``sim.native_fallback{reason=…}`` counters).  Separate from the
+#: exported telemetry registry on purpose — see the module docstring.
+NATIVE_DIAG = MetricsRegistry()
 
-_C_SOURCE = r"""
-#include <stdint.h>
+#: One explanatory log line per reason per process.
+_FALLBACK_LOGGED: set = set()
 
-#define NEVER ((int64_t)1 << 62)
-
-/* Set-associative LRU row: row[0] = LRU ... row[occupancy-1] = MRU,
- * -1 marks empty slots.  Mirrors ArrayLruCache's insertion-ordered
- * dict rows exactly (hit promotes to MRU, miss fills or evicts the
- * LRU slot). */
-static int cache_access(int64_t *row, int64_t ways, int64_t tag) {
-    int64_t i, j, t;
-    for (i = 0; i < ways; i++) {
-        t = row[i];
-        if (t == tag) {
-            for (j = i + 1; j < ways && row[j] != -1; j++)
-                row[j - 1] = row[j];
-            row[j - 1] = tag;
-            return 1;
-        }
-        if (t == -1)
-            break;
-    }
-    if (i == ways) {
-        for (j = 1; j < ways; j++)
-            row[j - 1] = row[j];
-        row[ways - 1] = tag;
-    } else {
-        row[i] = tag;
-    }
-    return 0;
+_FALLBACK_DETAIL = {
+    "disabled": "REPRO_SIM_NATIVE=0 pins the Python issue loop",
+    "no-toolchain": "no C compiler (cc/gcc/clang) on PATH",
+    "compile-failed": "the generated cell failed to compile",
+    "custom-model": "timing model declares no columnar lowering",
+    "warm-rcache": "warm scalar RCache state keeps the scalar path",
+    "cache-model": "simulator caches are not array-backed",
+    "kernel-error": "generated kernel refused (allocation failure)",
 }
 
-int64_t lmi_run(
-    int64_t warp_count,
-    int64_t l1_ways, int64_t l1_lat,
-    int64_t l2_ways, int64_t l2_lat,
-    int64_t dram_latency, int64_t line_cycles, int64_t tx_cycles,
-    const int64_t *run_start,
-    const int64_t *run_length, const int64_t *run_comp,
-    const int64_t *run_mem_lo, const int64_t *run_mem_hi,
-    const int64_t *rec_base, const int64_t *rec_rel,
-    const int64_t *rec_line_start,
-    const int64_t *line_l1s, const int64_t *line_l1t,
-    const int64_t *line_l2s, const int64_t *line_l2t,
-    const int64_t *line_ch, const int64_t *line_txo,
-    int64_t has_probes,
-    const int64_t *rec_probe_start,
-    const int64_t *probe_rcs, const int64_t *probe_rct,
-    const int64_t *probe_mls, const int64_t *probe_mlt,
-    const int64_t *probe_mch,
-    int64_t rc_ways,
-    int64_t *l1_tags, int64_t *l2_tags, int64_t *rc_tags,
-    uint8_t *l1_touched, uint8_t *l2_touched, uint8_t *rc_touched,
-    int64_t *free_at,
-    int64_t ev_every, int64_t ev_phase, int64_t ev_cap, int64_t *ev_buf,
-    int64_t *out)
-{
-    int64_t wake_at[64];
-    int64_t ridx[64];
-    int64_t finals[64];
-    uint64_t ready = 0, current_bit = 1;
-    int64_t live = 0, clock = 0, next_wake = NEVER, stall = 0;
-    int64_t l1h = 0, l1m = 0, l2h = 0, l2m = 0;
-    int64_t dreq = 0, dqd = 0;
-    int64_t rch = 0, rcm = 0, pl2h = 0, pl2m = 0;
-    int64_t ev_seq = 0, ev_n = 0;
-    int current = 0;
-    int64_t w;
 
-    for (w = 0; w < warp_count; w++) {
-        wake_at[w] = NEVER;
-        finals[w] = 0;
-        ridx[w] = run_start[w];
-        if (run_start[w] < run_start[w + 1]) {
-            ready |= (uint64_t)1 << w;
-            live++;
-        }
-    }
-
-    while (live) {
-        if (next_wake <= clock) {
-            int64_t nw = NEVER, t;
-            for (w = 0; w < warp_count; w++) {
-                t = wake_at[w];
-                if (t <= clock) {
-                    ready |= (uint64_t)1 << w;
-                    wake_at[w] = NEVER;
-                } else if (t < nw) {
-                    nw = t;
-                }
-            }
-            next_wake = nw;
-        }
-        if (ready) {
-            if (!(ready & current_bit)) {
-                current = __builtin_ctzll(ready);
-                current_bit = (uint64_t)1 << current;
-            }
-        } else {
-            stall += next_wake - clock;
-            clock = next_wake;
-            continue;
-        }
-        w = current;
-        {
-            int64_t ri = ridx[w]++;
-            int64_t length = run_length[ri];
-            int64_t comp = run_comp[ri];
-            int64_t lo = run_mem_lo[ri];
-            int64_t hi = run_mem_hi[ri];
-            int64_t complete;
-
-            if (ev_buf) {
-                if (ev_seq % ev_every == ev_phase && ev_n < ev_cap) {
-                    int64_t eb = ev_n * 3;
-                    ev_buf[eb] = clock;
-                    ev_buf[eb + 1] = w;
-                    ev_buf[eb + 2] = length;
-                    ev_n++;
-                }
-                ev_seq++;
-            }
-
-            if (lo != hi) {
-                int64_t base = rec_base[w];
-                int64_t last = (comp >= 0) ? hi : hi - 1;
-                int64_t m, li, rec;
-                for (m = lo; m < last; m++) {
-                    rec = base + m;
-                    for (li = rec_line_start[rec];
-                         li < rec_line_start[rec + 1]; li++) {
-                        int64_t s1 = line_l1s[li];
-                        l1_touched[s1] = 1;
-                        if (cache_access(l1_tags + s1 * l1_ways, l1_ways,
-                                         line_l1t[li])) {
-                            l1h++;
-                        } else {
-                            int64_t s2 = line_l2s[li];
-                            l1m++;
-                            l2_touched[s2] = 1;
-                            if (cache_access(l2_tags + s2 * l2_ways,
-                                             l2_ways, line_l2t[li])) {
-                                l2h++;
-                            } else {
-                                int64_t now = clock + rec_rel[rec];
-                                int64_t ch = line_ch[li];
-                                int64_t fr = free_at[ch];
-                                int64_t st = now >= fr ? now : fr;
-                                l2m++;
-                                free_at[ch] = st + line_cycles;
-                                dreq++;
-                                dqd += st - now;
-                            }
-                        }
-                    }
-                    if (has_probes) {
-                        for (li = rec_probe_start[rec];
-                             li < rec_probe_start[rec + 1]; li++) {
-                            int64_t rs = probe_rcs[li];
-                            rc_touched[rs] = 1;
-                            if (cache_access(rc_tags + rs * rc_ways,
-                                             rc_ways, probe_rct[li])) {
-                                rch++;
-                                continue;
-                            }
-                            rcm++;
-                            {
-                                int64_t s2 = probe_mls[li];
-                                l2_touched[s2] = 1;
-                                if (cache_access(l2_tags + s2 * l2_ways,
-                                                 l2_ways, probe_mlt[li])) {
-                                    pl2h++;
-                                } else {
-                                    int64_t now = clock + rec_rel[rec];
-                                    int64_t ch = probe_mch[li];
-                                    int64_t fr = free_at[ch];
-                                    int64_t st = now >= fr ? now : fr;
-                                    pl2m++;
-                                    free_at[ch] = st + line_cycles;
-                                    dreq++;
-                                    dqd += st - now;
-                                }
-                            }
-                        }
-                    }
-                }
-                if (comp < 0) {
-                    int64_t slowest = 0;
-                    int64_t now, lat, cand;
-                    rec = base + last;
-                    now = clock + rec_rel[rec];
-                    for (li = rec_line_start[rec];
-                         li < rec_line_start[rec + 1]; li++) {
-                        int64_t s1 = line_l1s[li];
-                        l1_touched[s1] = 1;
-                        if (cache_access(l1_tags + s1 * l1_ways, l1_ways,
-                                         line_l1t[li])) {
-                            l1h++;
-                            lat = l1_lat;
-                        } else {
-                            int64_t s2 = line_l2s[li];
-                            l1m++;
-                            l2_touched[s2] = 1;
-                            if (cache_access(l2_tags + s2 * l2_ways,
-                                             l2_ways, line_l2t[li])) {
-                                l2h++;
-                                lat = l2_lat;
-                            } else {
-                                int64_t ch = line_ch[li];
-                                int64_t fr = free_at[ch];
-                                int64_t st = now >= fr ? now : fr;
-                                l2m++;
-                                free_at[ch] = st + line_cycles;
-                                dreq++;
-                                dqd += st - now;
-                                lat = st + dram_latency - now;
-                            }
-                        }
-                        cand = lat + line_txo[li];
-                        if (cand > slowest)
-                            slowest = cand;
-                    }
-                    if (has_probes) {
-                        int64_t extra = 0, pslow = 0, plat;
-                        for (li = rec_probe_start[rec];
-                             li < rec_probe_start[rec + 1]; li++) {
-                            int64_t rs = probe_rcs[li];
-                            rc_touched[rs] = 1;
-                            if (cache_access(rc_tags + rs * rc_ways,
-                                             rc_ways, probe_rct[li])) {
-                                rch++;
-                                continue;
-                            }
-                            rcm++;
-                            extra++;
-                            {
-                                int64_t s2 = probe_mls[li];
-                                l2_touched[s2] = 1;
-                                if (cache_access(l2_tags + s2 * l2_ways,
-                                                 l2_ways, probe_mlt[li])) {
-                                    pl2h++;
-                                    plat = l2_lat;
-                                } else {
-                                    int64_t ch = probe_mch[li];
-                                    int64_t fr = free_at[ch];
-                                    int64_t st = now >= fr ? now : fr;
-                                    pl2m++;
-                                    free_at[ch] = st + line_cycles;
-                                    dreq++;
-                                    dqd += st - now;
-                                    plat = st + dram_latency - now;
-                                }
-                            }
-                            if (plat > pslow)
-                                pslow = plat;
-                        }
-                        if (extra > 1)
-                            pslow += tx_cycles * (extra - 1);
-                        slowest += pslow;
-                    }
-                    comp = length - 2 + slowest - comp;
-                }
-            }
-
-            complete = clock + comp;
-            clock += length;
-            if (ridx[w] == run_start[w + 1]) {
-                live--;
-                ready &= ~current_bit;
-                finals[w] = complete;
-            } else if (complete > clock) {
-                if (ready == current_bit && next_wake >= complete) {
-                    stall += complete - clock;
-                    clock = complete;
-                } else {
-                    ready &= ~current_bit;
-                    wake_at[w] = complete;
-                    if (complete < next_wake)
-                        next_wake = complete;
-                }
-            }
-        }
-    }
-
-    {
-        int64_t finish = 0;
-        for (w = 0; w < warp_count; w++)
-            if (finals[w] > finish)
-                finish = finals[w];
-        out[0] = l1h;
-        out[1] = l1m;
-        out[2] = l2h;
-        out[3] = l2m;
-        out[4] = dreq;
-        out[5] = dqd;
-        out[6] = rch;
-        out[7] = rcm;
-        out[8] = pl2h;
-        out[9] = pl2m;
-        out[10] = stall;
-        out[11] = finish;
-        out[12] = ev_n;
-        return finish;
-    }
-}
-"""
-
-_CDEF = """
-int64_t lmi_run(
-    int64_t warp_count,
-    int64_t l1_ways, int64_t l1_lat,
-    int64_t l2_ways, int64_t l2_lat,
-    int64_t dram_latency, int64_t line_cycles, int64_t tx_cycles,
-    const int64_t *run_start,
-    const int64_t *run_length, const int64_t *run_comp,
-    const int64_t *run_mem_lo, const int64_t *run_mem_hi,
-    const int64_t *rec_base, const int64_t *rec_rel,
-    const int64_t *rec_line_start,
-    const int64_t *line_l1s, const int64_t *line_l1t,
-    const int64_t *line_l2s, const int64_t *line_l2t,
-    const int64_t *line_ch, const int64_t *line_txo,
-    int64_t has_probes,
-    const int64_t *rec_probe_start,
-    const int64_t *probe_rcs, const int64_t *probe_rct,
-    const int64_t *probe_mls, const int64_t *probe_mlt,
-    const int64_t *probe_mch,
-    int64_t rc_ways,
-    int64_t *l1_tags, int64_t *l2_tags, int64_t *rc_tags,
-    uint8_t *l1_touched, uint8_t *l2_touched, uint8_t *rc_touched,
-    int64_t *free_at,
-    int64_t ev_every, int64_t ev_phase, int64_t ev_cap, int64_t *ev_buf,
-    int64_t *out);
-"""
-
-# Lazy singleton: None = untried, False = unavailable, else (ffi, lib).
-_NATIVE = None
+def note_fallback(reason: str) -> None:
+    """Count (and once per reason, log) a native-path fallback."""
+    NATIVE_DIAG.counter("sim.native_fallback", reason=reason).inc()
+    if reason not in _FALLBACK_LOGGED:
+        _FALLBACK_LOGGED.add(reason)
+        log.info(
+            "native executor fallback (%s): %s",
+            reason,
+            _FALLBACK_DETAIL.get(reason, reason),
+        )
 
 
-def _build_dir() -> str:
-    env = os.environ.get("REPRO_NATIVE_CACHE")
-    if env:
-        return env
-    tag = f"repro-sim-native-{os.getuid()}" if hasattr(os, "getuid") else (
-        "repro-sim-native"
+def fallback_counts() -> Dict[str, int]:
+    """Reason → count snapshot of every fallback noted so far."""
+    counts: Dict[str, int] = {}
+    for instrument in NATIVE_DIAG:
+        if instrument.name != "sim.native_fallback":
+            continue
+        reason = dict(instrument.labels).get("reason", "?")
+        counts[reason] = counts.get(reason, 0) + int(instrument.value)
+    return counts
+
+
+def _disabled() -> bool:
+    return os.environ.get(NATIVE_ENV, "").lower() in ("0", "false", "no")
+
+
+def cell_spec_for(simulator, plan) -> CellSpec:
+    """The codegen cell of *simulator*'s config under *plan*'s shape.
+
+    Everything here is folded into the generated C as a literal: the
+    latencies and way counts specialize the kernel, and plans without
+    probe tables select the probe-free variant.  (Set counts, line
+    bits and channel interleave are baked into the *plan*'s
+    pre-resolved geometry columns, not the kernel.)
+    """
+    config = simulator.config
+    dram = simulator.dram
+    has_probes = plan.mem_probes is not None
+    return CellSpec(
+        has_probes=has_probes,
+        l1_ways=config.l1.ways,
+        l1_latency=config.l1.hit_latency,
+        l2_ways=config.l2.ways,
+        l2_latency=config.l2.hit_latency,
+        dram_latency=dram.latency,
+        line_cycles=dram.line_cycles,
+        tx_cycles=TRANSACTION_CYCLES,
+        rc_ways=simulator.model.rcache.config.ways if has_probes else 0,
     )
-    return os.path.join(tempfile.gettempdir(), tag)
-
-
-def _load() -> object:
-    """Compile (once) and dlopen the kernel; ``False`` on any failure."""
-    global _NATIVE
-    if _NATIVE is not None:
-        return _NATIVE
-    try:
-        from cffi import FFI
-
-        cc = which("cc") or which("gcc") or which("clang")
-        if cc is None:
-            _NATIVE = False
-            return _NATIVE
-        digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
-        build = _build_dir()
-        os.makedirs(build, exist_ok=True)
-        so_path = os.path.join(build, f"lmi_native_{digest}.so")
-        if not os.path.exists(so_path):
-            src_path = os.path.join(build, f"lmi_native_{digest}.c")
-            with open(src_path, "w", encoding="utf-8") as fh:
-                fh.write(_C_SOURCE)
-            tmp_so = so_path + f".tmp{os.getpid()}"
-            subprocess.run(
-                [cc, "-O2", "-shared", "-fPIC", "-o", tmp_so, src_path],
-                check=True,
-                capture_output=True,
-            )
-            os.replace(tmp_so, so_path)
-        ffi = FFI()
-        ffi.cdef(_CDEF)
-        lib = ffi.dlopen(so_path)
-        _NATIVE = (ffi, lib)
-    except Exception:  # toolchain missing / sandboxed: fall back
-        _NATIVE = False
-    return _NATIVE
 
 
 def native_available() -> bool:
-    """True when the C executor can be compiled and loaded."""
-    if os.environ.get(NATIVE_ENV, "").lower() in ("0", "false", "no"):
+    """True when generated cells can be compiled and loaded.
+
+    Probes the default-config baseline cell (memoized), so a ``True``
+    answer means an actual kernel is resident — not merely that a
+    compiler binary exists.
+    """
+    if _disabled():
         return False
-    return bool(_load())
+    from ..common.config import DEFAULT_GPU_CONFIG
+    from .dram import DramModel
+
+    dram = DramModel(DEFAULT_GPU_CONFIG)
+    spec = CellSpec(
+        has_probes=False,
+        l1_ways=DEFAULT_GPU_CONFIG.l1.ways,
+        l1_latency=DEFAULT_GPU_CONFIG.l1.hit_latency,
+        l2_ways=DEFAULT_GPU_CONFIG.l2.ways,
+        l2_latency=DEFAULT_GPU_CONFIG.l2.hit_latency,
+        dram_latency=dram.latency,
+        line_cycles=dram.line_cycles,
+        tx_cycles=TRANSACTION_CYCLES,
+    )
+    return isinstance(load_cell(spec), CompiledCell)
 
 
 def _flat(values: List[int]) -> np.ndarray:
@@ -475,6 +207,29 @@ class NativePlan:
     has_probes: bool
     rec_probe_start: np.ndarray
     probe_cols: List[np.ndarray]
+    #: Slab slots 0–19 (the plan-owned pointers), precomputed once:
+    #: per-run marshalling then only fills the per-run state slots.
+    slab_prefix: np.ndarray = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.slab_prefix is None:
+            columns = [
+                self.run_start,
+                self.run_length,
+                self.run_comp,
+                self.run_mem_lo,
+                self.run_mem_hi,
+                self.rec_base,
+                self.rec_rel,
+                self.rec_line_start,
+                *self.line_cols,
+                self.rec_probe_start,
+                *self.probe_cols,
+            ]
+            prefix = np.zeros(20, dtype=np.uint64)
+            for index, column in enumerate(columns):
+                prefix[index] = column.ctypes.data
+            self.slab_prefix = prefix
 
 
 def pack_native_plan(plan) -> NativePlan:
@@ -537,150 +292,121 @@ def pack_native_plan(plan) -> NativePlan:
     return packed
 
 
-def _export_rows(rows, ways: int) -> np.ndarray:
-    """Snapshot dict rows into a dense ``sets*ways`` tag array."""
-    arr = np.full(len(rows) * ways, -1, dtype=np.int64)
-    base = 0
-    for row in rows:
-        if row:
-            arr[base : base + len(row)] = list(row)
-        base += ways
-    return arr
+#: Placeholder RCache arrays for probe-free cells: the generated
+#: kernel contains no code that reads slab slots 22/25, so one shared
+#: (never-dereferenced) pair serves every cell — including cells
+#: running concurrently on batch threads.
+_DUMMY_TAGS = np.zeros(1, dtype=np.int64)
+_DUMMY_TOUCHED = np.zeros(1, dtype=np.uint8)
 
 
-def _import_rows(rows, arr: np.ndarray, touched: np.ndarray, ways: int):
-    """Rebuild the dict rows the kernel touched, preserving LRU order."""
-    flat = arr.tolist()
-    for s in np.flatnonzero(touched).tolist():
-        row = {}
-        base = s * ways
-        for tag in flat[base : base + ways]:
-            if tag < 0:
-                break
-            row[tag] = None
-        rows[s] = row
+@dataclass
+class _PreparedCell:
+    """One trace marshalled for a generated kernel, pre-invocation."""
+
+    simulator: object
+    plan: object
+    stats: object
+    events: Optional[list]
+    scalars: np.ndarray  # int64[NSCALARS]
+    slab: np.ndarray  # uint64[NPTRS] of raw pointers
+    out: np.ndarray  # int64[OUT_SLOTS]
+    ev_buf: Optional[np.ndarray]
+    l1_state: Tuple[np.ndarray, np.ndarray]
+    l2_state: Tuple[np.ndarray, np.ndarray]
+    rc_state: Optional[Tuple[np.ndarray, np.ndarray]]
+    free_at: np.ndarray
 
 
-def run_native(
+def _prepare(
     simulator,
     plan,
     stats,
-    events: Optional[List] = None,
-    sample_every: int = 1,
-    sample_phase: int = 0,
-) -> Optional[int]:
-    """Run *plan* through the C kernel; ``None`` → use the Python loop.
-
-    Mutates *stats* and the simulator's cache/DRAM state exactly like
-    :func:`repro.sim.columnar.run_columnar` only when it commits to
-    running (all refusal checks happen first).
-
-    When *events* is a list, the kernel records one ``(issue_cycle,
-    warp, run_length)`` triple per sampled issue run into a
-    preallocated ``int64`` buffer (the same ``seq % every == phase``
-    comb as the Python loop, applied to the same run sequence), and
-    the triples are appended to *events* after the run — so the C and
-    Python fast paths produce byte-identical event lists.
-    """
-    if os.environ.get(NATIVE_ENV, "").lower() in ("0", "false", "no"):
-        return None
-    native = _load()
-    if not native:
-        return None
-    if len(plan.runs) > _MAX_WARPS:
-        return None
-    ffi, lib = native
-
+    events: Optional[list],
+    sample_every: int,
+    sample_phase: int,
+) -> _PreparedCell:
+    """Export state and build the pointer slab for one trace."""
     npl = pack_native_plan(plan)
-    config = simulator.config
-    l1 = simulator.l1
-    l2 = simulator.l2
-    dram = simulator.dram
-    l1_ways = l1._ways
-    l2_ways = l2._ways
-    l1_tags = _export_rows(l1.rows, l1_ways)
-    l2_tags = _export_rows(l2.rows, l2_ways)
-    l1_touched = np.zeros(len(l1.rows), dtype=np.uint8)
-    l2_touched = np.zeros(len(l2.rows), dtype=np.uint8)
+    l1_state = simulator.l1.native_export()
+    l2_state = simulator.l2.native_export()
     if npl.has_probes:
-        rcache = simulator.model.rcache
-        rc_ways = rcache._ways
-        rc_tags = _export_rows(rcache.rows, rc_ways)
-        rc_touched = np.zeros(len(rcache.rows), dtype=np.uint8)
+        rc_state = simulator.model.rcache.native_export()
     else:
-        rcache = None
-        rc_ways = 0
-        rc_tags = np.zeros(1, dtype=np.int64)
-        rc_touched = np.zeros(1, dtype=np.uint8)
-    free_at = np.asarray(dram.channel_free_at, dtype=np.int64)
-    out = np.zeros(13, dtype=np.int64)
-
-    def p(arr):
-        return ffi.cast("int64_t *", arr.ctypes.data)
-
+        rc_state = None
+    free_at = np.asarray(simulator.dram.channel_free_at, dtype=np.int64)
+    out = np.zeros(OUT_SLOTS, dtype=np.int64)
     if events is not None:
         total_runs = int(npl.run_start[-1])
         ev_cap = total_runs // sample_every + 1
         ev_buf = np.empty(ev_cap * 3, dtype=np.int64)
-        ev_ptr = p(ev_buf)
+        ev_addr = ev_buf.ctypes.data
     else:
         ev_cap = 0
         ev_buf = None
-        ev_ptr = ffi.NULL
-
-    line = npl.line_cols
-    probe = npl.probe_cols
-    finish = lib.lmi_run(
-        npl.warp_count,
-        l1_ways,
-        config.l1.hit_latency,
-        l2_ways,
-        config.l2.hit_latency,
-        dram.latency,
-        dram.line_cycles,
-        TRANSACTION_CYCLES,
-        p(npl.run_start),
-        p(npl.run_length),
-        p(npl.run_comp),
-        p(npl.run_mem_lo),
-        p(npl.run_mem_hi),
-        p(npl.rec_base),
-        p(npl.rec_rel),
-        p(npl.rec_line_start),
-        p(line[0]),
-        p(line[1]),
-        p(line[2]),
-        p(line[3]),
-        p(line[4]),
-        p(line[5]),
-        1 if npl.has_probes else 0,
-        p(npl.rec_probe_start),
-        p(probe[0]),
-        p(probe[1]),
-        p(probe[2]),
-        p(probe[3]),
-        p(probe[4]),
-        rc_ways,
-        p(l1_tags),
-        p(l2_tags),
-        p(rc_tags),
-        ffi.cast("uint8_t *", l1_touched.ctypes.data),
-        ffi.cast("uint8_t *", l2_touched.ctypes.data),
-        ffi.cast("uint8_t *", rc_touched.ctypes.data),
-        p(free_at),
-        sample_every,
-        sample_phase,
-        ev_cap,
-        ev_ptr,
-        p(out),
+        ev_addr = 0
+    slab = np.empty(NPTRS, dtype=np.uint64)
+    slab[:20] = npl.slab_prefix
+    slab[20] = l1_state[0].ctypes.data
+    slab[21] = l2_state[0].ctypes.data
+    slab[23] = l1_state[1].ctypes.data
+    slab[24] = l2_state[1].ctypes.data
+    if rc_state is not None:
+        slab[22] = rc_state[0].ctypes.data
+        slab[25] = rc_state[1].ctypes.data
+    else:
+        slab[22] = _DUMMY_TAGS.ctypes.data
+        slab[25] = _DUMMY_TOUCHED.ctypes.data
+    slab[26] = free_at.ctypes.data
+    slab[27] = ev_addr
+    slab[28] = out.ctypes.data
+    scalars = np.array(
+        [npl.warp_count, sample_every, sample_phase, ev_cap],
+        dtype=np.int64,
+    )
+    return _PreparedCell(
+        simulator=simulator,
+        plan=plan,
+        stats=stats,
+        events=events,
+        scalars=scalars,
+        slab=slab,
+        out=out,
+        ev_buf=ev_buf,
+        l1_state=l1_state,
+        l2_state=l2_state,
+        rc_state=rc_state,
+        free_at=free_at,
     )
 
-    _import_rows(l1.rows, l1_tags, l1_touched, l1_ways)
-    _import_rows(l2.rows, l2_tags, l2_touched, l2_ways)
-    if rcache is not None:
-        _import_rows(rcache.rows, rc_tags, rc_touched, rc_ways)
-    dram.channel_free_at[:] = free_at.tolist()
 
+def _invoke(cell: CompiledCell, preps: Sequence[_PreparedCell], threads: int):
+    """One FFI crossing for the whole *preps* group."""
+    n = len(preps)
+    if n == 1:
+        scalars = preps[0].scalars
+        slab = preps[0].slab
+    else:
+        scalars = np.concatenate([p.scalars for p in preps])
+        slab = np.concatenate([p.slab for p in preps])
+    ffi = cell.ffi
+    cell.lib.lmi_cell_run_batch(
+        n,
+        threads,
+        ffi.cast("const int64_t *", scalars.ctypes.data),
+        ffi.cast("void **", slab.ctypes.data),
+    )
+    stats = CODEGEN_STATS
+    stats.batch_calls += 1
+    stats.batch_cells += n
+    if n > stats.max_batch:
+        stats.max_batch = n
+    if threads > stats.max_threads:
+        stats.max_threads = threads
+
+
+def _commit(prep: _PreparedCell) -> int:
+    """Fold a finished kernel's outputs back into simulator state."""
     (
         l1_hits,
         l1_misses,
@@ -693,16 +419,28 @@ def run_native(
         p_l2_hits,
         p_l2_misses,
         stall_cycles,
-        _finish,
+        finish,
         ev_count,
-    ) = out.tolist()
+        _status,
+    ) = prep.out.tolist()
 
+    simulator = prep.simulator
+    simulator.l1.native_commit(*prep.l1_state)
+    simulator.l2.native_commit(*prep.l2_state)
+    if prep.rc_state is not None:
+        simulator.model.rcache.native_commit(*prep.rc_state)
+    dram = simulator.dram
+    dram.channel_free_at[:] = prep.free_at.tolist()
+
+    events = prep.events
     if events is not None and ev_count:
-        flat = ev_buf[: ev_count * 3].tolist()
+        flat = prep.ev_buf[: ev_count * 3].tolist()
         append = events.append
         for i in range(0, ev_count * 3, 3):
             append((flat[i], flat[i + 1], flat[i + 2]))
 
+    plan = prep.plan
+    stats = prep.stats
     stats.instructions = plan.total_instructions
     stats.issue_stall_cycles = stall_cycles
     stats.extra_transactions = plan.extra_transactions
@@ -711,13 +449,104 @@ def run_native(
     stats.l1_misses = l1_misses
     stats.l2_hits = l2_hits
     stats.l2_misses = l2_misses
-    l1.stats.hits += l1_hits
-    l1.stats.misses += l1_misses
-    l2.stats.hits += l2_hits + p_l2_hits
-    l2.stats.misses += l2_misses + p_l2_misses
+    simulator.l1.stats.hits += l1_hits
+    simulator.l1.stats.misses += l1_misses
+    simulator.l2.stats.hits += l2_hits + p_l2_hits
+    simulator.l2.stats.misses += l2_misses + p_l2_misses
     dram.stats.requests += dram_requests
     dram.stats.queue_delay_cycles += dram_queue_delay
-    if rcache is not None:
-        rcache.stats.hits += rc_hits
-        rcache.stats.misses += rc_misses
+    if prep.rc_state is not None:
+        rc_stats = simulator.model.rcache.stats
+        rc_stats.hits += rc_hits
+        rc_stats.misses += rc_misses
     return int(finish)
+
+
+def run_native(
+    simulator,
+    plan,
+    stats,
+    events: Optional[List] = None,
+    sample_every: int = 1,
+    sample_phase: int = 0,
+) -> Optional[int]:
+    """Run *plan* through its generated kernel; ``None`` → Python loop.
+
+    Mutates *stats* and the simulator's cache/DRAM state exactly like
+    :func:`repro.sim.columnar.run_columnar` only when it commits to
+    running (all refusal checks — and the wide variant's scratch
+    allocation — happen before any state is touched).  Every refusal
+    is recorded via :func:`note_fallback`.
+
+    When *events* is a list, the kernel records one ``(issue_cycle,
+    warp, run_length)`` triple per sampled issue run (the same ``seq %
+    every == phase`` comb as the Python loop, applied to the same run
+    sequence), appended to *events* after the run — so the C and
+    Python fast paths produce byte-identical event lists.
+    """
+    if _disabled():
+        note_fallback("disabled")
+        return None
+    cell = load_cell(cell_spec_for(simulator, plan))
+    if not isinstance(cell, CompiledCell):
+        note_fallback(cell)
+        return None
+    prep = _prepare(
+        simulator, plan, stats, events, sample_every, sample_phase
+    )
+    _invoke(cell, (prep,), 1)
+    if prep.out[13]:
+        note_fallback("kernel-error")
+        return None
+    return _commit(prep)
+
+
+def run_native_batch(
+    requests: Sequence[Tuple], threads: Optional[int] = None
+) -> List[Optional[int]]:
+    """Run many traces natively with one FFI crossing per cell group.
+
+    *requests* is a sequence of ``(simulator, plan, stats, events,
+    sample_every, sample_phase)`` tuples — the :func:`run_native`
+    signature, one per trace.  Requests are grouped by codegen cell;
+    each group crosses the FFI once and, when the cell was compiled
+    with OpenMP/pthread support, fans out over
+    :func:`~repro.sim.codegen.resolve_threads` threads (*threads*
+    overrides).  Simulators must be distinct objects — the kernels
+    mutate exported cache state concurrently.
+
+    Returns one finish-cycle (or ``None`` for any trace whose cell is
+    unavailable — the caller runs those through the Python loop; the
+    refusal is recorded via :func:`note_fallback` either way).
+    Per-trace results, state mutations and event lists are identical
+    to ``[run_native(*r) for r in requests]``.
+    """
+    results: List[Optional[int]] = [None] * len(requests)
+    if not requests:
+        return results
+    if _disabled():
+        for _ in requests:
+            note_fallback("disabled")
+        return results
+    groups: Dict[CellSpec, List[int]] = {}
+    for index, request in enumerate(requests):
+        spec = cell_spec_for(request[0], request[1])
+        groups.setdefault(spec, []).append(index)
+    for spec, indices in groups.items():
+        cell = load_cell(spec)
+        if not isinstance(cell, CompiledCell):
+            for _ in indices:
+                note_fallback(cell)
+            continue
+        preps = [_prepare(*requests[i]) for i in indices]
+        if threads is None:
+            fan = resolve_threads(len(preps))
+        else:
+            fan = max(1, min(threads, len(preps)))
+        _invoke(cell, preps, fan)
+        for i, prep in zip(indices, preps):
+            if prep.out[13]:
+                note_fallback("kernel-error")
+                continue
+            results[i] = _commit(prep)
+    return results

@@ -78,6 +78,24 @@ class TimingModel:
         """Additional result latency for *instr* at cycle *now*."""
         return 0
 
+    def _overrides_timing_hooks(self, family) -> bool:
+        """True when a subclass replaces any decode-relevant hook.
+
+        The columnar lowering of *family* is correct for any subclass
+        that keeps the family's :meth:`expand`, :meth:`expansion_key`
+        and :meth:`extra_latency` — attribute-only subclasses (renames,
+        extra bookkeeping, custom ``bind`` state) therefore keep the
+        fast path, including the generated native kernels.  Overriding
+        any of the three makes the model opaque to the lowering and
+        routes it to the scalar pipeline.
+        """
+        cls = type(self)
+        return (
+            cls.expand is not family.expand
+            or cls.expansion_key is not family.expansion_key
+            or cls.extra_latency is not family.extra_latency
+        )
+
     def columnar_plan_key(self):
         """Content key of this model's columnar issue-plan lowering.
 
@@ -86,13 +104,16 @@ class TimingModel:
         depends only on the model family and its timing parameters —
         never on simulator state.  Two instances with equal keys decode
         to identical plans, so the per-trace memo may share one.
-        ``None`` (the default for user subclasses) declares the model
-        opaque to the vectorized lowering; the simulator then falls
-        back to the scalar pipeline for it.
+        ``None`` declares the model opaque to the vectorized lowering;
+        the simulator then falls back to the scalar pipeline for it.
+        Subclasses that override none of the decode-relevant hooks
+        (:meth:`expand`, :meth:`expansion_key`, :meth:`extra_latency`)
+        inherit their family's key — and with it the columnar and
+        generated-native fast paths.
         """
-        if type(self) in (TimingModel, BaselineTiming):
-            return ("baseline",)
-        return None
+        if self._overrides_timing_hooks(TimingModel):
+            return None
+        return ("baseline",)
 
 
 class BaselineTiming(TimingModel):
@@ -114,9 +135,14 @@ class LmiTiming(TimingModel):
 
     def columnar_plan_key(self):
         """The OCU penalty is the only decode-relevant parameter."""
-        if type(self) is LmiTiming:
-            return ("lmi", self.ocu_cycles)
-        return None
+        cls = type(self)
+        if (
+            cls.extra_latency is not LmiTiming.extra_latency
+            or cls.expand is not TimingModel.expand
+            or cls.expansion_key is not TimingModel.expansion_key
+        ):
+            return None
+        return ("lmi", self.ocu_cycles)
 
 
 class GPUShieldTiming(TimingModel):
@@ -208,9 +234,14 @@ class GPUShieldTiming(TimingModel):
         while the stateful lookup itself runs against the live RCache
         during simulation.
         """
-        if type(self) is GPUShieldTiming:
-            return ("gpushield", self.entry_bytes, self.rcache.config.num_sets)
-        return None
+        cls = type(self)
+        if (
+            cls.extra_latency is not GPUShieldTiming.extra_latency
+            or cls.expand is not TimingModel.expand
+            or cls.expansion_key is not TimingModel.expansion_key
+        ):
+            return None
+        return ("gpushield", self.entry_bytes, self.rcache.config.num_sets)
 
 
 #: The one injected-check instruction shape: a serially-dependent INT
@@ -235,9 +266,9 @@ class BaggyBoundsTiming(TimingModel):
 
     def columnar_plan_key(self):
         """Decode follows the expansion: keyed on the check count."""
-        if type(self) is BaggyBoundsTiming:
-            return ("baggy", self.instructions_per_check)
-        return None
+        if self._overrides_timing_hooks(BaggyBoundsTiming):
+            return None
+        return ("baggy", self.instructions_per_check)
 
     def expand(self, instr: TraceInstruction) -> Iterator[TraceInstruction]:
         yield instr

@@ -245,6 +245,33 @@ class TraceCache:
             self._remember(key, trace)
             return trace
 
+    def get_or_synthesize_many(self, requests) -> list:
+        """Traces for a whole batch of requests, deduping in-batch.
+
+        *requests* is a sequence of ``(benchmark, warps,
+        instructions_per_warp, seed_salt)`` tuples — the experiment
+        engine's job shape.  Duplicates within the batch resolve to
+        the *same* trace object through one cache lookup, so a batched
+        engine group running four mechanisms of one benchmark pays a
+        single lock acquisition (and at most a single synthesis)
+        instead of four.  Returns one trace per request, in order.
+        """
+        memo: dict = {}
+        out = []
+        for request in requests:
+            trace = memo.get(request)
+            if trace is None:
+                benchmark, warps, instructions_per_warp, seed_salt = request
+                trace = self.get_or_synthesize(
+                    benchmark,
+                    warps=warps,
+                    instructions_per_warp=instructions_per_warp,
+                    seed_salt=seed_salt,
+                )
+                memo[request] = trace
+            out.append(trace)
+        return out
+
 
 #: Process-global cache; the disk layer follows ``REPRO_TRACE_CACHE``.
 TRACE_CACHE = TraceCache(disk_dir=os.environ.get("REPRO_TRACE_CACHE") or None)

@@ -200,8 +200,9 @@ def test_no_warps_raises(monkeypatch):
 
 
 def test_past_native_bitmask_width(monkeypatch):
-    """>64 warps exceed the C executor's ready mask: the columnar
-    engine must hand the plan to the Python loop and stay correct."""
+    """>64 warps spill past one ready-mask word: the generated
+    kernel's multi-word wide variant must stay cycle-exact (and the
+    Python loop must agree when the kernel is unavailable)."""
     trace = synthesize_trace("gaussian", warps=65, instructions_per_warp=40)
     got, want, got_state, want_state = _run_both(trace, "lmi", "columnar")
     assert got.cycles == want.cycles
@@ -444,3 +445,38 @@ def test_jobs_metrics_and_trace_export_byte_identical(monkeypatch):
     fanned = artifacts(4)
     assert fanned[0] == serial[0]
     assert fanned[1] == serial[1]
+
+
+def test_batch_width_exports_byte_identical(monkeypatch):
+    """--metrics/--trace artifacts must be byte-identical at any
+    serial batch width: the batched executor runs whole groups through
+    one native FFI crossing but still publishes per job, in submission
+    order, inside each job's span."""
+    monkeypatch.setenv(SAMPLE_ENV, "1/3")
+    jobs = [
+        SimJob(
+            benchmark=benchmark,
+            mechanism=mechanism,
+            warps=3,
+            instructions_per_warp=160,
+        )
+        for benchmark in ("gaussian", "needle")
+        for mechanism in MODELS
+    ]
+
+    def artifacts(batch):
+        monkeypatch.setenv(engine_module.BATCH_ENV, str(batch))
+        with capture() as t:
+            results = run_sim_jobs(jobs)
+            return (
+                _job_rows(results),
+                dumps(metrics_json(t.registry, recorder=t.recorder)),
+                dumps(chrome_trace(t.tracer, t.recorder)),
+            )
+
+    unbatched = artifacts(1)
+    for batch in (3, 8, 64):
+        batched = artifacts(batch)
+        assert batched[0] == unbatched[0], batch
+        assert batched[1] == unbatched[1], batch
+        assert batched[2] == unbatched[2], batch
