@@ -4,9 +4,10 @@ Subcommands::
 
     repro report [--ledger PATH] [--bench-dir DIR] [--out PATH]
                  [--metric NAME] [--threshold FRACTION] [--check]
-                 [--json PATH]
+                 [--json PATH] [--bisect]
     repro top [--url URL | --port PORT [--host HOST]]
               [--interval SECS] [--limit N] [--once]
+    repro ledger merge SRC [SRC ...] --out DEST
     repro experiments [...]   # forwards to python -m repro.experiments
 
 ``repro report`` renders a self-contained HTML report (no network
@@ -15,7 +16,14 @@ access: inline CSS and SVG only) from the run ledger plus any
 the latest throughput of any ledger series falls more than the
 threshold (default 20%) below the median of its prior history.
 ``--json PATH`` additionally writes the machine-readable summary
-(:data:`repro.telemetry.report.REPORT_SUMMARY_SCHEMA`).
+(:data:`repro.telemetry.report.REPORT_SUMMARY_SCHEMA`); ``--bisect``
+walks the commit-anchored ledger history and names the first commit
+where each gated series regressed.
+
+``repro ledger merge`` folds shard/machine ledgers (flat JSONL files
+or segment directories) into one destination, deduplicating records —
+the multi-shard companion of the segmented
+:class:`~repro.telemetry.ledger.RunLedger`.
 
 ``repro top`` is the live companion: it polls the ``/progress``
 endpoint of a run started with ``--serve`` (or
@@ -36,10 +44,11 @@ import urllib.error
 import urllib.request
 from typing import Dict, List, Optional
 
-from .telemetry.ledger import RunLedger, default_ledger_path
+from .telemetry.ledger import RunLedger, default_ledger_path, merge_ledgers
 from .telemetry.report import (
     DEFAULT_MIN_HISTORY,
     DEFAULT_REGRESSION_THRESHOLD,
+    bisect_regressions,
     gateable_series,
     load_bench_documents,
     write_report,
@@ -49,13 +58,22 @@ from .telemetry.report import (
 _REPORT_USAGE = """\
 usage: repro report [--ledger PATH] [--bench-dir DIR] [--out PATH]
                     [--metric NAME] [--threshold FRACTION] [--check]
-                    [--json PATH]
+                    [--json PATH] [--bisect]
 
 Renders a self-contained HTML report from the run ledger and any
 BENCH_*.json benchmark documents; --check exits 1 on a throughput
 regression against the ledger median (and says so explicitly when the
 ledger has too little history to gate anything).  --json PATH also
-writes the machine-readable summary document."""
+writes the machine-readable summary document.  --bisect walks the
+ledger's commit-anchored history and prints, per series, the first
+commit whose median value regressed past the threshold."""
+
+_LEDGER_USAGE = """\
+usage: repro ledger merge SRC [SRC ...] --out DEST
+
+Folds the ledger(s) SRC — flat .jsonl files or segment directories —
+into DEST, deduplicating identical records and ordering by timestamp.
+Idempotent: re-merging the same sources adds nothing."""
 
 _TOP_USAGE = """\
 usage: repro top [--url URL | --port PORT [--host HOST]]
@@ -72,6 +90,7 @@ usage: repro <command> [...]
 commands:
   report        render the HTML run report / regression check
   top           live terminal view of a --serve'd experiments run
+  ledger        merge shard/machine run ledgers
   experiments   run the paper-reproduction experiments CLI"""
 
 
@@ -84,6 +103,7 @@ def _report_main(argv: List[str]) -> int:
     metric = "throughput"
     threshold = DEFAULT_REGRESSION_THRESHOLD
     check = False
+    bisect = False
 
     value_flags = (
         "--ledger", "--bench-dir", "--out", "--metric", "--threshold",
@@ -97,6 +117,8 @@ def _report_main(argv: List[str]) -> int:
             return 0
         if arg == "--check":
             check = True
+        elif arg == "--bisect":
+            bisect = True
         elif arg in value_flags or arg.startswith(
             tuple(f"{flag}=" for flag in value_flags)
         ):
@@ -160,6 +182,26 @@ def _report_main(argv: List[str]) -> int:
         )
     for message in failures:
         print(f"[report] REGRESSION: {message}")
+    if bisect:
+        culprits = bisect_regressions(
+            ledger, metric=metric, threshold=threshold
+        )
+        if culprits:
+            for name in sorted(culprits):
+                info = culprits[name]
+                print(
+                    f"[bisect] {name}: first regressed at commit "
+                    f"{info['sha']} — {metric} {info['value']:.6g} vs "
+                    f"prior median {info['baseline']:.6g} "
+                    f"({float(info['drop_fraction']) * 100:.1f}% drop, "
+                    f"{info['prior_commits']} prior commit(s))"
+                )
+        else:
+            print(
+                "[bisect] no commit-attributable regression in the "
+                f"ledger history (metric {metric!r}, threshold "
+                f"{threshold * 100:.0f}%)"
+            )
     if check and failures:
         print(f"[report] --check failed ({len(failures)} regression(s))")
         return 1
@@ -176,6 +218,59 @@ def _report_main(argv: List[str]) -> int:
         print(
             f"[report] --check passed ({len(gateable)} series gated)"
         )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro ledger — segment-store maintenance
+
+
+def _ledger_main(argv: List[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_LEDGER_USAGE)
+        return 0 if argv else 2
+    if argv[0] != "merge":
+        print(f"unknown ledger subcommand {argv[0]!r}")
+        print(_LEDGER_USAGE)
+        return 2
+    sources: List[str] = []
+    dest: Optional[str] = None
+    index = 1
+    while index < len(argv):
+        arg = argv[index]
+        if arg in ("-h", "--help"):
+            print(_LEDGER_USAGE)
+            return 0
+        if arg == "--out" or arg.startswith("--out="):
+            if "=" in arg:
+                dest = arg.split("=", 1)[1]
+            else:
+                if index + 1 >= len(argv):
+                    print("--out requires a value")
+                    return 2
+                index += 1
+                dest = argv[index]
+        elif arg.startswith("-"):
+            print(f"unknown ledger merge argument {arg!r}")
+            print(_LEDGER_USAGE)
+            return 2
+        else:
+            sources.append(arg)
+        index += 1
+    if not sources or dest is None:
+        print("ledger merge needs at least one SRC and --out DEST")
+        print(_LEDGER_USAGE)
+        return 2
+    missing = [src for src in sources if not os.path.exists(src)]
+    if missing:
+        for src in missing:
+            print(f"ledger merge: source not found: {src}")
+        return 2
+    added, total = merge_ledgers(sources, dest)
+    print(
+        f"[ledger] merged {len(sources)} source(s) -> {dest}: "
+        f"{added} new record(s), {total} total"
+    )
     return 0
 
 
@@ -210,9 +305,14 @@ def format_top(snapshot: Dict[str, object], limit: int = 12) -> str:
         f"run {title} — {status}"
         + (f"  [{meta_text}]" if meta_text else "")
     )
+    # `skipped` counts cells served from the fabric's result cache —
+    # shown separately from `done` so a warm rerun reads honestly
+    # (older servers omit the key; hide the column then).
+    skipped = run.get("skipped")
     lines.append(
         f"jobs {run.get('done', 0)}/{run.get('total', 0)} done · "
-        f"{run.get('running', 0)} running · "
+        + (f"{skipped} skipped · " if skipped else "")
+        + f"{run.get('running', 0)} running · "
         f"{run.get('queued', 0)} queued · "
         f"{run.get('failed', 0)} failed · "
         f"{run.get('retries', 0)} retries"
@@ -376,6 +476,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _report_main(rest)
     if command == "top":
         return _top_main(rest)
+    if command == "ledger":
+        return _ledger_main(rest)
     if command == "experiments":
         from .experiments.__main__ import main as experiments_main
 

@@ -1,6 +1,15 @@
 """Experiment drivers, one per paper table/figure."""
 
 from .engine import JobResult, SimJob, fan_out, model_factory, run_sim_jobs
+from .fabric import (
+    CellCache,
+    cell_digest,
+    code_fingerprint,
+    fabric_counters,
+    reset_fabric_counters,
+    resolve_cell_cache,
+    resolve_shard,
+)
 from .feasibility_study import FeasibilityStudy, run_feasibility_study
 from .fig1_memory_mix import Fig1Result, Fig1Row, run_fig1
 from .fig4_fragmentation import Fig4Result, Fig4Row, measure_benchmark, run_fig4
@@ -21,6 +30,8 @@ from .table6_hardware import (
 
 __all__ = [
     "JobResult", "SimJob", "fan_out", "model_factory", "run_sim_jobs",
+    "CellCache", "cell_digest", "code_fingerprint", "fabric_counters",
+    "reset_fabric_counters", "resolve_cell_cache", "resolve_shard",
     "FeasibilityStudy", "run_feasibility_study",
     "Fig1Result", "Fig1Row", "run_fig1",
     "Fig4Result", "Fig4Row", "measure_benchmark", "run_fig4",

@@ -12,13 +12,30 @@ Performance flags::
     python -m repro.experiments --trace-cache out/traces  # on-disk traces
 
 ``--jobs N`` shards the simulation-backed artefacts (fig12, fig13,
-table2) over N worker processes; outputs are byte-identical for any N.
-``--batch N`` (or ``REPRO_SIM_BATCH``; default 8) sets how many
-serial-path jobs cross the native FFI per call — ``--batch 1``
-restores the one-job-at-a-time loop; outputs are byte-identical for
-any batch width.  ``--trace-cache DIR`` (or ``REPRO_TRACE_CACHE``)
-persists synthesized kernel traces, so repeated runs skip synthesis
-entirely.
+table2) over N work-stealing worker processes; outputs are
+byte-identical for any N.  ``--batch N`` (or ``REPRO_SIM_BATCH``;
+default 8) sets how many serial-path jobs cross the native FFI per
+call — ``--batch 1`` restores the one-job-at-a-time loop; outputs are
+byte-identical for any batch width.  ``--trace-cache DIR`` (or
+``REPRO_TRACE_CACHE``) persists synthesized kernel traces, so
+repeated runs skip synthesis entirely.
+
+Experiment-fabric flags (see :mod:`repro.experiments.fabric`)::
+
+    python -m repro.experiments fig12 --cell-cache out/cells
+    python -m repro.experiments fig12 --cell-cache out/cells --resume
+    python -m repro.experiments fig12 --cell-cache out/cells --shard 0/2
+
+``--cell-cache DIR`` (or ``REPRO_CELL_CACHE``) memoizes every
+completed grid cell under a content address covering its inputs *and*
+the simulation code; unchanged cells are skipped on rerun and their
+telemetry replayed byte-identically.  ``--shard i/N`` owns every Nth
+cell and polls the shared cache (``REPRO_SHARD_WAIT`` seconds) for
+the rest, so N processes/machines split one grid.  ``--resume`` is an
+explicit marker for continuing an interrupted run: it requires the
+cache, reports how many cells the journal already holds, and the run
+recomputes exactly the missing ones.  Exports stay byte-identical for
+any (jobs × shards × cache state) combination.
 
 Observability flags (any of them switches telemetry on)::
 
@@ -65,6 +82,13 @@ from ..telemetry.server import ObservabilityServer, port_from_env
 from ..workloads import configure_trace_cache
 
 from .engine import BATCH_ENV
+from .fabric import (
+    CELL_CACHE_ENV,
+    SHARD_ENV,
+    fabric_counters,
+    resolve_cell_cache,
+    resolve_shard,
+)
 from .feasibility_study import run_feasibility_study
 from .fig1_memory_mix import run_fig1
 from .fig4_fragmentation import run_fig4
@@ -152,6 +176,9 @@ class _CliOptions:
         self.jobs = 1
         self.batch: Optional[int] = None
         self.serve_port: Optional[int] = None
+        self.cell_cache_dir: Optional[str] = None
+        self.shard: Optional[str] = None
+        self.resume = False
         self.error: Optional[str] = None
         self.selected: List[str] = []
 
@@ -161,7 +188,7 @@ def _parse_args(argv) -> _CliOptions:
     options = _CliOptions()
     value_flags = (
         "--metrics", "--trace", "--jobs", "--batch", "--trace-cache",
-        "--ledger", "--serve",
+        "--ledger", "--serve", "--cell-cache", "--shard",
     )
     index = 0
     while index < len(argv):
@@ -170,6 +197,8 @@ def _parse_args(argv) -> _CliOptions:
             options.fast = True
         elif arg == "--verbose-telemetry":
             options.verbose = True
+        elif arg == "--resume":
+            options.resume = True
         elif arg in value_flags or arg.startswith(
             tuple(f"{flag}=" for flag in value_flags)
         ):
@@ -195,6 +224,10 @@ def _parse_args(argv) -> _CliOptions:
                 options.ledger_path = value
             elif flag == "--trace-cache":
                 options.trace_cache_dir = value
+            elif flag == "--cell-cache":
+                options.cell_cache_dir = value
+            elif flag == "--shard":
+                options.shard = value
             elif flag == "--serve":
                 try:
                     options.serve_port = int(value)
@@ -280,6 +313,28 @@ def main(argv) -> int:
         # flag reaches every experiment driver without threading a
         # parameter through each of them.
         os.environ[BATCH_ENV] = str(options.batch)
+    if options.cell_cache_dir:
+        os.environ[CELL_CACHE_ENV] = options.cell_cache_dir
+    if options.shard:
+        os.environ[SHARD_ENV] = options.shard
+        try:
+            resolve_shard(options.shard)
+        except ValueError as exc:
+            print(str(exc))
+            return 2
+        if not os.environ.get(CELL_CACHE_ENV):
+            print("--shard requires --cell-cache (or REPRO_CELL_CACHE): "
+                  "shards coordinate through the shared cell cache")
+            return 2
+    if options.resume:
+        cache = resolve_cell_cache()
+        if cache is None:
+            print("--resume requires --cell-cache (or REPRO_CELL_CACHE): "
+                  "resumption replays cells from the cache journal")
+            return 2
+        print(f"[fabric] resuming: journal holds "
+              f"{len(cache.journal_digests())} completed cell(s) "
+              f"at {cache.directory}")
     names = options.selected if options.selected else list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
@@ -325,6 +380,7 @@ def main(argv) -> int:
             print("=" * 72)
             counters_before = _sim_totals(TELEMETRY.registry)
             phases_before = PROGRESS.phase_totals()
+            fabric_before = fabric_counters()
             with TELEMETRY.span(
                 f"experiment:{name}", "experiment", fast=fast
             ):
@@ -346,6 +402,11 @@ def main(argv) -> int:
                     metrics["throughput"] = (
                         counters["sim.instructions"] / elapsed
                     )
+                fabric_delta = {
+                    key: value - fabric_before[key]
+                    for key, value in fabric_counters().items()
+                    if value - fabric_before[key] > 0
+                }
                 ledger.record(
                     "experiment",
                     name,
@@ -355,6 +416,7 @@ def main(argv) -> int:
                     wall_seconds=elapsed,
                     phases=phases or None,
                     sha=sha,
+                    fabric=fabric_delta or None,
                 )
 
         if telemetry_wanted:
@@ -384,6 +446,21 @@ def main(argv) -> int:
                     )
             if verbose:
                 print(TELEMETRY.summary())
+        fabric_totals = fabric_counters()
+        if any(fabric_totals.values()):
+            # One machine-readable line per run; the CI warm-rerun
+            # check parses it to assert the cache skip rate.
+            total = (
+                fabric_totals["cells_executed"]
+                + fabric_totals["cells_skipped"]
+            )
+            print(
+                f"[fabric] total={total} "
+                f"executed={fabric_totals['cells_executed']} "
+                f"skipped={fabric_totals['cells_skipped']} "
+                f"stolen={fabric_totals['cells_stolen']} "
+                f"redispatched={fabric_totals['cells_redispatched']}"
+            )
         if ledger is not None:
             print(f"[ledger updated at {ledger.path}]")
     except BaseException:

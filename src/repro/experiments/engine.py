@@ -3,9 +3,11 @@ fan-out for the simulation-backed paper artefacts.
 
 The artefact drivers (Figure 12/13, Table II) decompose into
 independent jobs — one timing simulation (or analytic row) per
-(benchmark, mechanism) pair.  This module shards those jobs across a
-``ProcessPoolExecutor`` while keeping every observable output
-**byte-identical** to the serial run:
+(benchmark, mechanism) pair.  This module owns the serial execution
+paths and the job/result plumbing; parallel, cached and sharded runs
+are delegated to :mod:`~repro.experiments.fabric` (a work-stealing
+pool over a content-addressed cell cache).  Every observable output
+stays **byte-identical** to the serial run:
 
 * **Job order is the contract.**  Results are merged in submission
   order (the serial iteration order), never completion order, so
@@ -66,10 +68,8 @@ independent jobs — one timing simulation (or analytic row) per
 from __future__ import annotations
 
 import os
-import shutil
 import tempfile
 import time
-from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import (
@@ -96,7 +96,7 @@ from ..sim import (
 )
 from ..sim.tracefile import dump_trace_npz, load_trace_npz
 from ..telemetry.progress import PROGRESS
-from ..telemetry.runtime import TELEMETRY, capture
+from ..telemetry.runtime import TELEMETRY
 from ..workloads import cached_trace
 from ..workloads.profiles import profile
 from ..workloads.trace_cache import TRACE_CACHE, trace_key
@@ -237,24 +237,6 @@ def _execute_job(
     return JobResult(
         job=job, cycles=result.cycles, stats=result.stats, phases=phases
     )
-
-
-def _job_worker(payload):
-    """Pool entry point: job + optional private-telemetry capture."""
-    job, config, telemetry_wanted, trace_path = payload
-    if not telemetry_wanted:
-        TELEMETRY.enabled = False  # forked copies must not double-count
-        return _execute_job(job, config, trace_path), None
-    with capture(
-        ring_capacity=_WORKER_RING_CAPACITY, sample_every=1
-    ) as hub:
-        result = _execute_job(job, config, trace_path)
-        events = [
-            (event.kind, dict(event.payload))
-            for event in hub.recorder.events()
-        ]
-        registry = hub.registry
-    return result, (registry, events)
 
 
 def _trace_request(job: SimJob) -> Tuple[str, int, int, int]:
@@ -533,86 +515,52 @@ def run_sim_jobs(
     job_ids = [
         board.job_queued(job.benchmark, job.mechanism) for job in job_list
     ]
-    if workers <= 1:
-        batch = resolve_batch_size(batch_size)
-        if batch > 1 and len(job_list) > 1:
-            return _run_serial_batched(
-                job_list, job_ids, config, batch, telemetry_wanted, board
-            )
-        if not telemetry_wanted:
-            serial_results = []
-            for job, job_id in zip(job_list, job_ids):
-                board.job_running(job_id)
-                result = _execute_job(job, config)
-                board.record_phases(result.phases)
-                board.job_finished(job_id)
-                serial_results.append(result)
-            return serial_results
-        # One span per job, tid = submission index.  The fan-out path
-        # below opens the *same* spans around each job's telemetry
-        # replay, so the logical clock advances identically and
-        # --metrics/--trace artifacts stay byte-identical across
-        # --jobs values — while Perfetto renders one track per job.
-        serial_results: List[JobResult] = []
-        for index, job in enumerate(job_list):
-            board.job_running(job_ids[index])
-            with _job_span(job, index):
-                result = _execute_job(job, config)
+    # The fabric (work-stealing pool, content-addressed cell cache,
+    # shards) owns every path except the plain serial one.  Imported
+    # lazily: fabric imports this module at its top level.
+    from .fabric import resolve_cell_cache, resolve_shard, run_grid
+
+    cell_cache = resolve_cell_cache()
+    shard = resolve_shard()
+    if workers > 1 or cell_cache is not None or shard is not None:
+        return run_grid(
+            job_list,
+            job_ids,
+            config=config,
+            workers=workers,
+            telemetry_wanted=telemetry_wanted,
+            board=board,
+            cache=cell_cache,
+            shard=shard,
+        )
+    batch = resolve_batch_size(batch_size)
+    if batch > 1 and len(job_list) > 1:
+        return _run_serial_batched(
+            job_list, job_ids, config, batch, telemetry_wanted, board
+        )
+    if not telemetry_wanted:
+        serial_results = []
+        for job, job_id in zip(job_list, job_ids):
+            board.job_running(job_id)
+            result = _execute_job(job, config)
             board.record_phases(result.phases)
-            board.job_finished(job_ids[index])
+            board.job_finished(job_id)
             serial_results.append(result)
         return serial_results
-
-    results: List[JobResult] = []
-    trace_paths, cleanup = _ship_traces(job_list)
-    # The pool dispatches FIFO: the first `workers` submissions run
-    # immediately, and each completion frees a slot for the next
-    # queued job.  Mirror that on the board — mark the first `workers`
-    # running now, promote one more from each future's completion
-    # callback.  Callbacks fire on completion order (the *live* truth)
-    # while the result pipe below still merges in submission order.
-    pending_ids = deque(job_ids[workers:])
-    for job_id in job_ids[:workers]:
-        board.job_running(job_id)
-
-    def _on_done(future, job_id):
-        board.job_finished(job_id, ok=future.exception() is None)
-        try:
-            next_id = pending_ids.popleft()
-        except IndexError:
-            return
-        board.job_running(next_id)
-
-    try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = []
-            for job, job_id in zip(job_list, job_ids):
-                future = pool.submit(
-                    _job_worker,
-                    (
-                        job,
-                        config,
-                        telemetry_wanted,
-                        trace_paths.get(_trace_request(job)),
-                    ),
-                )
-                if job_id is not None:
-                    future.add_done_callback(
-                        lambda f, job_id=job_id: _on_done(f, job_id)
-                    )
-                futures.append(future)
-            # submission order == merge order
-            for index, future in enumerate(futures):
-                result, blob = future.result()
-                board.record_phases(result.phases)
-                if blob is not None:
-                    with _job_span(job_list[index], index):
-                        _replay_telemetry(blob)
-                results.append(result)
-    finally:
-        if cleanup is not None:
-            shutil.rmtree(cleanup, ignore_errors=True)
-    return results
+    # One span per job, tid = submission index.  The fabric opens the
+    # *same* spans around each job's telemetry replay, so the logical
+    # clock advances identically and --metrics/--trace artifacts stay
+    # byte-identical across --jobs values — while Perfetto renders one
+    # track per job.
+    serial_results: List[JobResult] = []
+    for index, job in enumerate(job_list):
+        board.job_running(job_ids[index])
+        with _job_span(job, index):
+            result = _execute_job(job, config)
+        board.record_phases(result.phases)
+        board.job_finished(job_ids[index])
+        serial_results.append(result)
+    return serial_results
 
 
 def _fan_worker(payload):

@@ -48,6 +48,25 @@ written to a same-directory temp file and published with
 the new file, never a torn one.  Compacting to half the cap keeps the
 amortized cost O(1) per append instead of recompacting on every write
 at the boundary.
+
+Segmented (commit-anchored) mode
+--------------------------------
+Pointing a :class:`RunLedger` at a **directory** (an existing dir, or
+any path spelled with a trailing separator) switches it to segment
+mode: each writer process appends to its own
+``seg-<gitsha>-<runid>.jsonl`` file inside the directory, named for
+the commit that produced the records plus a per-process run id.  That
+makes concurrent shards (or machines sharing a filesystem) natural
+writers — no two processes ever touch the same file — and makes the
+store *mergeable*: :func:`merge_ledgers` (CLI: ``repro ledger merge``)
+folds any mix of segment directories and flat JSONL files into one
+destination, deduplicating identical records and ordering by
+``created_at``.  Reads present the union of all segments in the same
+deterministic order, so ``repro report`` works unchanged on either
+layout.  Rotation in segment mode drops the oldest whole segments
+(never the one this process is writing) instead of rewriting files in
+place, preserving the each-file-is-append-only property that makes
+segments safe to rsync mid-run.
 """
 
 from __future__ import annotations
@@ -55,8 +74,9 @@ from __future__ import annotations
 import json
 import os
 import subprocess
+import uuid
 from datetime import datetime, timezone
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 #: Version tag stamped into (and required of) every ledger record.
 LEDGER_SCHEMA = "repro.telemetry.ledger/v1"
@@ -126,22 +146,25 @@ def make_record(
     phases: Optional[Dict[str, float]] = None,
     meta: Optional[Dict[str, object]] = None,
     sha: Optional[str] = None,
+    fabric: Optional[Dict[str, object]] = None,
+    created_at: Optional[str] = None,
 ) -> Dict[str, object]:
     """Build one schema-stamped ledger record (not yet persisted).
 
     *metrics* is the numeric series dict the regression check reads
     (conventionally including ``throughput``); *counters* carries
     registry/SimStats totals; *config* the engine/mechanism settings
-    that produced them.
+    that produced them; *fabric* the experiment-fabric operational
+    counters (cells skipped/stolen/redispatched) for this run.
     """
     record: Dict[str, object] = {
         "schema": LEDGER_SCHEMA,
         "kind": kind,
         "name": name,
         "git_sha": sha if sha is not None else git_sha(),
-        "created_at": datetime.now(timezone.utc).strftime(
-            "%Y-%m-%dT%H:%M:%SZ"
-        ),
+        "created_at": created_at
+        if created_at is not None
+        else datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
     }
     if config:
         record["config"] = config
@@ -157,17 +180,71 @@ def make_record(
         }
     if meta:
         record["meta"] = meta
+    if fabric:
+        record["fabric"] = {k: int(v) for k, v in fabric.items()}
     return record
 
 
+def _read_jsonl(path: str) -> List[Dict[str, object]]:
+    """Valid ledger records of one JSONL file, in append order.
+
+    Malformed lines and unknown schemas are skipped (the ledger must
+    survive version bumps and torn writes from killed runs).
+    """
+    if not os.path.exists(path):
+        return []
+    records: List[Dict[str, object]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if (
+                    isinstance(record, dict)
+                    and record.get("schema") == LEDGER_SCHEMA
+                ):
+                    records.append(record)
+    except OSError:
+        return []
+    return records
+
+
 class RunLedger:
-    """Append-only JSONL ledger of experiment/benchmark runs."""
+    """Append-only JSONL ledger of experiment/benchmark runs.
+
+    Flat mode (*path* names a ``.jsonl`` file) appends to that file.
+    Segment mode (*path* names a directory — existing, or spelled with
+    a trailing separator) appends to a per-process commit-anchored
+    segment file inside it; see the module docstring.
+    """
 
     def __init__(self, path: Optional[str] = None) -> None:
         self.path = path if path is not None else default_ledger_path()
+        self.segmented = self.path.endswith(os.sep) or os.path.isdir(
+            self.path
+        )
+        #: Lazily-chosen per-process segment file (segment mode only);
+        #: one RunLedger instance == one writer == one segment.
+        self._segment: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Writing
+
+    def _write_path(self) -> str:
+        """The file this instance appends to (lazy in segment mode)."""
+        if not self.segmented:
+            return self.path
+        if self._segment is None:
+            run_id = f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
+            self._segment = os.path.join(
+                self.path, f"seg-{git_sha()}-{run_id}.jsonl"
+            )
+        return self._segment
 
     def append(self, record: Dict[str, object]) -> Dict[str, object]:
         """Persist one record (schema-stamping it if needed).
@@ -180,11 +257,10 @@ class RunLedger:
             record = dict(record)
             record["schema"] = LEDGER_SCHEMA
         line = json.dumps(record, sort_keys=True) + "\n"
-        parent = os.path.dirname(os.path.abspath(self.path))
+        path = self._write_path()
+        parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
-        fd = os.open(
-            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
-        )
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
         try:
             os.write(fd, line.encode("utf-8"))
         finally:
@@ -204,6 +280,9 @@ class RunLedger:
         """
         max_bytes = ledger_max_bytes()
         if max_bytes <= 0:
+            return
+        if self.segmented:
+            self._rotate_segments(max_bytes)
             return
         try:
             size = os.path.getsize(self.path)
@@ -249,6 +328,44 @@ class RunLedger:
                 except OSError:
                     pass
 
+    def _rotate_segments(self, max_bytes: int) -> None:
+        """Drop the oldest whole segments once the dir exceeds the cap.
+
+        Each segment stays append-only (never rewritten in place); the
+        segment this process is writing is always preserved.  Keeps
+        deleting the oldest segment — by first-record ``created_at``,
+        filename as the tiebreak — until the directory fits half the
+        cap, mirroring the flat-mode amortization.
+        """
+        sized: List[Tuple[str, str, int]] = []  # (sort key, path, size)
+        total = 0
+        for path in self._segment_files():
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            records = _read_jsonl(path)
+            first = (
+                str(records[0].get("created_at", "")) if records else ""
+            )
+            sized.append((first, path, size))
+            total += size
+        if total <= max_bytes:
+            return
+        keep_budget = max_bytes // 2
+        for _, path, size in sorted(
+            sized, key=lambda item: (item[0], os.path.basename(item[1]))
+        ):
+            if total <= keep_budget:
+                break
+            if path == self._segment:
+                continue
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+
     def record(self, kind: str, name: str, **fields) -> Dict[str, object]:
         """:func:`make_record` + :meth:`append` in one call."""
         return self.append(make_record(kind, name, **fields))
@@ -256,29 +373,34 @@ class RunLedger:
     # ------------------------------------------------------------------
     # Reading
 
+    def _segment_files(self) -> List[str]:
+        """Segment paths in filename order (segment mode only)."""
+        if not self.segmented or not os.path.isdir(self.path):
+            return []
+        return [
+            os.path.join(self.path, entry)
+            for entry in sorted(os.listdir(self.path))
+            if entry.startswith("seg-") and entry.endswith(".jsonl")
+        ]
+
     def read(self) -> List[Dict[str, object]]:
-        """All valid records, in append order.
+        """All valid records, in deterministic chronological order.
+
+        Flat mode returns append order.  Segment mode returns the
+        union of every segment, stably sorted by ``created_at``
+        (segments visited in filename order supply the tiebreak) — so
+        two shards that wrote interleaved records read back in the
+        same order on every machine that holds the same segments.
 
         Malformed lines and unknown schemas are skipped (the ledger
         must survive version bumps and torn writes from killed runs).
         """
-        if not os.path.exists(self.path):
-            return []
+        if not self.segmented:
+            return _read_jsonl(self.path)
         records: List[Dict[str, object]] = []
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except ValueError:
-                    continue
-                if (
-                    isinstance(record, dict)
-                    and record.get("schema") == LEDGER_SCHEMA
-                ):
-                    records.append(record)
+        for path in self._segment_files():
+            records.extend(_read_jsonl(path))
+        records.sort(key=lambda rec: str(rec.get("created_at", "")))
         return records
 
     def series(
@@ -307,6 +429,40 @@ class RunLedger:
         return seen
 
 
+def merge_ledgers(
+    sources: Iterable[str], dest: str
+) -> Tuple[int, int]:
+    """Fold ledgers *sources* into *dest*; returns ``(added, total)``.
+
+    Each source (and the destination) may be a flat JSONL file or a
+    segment directory — :class:`RunLedger` reads either.  Records are
+    deduplicated by their canonical JSON rendering (two shards that
+    each recorded the same run contribute one copy), ordered stably by
+    ``created_at``, and appended to *dest* preserving their original
+    timestamps and git SHAs.  Idempotent: merging the same sources
+    twice adds nothing the second time.
+    """
+    destination = RunLedger(dest)
+    seen = {
+        json.dumps(record, sort_keys=True)
+        for record in destination.read()
+    }
+    fresh: List[Tuple[str, str, Dict[str, object]]] = []
+    for source in sources:
+        for record in RunLedger(source).read():
+            key = json.dumps(record, sort_keys=True)
+            if key in seen:
+                continue
+            seen.add(key)
+            fresh.append(
+                (str(record.get("created_at", "")), key, record)
+            )
+    fresh.sort(key=lambda item: item[0])
+    for _, _, record in fresh:
+        destination.append(record)
+    return len(fresh), len(seen)
+
+
 __all__ = [
     "LEDGER_SCHEMA",
     "LEDGER_ENV",
@@ -314,5 +470,6 @@ __all__ = [
     "default_ledger_path",
     "git_sha",
     "make_record",
+    "merge_ledgers",
     "RunLedger",
 ]

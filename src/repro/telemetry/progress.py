@@ -42,11 +42,16 @@ from typing import Dict, List, Mapping, Optional, Tuple
 #: Version tag stamped into every ``/progress`` snapshot.
 PROGRESS_SCHEMA = "repro.telemetry.progress/v1"
 
-#: Job lifecycle states (terminal: DONE, FAILED).
+#: Job lifecycle states (terminal: DONE, FAILED, SKIPPED).
 QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
+#: Terminal state of a cell served from the experiment fabric's
+#: content-addressed cache — the work was *not* performed, so skipped
+#: jobs never feed the EWMA/ETA estimators (a warm rerun's ETA must
+#: describe the cells still being simulated, not the free ones).
+SKIPPED = "skipped"
 
 #: Counter families summed into the snapshot's ``violations`` block —
 #: the live view of what the mechanisms are catching.
@@ -136,7 +141,9 @@ class ProgressBoard:
         self.run_status = "idle"
         self.run_meta: Dict[str, object] = {}
         self._jobs: Dict[str, JobProgress] = {}
-        self._counts = {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0}
+        self._counts = {
+            QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0, SKIPPED: 0,
+        }
         self._retries = 0
         self._ewma_seconds: Optional[float] = None
         self._run_started: Optional[float] = None
@@ -211,7 +218,7 @@ class ProgressBoard:
             return
         with self._cond:
             job = self._jobs.get(job_id)
-            if job is None or job.state in (DONE, FAILED):
+            if job is None or job.state in (DONE, FAILED, SKIPPED):
                 return
             now = time.perf_counter()
             started = job._started_at
@@ -233,13 +240,34 @@ class ProgressBoard:
                     )
             self._touch_locked()
 
+    def job_skipped(self, job_id: Optional[str]) -> None:
+        """queued → skipped: the cell was served from the result cache.
+
+        Distinct from *done* so a warm rerun reads honestly on the
+        board (and in ``repro top``): skipped cells performed no work,
+        so they bypass the wall-time EWMA entirely — the ETA keeps
+        describing only the cells actually being simulated.
+        """
+        if job_id is None:
+            return
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None or job.state not in (QUEUED, RUNNING):
+                return
+            self._counts[job.state] -= 1
+            job.state = SKIPPED
+            job.phase = ""
+            job.wall_seconds = 0.0
+            self._counts[SKIPPED] += 1
+            self._touch_locked()
+
     def job_retry(self, job_id: Optional[str]) -> None:
         """Bump a job's retry count and park it back in the queue."""
         if job_id is None:
             return
         with self._cond:
             job = self._jobs.get(job_id)
-            if job is None or job.state in (DONE, FAILED):
+            if job is None or job.state in (DONE, FAILED, SKIPPED):
                 return
             job.retries += 1
             self._retries += 1
@@ -339,7 +367,9 @@ class ProgressBoard:
                 done / uptime if uptime and uptime > 0 and done else None
             )
             eta = self._eta_seconds_locked()
-            state_rank = {RUNNING: 0, QUEUED: 1, DONE: 2, FAILED: 2}
+            state_rank = {
+                RUNNING: 0, QUEUED: 1, DONE: 2, FAILED: 2, SKIPPED: 2,
+            }
             jobs = sorted(
                 self._jobs.values(),
                 key=lambda j: (
@@ -364,6 +394,7 @@ class ProgressBoard:
                     "running": self._counts[RUNNING],
                     "done": done,
                     "failed": self._counts[FAILED],
+                    "skipped": self._counts[SKIPPED],
                     "retries": self._retries,
                     "ewma_job_seconds": (
                         round(self._ewma_seconds, 6)
@@ -410,6 +441,7 @@ __all__ = [
     "RUNNING",
     "DONE",
     "FAILED",
+    "SKIPPED",
     "VIOLATION_COUNTERS",
     "EWMA_ALPHA",
     "JobProgress",

@@ -347,6 +347,19 @@ def _prom_labels(labels: LabelKey) -> str:
     return "{" + rendered + "}"
 
 
+#: Diagnostic registries appended to the live ``/metrics`` exposition.
+#:
+#: Subsystems whose counters describe *how* a run executed rather than
+#: *what* it computed (cell-cache hits, work-steals, native-dispatch
+#: stats) register a private :class:`MetricsRegistry` here instead of
+#: touching the process-global hub registry: the deterministic
+#: ``--metrics``/``--trace`` exports must stay byte-identical across
+#: cache states and job counts, and operational counters would break
+#: that contract.  The observability server renders each entry after
+#: the main registry; nothing else reads this list.
+DIAG_REGISTRIES: List[MetricsRegistry] = []
+
+
 # ----------------------------------------------------------------------
 # Exposition lint
 
@@ -385,5 +398,6 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "DIAG_REGISTRIES",
     "lint_prometheus",
 ]

@@ -107,6 +107,66 @@ def check_regressions(
     return failures
 
 
+def bisect_regressions(
+    ledger: RunLedger,
+    *,
+    metric: str = "throughput",
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> Dict[str, Dict[str, object]]:
+    """Pin the first commit where each gated series regressed.
+
+    The ledger anchors every record to a git SHA, so a regression can
+    be *bisected* offline: for each series carrying *metric*, group
+    its values by commit in first-seen order and walk the commits
+    chronologically; the culprit is the first commit whose median
+    value falls more than *threshold* below the median of everything
+    recorded before it.  Robust to a noisy run on either side of the
+    boundary (medians on both) and needs no checkouts or reruns —
+    CI history alone answers "which commit made fig12 slow?".
+
+    Returns ``series name -> {sha, value, baseline, drop_fraction,
+    prior_commits}`` for regressed series only; an empty dict means no
+    series shows a commit-attributable regression.
+    """
+    out: Dict[str, Dict[str, object]] = {}
+    for name in ledger.names():
+        commits: List[str] = []
+        values: Dict[str, List[float]] = {}
+        for record in ledger.read():
+            if record.get("name") != name:
+                continue
+            metrics = record.get("metrics")
+            if not isinstance(metrics, dict) or metric not in metrics:
+                continue
+            try:
+                value = float(metrics[metric])
+            except (TypeError, ValueError):
+                continue
+            sha = str(record.get("git_sha", "unknown"))
+            if sha not in values:
+                commits.append(sha)
+                values[sha] = []
+            values[sha].append(value)
+        prior: List[float] = []
+        for index, sha in enumerate(commits):
+            if prior:
+                baseline = statistics.median(prior)
+                current = statistics.median(values[sha])
+                if baseline > 0:
+                    drop = 1.0 - current / baseline
+                    if drop > threshold:
+                        out[name] = {
+                            "sha": sha,
+                            "value": current,
+                            "baseline": baseline,
+                            "drop_fraction": round(drop, 6),
+                            "prior_commits": index,
+                        }
+                        break
+            prior.extend(values[sha])
+    return out
+
+
 def gateable_series(
     ledger: RunLedger,
     *,
@@ -184,6 +244,7 @@ def build_summary(
         "failure_count": len(failures),
         "series": series_out,
         "phases": latest_phase_attribution(ledger),
+        "fabric": latest_fabric_counters(ledger),
     }
     sim = bench_docs.get("BENCH_sim")
     overhead = sim.get("telemetry_overhead") if isinstance(sim, dict) else None
@@ -223,6 +284,27 @@ def latest_phase_attribution(ledger: RunLedger) -> Dict[str, float]:
     for phases in latest.values():
         for phase, seconds in phases.items():
             totals[phase] = round(totals.get(phase, 0.0) + seconds, 6)
+    return dict(sorted(totals.items()))
+
+
+def latest_fabric_counters(ledger: RunLedger) -> Dict[str, int]:
+    """Fabric cell counters summed over the **latest** record of each
+    series that carries a ``fabric`` block (cells skipped/stolen/
+    redispatched — the machine-readable view of cache effectiveness)."""
+    latest: Dict[str, Dict[str, int]] = {}
+    for record in ledger.read():
+        fabric = record.get("fabric")
+        name = record.get("name")
+        if isinstance(fabric, dict) and isinstance(name, str):
+            latest[name] = {
+                k: int(v)
+                for k, v in fabric.items()
+                if isinstance(v, (int, float))
+            }
+    totals: Dict[str, int] = {}
+    for counters in latest.values():
+        for key, count in counters.items():
+            totals[key] = totals.get(key, 0) + count
     return dict(sorted(totals.items()))
 
 
@@ -486,10 +568,12 @@ __all__ = [
     "REPORT_SUMMARY_SCHEMA",
     "load_bench_documents",
     "check_regressions",
+    "bisect_regressions",
     "gateable_series",
     "build_summary",
     "write_summary",
     "latest_phase_attribution",
+    "latest_fabric_counters",
     "sparkline_svg",
     "build_html",
     "write_report",

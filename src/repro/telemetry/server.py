@@ -49,6 +49,7 @@ from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
 from .progress import PROGRESS, ProgressBoard
+from .registry import DIAG_REGISTRIES
 from .runtime import TELEMETRY, Telemetry
 
 #: Environment variable enabling the server (same port semantics as
@@ -165,6 +166,20 @@ class _Handler(BaseHTTPRequestHandler):
                 break
             except RuntimeError:
                 continue
+        # Diagnostic registries (fabric cache/steal counters, native
+        # dispatch stats) ride only the live exposition — they are
+        # operational, not part of the deterministic exports.
+        for diag in DIAG_REGISTRIES:
+            for _ in range(5):
+                try:
+                    extra = diag.to_prometheus()
+                    break
+                except RuntimeError:
+                    continue
+            else:
+                extra = ""
+            if extra:
+                text += extra
         self._send(200, PROMETHEUS_CONTENT_TYPE, text.encode("utf-8"))
 
     def _get_healthz(self) -> None:

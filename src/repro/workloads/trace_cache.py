@@ -70,6 +70,28 @@ def trace_key(
     return hashlib.sha256(raw.encode("utf-8")).hexdigest()
 
 
+def request_key(
+    benchmark: str,
+    warps: int,
+    instructions_per_warp: int,
+    seed_salt: int = 0,
+) -> str:
+    """Content address of an engine-shaped request (hex SHA-256).
+
+    Convenience over :func:`trace_key` for callers that hold the
+    engine's ``(benchmark, warps, instructions, salt)`` tuple rather
+    than a profile object — the experiment fabric digests grid cells
+    through this, so a cell digest tracks profile edits exactly the
+    way the trace cache itself does.
+    """
+    return trace_key(
+        profile(benchmark),
+        warps=warps,
+        instructions_per_warp=instructions_per_warp,
+        seed_salt=seed_salt,
+    )
+
+
 @dataclass
 class TraceCacheStats:
     """Hit/miss counters for both cache layers."""
@@ -314,5 +336,6 @@ __all__ = [
     "cached_trace",
     "configure_trace_cache",
     "profile_fingerprint",
+    "request_key",
     "trace_key",
 ]

@@ -15,6 +15,7 @@ Covers the persistence layer the perf trajectory rides on:
 from __future__ import annotations
 
 import json
+import os
 import re
 
 import pytest
@@ -29,13 +30,16 @@ from repro.telemetry.ledger import (
     git_sha,
     ledger_max_bytes,
     make_record,
+    merge_ledgers,
 )
 from repro.telemetry.report import (
     REPORT_SUMMARY_SCHEMA,
+    bisect_regressions,
     build_html,
     build_summary,
     check_regressions,
     gateable_series,
+    latest_fabric_counters,
     latest_phase_attribution,
     load_bench_documents,
     sparkline_svg,
@@ -470,3 +474,236 @@ class TestReportCli:
         ) == 0
         assert "1 benchmark documents" in capsys.readouterr().out
         assert "BENCH_x" in out.read_text()
+
+
+# ----------------------------------------------------------------------
+# Segmented (commit-anchored) ledger mode
+
+
+def _stamp(hour: int) -> str:
+    return f"2026-08-01T{hour:02d}:00:00Z"
+
+
+class TestSegmentedLedger:
+    def test_dir_path_selects_segment_mode(self, tmp_path):
+        assert RunLedger(str(tmp_path / "segs") + os.sep).segmented
+        existing = tmp_path / "already-there"
+        existing.mkdir()
+        assert RunLedger(str(existing)).segmented
+        assert not RunLedger(str(tmp_path / "flat.jsonl")).segmented
+
+    def test_writers_get_private_segments(self, tmp_path):
+        store = str(tmp_path / "segs") + os.sep
+        first, second = RunLedger(store), RunLedger(store)
+        first.record("benchmark", "a", metrics={"throughput": 1.0})
+        second.record("benchmark", "a", metrics={"throughput": 2.0})
+        segments = [
+            entry for entry in os.listdir(store)
+            if entry.startswith("seg-") and entry.endswith(".jsonl")
+        ]
+        assert len(segments) == 2  # no two writers share a file
+        assert sorted(first.series("a")) == [1.0, 2.0]
+
+    def test_read_unions_segments_in_timestamp_order(self, tmp_path):
+        store = str(tmp_path / "segs") + os.sep
+        early_writer, late_writer = RunLedger(store), RunLedger(store)
+        late_writer.record(
+            "benchmark", "a", metrics={"throughput": 3.0},
+            created_at=_stamp(9),
+        )
+        early_writer.record(
+            "benchmark", "a", metrics={"throughput": 1.0},
+            created_at=_stamp(7),
+        )
+        late_writer.record(
+            "benchmark", "a", metrics={"throughput": 2.0},
+            created_at=_stamp(8),
+        )
+        assert RunLedger(store).series("a") == [1.0, 2.0, 3.0]
+
+    def test_missing_dir_reads_empty(self, tmp_path):
+        assert RunLedger(str(tmp_path / "never") + os.sep).read() == []
+
+
+class TestMergeLedgers:
+    def _flat(self, path, values, sha="aaa0001", start_hour=1):
+        ledger = RunLedger(str(path))
+        for offset, value in enumerate(values):
+            ledger.record(
+                "benchmark", "sim", metrics={"throughput": value},
+                sha=sha, created_at=_stamp(start_hour + offset),
+            )
+        return ledger
+
+    def test_merge_is_ordered_and_idempotent(self, tmp_path):
+        a = self._flat(tmp_path / "a.jsonl", [2.0], start_hour=2)
+        b = self._flat(tmp_path / "b.jsonl", [1.0], start_hour=1)
+        dest = str(tmp_path / "merged.jsonl")
+        added, total = merge_ledgers([a.path, b.path], dest)
+        assert (added, total) == (2, 2)
+        # Timestamp order wins over source order.
+        assert RunLedger(dest).series("sim") == [1.0, 2.0]
+        added, total = merge_ledgers([a.path, b.path], dest)
+        assert (added, total) == (0, 2)  # idempotent
+
+    def test_merge_dedupes_identical_records(self, tmp_path):
+        record = make_record(
+            "benchmark", "sim", metrics={"throughput": 5.0},
+            sha="aaa0001", created_at=_stamp(1),
+        )
+        for name in ("a.jsonl", "b.jsonl"):
+            RunLedger(str(tmp_path / name)).append(dict(record))
+        dest = str(tmp_path / "merged.jsonl")
+        added, total = merge_ledgers(
+            [str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")], dest
+        )
+        assert (added, total) == (1, 1)
+
+    def test_merge_from_segment_dir_preserves_metadata(self, tmp_path):
+        store = str(tmp_path / "segs") + os.sep
+        RunLedger(store).record(
+            "benchmark", "sim", metrics={"throughput": 7.0},
+            sha="cafe123", created_at=_stamp(3),
+        )
+        dest = str(tmp_path / "merged.jsonl")
+        assert merge_ledgers([store], dest) == (1, 1)
+        merged = RunLedger(dest).read()[0]
+        assert merged["git_sha"] == "cafe123"
+        assert merged["created_at"] == _stamp(3)
+
+    def test_merge_cli_round_trip(self, tmp_path, capsys):
+        self._flat(tmp_path / "a.jsonl", [1.0, 2.0])
+        self._flat(tmp_path / "b.jsonl", [3.0], start_hour=5)
+        dest = str(tmp_path / "merged.jsonl")
+        assert cli_main([
+            "ledger", "merge", str(tmp_path / "a.jsonl"),
+            str(tmp_path / "b.jsonl"), "--out", dest,
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "merged 2 source(s)" in printed
+        assert "3 new record(s), 3 total" in printed
+        assert len(RunLedger(dest).series("sim")) == 3
+
+    def test_merge_cli_usage_errors(self, tmp_path, capsys):
+        assert cli_main(["ledger", "merge"]) == 2
+        assert cli_main(["ledger", "frobnicate"]) == 2
+        assert cli_main([
+            "ledger", "merge", str(tmp_path / "missing.jsonl"),
+            "--out", str(tmp_path / "d.jsonl"),
+        ]) == 2
+        assert "source not found" in capsys.readouterr().out
+        assert cli_main(["ledger", "--help"]) == 0
+
+
+# ----------------------------------------------------------------------
+# Commit bisection over ledger history
+
+
+def _seed_commits(ledger, history):
+    """*history* is ``[(sha, [values...]), ...]`` in commit order."""
+    hour = 0
+    for sha, values in history:
+        for value in values:
+            ledger.record(
+                "benchmark", "sim", metrics={"throughput": value},
+                sha=sha, created_at=_stamp(hour),
+            )
+            hour += 1
+
+
+class TestBisectRegressions:
+    def test_pins_first_regressing_commit(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "l.jsonl"))
+        _seed_commits(ledger, [
+            ("aaa0001", [100.0, 102.0]),
+            ("bbb0002", [99.0]),
+            ("ccc0003", [50.0, 52.0]),   # the culprit
+            ("ddd0004", [51.0]),         # still slow, but not first
+        ])
+        culprits = bisect_regressions(ledger)
+        assert list(culprits) == ["sim"]
+        info = culprits["sim"]
+        assert info["sha"] == "ccc0003"
+        assert info["baseline"] == pytest.approx(100.0)
+        assert info["value"] == pytest.approx(51.0)
+        assert info["drop_fraction"] == pytest.approx(0.49)
+        assert info["prior_commits"] == 2
+
+    def test_clean_history_has_no_culprit(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "l.jsonl"))
+        _seed_commits(ledger, [
+            ("aaa0001", [100.0]), ("bbb0002", [98.0]), ("ccc0003", [101.0]),
+        ])
+        assert bisect_regressions(ledger) == {}
+
+    def test_median_absorbs_one_noisy_run_at_the_boundary(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "l.jsonl"))
+        _seed_commits(ledger, [
+            ("aaa0001", [100.0, 101.0]),
+            ("bbb0002", [40.0, 99.0, 100.0]),  # one bad run, not a trend
+        ])
+        assert bisect_regressions(ledger) == {}
+
+    def test_threshold_is_configurable(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "l.jsonl"))
+        _seed_commits(ledger, [("a", [100.0]), ("b", [90.0])])
+        assert bisect_regressions(ledger) == {}
+        assert "sim" in bisect_regressions(ledger, threshold=0.05)
+
+    def test_report_cli_prints_culprit(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        _seed_commits(RunLedger(str(ledger)), [
+            ("aaa0001", [100.0, 101.0]), ("bbb0002", [50.0]),
+        ])
+        assert cli_main([
+            "report", "--ledger", str(ledger),
+            "--out", str(tmp_path / "r.html"), "--bisect",
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "[bisect] sim: first regressed at commit bbb0002" in printed
+        assert "50.2% drop" in printed
+
+    def test_report_cli_bisect_clean(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        _seed_commits(RunLedger(str(ledger)), [("aaa0001", [100.0, 99.0])])
+        assert cli_main([
+            "report", "--ledger", str(ledger),
+            "--out", str(tmp_path / "r.html"), "--bisect",
+        ]) == 0
+        assert "no commit-attributable regression" in (
+            capsys.readouterr().out
+        )
+
+
+# ----------------------------------------------------------------------
+# Fabric counters in the ledger and the JSON summary
+
+
+class TestFabricInLedger:
+    def test_latest_fabric_counters_sums_latest_per_series(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "l.jsonl"))
+        ledger.record(
+            "experiment", "fig12",
+            fabric={"cells_skipped": 2, "cells_executed": 10},
+        )
+        ledger.record(
+            "experiment", "fig12",
+            fabric={"cells_skipped": 12, "cells_executed": 0},
+        )
+        ledger.record(
+            "experiment", "fig13",
+            fabric={"cells_skipped": 3, "cells_stolen": 1},
+        )
+        assert latest_fabric_counters(ledger) == {
+            "cells_executed": 0, "cells_skipped": 15, "cells_stolen": 1,
+        }
+
+    def test_summary_carries_fabric_block(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "l.jsonl"))
+        ledger.record(
+            "experiment", "fig12",
+            metrics={"throughput": 1.0},
+            fabric={"cells_skipped": 12},
+        )
+        summary = build_summary(ledger)
+        assert summary["fabric"] == {"cells_skipped": 12}
