@@ -66,6 +66,7 @@ def record_run(
     config: Optional[Dict[str, object]] = None,
     counters: Optional[Dict[str, object]] = None,
     wall_seconds: Optional[float] = None,
+    serve: Optional[Dict[str, object]] = None,
 ) -> None:
     """Append one benchmark record to the run ledger."""
     ledger = _ledger()
@@ -77,6 +78,7 @@ def record_run(
         metrics=metrics,
         wall_seconds=wall_seconds,
         sha=_GIT_SHA,
+        serve=serve,
     )
 
 

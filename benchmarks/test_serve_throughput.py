@@ -1,0 +1,207 @@
+"""Bench: serving-plane throughput → ``BENCH_serve.json``.
+
+Swarms an in-process ``repro.serve`` daemon with a zipf-distributed
+multi-tenant request mix at high concurrency, then measures the naive
+alternative **in the same run**: one engine call per request, no
+coalescing, no result cache — what every client would pay if each
+request were a standalone ``run_jobs_batched([job])``.
+
+The daemon must beat naive by **≥10×** (floor asserted).  The win is
+work avoidance, not parallelism: the swarm's zipf shape means only
+``POPULATION`` distinct cells exist, so the daemon executes each once
+(micro-batched) and answers everything else from the in-flight future
+or the result cache, while naive re-simulates every single request.
+
+Phases:
+
+1. **Cold sweep** — ``REQUESTS`` requests at ``CONCURRENCY`` in-flight
+   against a fresh daemon + empty cache dir.  Zero-drop is asserted:
+   every request gets an HTTP response.
+2. **Repeat sweep** — a second, smaller sweep over the same cells;
+   warm hit rate must be ≥50% (it is ~100%: everything is a memory or
+   disk hit).
+3. **Naive baseline** — a zipf sample of the same mix, one engine call
+   per request, timed.
+
+``REPRO_BENCH_FAST=1`` shrinks the swarm for CI smoke runs.  The
+document lands in ``benchmarks/out/BENCH_serve.json`` and the ledger
+record carries the ``serve`` block that ``repro report --json``
+surfaces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+from conftest import OUT_DIR, record_run
+
+from repro.experiments.engine import SimJob, run_jobs_batched
+from repro.serve import ServeDaemon
+from repro.serve.loadgen import build_cells, run_swarm_sync, zipf_schedule
+from repro.telemetry.runtime import TELEMETRY
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+#: Cell dimensions chosen so one simulation costs milliseconds — the
+#: regime the daemon exists for.  (Tiny traces would benchmark HTTP
+#: parsing against the engine's FFI overhead instead.)
+WARPS, INSTRUCTIONS = 16, 6000
+POPULATION = 16
+ZIPF_S = 1.1
+
+REQUESTS = 800 if FAST else 3000
+CONCURRENCY = 256 if FAST else 1000
+REPEAT_REQUESTS = 400 if FAST else 1000
+REPEAT_CONCURRENCY = 128 if FAST else 256
+NAIVE_SAMPLE = 60 if FAST else 120
+
+#: Coalesced + cached serving must beat naive per-request engine calls
+#: by at least this factor.
+SPEEDUP_FLOOR = 10.0
+#: The repeat sweep must be answered at least this much from caches.
+WARM_HIT_FLOOR = 0.5
+
+
+def _to_job(cell) -> SimJob:
+    return SimJob(
+        benchmark=cell["benchmark"],
+        mechanism=cell["mechanism"],
+        warps=cell["warps"],
+        instructions_per_warp=cell["instructions_per_warp"],
+        seed_salt=cell["seed_salt"],
+    )
+
+
+def test_serve_throughput():
+    saved_enabled = TELEMETRY.enabled
+    # Telemetry off: this measures the serving plane's data path, the
+    # same discipline as the fabric bench.
+    TELEMETRY.enabled = False
+    cells = build_cells(
+        POPULATION, warps=WARPS, instructions_per_warp=INSTRUCTIONS, seed=42
+    )
+    jobs = [_to_job(cell) for cell in cells]
+    try:
+        # Pre-warm the trace cache so *both* contenders measure
+        # simulation + serving cost, not one-time trace synthesis.
+        run_jobs_batched(jobs)
+
+        with tempfile.TemporaryDirectory(prefix="serve-bench-") as tmp:
+            cache_dir = os.path.join(tmp, "cells")
+            with ServeDaemon(0, cache_dir=cache_dir) as daemon:
+                cold = run_swarm_sync(
+                    "127.0.0.1",
+                    daemon.port,
+                    requests=REQUESTS,
+                    concurrency=CONCURRENCY,
+                    cells=cells,
+                    zipf_s=ZIPF_S,
+                    seed=7,
+                )
+                repeat = run_swarm_sync(
+                    "127.0.0.1",
+                    daemon.port,
+                    requests=REPEAT_REQUESTS,
+                    concurrency=REPEAT_CONCURRENCY,
+                    cells=cells,
+                    zipf_s=ZIPF_S,
+                    seed=9,
+                )
+                stats = daemon.stats_snapshot()
+
+        # Naive contender: the identical zipf mix, one engine call per
+        # request — no batching, no coalescing, no result cache.
+        sample = zipf_schedule(NAIVE_SAMPLE, POPULATION, s=ZIPF_S, seed=8)
+        started = time.perf_counter()
+        for index in sample:
+            run_jobs_batched([jobs[index]])
+        naive_seconds = time.perf_counter() - started
+    finally:
+        TELEMETRY.enabled = saved_enabled
+
+    naive_rps = NAIVE_SAMPLE / naive_seconds
+    serve_rps = cold["requests_per_second"]
+    speedup = serve_rps / naive_rps
+    repeat_hits = repeat["by_source"].get("memory", 0) + repeat[
+        "by_source"
+    ].get("disk", 0)
+    warm_hit_rate = repeat_hits / repeat["ok"] if repeat["ok"] else 0.0
+
+    serve_block = {
+        "requests_per_second": round(serve_rps, 2),
+        "hit_rate": stats["hit_rate"],
+        "warm_hit_rate": round(warm_hit_rate, 4),
+        "batch_occupancy": stats["batch_occupancy"],
+        "latency_ms": {"p50": cold["p50_ms"], "p99": cold["p99_ms"]},
+        "speedup_vs_naive": round(speedup, 2),
+    }
+    document = {
+        "benchmark": "serve_throughput",
+        "fast": FAST,
+        "swarm": {
+            "requests": REQUESTS,
+            "concurrency": CONCURRENCY,
+            "population": POPULATION,
+            "zipf_s": ZIPF_S,
+            "warps": WARPS,
+            "instructions_per_warp": INSTRUCTIONS,
+        },
+        "cold_sweep": cold,
+        "repeat_sweep": repeat,
+        "daemon_stats": stats,
+        "naive": {
+            "sample_requests": NAIVE_SAMPLE,
+            "seconds": round(naive_seconds, 4),
+            "requests_per_second": round(naive_rps, 2),
+        },
+        "speedup_vs_naive": round(speedup, 2),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "serve": serve_block,
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "BENCH_serve.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"\n[serve_throughput] archived to {path}")
+    print(json.dumps(document, indent=2, sort_keys=True))
+
+    record_run(
+        "serve_throughput",
+        config={
+            "fast": FAST,
+            "requests": REQUESTS,
+            "concurrency": CONCURRENCY,
+            "population": POPULATION,
+        },
+        metrics={
+            "throughput": serve_rps,
+            "serve_speedup": speedup,
+        },
+        wall_seconds=cold["wall_seconds"],
+        serve=serve_block,
+    )
+
+    # Zero-drop: every scheduled request got an explicit response.
+    for sweep in (cold, repeat):
+        assert sweep["errors"] == 0
+        assert sweep["dropped"] == 0
+        assert sweep["ok"] == sweep["requests"]
+    # Work avoidance did its job: only the distinct population was ever
+    # executed, and batching packed those executions together.
+    assert cold["by_source"].get("executed", 0) <= POPULATION
+    assert stats["batches"] >= 1
+    assert stats["batch_cells"] > stats["batches"], (
+        "no coalesced batch formed: every batch held a single cell"
+    )
+    # The repeat sweep is (almost) all cache hits.
+    assert warm_hit_rate >= WARM_HIT_FLOOR, (
+        f"repeat sweep hit rate {warm_hit_rate:.2f} below "
+        f"{WARM_HIT_FLOOR}"
+    )
+    # ...and the headline number.
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"serve only {speedup:.1f}x naive ({serve_rps:.0f} vs "
+        f"{naive_rps:.0f} req/s); floor is {SPEEDUP_FLOOR}x"
+    )

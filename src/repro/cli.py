@@ -91,7 +91,9 @@ commands:
   report        render the HTML run report / regression check
   top           live terminal view of a --serve'd experiments run
   ledger        merge shard/machine run ledgers
-  experiments   run the paper-reproduction experiments CLI"""
+  experiments   run the paper-reproduction experiments CLI
+  serve         run the multi-tenant simulation daemon
+  loadgen       swarm a running daemon with zipf-distributed requests"""
 
 
 def _report_main(argv: List[str]) -> int:
@@ -482,6 +484,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .experiments.__main__ import main as experiments_main
 
         return experiments_main(rest)
+    if command == "serve":
+        from .serve.daemon import main as serve_main
+
+        return serve_main(rest)
+    if command == "loadgen":
+        from .serve.loadgen import main as loadgen_main
+
+        return loadgen_main(rest)
     print(f"unknown command {command!r}")
     print(_USAGE)
     return 2

@@ -484,6 +484,41 @@ def _run_serial_batched(
     return results
 
 
+def run_jobs_batched(
+    jobs: Iterable[SimJob],
+    *,
+    config: GpuConfig = DEFAULT_GPU_CONFIG,
+    batch_size: Optional[int] = None,
+) -> List[JobResult]:
+    """Execute *jobs* on the serial batched native path, nothing else.
+
+    The embeddable core of :func:`run_sim_jobs`: same trace-cache
+    dedup, same grouped :func:`~repro.sim.native.run_native_batch`
+    FFI dispatch, same results (cycles and stats are identical for the
+    same inputs — locked by ``tests/test_serve.py``) — but it never
+    consults the fabric (cell cache, shards), never registers jobs on
+    the progress board, and never opens telemetry spans.  That makes
+    it safe to call from threads that do not own the process-global
+    run state: the ``repro.serve`` daemon's executor threads dispatch
+    every micro-batch through here, concurrently, while a CLI
+    experiment could be using the global hub in the same process.
+    (The trace cache and codegen caches are lock-guarded, so
+    concurrent calls are thread-safe.)
+    """
+    job_list = list(jobs)
+    if not job_list:
+        return []
+    batch = resolve_batch_size(batch_size)
+    return _run_serial_batched(
+        job_list,
+        [None] * len(job_list),
+        config,
+        batch,
+        False,  # never touch the global telemetry hub
+        PROGRESS,  # None job ids: every board transition is a no-op
+    )
+
+
 def run_sim_jobs(
     jobs: Iterable[SimJob],
     *,
@@ -597,6 +632,7 @@ __all__ = [
     "BATCH_ENV",
     "model_factory",
     "resolve_batch_size",
+    "run_jobs_batched",
     "run_sim_jobs",
     "fan_out",
 ]

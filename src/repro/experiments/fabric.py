@@ -58,6 +58,7 @@ import os
 import pickle
 import queue as queue_module
 import shutil
+import threading
 import time
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -102,8 +103,50 @@ FAIL_CELL_ENV = "REPRO_FABRIC_FAIL_CELL"
 FAIL_DIR_ENV = "REPRO_FABRIC_FAIL_DIR"
 
 #: Journal filename inside the cache dir (one JSON line per stored
-#: cell; ``O_APPEND`` so concurrent shards interleave whole lines).
+#: cell; ``O_APPEND`` under an flock so concurrent shard processes
+#: *and* in-process writer threads land whole lines).
 JOURNAL_NAME = "journal.jsonl"
+
+
+class _JournalLock:
+    """Journal-append lock (``flock`` when available).
+
+    Same shape as codegen's per-digest build lock: a sidecar ``.lock``
+    file taken exclusively around the append.  ``O_APPEND`` alone
+    already keeps separate *processes* from tearing lines, but two
+    writers inside one process — the serve daemon's executor threads,
+    or a daemon sharing the cache dir with a CLI run — interleave at
+    the mercy of the kernel's write granularity; the flock makes each
+    journal line atomic in both regimes.  ``flock`` serializes distinct
+    file descriptors even within one process, so threads are covered
+    without a separate in-process mutex.  Platforms without ``fcntl``
+    degrade to the plain append (worst case: a torn line, which
+    ``journal_digests`` already skips).
+    """
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._fd: Optional[int] = None
+
+    def __enter__(self) -> "_JournalLock":
+        try:
+            import fcntl
+
+            self._fd = os.open(self._path, os.O_CREAT | os.O_RDWR, 0o644)
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+        except (ImportError, OSError):
+            self._fd = None
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._fd is not None:
+            try:
+                import fcntl
+
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            except (ImportError, OSError):
+                pass
+            os.close(self._fd)
 
 #: Private diagnostics registry: live ``/metrics`` only (appended to
 #: :data:`~repro.telemetry.registry.DIAG_REGISTRIES`), never the
@@ -260,6 +303,9 @@ class CellCache:
     def __init__(self, directory: str) -> None:
         self.directory = directory
         self.stats = CellCacheStats()
+        #: Counter guard: one handle is shared by the serve daemon's
+        #: executor threads, and ``+=`` on plain ints is not atomic.
+        self._stats_lock = threading.Lock()
 
     def path_for(self, digest: str) -> str:
         return os.path.join(self.directory, f"cell-{digest}.bin")
@@ -289,10 +335,11 @@ class CellCache:
         if record is not None and want_events and record.get("telemetry") is None:
             record = None  # stored without events; recompute + upgrade
         if not quiet:
-            if record is None:
-                self.stats.misses += 1
-            else:
-                self.stats.hits += 1
+            with self._stats_lock:
+                if record is None:
+                    self.stats.misses += 1
+                else:
+                    self.stats.hits += 1
         return record
 
     def _read(
@@ -334,12 +381,13 @@ class CellCache:
         os.makedirs(self.directory, exist_ok=True)
         payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
         checksum = hashlib.sha256(payload).hexdigest()
-        tmp = f"{path}.tmp.{os.getpid()}"
+        tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
         with open(tmp, "wb") as handle:
             handle.write(self._MAGIC + checksum.encode("ascii") + b"\n")
             handle.write(payload)
         os.replace(tmp, path)
-        self.stats.stores += 1
+        with self._stats_lock:
+            self.stats.stores += 1
         job = record.get("job") or {}
         line = (
             json.dumps(
@@ -352,15 +400,16 @@ class CellCache:
             )
             + "\n"
         )
-        fd = os.open(
-            self.journal_path,
-            os.O_WRONLY | os.O_CREAT | os.O_APPEND,
-            0o644,
-        )
-        try:
-            os.write(fd, line.encode("utf-8"))
-        finally:
-            os.close(fd)
+        with _JournalLock(f"{self.journal_path}.lock"):
+            fd = os.open(
+                self.journal_path,
+                os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                0o644,
+            )
+            try:
+                os.write(fd, line.encode("utf-8"))
+            finally:
+                os.close(fd)
 
     def journal_digests(self) -> Set[str]:
         """Digests the journal records as completed (torn lines skipped)."""

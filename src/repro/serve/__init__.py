@@ -1,0 +1,33 @@
+"""High-throughput multi-tenant simulation service.
+
+``repro.serve`` turns the experiment engine into a long-lived daemon:
+many concurrent clients POST simulation requests, the daemon coalesces
+identical in-flight cells, micro-batches distinct ones onto the
+engine's batched native path, and answers repeats from a shared
+content-addressed result cache.  See :mod:`repro.serve.daemon` for
+the architecture and :mod:`repro.serve.loadgen` for the swarm driver.
+"""
+
+from .daemon import ServeDaemon, ServiceStopped
+from .loadgen import run_swarm, run_swarm_sync
+from .protocol import (
+    SERVE_SCHEMA,
+    RequestError,
+    SimRequest,
+    build_config,
+    parse_simulate,
+    result_document,
+)
+
+__all__ = [
+    "SERVE_SCHEMA",
+    "RequestError",
+    "ServeDaemon",
+    "ServiceStopped",
+    "SimRequest",
+    "build_config",
+    "parse_simulate",
+    "result_document",
+    "run_swarm",
+    "run_swarm_sync",
+]

@@ -1,0 +1,1051 @@
+"""The ``repro.serve`` daemon: a multi-tenant simulation service.
+
+One asyncio event loop owns admission control, request coalescing and
+micro-batch formation; a small thread pool executes the batches on the
+experiment engine's serial batched native path
+(:func:`~repro.experiments.engine.run_jobs_batched`).  The design is
+throughput-through-work-avoidance, not parallelism: under a zipf-shaped
+multi-tenant request mix almost every request is answered without
+simulating anything —
+
+1. **Admission control** — per-tenant token buckets
+   (``REPRO_SERVE_TENANT_RPS`` / ``_BURST``) and a bound on distinct
+   in-flight cells (``REPRO_SERVE_MAX_PENDING``).  Rejections are
+   explicit ``429`` responses with ``Retry-After``, never dropped
+   connections.
+2. **Coalescing** — requests are content-addressed by
+   :func:`~repro.experiments.fabric.cell_digest`; a request whose cell
+   is already in flight attaches to the existing future and shares one
+   computation.  Distinct cells are micro-batched: the batcher
+   collects up to ``REPRO_SERVE_MAX_BATCH`` cells within a
+   ``REPRO_SERVE_WINDOW_MS`` deadline window, so one FFI crossing
+   amortises across the batch exactly as the engine's ``--batch`` path
+   does.
+3. **Result cache** — a per-daemon in-memory LRU of cell records in
+   front of the shared on-disk :class:`~repro.experiments.fabric.CellCache`
+   (``REPRO_SERVE_CACHE``, falling back to ``REPRO_CELL_CACHE``).  The
+   disk layer uses the *same* digests and record schema as CLI/fabric
+   runs, so a grid swept overnight pre-warms the service and vice
+   versa.
+4. **Telemetry** — a per-daemon diagnostic
+   :class:`~repro.telemetry.registry.MetricsRegistry` rides the live
+   ``/metrics`` exposition (queue depth, batch occupancy, hit rate,
+   latency histogram); ``/stats`` serves the same numbers as JSON and
+   ``/stats/stream`` as Server-Sent Events.  ``/progress`` mirrors the
+   global :class:`~repro.telemetry.progress.ProgressBoard` so
+   ``repro top`` can watch a daemon like any run.
+
+Every answer is byte-identical to what a direct engine call returns
+for the same job and config — cached, coalesced or executed — which
+``tests/test_serve.py`` locks request-by-request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import dataclasses
+import json
+import math
+import os
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..experiments.engine import JobResult, run_jobs_batched
+from ..experiments.fabric import (
+    CellCache,
+    _make_cell_record,
+    _result_from_record,
+    cell_digest,
+    resolve_cell_cache,
+)
+from ..telemetry.progress import PROGRESS
+from ..telemetry.registry import (
+    DIAG_REGISTRIES,
+    LATENCY_BUCKETS_SECONDS,
+    MetricsRegistry,
+)
+from ..telemetry.server import PROMETHEUS_CONTENT_TYPE, render_metrics_text
+from .protocol import (
+    MAX_BODY_BYTES,
+    RequestError,
+    SimRequest,
+    parse_simulate,
+    result_document,
+)
+
+# ----------------------------------------------------------------------
+# Environment knobs (every one also a ServeDaemon constructor argument)
+
+#: Cells per micro-batch (one executor dispatch / FFI crossing).
+MAX_BATCH_ENV = "REPRO_SERVE_MAX_BATCH"
+#: Batch formation deadline in milliseconds: how long the batcher
+#: waits for more distinct cells before dispatching a partial batch.
+WINDOW_ENV = "REPRO_SERVE_WINDOW_MS"
+#: Executor threads = concurrently running batches.
+WORKERS_ENV = "REPRO_SERVE_WORKERS"
+#: Bound on distinct in-flight cells before new cells get 429.
+MAX_PENDING_ENV = "REPRO_SERVE_MAX_PENDING"
+#: Per-tenant sustained requests/second (0 disables throttling).
+TENANT_RPS_ENV = "REPRO_SERVE_TENANT_RPS"
+#: Per-tenant burst allowance (token bucket depth).
+TENANT_BURST_ENV = "REPRO_SERVE_TENANT_BURST"
+#: In-memory result-cache entries (cell records).
+MEMORY_ENV = "REPRO_SERVE_MEMORY_CELLS"
+#: Shared on-disk cell-cache directory (falls back to REPRO_CELL_CACHE).
+CACHE_ENV = "REPRO_SERVE_CACHE"
+
+_DEFAULT_MAX_BATCH = 8
+_DEFAULT_WINDOW_MS = 5.0
+_DEFAULT_WORKERS = 2
+_DEFAULT_MAX_PENDING = 1024
+_DEFAULT_MEMORY_CELLS = 256
+
+#: SSE cadence of ``/stats/stream`` (matches the observability plane).
+SSE_INTERVAL_SECONDS = 0.5
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ServiceStopped(RuntimeError):
+    """The daemon shut down while the request was in flight (503)."""
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"invalid {name} value {raw!r}") from None
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"invalid {name} value {raw!r}") from None
+
+
+class _HttpError(Exception):
+    """Protocol-level failure on one connection (status + message)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclasses.dataclass
+class _CellWork:
+    """One distinct in-flight cell; coalesced waiters share ``future``."""
+
+    digest: str
+    request: SimRequest
+    future: "asyncio.Future"
+
+
+_SHUTDOWN = object()  # batcher queue sentinel
+
+
+class ServeDaemon:
+    """Lifecycle + request plane of one serving instance.
+
+    Two ways to run it: :meth:`start`/:meth:`stop` host the event loop
+    in a named daemon thread (tests, benchmarks, embedding);
+    :meth:`run_forever` runs it in the calling thread with SIGINT/
+    SIGTERM wired to a clean shutdown (the CLI path).
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        *,
+        cache_dir: Optional[str] = None,
+        max_batch: Optional[int] = None,
+        window_ms: Optional[float] = None,
+        workers: Optional[int] = None,
+        max_pending: Optional[int] = None,
+        tenant_rps: Optional[float] = None,
+        tenant_burst: Optional[float] = None,
+        memory_cells: Optional[int] = None,
+        track_progress: bool = False,
+    ) -> None:
+        self.requested_port = port
+        self.host = host
+        self.port = port
+        self.max_batch = (
+            max_batch
+            if max_batch is not None
+            else _env_int(MAX_BATCH_ENV, _DEFAULT_MAX_BATCH)
+        )
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self.window_seconds = (
+            window_ms
+            if window_ms is not None
+            else _env_float(WINDOW_ENV, _DEFAULT_WINDOW_MS)
+        ) / 1000.0
+        if self.window_seconds < 0:
+            raise ValueError("window_ms must be non-negative")
+        self.workers = (
+            workers
+            if workers is not None
+            else _env_int(WORKERS_ENV, _DEFAULT_WORKERS)
+        )
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+        self.max_pending = (
+            max_pending
+            if max_pending is not None
+            else _env_int(MAX_PENDING_ENV, _DEFAULT_MAX_PENDING)
+        )
+        if self.max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        self.tenant_rps = (
+            tenant_rps
+            if tenant_rps is not None
+            else _env_float(TENANT_RPS_ENV, 0.0)
+        )
+        default_burst = max(1.0, 2.0 * self.tenant_rps)
+        self.tenant_burst = (
+            tenant_burst
+            if tenant_burst is not None
+            else _env_float(TENANT_BURST_ENV, default_burst)
+        )
+        self.memory_cells = (
+            memory_cells
+            if memory_cells is not None
+            else _env_int(MEMORY_ENV, _DEFAULT_MEMORY_CELLS)
+        )
+        if self.memory_cells <= 0:
+            raise ValueError("memory_cells must be positive")
+        self.track_progress = track_progress
+
+        if cache_dir is None:
+            cache_dir = (
+                os.environ.get(CACHE_ENV) or None
+            )  # resolve_cell_cache falls back to REPRO_CELL_CACHE
+        #: Shared handle: same memoized instance CLI/fabric runs use
+        #: for this directory, or None when no cache is configured.
+        self.cell_cache: Optional[CellCache] = resolve_cell_cache(cache_dir)
+
+        #: Per-daemon diagnostic registry; joins DIAG_REGISTRIES only
+        #: while the daemon runs, so several daemons in one process
+        #: (tests) keep disjoint /metrics contributions.
+        self.diag = MetricsRegistry()
+        self._latency = self.diag.histogram(
+            "serve.latency_seconds", buckets=LATENCY_BUCKETS_SECONDS
+        )
+
+        # Plain counters mirrored into `diag` — the /stats JSON reads
+        # these, the Prometheus exposition reads the instruments.
+        self.requests_by_outcome: Dict[str, int] = {}
+        self.responses_by_source: Dict[str, int] = {}
+        self.batches = 0
+        self.batch_cells = 0
+
+        # Loop-confined state (event-loop thread only — no locks).
+        self._memory: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self._inflight: Dict[str, _CellWork] = {}
+        self._buckets: Dict[str, List[float]] = {}  # tenant -> [tokens, at]
+        self._connections: set = set()
+        self._batch_tasks: set = set()
+        self._batch_index = 0
+
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._queue: Optional["asyncio.Queue"] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._dispatch_sem: Optional[asyncio.Semaphore] = None
+        self._executor: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._stopping = False
+        self._started = threading.Event()
+        self._start_error: Optional[BaseException] = None
+        self._started_at = 0.0
+        self._install_signals = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServeDaemon":
+        """Serve from a named daemon thread; returns once bound."""
+        if self._thread is not None:
+            raise RuntimeError("daemon already started")
+        self._started.clear()
+        self._start_error = None
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._start_error is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+            raise self._start_error
+        if not self._started.is_set():
+            raise RuntimeError("serve daemon failed to start in time")
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Shut down cleanly and join the daemon thread."""
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+
+        def _signal() -> None:
+            if self._stop_event is not None:
+                self._stop_event.set()
+
+        try:
+            loop.call_soon_threadsafe(_signal)
+        except RuntimeError:
+            pass  # loop already closed
+        thread.join(timeout)
+        self._thread = None
+        self._loop = None
+
+    def run_forever(self) -> None:
+        """Serve from the calling thread until SIGINT/SIGTERM."""
+        self._install_signals = True
+        self._thread_main()
+
+    def __enter__(self) -> "ServeDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _thread_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        except BaseException as exc:  # surface bind errors to start()
+            if not self._started.is_set():
+                self._start_error = exc
+                self._started.set()
+            else:
+                raise
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()
+            self._loop = None
+
+    async def _main(self) -> None:
+        loop = asyncio.get_event_loop()
+        self._queue = asyncio.Queue()
+        self._stop_event = asyncio.Event()
+        self._dispatch_sem = asyncio.Semaphore(self.workers)
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve-exec"
+        )
+        self._stopping = False
+        server = await asyncio.start_server(
+            self._handle_connection, self.host, self.requested_port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self._started_at = time.perf_counter()
+        DIAG_REGISTRIES.append(self.diag)
+        if self.track_progress:
+            PROGRESS.begin_run(
+                "serve", meta={"port": self.port}, max_finished=128
+            )
+        if self._install_signals:
+            import signal
+
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, self._stop_event.set)
+                except (NotImplementedError, RuntimeError):
+                    pass
+        batcher = asyncio.ensure_future(self._batch_loop())
+        self._started.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            # -- Shutdown sequence ------------------------------------
+            self._stopping = True
+            server.close()
+            await server.wait_closed()
+            await self._queue.put(_SHUTDOWN)
+            await batcher
+            if self._batch_tasks:
+                await asyncio.gather(
+                    *list(self._batch_tasks), return_exceptions=True
+                )
+            for work in list(self._inflight.values()):
+                if not work.future.done():
+                    work.future.set_exception(
+                        ServiceStopped("serve daemon stopping")
+                    )
+            self._inflight.clear()
+            # One scheduling round so handler coroutines can flush
+            # their 503s before connections are force-closed.
+            await asyncio.sleep(0.05)
+            for writer in list(self._connections):
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+            await asyncio.sleep(0)
+            self._executor.shutdown(wait=True)
+            if self.diag in DIAG_REGISTRIES:
+                DIAG_REGISTRIES.remove(self.diag)
+            if self.track_progress:
+                PROGRESS.end_run("done")
+
+    # ------------------------------------------------------------------
+    # Counters (event-loop thread only)
+
+    def _count_request(self, outcome: str) -> None:
+        self.requests_by_outcome[outcome] = (
+            self.requests_by_outcome.get(outcome, 0) + 1
+        )
+        self.diag.counter("serve.requests", outcome=outcome).inc()
+
+    def _count_response(self, source: str, elapsed: float) -> None:
+        self.responses_by_source[source] = (
+            self.responses_by_source.get(source, 0) + 1
+        )
+        self.diag.counter("serve.responses", source=source).inc()
+        self._latency.observe(elapsed)
+
+    def _memory_get(self, digest: str) -> Optional[Dict[str, object]]:
+        record = self._memory.get(digest)
+        if record is not None:
+            self._memory.move_to_end(digest)
+        return record
+
+    def _memory_put(self, digest: str, record: Dict[str, object]) -> None:
+        self._memory[digest] = record
+        self._memory.move_to_end(digest)
+        while len(self._memory) > self.memory_cells:
+            self._memory.popitem(last=False)
+
+    def _admit(self, tenant: str) -> Optional[int]:
+        """None when admitted; Retry-After seconds when throttled."""
+        if self.tenant_rps <= 0:
+            return None
+        now = time.monotonic()
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = [self.tenant_burst, now]
+        tokens = min(
+            self.tenant_burst,
+            bucket[0] + (now - bucket[1]) * self.tenant_rps,
+        )
+        if tokens >= 1.0:
+            bucket[0] = tokens - 1.0
+            bucket[1] = now
+            return None
+        bucket[0] = tokens
+        bucket[1] = now
+        return max(1, math.ceil((1.0 - tokens) / self.tenant_rps))
+
+    # ------------------------------------------------------------------
+    # Stats
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """JSON-ready serving counters (the ``/stats`` body)."""
+        ok = self.requests_by_outcome.get("ok", 0)
+        hits = self.responses_by_source.get(
+            "memory", 0
+        ) + self.responses_by_source.get("disk", 0)
+        p50 = self._latency.quantile(0.5)
+        p99 = self._latency.quantile(0.99)
+        return {
+            "schema": "repro.serve-stats/v1",
+            "uptime_seconds": round(
+                time.perf_counter() - self._started_at, 3
+            ),
+            "requests": dict(sorted(self.requests_by_outcome.items())),
+            "responses": dict(sorted(self.responses_by_source.items())),
+            "batches": self.batches,
+            "batch_cells": self.batch_cells,
+            "batch_occupancy": (
+                round(self.batch_cells / self.batches, 3)
+                if self.batches
+                else 0.0
+            ),
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "inflight": len(self._inflight),
+            "memory_cells": len(self._memory),
+            "hit_rate": round(hits / ok, 4) if ok else 0.0,
+            "latency_ms": {
+                "count": self._latency.count,
+                "mean": (
+                    round(1000.0 * self._latency.sum / self._latency.count, 3)
+                    if self._latency.count
+                    else None
+                ),
+                "p50": round(1000.0 * p50, 3) if p50 is not None else None,
+                "p99": round(1000.0 * p99, 3) if p99 is not None else None,
+            },
+            "tenants": len(self._buckets),
+        }
+
+    # ------------------------------------------------------------------
+    # Batching + execution
+
+    async def _batch_loop(self) -> None:
+        loop = asyncio.get_event_loop()
+        while True:
+            work = await self._queue.get()
+            if work is _SHUTDOWN:
+                return
+            batch = [work]
+            deadline = loop.time() + self.window_seconds
+            shutdown = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    # Deadline passed but more cells may already be
+                    # queued — take them without waiting.
+                    try:
+                        extra = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                else:
+                    try:
+                        extra = await asyncio.wait_for(
+                            self._queue.get(), remaining
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                if extra is _SHUTDOWN:
+                    shutdown = True
+                    break
+                batch.append(extra)
+            self.diag.gauge("serve.queue_depth").set(self._queue.qsize())
+            await self._dispatch_sem.acquire()
+            task = asyncio.ensure_future(self._run_batch(batch))
+            self._batch_tasks.add(task)
+
+            def _done(finished, task=task) -> None:
+                self._batch_tasks.discard(task)
+                self._dispatch_sem.release()
+
+            task.add_done_callback(_done)
+            if shutdown:
+                return
+
+    async def _run_batch(self, batch: List[_CellWork]) -> None:
+        loop = asyncio.get_event_loop()
+        self._batch_index += 1
+        job_id = None
+        if self.track_progress:
+            job_id = PROGRESS.job_queued("serve", f"batch[{len(batch)}]")
+            PROGRESS.job_running(job_id)
+        try:
+            outcomes = await loop.run_in_executor(
+                self._executor, self._execute_batch, batch
+            )
+        except Exception as exc:
+            PROGRESS.job_finished(job_id, ok=False)
+            for work in batch:
+                self._inflight.pop(work.digest, None)
+                if not work.future.done():
+                    work.future.set_exception(exc)
+            return
+        executed = 0
+        for work in batch:
+            result, source, record = outcomes[work.digest]
+            if source == "executed":
+                executed += 1
+            if record is not None:
+                self._memory_put(work.digest, record)
+            self._inflight.pop(work.digest, None)
+            if not work.future.done():
+                work.future.set_result((result, source))
+        self.batches += 1
+        self.batch_cells += len(batch)
+        self.diag.counter("serve.batches").inc()
+        self.diag.counter("serve.batch_cells").inc(len(batch))
+        self.diag.counter("serve.cells_executed").inc(executed)
+        self.diag.gauge("serve.inflight").set(len(self._inflight))
+        PROGRESS.job_finished(job_id, ok=True)
+
+    def _execute_batch(
+        self, batch: List[_CellWork]
+    ) -> Dict[str, Tuple[JobResult, str, Optional[Dict[str, object]]]]:
+        """Executor-thread body: disk lookups, then one engine call per
+        distinct config.  Returns ``digest -> (result, source, record)``;
+        all daemon-state mutation happens back on the event loop."""
+        outcomes: Dict[
+            str, Tuple[JobResult, str, Optional[Dict[str, object]]]
+        ] = {}
+        misses: List[_CellWork] = []
+        for work in batch:
+            record = None
+            if self.cell_cache is not None:
+                record = self.cell_cache.load(
+                    work.digest, want_events=False
+                )
+            if record is not None:
+                outcomes[work.digest] = (
+                    _result_from_record(work.request.job, record),
+                    "disk",
+                    record,
+                )
+            else:
+                misses.append(work)
+        groups: Dict[object, List[_CellWork]] = {}
+        for work in misses:
+            groups.setdefault(work.request.config, []).append(work)
+        for config, group in groups.items():
+            results = run_jobs_batched(
+                [work.request.job for work in group],
+                config=config,
+                batch_size=self.max_batch,
+            )
+            for work, result in zip(group, results):
+                record = _make_cell_record(
+                    work.digest, work.request.job, result, None
+                )
+                if self.cell_cache is not None:
+                    self.cell_cache.store(record)
+                outcomes[work.digest] = (result, "executed", record)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while not self._stopping:
+                try:
+                    parsed = await self._read_request(reader)
+                except _HttpError as exc:
+                    await self._send_json(
+                        writer, exc.status, {"error": str(exc)}
+                    )
+                    break
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                ):
+                    break
+                if parsed is None:
+                    break
+                method, target, headers, body = parsed
+                await self._dispatch(writer, method, target, headers, body)
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        line = await reader.readline()
+        if not line:
+            return None  # clean EOF between requests
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) > 100 or len(raw) > 8192:
+                raise _HttpError(400, "header section too large")
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _HttpError(400, "invalid Content-Length") from None
+        if length < 0:
+            raise _HttpError(400, "invalid Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    async def _send_raw(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        body: bytes,
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        head = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: keep-alive",
+        ]
+        head.extend(f"{name}: {value}" for name, value in extra_headers)
+        payload = ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+        writer.write(payload)
+        await writer.drain()
+
+    async def _send_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        document: object,
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+        await self._send_raw(
+            writer,
+            status,
+            "application/json; charset=utf-8",
+            body,
+            extra_headers,
+        )
+
+    async def _dispatch(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        target: str,
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> None:
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        query = target.split("?", 1)[1] if "?" in target else ""
+        if method == "POST" and path == "/v1/simulate":
+            await self._handle_simulate(writer, headers, body)
+        elif method == "GET" and path == "/healthz":
+            await self._send_json(
+                writer,
+                200,
+                {
+                    "status": "ok",
+                    "uptime_seconds": round(
+                        time.perf_counter() - self._started_at, 3
+                    ),
+                    "inflight": len(self._inflight),
+                },
+            )
+        elif method == "GET" and path == "/metrics":
+            text = render_metrics_text()
+            await self._send_raw(
+                writer, 200, PROMETHEUS_CONTENT_TYPE, text.encode("utf-8")
+            )
+        elif method == "GET" and path == "/stats":
+            await self._send_json(writer, 200, self.stats_snapshot())
+        elif method == "GET" and path == "/stats/stream":
+            await self._stream_stats(writer)
+        elif method == "GET" and path == "/progress":
+            max_jobs = 256
+            for pair in query.split("&"):
+                if pair.startswith("jobs="):
+                    try:
+                        max_jobs = int(pair[5:])
+                    except ValueError:
+                        await self._send_json(
+                            writer, 400, {"error": "jobs must be an integer"}
+                        )
+                        return
+            await self._send_json(
+                writer, 200, PROGRESS.snapshot(max_jobs=max_jobs)
+            )
+        elif path in (
+            "/v1/simulate",
+            "/healthz",
+            "/metrics",
+            "/stats",
+            "/stats/stream",
+            "/progress",
+        ):
+            await self._send_json(writer, 405, {"error": "method not allowed"})
+        else:
+            await self._send_json(
+                writer,
+                404,
+                {
+                    "error": "not found",
+                    "endpoints": [
+                        "POST /v1/simulate",
+                        "GET /healthz",
+                        "GET /metrics",
+                        "GET /stats",
+                        "GET /stats/stream",
+                        "GET /progress",
+                    ],
+                },
+            )
+
+    async def _stream_stats(self, writer: asyncio.StreamWriter) -> None:
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        last = None
+        while not self._stopping:
+            payload = json.dumps(self.stats_snapshot(), sort_keys=True)
+            if payload != last:
+                frame = f"event: stats\ndata: {payload}\n\n"
+                last = payload
+            else:
+                frame = ": keep-alive\n\n"
+            writer.write(frame.encode("utf-8"))
+            await writer.drain()
+            await asyncio.sleep(SSE_INTERVAL_SECONDS)
+
+    # ------------------------------------------------------------------
+    # The simulate route
+
+    async def _handle_simulate(
+        self,
+        writer: asyncio.StreamWriter,
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> None:
+        loop = asyncio.get_event_loop()
+        start = loop.time()
+        try:
+            request = parse_simulate(body, headers.get("x-tenant"))
+        except RequestError as exc:
+            self._count_request("bad_request")
+            await self._send_json(writer, 400, {"error": str(exc)})
+            return
+        retry = self._admit(request.tenant)
+        if retry is not None:
+            self._count_request("throttled")
+            await self._send_json(
+                writer,
+                429,
+                {
+                    "error": f"tenant {request.tenant!r} over quota",
+                    "retry_after_seconds": retry,
+                },
+                extra_headers=(("Retry-After", str(retry)),),
+            )
+            return
+        digest = cell_digest(request.job, request.config)
+
+        record = self._memory_get(digest)
+        if record is not None:
+            result = _result_from_record(request.job, record)
+            await self._finish(writer, digest, result, "memory", start)
+            return
+
+        work = self._inflight.get(digest)
+        if work is not None:
+            try:
+                result, _source = await work.future
+            except ServiceStopped:
+                self._count_request("error")
+                await self._send_json(
+                    writer, 503, {"error": "daemon stopping"}
+                )
+                return
+            except Exception as exc:
+                self._count_request("error")
+                await self._send_json(
+                    writer, 500, {"error": f"simulation failed: {exc}"}
+                )
+                return
+            await self._finish(writer, digest, result, "coalesced", start)
+            return
+
+        if len(self._inflight) >= self.max_pending:
+            self._count_request("overloaded")
+            await self._send_json(
+                writer,
+                429,
+                {
+                    "error": "too many distinct cells in flight",
+                    "retry_after_seconds": 1,
+                },
+                extra_headers=(("Retry-After", "1"),),
+            )
+            return
+
+        work = _CellWork(digest, request, loop.create_future())
+        self._inflight[digest] = work
+        self._queue.put_nowait(work)
+        self.diag.gauge("serve.queue_depth").set(self._queue.qsize())
+        self.diag.gauge("serve.inflight").set(len(self._inflight))
+        try:
+            result, source = await work.future
+        except ServiceStopped:
+            self._count_request("error")
+            await self._send_json(writer, 503, {"error": "daemon stopping"})
+            return
+        except Exception as exc:
+            self._count_request("error")
+            await self._send_json(
+                writer, 500, {"error": f"simulation failed: {exc}"}
+            )
+            return
+        await self._finish(writer, digest, result, source, start)
+
+    async def _finish(
+        self,
+        writer: asyncio.StreamWriter,
+        digest: str,
+        result: JobResult,
+        source: str,
+        start: float,
+    ) -> None:
+        loop = asyncio.get_event_loop()
+        elapsed = loop.time() - start
+        self._count_request("ok")
+        self._count_response(source, elapsed)
+        await self._send_json(
+            writer, 200, result_document(digest, result, source, elapsed)
+        )
+
+
+# ----------------------------------------------------------------------
+# CLI entry (`repro serve`, `python -m repro.serve`)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``repro serve`` — run a daemon until SIGINT/SIGTERM."""
+    import sys
+
+    args = list(argv) if argv is not None else sys.argv[1:]
+    port = 8080
+    host = "127.0.0.1"
+    cache_dir: Optional[str] = None
+    overrides: Dict[str, object] = {}
+    value_flags = (
+        "--port",
+        "--host",
+        "--cache",
+        "--max-batch",
+        "--window-ms",
+        "--workers",
+        "--max-pending",
+        "--tenant-rps",
+        "--tenant-burst",
+        "--memory-cells",
+    )
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if "=" in arg and arg.split("=", 1)[0] in value_flags:
+            flag, value = arg.split("=", 1)
+        elif arg in value_flags:
+            if index + 1 >= len(args):
+                print(f"error: {arg} requires a value", file=sys.stderr)
+                return 2
+            flag, value = arg, args[index + 1]
+            index += 1
+        elif arg in ("-h", "--help"):
+            print(
+                "usage: repro serve [--port N] [--host H] [--cache DIR]\n"
+                "                   [--max-batch N] [--window-ms MS]\n"
+                "                   [--workers N] [--max-pending N]\n"
+                "                   [--tenant-rps R] [--tenant-burst B]\n"
+                "                   [--memory-cells N]"
+            )
+            return 0
+        else:
+            print(f"error: unknown argument {arg!r}", file=sys.stderr)
+            return 2
+        index += 1
+        try:
+            if flag == "--port":
+                port = int(value)
+            elif flag == "--host":
+                host = value
+            elif flag == "--cache":
+                cache_dir = value
+            elif flag == "--max-batch":
+                overrides["max_batch"] = int(value)
+            elif flag == "--window-ms":
+                overrides["window_ms"] = float(value)
+            elif flag == "--workers":
+                overrides["workers"] = int(value)
+            elif flag == "--max-pending":
+                overrides["max_pending"] = int(value)
+            elif flag == "--tenant-rps":
+                overrides["tenant_rps"] = float(value)
+            elif flag == "--tenant-burst":
+                overrides["tenant_burst"] = float(value)
+            elif flag == "--memory-cells":
+                overrides["memory_cells"] = int(value)
+        except ValueError:
+            print(
+                f"error: invalid value {value!r} for {flag}", file=sys.stderr
+            )
+            return 2
+    daemon = ServeDaemon(
+        port, host, cache_dir=cache_dir, track_progress=True, **overrides
+    )
+
+    # Bind before announcing, so the printed URL is real.  run_forever
+    # resolves port 0 once the server socket exists.
+    def _announce() -> None:
+        cache = daemon.cell_cache.directory if daemon.cell_cache else "off"
+        print(
+            f"repro serve: listening on {daemon.url} "
+            f"(batch={daemon.max_batch}, "
+            f"window={daemon.window_seconds * 1000:.0f}ms, "
+            f"workers={daemon.workers}, cache={cache})",
+            flush=True,
+        )
+
+    announcer = threading.Thread(
+        target=lambda: (daemon._started.wait(30), _announce()),
+        name="repro-serve-announce",
+        daemon=True,
+    )
+    announcer.start()
+    try:
+        daemon.run_forever()
+    except KeyboardInterrupt:
+        pass
+    print("repro serve: shut down cleanly", flush=True)
+    return 0
+
+
+__all__ = [
+    "CACHE_ENV",
+    "MAX_BATCH_ENV",
+    "MAX_PENDING_ENV",
+    "MEMORY_ENV",
+    "TENANT_BURST_ENV",
+    "TENANT_RPS_ENV",
+    "WINDOW_ENV",
+    "WORKERS_ENV",
+    "SSE_INTERVAL_SECONDS",
+    "ServeDaemon",
+    "ServiceStopped",
+    "main",
+]

@@ -147,6 +147,7 @@ def make_record(
     meta: Optional[Dict[str, object]] = None,
     sha: Optional[str] = None,
     fabric: Optional[Dict[str, object]] = None,
+    serve: Optional[Dict[str, object]] = None,
     created_at: Optional[str] = None,
 ) -> Dict[str, object]:
     """Build one schema-stamped ledger record (not yet persisted).
@@ -155,7 +156,10 @@ def make_record(
     (conventionally including ``throughput``); *counters* carries
     registry/SimStats totals; *config* the engine/mechanism settings
     that produced them; *fabric* the experiment-fabric operational
-    counters (cells skipped/stolen/redispatched) for this run.
+    counters (cells skipped/stolen/redispatched) for this run;
+    *serve* the serving-plane summary (hit rate, latency percentiles,
+    batch occupancy) of a ``repro.serve`` benchmark/smoke run — kept
+    as-is because its values mix floats and counts.
     """
     record: Dict[str, object] = {
         "schema": LEDGER_SCHEMA,
@@ -182,6 +186,8 @@ def make_record(
         record["meta"] = meta
     if fabric:
         record["fabric"] = {k: int(v) for k, v in fabric.items()}
+    if serve:
+        record["serve"] = dict(serve)
     return record
 
 

@@ -149,16 +149,37 @@ class ProgressBoard:
         self._run_started: Optional[float] = None
         self._started_at_iso: Optional[str] = None
         self._next_index = 0
+        self._total_registered = 0
+        self._max_finished: Optional[int] = None
+        self._terminal_order: List[str] = []
 
     def begin_run(
-        self, name: str, meta: Optional[Mapping[str, object]] = None
+        self,
+        name: str,
+        meta: Optional[Mapping[str, object]] = None,
+        *,
+        max_finished: Optional[int] = None,
     ) -> None:
-        """Start tracking a run; clears any previous run's jobs."""
+        """Start tracking a run; clears any previous run's jobs.
+
+        *max_finished* bounds how many **terminal** (done/failed/
+        skipped) job records are retained: once exceeded, the oldest
+        terminal jobs are dropped from the per-job table.  The
+        aggregate counts and the snapshot ``total`` keep describing
+        every job ever registered — only the per-job detail rows are
+        pruned.  A long-lived run (the ``repro.serve`` daemon tracks
+        one batch per dispatch, indefinitely) sets this so the board
+        cannot grow without bound; finite experiment grids leave it
+        ``None`` and behave exactly as before.
+        """
         with self._cond:
             self._reset_run_locked()
             self.run_name = name
             self.run_status = "running"
             self.run_meta = dict(meta or {})
+            if max_finished is not None and max_finished < 0:
+                raise ValueError("max_finished must be >= 0")
+            self._max_finished = max_finished
             self._run_started = time.perf_counter()
             self._started_at_iso = datetime.now(timezone.utc).strftime(
                 "%Y-%m-%dT%H:%M:%SZ"
@@ -192,6 +213,7 @@ class ProgressBoard:
                 job_id, benchmark, mechanism, index
             )
             self._counts[QUEUED] += 1
+            self._total_registered += 1
             self._touch_locked()
             return job_id
 
@@ -238,6 +260,7 @@ class ProgressBoard:
                     self._ewma_seconds += EWMA_ALPHA * (
                         job.wall_seconds - self._ewma_seconds
                     )
+            self._job_terminal_locked(job_id)
             self._touch_locked()
 
     def job_skipped(self, job_id: Optional[str]) -> None:
@@ -259,6 +282,7 @@ class ProgressBoard:
             job.phase = ""
             job.wall_seconds = 0.0
             self._counts[SKIPPED] += 1
+            self._job_terminal_locked(job_id)
             self._touch_locked()
 
     def job_retry(self, job_id: Optional[str]) -> None:
@@ -277,6 +301,15 @@ class ProgressBoard:
                 job.state = QUEUED
                 job._started_at = None
             self._touch_locked()
+
+    def _job_terminal_locked(self, job_id: str) -> None:
+        """Track terminal order; prune the oldest past ``max_finished``."""
+        if self._max_finished is None:
+            return
+        self._terminal_order.append(job_id)
+        while len(self._terminal_order) > self._max_finished:
+            oldest = self._terminal_order.pop(0)
+            self._jobs.pop(oldest, None)
 
     # ------------------------------------------------------------------
     # Phase attribution (always on; job-granularity, so cheap)
@@ -389,7 +422,7 @@ class ProgressBoard:
                     "uptime_seconds": (
                         round(uptime, 3) if uptime is not None else None
                     ),
-                    "total": len(self._jobs),
+                    "total": self._total_registered,
                     "queued": self._counts[QUEUED],
                     "running": self._counts[RUNNING],
                     "done": done,

@@ -38,6 +38,15 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     4096.0, 16384.0, 65536.0, float("inf"),
 )
 
+#: Bucket bounds for request-latency histograms, in seconds.  The
+#: default buckets are integer-granular — useless below one second —
+#: so latency-observing subsystems (the serve daemon's p50/p99) use
+#: this 1ms..60s log-spaced ladder instead.
+LATENCY_BUCKETS_SECONDS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, float("inf"),
+)
+
 
 def _label_key(labels: Mapping[str, object]) -> LabelKey:
     """Canonical, hashable, sorted form of a label set."""
@@ -133,6 +142,35 @@ class Histogram:
             running += count
             out.append((bound, running))
         return out
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated *q*-quantile from the bucket counts.
+
+        Standard Prometheus-style estimation: find the bucket holding
+        the target rank and interpolate linearly inside it (from the
+        previous bucket's upper bound).  Observations that landed in
+        the overflow bucket report that bucket's lower bound — a floor,
+        the honest answer a fixed-bucket histogram can give.  Returns
+        ``None`` while empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        running = 0
+        lower = 0.0
+        for bound, count in zip(self.buckets, self.counts):
+            if count and running + count >= target:
+                if bound == float("inf"):
+                    return lower
+                fraction = (target - running) / count
+                fraction = min(1.0, max(0.0, fraction))
+                return lower + (bound - lower) * fraction
+            running += count
+            if bound != float("inf"):
+                lower = bound
+        return lower
 
 
 Instrument = Union[Counter, Gauge, Histogram]
@@ -398,6 +436,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS_SECONDS",
     "DIAG_REGISTRIES",
     "lint_prometheus",
 ]

@@ -245,6 +245,7 @@ def build_summary(
         "series": series_out,
         "phases": latest_phase_attribution(ledger),
         "fabric": latest_fabric_counters(ledger),
+        "serve": latest_serve_stats(ledger),
     }
     sim = bench_docs.get("BENCH_sim")
     overhead = sim.get("telemetry_overhead") if isinstance(sim, dict) else None
@@ -306,6 +307,26 @@ def latest_fabric_counters(ledger: RunLedger) -> Dict[str, int]:
         for key, count in counters.items():
             totals[key] = totals.get(key, 0) + count
     return dict(sorted(totals.items()))
+
+
+def latest_serve_stats(
+    ledger: RunLedger,
+) -> Dict[str, Dict[str, object]]:
+    """The **latest** ``serve`` block per series, keyed by series name.
+
+    Unlike the fabric counters, serving-plane blocks are not summable
+    (hit rates and latency percentiles describe one run), so the
+    summary keeps each series' most recent block whole — the
+    ``repro report --json`` view of how the daemon performed last
+    time the serve benchmark/smoke ran.
+    """
+    latest: Dict[str, Dict[str, object]] = {}
+    for record in ledger.read():
+        serve = record.get("serve")
+        name = record.get("name")
+        if isinstance(serve, dict) and isinstance(name, str):
+            latest[name] = dict(serve)
+    return dict(sorted(latest.items()))
 
 
 # ----------------------------------------------------------------------
@@ -506,6 +527,39 @@ def _phase_section(ledger: RunLedger) -> List[str]:
     return lines
 
 
+def _serve_section(ledger: RunLedger) -> List[str]:
+    """Serving-plane summary from the latest serve ledger blocks."""
+    blocks = latest_serve_stats(ledger)
+    if not blocks:
+        return []
+    lines = ["<h2>Serving plane (latest runs)</h2>", "<table>"]
+    lines.append(
+        "<tr><th class=k>series</th><th>req/s</th><th>hit rate</th>"
+        "<th>batch occ.</th><th>p50 ms</th><th>p99 ms</th></tr>"
+    )
+    def cell(value: object) -> str:
+        return "&ndash;" if value is None else _fmt(value)
+
+    for name, block in blocks.items():
+        latency = block.get("latency_ms")
+        latency = latency if isinstance(latency, dict) else {}
+        lines.append(
+            f"<tr><td class=k>{_esc(name)}</td>"
+            f"<td>{cell(block.get('requests_per_second'))}</td>"
+            f"<td>{cell(block.get('hit_rate'))}</td>"
+            f"<td>{cell(block.get('batch_occupancy'))}</td>"
+            f"<td>{cell(latency.get('p50'))}</td>"
+            f"<td>{cell(latency.get('p99'))}</td></tr>"
+        )
+    lines.append("</table>")
+    lines.append(
+        "<p class=meta>repro.serve daemon throughput: coalesced + "
+        "cached request serving, from each series' most recent "
+        "ledger record carrying a serve block.</p>"
+    )
+    return lines
+
+
 def build_html(
     ledger: RunLedger,
     bench_docs: Optional[Dict[str, Dict]] = None,
@@ -545,6 +599,7 @@ def build_html(
     parts.extend(_overhead_section(bench_docs))
     parts.extend(_trajectory_section(ledger, metric, failures))
     parts.extend(_phase_section(ledger))
+    parts.extend(_serve_section(ledger))
     parts.extend(_bench_tables(bench_docs))
     parts.append("</body></html>")
     return "\n".join(parts) + "\n", failures
@@ -574,6 +629,7 @@ __all__ = [
     "write_summary",
     "latest_phase_attribution",
     "latest_fabric_counters",
+    "latest_serve_stats",
     "sparkline_svg",
     "build_html",
     "write_report",

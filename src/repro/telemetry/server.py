@@ -83,6 +83,40 @@ def port_from_env(environ=os.environ) -> Optional[int]:
     return port
 
 
+def render_metrics_text(telemetry: Optional[Telemetry] = None) -> str:
+    """The live ``/metrics`` body: hub registry + diagnostic registries.
+
+    One Prometheus text document rendered from *telemetry*'s registry
+    (default: the global hub) followed by every
+    :data:`~repro.telemetry.registry.DIAG_REGISTRIES` entry — the
+    exact composition the observability server exposes, factored out
+    so other planes (the ``repro.serve`` daemon) serve an identical
+    exposition.  Each render is retried a few times: another thread
+    may register a new instrument mid-iteration, and instruments are
+    only ever added, never removed, so a retry always converges.
+    """
+    hub = telemetry if telemetry is not None else TELEMETRY
+    text = ""
+    for _ in range(5):
+        try:
+            text = hub.registry.to_prometheus()
+            break
+        except RuntimeError:
+            continue
+    for diag in DIAG_REGISTRIES:
+        for _ in range(5):
+            try:
+                extra = diag.to_prometheus()
+                break
+            except RuntimeError:
+                continue
+        else:
+            extra = ""
+        if extra:
+            text += extra
+    return text
+
+
 class _ObservabilityHTTPServer(ThreadingHTTPServer):
     """ThreadingHTTPServer carrying the hub/board references."""
 
@@ -155,31 +189,10 @@ class _Handler(BaseHTTPRequestHandler):
             pass  # client went away mid-response
 
     def _get_metrics(self) -> None:
-        registry = self.server.telemetry.registry
-        text = ""
-        # The engine may register a new instrument between our key
-        # snapshot and the value reads; one retry is enough because
-        # instruments are only ever added, never removed, mid-run.
-        for _ in range(5):
-            try:
-                text = registry.to_prometheus()
-                break
-            except RuntimeError:
-                continue
-        # Diagnostic registries (fabric cache/steal counters, native
-        # dispatch stats) ride only the live exposition — they are
+        # Diagnostic registries (fabric cache/steal counters, serve
+        # queue stats) ride only the live exposition — they are
         # operational, not part of the deterministic exports.
-        for diag in DIAG_REGISTRIES:
-            for _ in range(5):
-                try:
-                    extra = diag.to_prometheus()
-                    break
-                except RuntimeError:
-                    continue
-            else:
-                extra = ""
-            if extra:
-                text += extra
+        text = render_metrics_text(self.server.telemetry)
         self._send(200, PROMETHEUS_CONTENT_TYPE, text.encode("utf-8"))
 
     def _get_healthz(self) -> None:
@@ -338,6 +351,7 @@ __all__ = [
     "SERVE_ENV",
     "PROMETHEUS_CONTENT_TYPE",
     "port_from_env",
+    "render_metrics_text",
     "ObservabilityServer",
     "start_server",
 ]

@@ -116,7 +116,17 @@ class TraceCacheStats:
 
 
 class TraceCache:
-    """Two-layer (memory LRU + optional disk) trace cache."""
+    """Two-layer (memory LRU + optional disk) trace cache.
+
+    Thread-safe, with per-key synthesis locking: the LRU map and the
+    counters sit behind one short-held lock, while disk loads and
+    synthesis run under a *per-key* lock.  Two threads requesting the
+    same missing trace serialize (the loser finds the winner's entry
+    and counts a hit); threads requesting *different* missing traces
+    synthesize concurrently — the shape the ``repro.serve`` daemon's
+    executor threads need, and what the 16-thread hammer test in
+    ``tests/test_trace_cache.py`` locks.
+    """
 
     def __init__(
         self, capacity: int = 64, disk_dir: Optional[str] = None
@@ -128,6 +138,9 @@ class TraceCache:
         self.stats = TraceCacheStats()
         self._entries: "OrderedDict[str, KernelTrace]" = OrderedDict()
         self._lock = threading.Lock()
+        #: key -> in-flight synthesis lock; entries live only while a
+        #: miss is being filled (the filler drops its key on publish).
+        self._key_locks: dict = {}
 
     # ------------------------------------------------------------------
 
@@ -210,11 +223,14 @@ class TraceCache:
             return
         try:
             os.makedirs(self.disk_dir, exist_ok=True)
-            tmp = f"{path}.tmp.{os.getpid()}"
+            # Thread id in the tmp name: two threads of one process may
+            # race the same key's disk write (best-effort layer).
+            tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
             with open(tmp, "wb") as handle:
                 dump_trace_npz(trace, handle)
             os.replace(tmp, path)  # atomic under concurrent workers
-            self.stats.disk_writes += 1
+            with self._lock:
+                self.stats.disk_writes += 1
         except OSError:
             pass  # disk layer is best-effort
 
@@ -250,21 +266,40 @@ class TraceCache:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
                 return cached
-            self.stats.misses += 1
+            key_lock = self._key_locks.get(key)
+            if key_lock is None:
+                key_lock = self._key_locks[key] = threading.Lock()
+        # Fill the miss under the per-key lock only: a concurrent
+        # request for the same key waits here (and then reads the
+        # winner's entry), while requests for other keys synthesize in
+        # parallel.
+        with key_lock:
+            with self._lock:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return cached
+                self.stats.misses += 1
             trace = self._disk_load(key)
-            if trace is not None:
-                self.stats.disk_hits += 1
+            disk_hit = trace is not None
+            if trace is None:
+                trace = synthesize_trace(
+                    benchmark,
+                    warps=warps,
+                    instructions_per_warp=instructions_per_warp,
+                    seed_salt=seed_salt,
+                    spec=spec,
+                )
+                self._disk_store(key, trace)
+            with self._lock:
+                if disk_hit:
+                    self.stats.disk_hits += 1
                 self._remember(key, trace)
-                return trace
-            trace = synthesize_trace(
-                benchmark,
-                warps=warps,
-                instructions_per_warp=instructions_per_warp,
-                seed_salt=seed_salt,
-                spec=spec,
-            )
-            self._disk_store(key, trace)
-            self._remember(key, trace)
+                # Waiters still holding this lock object re-check the
+                # entry map first, so dropping the key here is safe —
+                # it just keeps the lock table from outliving misses.
+                self._key_locks.pop(key, None)
             return trace
 
     def get_or_synthesize_many(self, requests) -> list:

@@ -187,6 +187,47 @@ class TestCellCache:
         cache.store(_record("d2"))
         assert cache.journal_digests() == {"d1", "d2"}
 
+    def test_concurrent_writers_never_tear_journal_lines(self, tmp_path):
+        """Two handles (threads here; flock also covers processes)
+        hammering one journal: every appended line stays valid JSON."""
+        import json
+        import threading
+
+        per_writer = 40
+        caches = [CellCache(str(tmp_path)) for _ in range(2)]
+        start = threading.Barrier(2, timeout=10)
+        errors = []
+
+        def writer(slot):
+            try:
+                start.wait()
+                for index in range(per_writer):
+                    caches[slot].store(_record(f"w{slot}-{index}"))
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(slot,)) for slot in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert not errors
+        # Every line parses and every digest arrived exactly once — no
+        # interleaved or torn appends.
+        with open(caches[0].journal_path, encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        digests = [json.loads(line)["digest"] for line in lines]
+        assert len(digests) == 2 * per_writer
+        assert sorted(digests) == sorted(
+            f"w{slot}-{index}"
+            for slot in range(2)
+            for index in range(per_writer)
+        )
+        # Both handles' stat counters survived the hammering intact.
+        assert sum(cache.stats.stores for cache in caches) == 2 * per_writer
+
 
 class TestResolvers:
     def test_cell_cache_env_and_memoization(self, monkeypatch, tmp_path):

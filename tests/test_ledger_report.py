@@ -41,6 +41,7 @@ from repro.telemetry.report import (
     gateable_series,
     latest_fabric_counters,
     latest_phase_attribution,
+    latest_serve_stats,
     load_bench_documents,
     sparkline_svg,
     write_report,
@@ -289,6 +290,49 @@ class TestSummary:
         assert latest_phase_attribution(ledger) == {
             "export": 0.5, "sim": 3.0,
         }
+
+    def test_serve_block_round_trips_into_summary(self, tmp_path):
+        """A record's serve block survives the ledger verbatim and the
+        summary keeps the latest block per series, whole."""
+        ledger = RunLedger(str(tmp_path / "l.jsonl"))
+        stale = {"hit_rate": 0.1, "requests_per_second": 10.0}
+        fresh = {
+            "hit_rate": 0.9,
+            "requests_per_second": 2400.5,
+            "batch_occupancy": 6.0,
+            "latency_ms": {"p50": 0.7, "p99": 42.0},
+        }
+        ledger.record("benchmark", "serve_throughput", serve=stale)
+        ledger.record("benchmark", "serve_throughput", serve=fresh)
+        ledger.record("benchmark", "other", metrics={"throughput": 1.0})
+        [record] = [
+            r for r in ledger.read() if r.get("serve") == fresh
+        ]
+        assert record["name"] == "serve_throughput"
+        assert latest_serve_stats(ledger) == {"serve_throughput": fresh}
+        summary = build_summary(ledger)
+        assert summary["serve"] == {"serve_throughput": fresh}
+        # Records without a serve block simply don't carry the key.
+        assert all(
+            "serve" not in r for r in ledger.read() if r["name"] == "other"
+        )
+
+    def test_serve_section_renders_in_html(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "l.jsonl"))
+        ledger.record(
+            "benchmark",
+            "serve_throughput",
+            serve={
+                "hit_rate": 0.85,
+                "requests_per_second": 1234.5,
+                "batch_occupancy": 5.5,
+                "latency_ms": {"p50": 1.2, "p99": 50.0},
+            },
+        )
+        html_text, _failures = build_html(ledger)
+        assert "Serving plane" in html_text
+        assert "serve_throughput" in html_text
+        assert "1,234.5" in html_text
 
 
 # ----------------------------------------------------------------------

@@ -324,6 +324,63 @@ class TestSseStream:
         assert dones == sorted(dones)
         assert any(e["run"]["total"] == 4 for e in events)
 
+    def test_concurrent_sse_clients_all_observe_run(self):
+        """Several simultaneous SSE consumers each see the whole run
+        (per-connection handler threads must not starve each other)."""
+        n_clients = 6
+        board = PROGRESS
+        with capture() as t:
+            with ObservabilityServer(0, telemetry=t, board=board) as srv:
+                board.begin_run("sse-fanout")
+                finals = [None] * n_clients
+                ready = threading.Barrier(n_clients + 1, timeout=10)
+
+                def consume(slot):
+                    request = urllib.request.Request(
+                        srv.url + "/progress/stream"
+                    )
+                    with urllib.request.urlopen(
+                        request, timeout=10
+                    ) as stream:
+                        ready.wait()
+                        while True:
+                            line = stream.readline()
+                            if not line:
+                                return
+                            if not line.startswith(b"event: progress"):
+                                continue
+                            payload = stream.readline()
+                            event = json.loads(
+                                payload.decode()[len("data: "):]
+                            )
+                            finals[slot] = event
+                            if event["run"]["status"] in (
+                                "done", "failed",
+                            ):
+                                return
+
+                consumers = [
+                    threading.Thread(target=consume, args=(slot,), daemon=True)
+                    for slot in range(n_clients)
+                ]
+                for consumer in consumers:
+                    consumer.start()
+                try:
+                    ready.wait()  # every client is connected + streaming
+                    results = run_sim_jobs(_small_grid(), n_jobs=1)
+                finally:
+                    board.end_run()
+                for consumer in consumers:
+                    consumer.join(10)
+                assert not any(c.is_alive() for c in consumers)
+        assert len(results) == 4
+        # Every client independently observed the terminal frame with
+        # the full job count — nobody got a torn or partial stream.
+        assert all(f is not None for f in finals)
+        assert all(f["run"]["status"] == "done" for f in finals)
+        assert all(f["run"]["total"] == 4 for f in finals)
+        assert all(f["run"]["done"] == 4 for f in finals)
+
 
 # ----------------------------------------------------------------------
 # Shutdown discipline

@@ -1,0 +1,299 @@
+"""Serving-plane tests: protocol validation, daemon equivalence with
+the engine, coalescing, admission control and cache sharing."""
+
+import dataclasses
+import json
+import tempfile
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.common.config import DEFAULT_GPU_CONFIG
+from repro.experiments.engine import SimJob, run_sim_jobs
+from repro.serve import (
+    RequestError,
+    ServeDaemon,
+    build_config,
+    parse_simulate,
+)
+from repro.serve.loadgen import build_cells, run_swarm_sync, zipf_schedule
+
+
+def _body(**overrides) -> bytes:
+    doc = {
+        "benchmark": "gaussian",
+        "mechanism": "lmi",
+        "warps": 2,
+        "instructions_per_warp": 200,
+    }
+    doc.update(overrides)
+    return json.dumps(doc).encode("utf-8")
+
+
+def _post(url: str, body: bytes, headers=None):
+    request = urllib.request.Request(
+        url + "/v1/simulate", data=body, headers=headers or {}
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def _get(url: str, path: str):
+    with urllib.request.urlopen(url + path, timeout=30) as response:
+        return response.status, response.read()
+
+
+# ----------------------------------------------------------------------
+# Protocol
+
+
+class TestProtocol:
+    def test_minimal_request_parses_with_defaults(self):
+        parsed = parse_simulate(
+            json.dumps({"benchmark": "gaussian", "mechanism": "lmi"}).encode()
+        )
+        assert parsed.job.benchmark == "gaussian"
+        assert parsed.job.warps == 8
+        assert parsed.job.instructions_per_warp == 2000
+        assert parsed.config is DEFAULT_GPU_CONFIG
+        assert parsed.tenant == "anonymous"
+
+    def test_header_tenant_and_body_tenant(self):
+        raw = _body(tenant="team-a")
+        assert parse_simulate(raw, "team-b").tenant == "team-a"
+        assert parse_simulate(_body(), "team-b").tenant == "team-b"
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"benchmark": "nope"},
+            {"mechanism": "nope"},
+            {"benchmark": 7},
+            {"warps": 0},
+            {"warps": "eight"},
+            {"warps": True},
+            {"instructions_per_warp": -1},
+            {"seed_salt": -5},
+            {"tenant": 12},
+            {"config": {"bogus_field": 1}},
+            {"config": {"num_sms": 0}},
+            {"config": {"l1": {"ways": "many"}}},
+            {"config": {"l1": {"bogus": 1}}},
+            {"config": []},
+        ],
+    )
+    def test_invalid_requests_raise(self, mutation):
+        with pytest.raises(RequestError):
+            parse_simulate(_body(**mutation))
+
+    def test_non_json_and_non_object_bodies(self):
+        with pytest.raises(RequestError):
+            parse_simulate(b"\xff\xfe")
+        with pytest.raises(RequestError):
+            parse_simulate(b"[1, 2]")
+
+    def test_build_config_nested_overrides(self):
+        config = build_config({"num_sms": 40, "l1": {"ways": 2}})
+        assert config.num_sms == 40
+        assert config.l1.ways == 2
+        # Untouched fields keep their defaults.
+        assert config.l1.size_bytes == DEFAULT_GPU_CONFIG.l1.size_bytes
+        assert config.l2 == DEFAULT_GPU_CONFIG.l2
+
+    def test_build_config_empty_is_default(self):
+        assert build_config(None) is DEFAULT_GPU_CONFIG
+        assert build_config({}) is DEFAULT_GPU_CONFIG
+
+
+# ----------------------------------------------------------------------
+# Daemon
+
+
+@pytest.fixture()
+def daemon():
+    instance = ServeDaemon(0)
+    instance.start()
+    yield instance
+    instance.stop()
+
+
+class TestDaemon:
+    def test_engine_equivalence_including_config_overrides(self, daemon):
+        """Daemon answers are byte-identical to direct engine calls."""
+        cases = [
+            ({}, DEFAULT_GPU_CONFIG),
+            (
+                {"config": {"num_sms": 8, "l1": {"ways": 2}}},
+                build_config({"num_sms": 8, "l1": {"ways": 2}}),
+            ),
+            ({"mechanism": "baseline"}, DEFAULT_GPU_CONFIG),
+        ]
+        for overrides, config in cases:
+            status, doc = _post(daemon.url, _body(**overrides))
+            assert status == 200
+            job = SimJob(
+                benchmark=doc["benchmark"],
+                mechanism=doc["mechanism"],
+                warps=doc["warps"],
+                instructions_per_warp=doc["instructions_per_warp"],
+                seed_salt=doc["seed_salt"],
+            )
+            [expected] = run_sim_jobs([job], config=config)
+            assert doc["cycles"] == expected.cycles
+            assert doc["stats"] == dataclasses.asdict(expected.stats)
+
+    def test_repeat_request_hits_memory_cache(self, daemon):
+        _, first = _post(daemon.url, _body())
+        _, second = _post(daemon.url, _body())
+        assert first["source"] == "executed"
+        assert second["source"] == "memory"
+        assert second["cycles"] == first["cycles"]
+        assert second["stats"] == first["stats"]
+        assert second["digest"] == first["digest"]
+
+    def test_distinct_config_distinct_digest(self, daemon):
+        _, plain = _post(daemon.url, _body())
+        _, tweaked = _post(daemon.url, _body(config={"num_sms": 8}))
+        assert plain["digest"] != tweaked["digest"]
+
+    def test_bad_request_is_400(self, daemon):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            _post(daemon.url, b'{"benchmark": "nope", "mechanism": "lmi"}')
+        assert info.value.code == 400
+
+    def test_observability_endpoints(self, daemon):
+        _post(daemon.url, _body())
+        status, raw = _get(daemon.url, "/healthz")
+        assert status == 200 and json.loads(raw)["status"] == "ok"
+        status, raw = _get(daemon.url, "/stats")
+        stats = json.loads(raw)
+        assert status == 200
+        assert stats["requests"]["ok"] >= 1
+        assert stats["batches"] >= 1
+        status, raw = _get(daemon.url, "/metrics")
+        assert status == 200
+        text = raw.decode("utf-8")
+        assert "serve_requests" in text or "serve:requests" in text or (
+            "serve" in text
+        )
+        status, raw = _get(daemon.url, "/progress")
+        assert status == 200 and "run" in json.loads(raw)
+        with pytest.raises(urllib.error.HTTPError) as info:
+            _get(daemon.url, "/nope")
+        assert info.value.code == 404
+
+    def test_coalescing_identical_inflight_requests(self):
+        """16 concurrent identical requests share one execution."""
+        with ServeDaemon(0) as daemon:
+            cells = build_cells(1, seed=3)
+            summary = run_swarm_sync(
+                "127.0.0.1",
+                daemon.port,
+                requests=16,
+                concurrency=16,
+                cells=cells,
+            )
+            assert summary["errors"] == 0
+            assert summary["dropped"] == 0
+            by_source = summary["by_source"]
+            assert by_source.get("executed", 0) == 1
+            # Everything else coalesced onto the single execution or
+            # hit the memory cache right behind it.
+            assert (
+                by_source.get("coalesced", 0) + by_source.get("memory", 0)
+                == 15
+            )
+            assert daemon.stats_snapshot()["batches"] == 1
+
+    def test_tenant_quota_throttles_with_retry_after(self):
+        with ServeDaemon(0, tenant_rps=0.5, tenant_burst=1) as daemon:
+            status, _ = _post(daemon.url, _body(tenant="greedy"))
+            assert status == 200
+            with pytest.raises(urllib.error.HTTPError) as info:
+                _post(daemon.url, _body(tenant="greedy"))
+            assert info.value.code == 429
+            assert int(info.value.headers["Retry-After"]) >= 1
+            # A different tenant is not throttled.
+            status, _ = _post(daemon.url, _body(tenant="patient"))
+            assert status == 200
+
+    def test_pending_bound_rejects_excess_distinct_cells(self):
+        with ServeDaemon(0, max_pending=1, window_ms=50.0) as daemon:
+            cells = build_cells(4, seed=5)
+            summary = run_swarm_sync(
+                "127.0.0.1",
+                daemon.port,
+                requests=4,
+                concurrency=4,
+                cells=cells,
+                zipf_s=0.0,
+            )
+            assert summary["errors"] == 0
+            assert summary["dropped"] == 0
+            # At least one distinct cell found the in-flight table full
+            # and was explicitly rejected, not dropped.
+            assert summary["throttled"] >= 1
+
+    def test_zero_drop_under_concurrency(self):
+        with ServeDaemon(0) as daemon:
+            summary = run_swarm_sync(
+                "127.0.0.1",
+                daemon.port,
+                requests=300,
+                concurrency=100,
+                population=8,
+                seed=11,
+            )
+            assert summary["errors"] == 0
+            assert summary["dropped"] == 0
+            assert summary["ok"] == 300
+            # The zipf mix means far fewer executions than requests.
+            assert summary["by_source"].get("executed", 0) <= 8
+
+    def test_disk_cache_shared_across_daemon_restarts(self):
+        with tempfile.TemporaryDirectory() as cache_dir:
+            with ServeDaemon(0, cache_dir=cache_dir) as daemon:
+                _, cold = _post(daemon.url, _body())
+                assert cold["source"] == "executed"
+            with ServeDaemon(0, cache_dir=cache_dir) as daemon:
+                _, warm = _post(daemon.url, _body())
+                assert warm["source"] == "disk"
+                assert warm["cycles"] == cold["cycles"]
+                assert warm["stats"] == cold["stats"]
+
+    def test_clean_shutdown_leaves_no_threads(self):
+        import threading
+
+        before = {t.name for t in threading.enumerate()}
+        daemon = ServeDaemon(0).start()
+        _post(daemon.url, _body())
+        daemon.stop()
+        leftover = {
+            t.name
+            for t in threading.enumerate()
+            if t.name.startswith("repro-serve")
+        } - before
+        assert not leftover
+
+
+# ----------------------------------------------------------------------
+# Load generator internals
+
+
+class TestLoadgen:
+    def test_build_cells_deterministic_and_distinct(self):
+        a = build_cells(12, seed=9)
+        b = build_cells(12, seed=9)
+        assert a == b
+        keys = {
+            (c["benchmark"], c["mechanism"], c["seed_salt"]) for c in a
+        }
+        assert len(keys) == 12
+
+    def test_zipf_schedule_is_skewed_and_deterministic(self):
+        picks = zipf_schedule(1000, 16, s=1.2, seed=4)
+        assert picks == zipf_schedule(1000, 16, s=1.2, seed=4)
+        assert all(0 <= p < 16 for p in picks)
+        # Rank-0 must dominate any tail cell under zipf weighting.
+        assert picks.count(0) > picks.count(15)

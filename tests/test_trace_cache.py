@@ -174,3 +174,75 @@ def test_configure_trace_cache_returns_global():
     cache = configure_trace_cache(capacity=8)
     assert cache is TRACE_CACHE
     assert cache.capacity == 8
+
+
+# ----------------------------------------------------------------------
+# Thread-safety (the repro.serve executor shape)
+
+
+def test_sixteen_thread_hammer_synthesizes_each_key_once(tmp_path):
+    """16 threads × mixed keys: every key synthesized at most once,
+    every caller gets the canonical trace object, counters balance."""
+    import threading
+    from unittest import mock
+
+    from repro.workloads import synthetic
+
+    cache = TraceCache(capacity=64, disk_dir=str(tmp_path))
+    keys = [("nn", 2, 40, salt) for salt in range(8)]
+    synth_counts = {}
+    count_lock = threading.Lock()
+    real_synthesize = synthetic.synthesize_trace
+
+    def counting_synthesize(benchmark, **kwargs):
+        with count_lock:
+            marker = (benchmark, kwargs.get("seed_salt", 0))
+            synth_counts[marker] = synth_counts.get(marker, 0) + 1
+        return real_synthesize(benchmark, **kwargs)
+
+    results = [None] * 16
+    errors = []
+    start = threading.Barrier(16, timeout=10)
+
+    def worker(slot):
+        try:
+            start.wait()
+            benchmark, warps, instructions, salt = keys[slot % len(keys)]
+            results[slot] = cache.get_or_synthesize(
+                benchmark,
+                warps=warps,
+                instructions_per_warp=instructions,
+                seed_salt=salt,
+            )
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    import repro.workloads.trace_cache as trace_cache_module
+
+    # The cache module binds the symbol at import time, so patch it
+    # there rather than on repro.workloads.synthetic.
+    with mock.patch.object(
+        trace_cache_module, "synthesize_trace", counting_synthesize
+    ):
+        threads = [
+            threading.Thread(target=worker, args=(slot,)) for slot in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+    assert not errors
+    assert all(trace is not None for trace in results)
+    # Two workers share each key: the winner synthesized, the loser got
+    # the *same object* back.
+    for slot in range(8):
+        assert results[slot] is results[slot + 8]
+    # No key was synthesized twice (per-key locking held).
+    assert all(count == 1 for count in synth_counts.values())
+    assert len(synth_counts) == len(keys)
+    # Counter conservation: every lookup is a hit or a miss, and misses
+    # equal the number of distinct syntheses.
+    assert cache.stats.lookups == 16
+    assert cache.stats.misses == len(keys)
+    assert cache.stats.hits == 16 - len(keys)
+    assert cache.stats.disk_writes == len(keys)
