@@ -84,12 +84,27 @@ Polls the /progress endpoint of a run started with
 table of jobs, phases, throughput and ETA.  --once prints a single
 snapshot and exits (nonzero if the server is unreachable)."""
 
+_TRACE_USAGE = """\
+usage: repro trace show ID [--url URL | --port PORT [--host HOST]]
+                          [--width N]
+       repro trace list [--url URL | --port PORT [--host HOST]]
+                        [--limit N]
+
+`show` fetches /trace/ID from a running serve daemon (or a --serve'd
+experiments run) and renders the request's stage waterfall as a
+terminal Gantt; `list` prints the most recent traces.  The trace id
+comes from the X-Repro-Trace-Id response header (curl -D-) or from
+`repro loadgen`'s slowest/failed listing.  Default server:
+--url, else --port/--host, else REPRO_METRICS_PORT, else port 8080
+(the serve default)."""
+
 _USAGE = """\
 usage: repro <command> [...]
 
 commands:
   report        render the HTML run report / regression check
   top           live terminal view of a --serve'd experiments run
+  trace         show a request's stage waterfall from /trace/<id>
   ledger        merge shard/machine run ledgers
   experiments   run the paper-reproduction experiments CLI
   serve         run the multi-tenant simulation daemon
@@ -467,6 +482,169 @@ def _top_main(argv: List[str]) -> int:
         return 0
 
 
+# ----------------------------------------------------------------------
+# repro trace — request waterfall forensics over /trace/<id>
+
+
+def format_trace(document: Dict[str, object], width: int = 48) -> str:
+    """Render one ``/trace/<id>`` document as a terminal Gantt.
+
+    Pure formatting (no I/O) so tests can feed it canned documents —
+    same discipline as :func:`format_top`.  Each stage renders one row
+    with its offset/duration in milliseconds and a proportional bar;
+    the bars tile the request end to end because the daemon backs any
+    gap into an ``unattributed`` stage.
+    """
+    total = float(document.get("total_ms") or 0.0)
+    stages = document.get("stages") or []
+    attrs = document.get("attrs") or {}
+    state = "complete" if document.get("complete") else "open"
+    lines: List[str] = [
+        f"trace {document.get('trace_id', '?')} — {state}, "
+        f"total {total:.2f}ms"
+    ]
+    if attrs:
+        lines.append(
+            "  " + " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        )
+    if not stages:
+        lines.append("  (no stages recorded)")
+        return "\n".join(lines)
+    span = total or sum(
+        float(s.get("duration_ms", 0.0)) for s in stages
+    ) or 1.0
+    name_width = max(
+        [len("STAGE")] + [len(str(s.get("stage", "?"))) for s in stages]
+    )
+    lines.append(
+        f"  {'STAGE':<{name_width}} {'OFFSET':>10} {'DURATION':>10}"
+        "  WATERFALL"
+    )
+    for s in stages:
+        offset = float(s.get("offset_ms", 0.0))
+        duration = float(s.get("duration_ms", 0.0))
+        begin = min(width - 1, int(offset / span * width))
+        length = max(1, int(round(duration / span * width)))
+        length = min(length, width - begin)
+        bar = "·" * begin + "█" * length + "·" * (width - begin - length)
+        lines.append(
+            f"  {str(s.get('stage', '?')):<{name_width}} "
+            f"{offset:>8.2f}ms {duration:>8.2f}ms  |{bar}|"
+        )
+    return "\n".join(lines)
+
+
+def _trace_server_url(
+    url: Optional[str], host: str, port: Optional[int]
+) -> str:
+    if url is not None:
+        return url.rstrip("/")
+    if port is None:
+        env_port = os.environ.get("REPRO_METRICS_PORT", "").strip()
+        port = int(env_port) if env_port.isdigit() else 8080
+    return f"http://{host}:{port}"
+
+
+def _trace_main(argv: List[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_TRACE_USAGE)
+        return 0 if argv else 2
+    action, rest = argv[0], argv[1:]
+    if action not in ("show", "list"):
+        print(f"unknown trace action {action!r}")
+        print(_TRACE_USAGE)
+        return 2
+    trace_id: Optional[str] = None
+    url: Optional[str] = None
+    host = "127.0.0.1"
+    port: Optional[int] = None
+    width = 48
+    limit = 16
+    value_flags = ("--url", "--host", "--port", "--width", "--limit")
+    index = 0
+    while index < len(rest):
+        arg = rest[index]
+        if arg in ("-h", "--help"):
+            print(_TRACE_USAGE)
+            return 0
+        if "=" in arg and arg.split("=", 1)[0] in value_flags:
+            flag, value = arg.split("=", 1)
+        elif arg in value_flags:
+            if index + 1 >= len(rest):
+                print(f"{arg} requires a value")
+                return 2
+            index += 1
+            flag, value = arg, rest[index]
+        elif not arg.startswith("-") and trace_id is None:
+            trace_id = arg
+            index += 1
+            continue
+        else:
+            print(f"unknown trace argument {arg!r}")
+            print(_TRACE_USAGE)
+            return 2
+        index += 1
+        if flag == "--url":
+            url = value
+        elif flag == "--host":
+            host = value
+        elif flag in ("--port", "--width", "--limit"):
+            try:
+                number = int(value)
+            except ValueError:
+                print(f"{flag} expects an integer, got {value!r}")
+                return 2
+            if flag == "--port":
+                port = number
+            elif flag == "--width":
+                width = max(8, number)
+            else:
+                limit = max(1, number)
+    base = _trace_server_url(url, host, port)
+    if action == "show":
+        if trace_id is None:
+            print("repro trace show: missing trace id")
+            print(_TRACE_USAGE)
+            return 2
+        target = f"{base}/trace/{trace_id}"
+        try:
+            document = _fetch_snapshot(target, timeout=5.0)
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                print(f"repro trace: unknown trace {trace_id!r} on {base}")
+                return 1
+            print(f"repro trace: cannot reach {target}: {exc}")
+            return 1
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"repro trace: cannot reach {target}: {exc}")
+            return 1
+        print(format_trace(document, width=width))
+        return 0
+    target = f"{base}/trace?limit={limit}"
+    try:
+        document = _fetch_snapshot(target, timeout=5.0)
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"repro trace: cannot reach {target}: {exc}")
+        return 1
+    traces = document.get("traces") or []
+    if not traces:
+        print("repro trace: no traces recorded yet")
+        return 0
+    print(f"{'TRACE':<22} {'TOTAL':>10}  ATTRS")
+    for entry in traces:
+        attrs = entry.get("attrs") or {}
+        attr_text = " ".join(
+            f"{k}={v}" for k, v in sorted(attrs.items())
+        )
+        total = entry.get("total_ms")
+        total_text = f"{total:.2f}ms" if total is not None else "-"
+        print(
+            f"{str(entry.get('trace_id', '?')):<22} {total_text:>10}  "
+            f"{attr_text}"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -478,6 +656,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _report_main(rest)
     if command == "top":
         return _top_main(rest)
+    if command == "trace":
+        return _trace_main(rest)
     if command == "ledger":
         return _ledger_main(rest)
     if command == "experiments":

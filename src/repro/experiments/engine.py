@@ -97,6 +97,12 @@ from ..sim import (
 from ..sim.tracefile import dump_trace_npz, load_trace_npz
 from ..telemetry.progress import PROGRESS
 from ..telemetry.runtime import TELEMETRY
+from ..telemetry.tracectx import (
+    bind_trace,
+    current_trace_id,
+    new_trace_id,
+    record_job_trace,
+)
 from ..workloads import cached_trace
 from ..workloads.profiles import profile
 from ..workloads.trace_cache import TRACE_CACHE, trace_key
@@ -111,6 +117,20 @@ _WORKER_RING_CAPACITY = 1 << 30
 
 #: Environment variable selecting the serial-path native batch width.
 BATCH_ENV = "REPRO_SIM_BATCH"
+
+#: Environment variable disabling per-job trace waterfalls (they are
+#: diagnostics-only and cheap — one id mint plus a few dict writes per
+#: job — so they default on).
+TRACE_DISABLE_ENV = "REPRO_TRACE_DISABLE"
+
+
+def _tracing_enabled() -> bool:
+    return os.environ.get(TRACE_DISABLE_ENV, "").strip().lower() not in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
 
 #: Default batch width: covers all four mechanisms of one benchmark
 #: (the common job grouping) twice over without holding an unbounded
@@ -176,6 +196,11 @@ class JobResult:
     #: ``sim`` → seconds), measured where the job actually ran and
     #: shipped back on the result pipe.
     phases: Dict[str, float] = field(default_factory=dict)
+    #: Trace id bound where the job executed (diagnostics only: it
+    #: rides the result pipe into the in-memory trace store, never
+    #: cell records or deterministic exports).  ``None`` for cache
+    #: hits — no execution happened this run.
+    trace_id: Optional[str] = None
 
 
 def _effective_workers(n_jobs: int, n_items: int) -> int:
@@ -235,7 +260,11 @@ def _execute_job(
     result = simulator.run(trace)
     phases["sim"] = time.perf_counter() - now
     return JobResult(
-        job=job, cycles=result.cycles, stats=result.stats, phases=phases
+        job=job,
+        cycles=result.cycles,
+        stats=result.stats,
+        phases=phases,
+        trace_id=current_trace_id(),
     )
 
 
@@ -379,6 +408,7 @@ def _run_serial_batched(
     batch: int,
     telemetry_wanted: bool,
     board,
+    trace_ids: Optional[Sequence[Optional[str]]] = None,
 ) -> List[JobResult]:
     """Serial execution with cross-trace native batching.
 
@@ -473,14 +503,26 @@ def _run_serial_batched(
                 _finish_batch_entry(entry, run_columnar)
             board.record_phases(entry.phases)
             board.job_finished(entry.job_id)
+            trace_id = trace_ids[entry.index] if trace_ids else None
             results.append(
                 JobResult(
                     job=entry.job,
                     cycles=entry.cycles,
                     stats=entry.stats,
                     phases=entry.phases,
+                    trace_id=trace_id,
                 )
             )
+            if trace_id is not None:
+                record_job_trace(
+                    trace_id,
+                    phases=entry.phases,
+                    attrs={
+                        "benchmark": entry.job.benchmark,
+                        "mechanism": entry.job.mechanism,
+                        "origin": "engine.batched",
+                    },
+                )
     return results
 
 
@@ -550,6 +592,11 @@ def run_sim_jobs(
     job_ids = [
         board.job_queued(job.benchmark, job.mechanism) for job in job_list
     ]
+    # One deterministic trace id per submitted job (diagnostics only;
+    # the ids land in the in-memory trace store, never the exports).
+    trace_ids: Optional[List[Optional[str]]] = (
+        [new_trace_id() for _ in job_list] if _tracing_enabled() else None
+    )
     # The fabric (work-stealing pool, content-addressed cell cache,
     # shards) owns every path except the plain serial one.  Imported
     # lazily: fabric imports this module at its top level.
@@ -567,19 +614,41 @@ def run_sim_jobs(
             board=board,
             cache=cell_cache,
             shard=shard,
+            trace_ids=trace_ids,
         )
     batch = resolve_batch_size(batch_size)
     if batch > 1 and len(job_list) > 1:
         return _run_serial_batched(
-            job_list, job_ids, config, batch, telemetry_wanted, board
+            job_list,
+            job_ids,
+            config,
+            batch,
+            telemetry_wanted,
+            board,
+            trace_ids=trace_ids,
         )
+
+    def _record(result: JobResult) -> None:
+        if result.trace_id is not None:
+            record_job_trace(
+                result.trace_id,
+                phases=result.phases,
+                attrs={
+                    "benchmark": result.job.benchmark,
+                    "mechanism": result.job.mechanism,
+                    "origin": "engine.serial",
+                },
+            )
+
     if not telemetry_wanted:
         serial_results = []
-        for job, job_id in zip(job_list, job_ids):
+        for index, (job, job_id) in enumerate(zip(job_list, job_ids)):
             board.job_running(job_id)
-            result = _execute_job(job, config)
+            with bind_trace(trace_ids[index] if trace_ids else None):
+                result = _execute_job(job, config)
             board.record_phases(result.phases)
             board.job_finished(job_id)
+            _record(result)
             serial_results.append(result)
         return serial_results
     # One span per job, tid = submission index.  The fabric opens the
@@ -591,9 +660,11 @@ def run_sim_jobs(
     for index, job in enumerate(job_list):
         board.job_running(job_ids[index])
         with _job_span(job, index):
-            result = _execute_job(job, config)
+            with bind_trace(trace_ids[index] if trace_ids else None):
+                result = _execute_job(job, config)
         board.record_phases(result.phases)
         board.job_finished(job_ids[index])
+        _record(result)
         serial_results.append(result)
     return serial_results
 
@@ -630,6 +701,7 @@ __all__ = [
     "SimJob",
     "JobResult",
     "BATCH_ENV",
+    "TRACE_DISABLE_ENV",
     "model_factory",
     "resolve_batch_size",
     "run_jobs_batched",

@@ -66,6 +66,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..common.config import GpuConfig
 from ..telemetry.registry import DIAG_REGISTRIES, MetricsRegistry
 from ..telemetry.runtime import TELEMETRY, capture
+from ..telemetry.tracectx import bind_trace, record_job_trace
 from ..workloads.trace_cache import request_key
 from .engine import (
     _WORKER_RING_CAPACITY,
@@ -598,12 +599,16 @@ def _pool_worker_main(
         message = inbox.get()
         if message is None:
             return
-        task_index, job, digest, trace_path = message
+        task_index, job, digest, trace_path, trace_id = message
         _maybe_die_for_test(job)
         try:
-            result, blob = _execute_cell(
-                job, config, telemetry_wanted, trace_path
-            )
+            # Binding here is what makes _execute_job tag the result
+            # with the *request's* id — a redispatched task reuses its
+            # tuple, so the id survives a worker death.
+            with bind_trace(trace_id):
+                result, blob = _execute_cell(
+                    job, config, telemetry_wanted, trace_path
+                )
             if cache is not None and digest is not None:
                 cache.store(_make_cell_record(digest, job, result, blob))
             results.put(("done", slot, task_index, result, blob))
@@ -659,12 +664,15 @@ class _StealingPool:
 
     def run(
         self,
-        tasks: Sequence[Tuple[int, SimJob, Optional[str], Optional[str]]],
+        tasks: Sequence[
+            Tuple[int, SimJob, Optional[str], Optional[str], Optional[str]]
+        ],
         board,
         job_ids: Sequence[object],
     ) -> Dict[int, Tuple[JobResult, object]]:
-        """Execute *tasks* (``(index, job, digest, trace_path)``);
-        returns ``task index -> (result, telemetry blob)``."""
+        """Execute *tasks* (``(index, job, digest, trace_path,
+        trace_id)``); returns ``task index -> (result, telemetry
+        blob)``."""
         slots = len(self.workers)
         deques: List[deque] = [deque() for _ in range(slots)]
         total = len(tasks)
@@ -691,10 +699,12 @@ class _StealingPool:
                     return
                 task_index = deques[victim].pop()  # steal from tail
                 _count("fabric.cells_stolen")
-            _, job, digest, trace_path = by_index[task_index]
+            _, job, digest, trace_path, trace_id = by_index[task_index]
             inflight[slot] = task_index
             board.job_running(job_ids[task_index])
-            self.workers[slot][1].put((task_index, job, digest, trace_path))
+            self.workers[slot][1].put(
+                (task_index, job, digest, trace_path, trace_id)
+            )
 
         for slot in range(slots):
             dispatch(slot)
@@ -772,6 +782,7 @@ def run_grid(
     board,
     cache: Optional[CellCache],
     shard: Optional[Tuple[int, int]],
+    trace_ids: Optional[Sequence[Optional[str]]] = None,
 ) -> List[JobResult]:
     """Run one grid through the fabric; results in submission order.
 
@@ -830,6 +841,7 @@ def run_grid(
                     job_list[index],
                     digests[index],
                     trace_paths.get(_trace_request(job_list[index])),
+                    trace_ids[index] if trace_ids else None,
                 )
                 for index in owned
             ]
@@ -849,9 +861,10 @@ def run_grid(
             for index in owned:
                 job = job_list[index]
                 board.job_running(job_ids[index])
-                result, blob = _execute_cell(
-                    job, config, telemetry_wanted
-                )
+                with bind_trace(trace_ids[index] if trace_ids else None):
+                    result, blob = _execute_cell(
+                        job, config, telemetry_wanted
+                    )
                 if cache is not None:
                     cache.store(
                         _make_cell_record(digests[index], job, result, blob)
@@ -887,7 +900,8 @@ def run_grid(
                 _count("fabric.cells_skipped")
                 continue
             board.job_running(job_ids[index])
-            result, blob = _execute_cell(job, config, telemetry_wanted)
+            with bind_trace(trace_ids[index] if trace_ids else None):
+                result, blob = _execute_cell(job, config, telemetry_wanted)
             cache.store(
                 _make_cell_record(digests[index], job, result, blob)
             )
@@ -905,6 +919,18 @@ def run_grid(
         if telemetry_wanted and blob is not None:
             with _job_span(job_list[index], index):
                 _replay_telemetry(blob)
+        if result.trace_id is not None:
+            # Executed cells only: cache hits carry no trace id (no
+            # wall time was spent this run).
+            record_job_trace(
+                result.trace_id,
+                phases=result.phases,
+                attrs={
+                    "benchmark": result.job.benchmark,
+                    "mechanism": result.job.mechanism,
+                    "origin": "fabric",
+                },
+            )
         results.append(result)
     return results
 

@@ -34,6 +34,18 @@ simulating anything —
    ``/stats/stream`` as Server-Sent Events.  ``/progress`` mirrors the
    global :class:`~repro.telemetry.progress.ProgressBoard` so
    ``repro top`` can watch a daemon like any run.
+5. **Request forensics** — every request gets a deterministic trace id
+   (``X-Repro-Trace-Id`` response header) whose per-stage waterfall
+   (admission → queue wait → batch assembly → engine phases → cache
+   publish → serialize, with an ``unattributed`` remainder so the sum
+   always equals the end-to-end latency) is served by ``/trace/<id>``;
+   ``/logs`` exposes the structured log ring, and requests breaching
+   the slow threshold (``REPRO_SERVE_SLOW_MS`` fixed, or the live
+   ``REPRO_SERVE_SLOW_QUANTILE`` once enough samples exist) are
+   captured automatically — counter, ``/stats`` ``slow_requests``
+   entry, and a ``slow_request`` log record carrying the waterfall.
+   Trace ids live only in the diagnostics stores, never in the
+   byte-identical response bodies or exports.
 
 Every answer is byte-identical to what a direct engine call returns
 for the same job and config — cached, coalesced or executed — which
@@ -50,7 +62,7 @@ import math
 import os
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from typing import Dict, List, Optional, Tuple
 
 from ..experiments.engine import JobResult, run_jobs_batched
@@ -61,15 +73,23 @@ from ..experiments.fabric import (
     cell_digest,
     resolve_cell_cache,
 )
+from ..telemetry.log import LOG
 from ..telemetry.progress import PROGRESS
 from ..telemetry.registry import (
     DIAG_REGISTRIES,
     LATENCY_BUCKETS_SECONDS,
     MetricsRegistry,
 )
-from ..telemetry.server import PROMETHEUS_CONTENT_TYPE, render_metrics_text
+from ..telemetry.server import (
+    OPENMETRICS_CONTENT_TYPE,
+    PROMETHEUS_CONTENT_TYPE,
+    render_metrics_text,
+    wants_openmetrics,
+)
+from ..telemetry.tracectx import TRACES, new_trace_id
 from .protocol import (
     MAX_BODY_BYTES,
+    TRACE_HEADER,
     RequestError,
     SimRequest,
     parse_simulate,
@@ -96,12 +116,40 @@ TENANT_BURST_ENV = "REPRO_SERVE_TENANT_BURST"
 MEMORY_ENV = "REPRO_SERVE_MEMORY_CELLS"
 #: Shared on-disk cell-cache directory (falls back to REPRO_CELL_CACHE).
 CACHE_ENV = "REPRO_SERVE_CACHE"
+#: Per-request tracing ("0"/"false" disables; default on — the cost
+#: is one id mint plus a handful of dict writes per request, inside
+#: the ≤5% telemetry budget the serve bench enforces).
+TRACING_ENV = "REPRO_SERVE_TRACING"
+#: Fixed slow-request threshold in milliseconds.  0 (the default)
+#: switches to quantile mode: a request is slow when it exceeds the
+#: live latency histogram's ``REPRO_SERVE_SLOW_QUANTILE``.
+SLOW_MS_ENV = "REPRO_SERVE_SLOW_MS"
+#: Latency quantile (0..1) above which a request counts as slow in
+#: quantile mode; the capture arms only once the histogram has seen
+#: enough requests to make the quantile meaningful.
+SLOW_QUANTILE_ENV = "REPRO_SERVE_SLOW_QUANTILE"
+#: Test/CI hook: ``benchmark:mechanism:ms`` sleeps that long inside
+#: the execute path of every matching cell, so slow-request capture
+#: can be exercised deterministically.
+INJECT_DELAY_ENV = "REPRO_SERVE_INJECT_DELAY"
 
 _DEFAULT_MAX_BATCH = 8
 _DEFAULT_WINDOW_MS = 5.0
 _DEFAULT_WORKERS = 2
 _DEFAULT_MAX_PENDING = 1024
 _DEFAULT_MEMORY_CELLS = 256
+_DEFAULT_SLOW_QUANTILE = 0.99
+
+#: Requests the latency histogram must hold before quantile-mode slow
+#: capture arms (a p99 over a handful of samples is noise).
+_SLOW_MIN_COUNT = 50
+
+#: Slow requests remembered for /stats (newest kept).
+_SLOW_KEEP = 32
+
+#: Quantile-mode slow threshold refresh cadence (observations between
+#: histogram walks; the bar drifts slowly, the walk is per-request).
+_SLOW_REFRESH_EVERY = 32
 
 #: SSE cadence of ``/stats/stream`` (matches the observability plane).
 SSE_INTERVAL_SECONDS = 0.5
@@ -142,6 +190,40 @@ def _env_float(name: str, default: float) -> float:
         raise ValueError(f"invalid {name} value {raw!r}") from None
 
 
+def _env_bool(name: str, default: bool) -> bool:
+    raw = os.environ.get(name, "").strip().lower()
+    if not raw:
+        return default
+    return raw not in ("0", "false", "no", "off")
+
+
+def _parse_inject_delay(
+    raw: str,
+) -> Optional[Tuple[str, str, float]]:
+    """``benchmark:mechanism:ms`` → (benchmark, mechanism, seconds)."""
+    raw = raw.strip()
+    if not raw:
+        return None
+    parts = raw.split(":")
+    if len(parts) != 3:
+        raise ValueError(
+            f"invalid {INJECT_DELAY_ENV} value {raw!r} "
+            "(expected benchmark:mechanism:ms)"
+        )
+    try:
+        ms = float(parts[2])
+    except ValueError:
+        raise ValueError(
+            f"invalid {INJECT_DELAY_ENV} delay {parts[2]!r}"
+        ) from None
+    return parts[0], parts[1], ms / 1000.0
+
+
+def _q_ms(hist, q: float) -> Optional[float]:
+    value = hist.quantile(q)
+    return round(1000.0 * value, 3) if value is not None else None
+
+
 class _HttpError(Exception):
     """Protocol-level failure on one connection (status + message)."""
 
@@ -152,11 +234,24 @@ class _HttpError(Exception):
 
 @dataclasses.dataclass
 class _CellWork:
-    """One distinct in-flight cell; coalesced waiters share ``future``."""
+    """One distinct in-flight cell; coalesced waiters share ``future``.
+
+    The trace fields belong to the *primary* request (the one that
+    created the work); coalesced waiters keep their own ids and
+    record only their wait.  Timestamps are event-loop clock readings;
+    ``stages`` is filled by the executor thread (disk lookup, engine
+    phases, cache publish) and read by the primary waiter strictly
+    after the future resolves, so no lock is needed.
+    """
 
     digest: str
     request: SimRequest
     future: "asyncio.Future"
+    trace_id: Optional[str] = None
+    enqueued_at: float = 0.0
+    taken_at: float = 0.0
+    dispatched_at: float = 0.0
+    stages: Dict[str, float] = dataclasses.field(default_factory=dict)
 
 
 _SHUTDOWN = object()  # batcher queue sentinel
@@ -185,6 +280,9 @@ class ServeDaemon:
         tenant_burst: Optional[float] = None,
         memory_cells: Optional[int] = None,
         track_progress: bool = False,
+        tracing: Optional[bool] = None,
+        slow_ms: Optional[float] = None,
+        slow_quantile: Optional[float] = None,
     ) -> None:
         self.requested_port = port
         self.host = host
@@ -236,6 +334,26 @@ class ServeDaemon:
         if self.memory_cells <= 0:
             raise ValueError("memory_cells must be positive")
         self.track_progress = track_progress
+        self.tracing = (
+            tracing
+            if tracing is not None
+            else _env_bool(TRACING_ENV, True)
+        )
+        self.slow_ms = (
+            slow_ms if slow_ms is not None else _env_float(SLOW_MS_ENV, 0.0)
+        )
+        if self.slow_ms < 0:
+            raise ValueError("slow_ms must be non-negative")
+        self.slow_quantile = (
+            slow_quantile
+            if slow_quantile is not None
+            else _env_float(SLOW_QUANTILE_ENV, _DEFAULT_SLOW_QUANTILE)
+        )
+        if not 0.0 < self.slow_quantile < 1.0:
+            raise ValueError("slow_quantile must be in (0, 1)")
+        self._inject_delay = _parse_inject_delay(
+            os.environ.get(INJECT_DELAY_ENV, "")
+        )
 
         if cache_dir is None:
             cache_dir = (
@@ -252,6 +370,12 @@ class ServeDaemon:
         self._latency = self.diag.histogram(
             "serve.latency_seconds", buckets=LATENCY_BUCKETS_SECONDS
         )
+        #: Per-stage histograms (lazily created, event-loop thread
+        #: only) — the /stats "stages" quantile block reads these.
+        self._stage_hist: Dict[str, object] = {}
+        #: Newest slow-request captures (/stats "slow_requests").
+        self._slow: "deque[Dict[str, object]]" = deque(maxlen=_SLOW_KEEP)
+        self._slow_threshold_cache: Tuple[int, Optional[float]] = (0, None)
 
         # Plain counters mirrored into `diag` — the /stats JSON reads
         # these, the Prometheus exposition reads the instruments.
@@ -381,6 +505,12 @@ class ServeDaemon:
                     pass
         batcher = asyncio.ensure_future(self._batch_loop())
         self._started.set()
+        LOG.info(
+            "serve_started",
+            port=self.port,
+            workers=self.workers,
+            tracing=self.tracing,
+        )
         try:
             await self._stop_event.wait()
         finally:
@@ -414,6 +544,11 @@ class ServeDaemon:
                 DIAG_REGISTRIES.remove(self.diag)
             if self.track_progress:
                 PROGRESS.end_run("done")
+            LOG.info(
+                "serve_stopped",
+                requests=sum(self.requests_by_outcome.values()),
+                slow_requests=len(self._slow),
+            )
 
     # ------------------------------------------------------------------
     # Counters (event-loop thread only)
@@ -424,12 +559,27 @@ class ServeDaemon:
         )
         self.diag.counter("serve.requests", outcome=outcome).inc()
 
-    def _count_response(self, source: str, elapsed: float) -> None:
+    def _count_response(
+        self, source: str, elapsed: float, trace_id: Optional[str] = None
+    ) -> None:
         self.responses_by_source[source] = (
             self.responses_by_source.get(source, 0) + 1
         )
         self.diag.counter("serve.responses", source=source).inc()
-        self._latency.observe(elapsed)
+        # The trace id becomes an OpenMetrics exemplar on the bucket
+        # this observation lands in — /metrics → /trace/<id> linkage.
+        self._latency.observe(elapsed, trace_id=trace_id)
+
+    def _observe_stage(self, name: str, seconds: float) -> None:
+        hist = self._stage_hist.get(name)
+        if hist is None:
+            hist = self.diag.histogram(
+                "serve.stage_seconds",
+                buckets=LATENCY_BUCKETS_SECONDS,
+                stage=name,
+            )
+            self._stage_hist[name] = hist
+        hist.observe(seconds)
 
     def _memory_get(self, digest: str) -> Optional[Dict[str, object]]:
         record = self._memory.get(digest)
@@ -502,6 +652,15 @@ class ServeDaemon:
                 "p50": round(1000.0 * p50, 3) if p50 is not None else None,
                 "p99": round(1000.0 * p99, 3) if p99 is not None else None,
             },
+            "stages": {
+                name: {
+                    "count": hist.count,
+                    "p50": _q_ms(hist, 0.5),
+                    "p99": _q_ms(hist, 0.99),
+                }
+                for name, hist in sorted(self._stage_hist.items())
+            },
+            "slow_requests": list(self._slow),
             "tenants": len(self._buckets),
         }
 
@@ -514,6 +673,7 @@ class ServeDaemon:
             work = await self._queue.get()
             if work is _SHUTDOWN:
                 return
+            work.taken_at = loop.time()
             batch = [work]
             deadline = loop.time() + self.window_seconds
             shutdown = False
@@ -536,6 +696,7 @@ class ServeDaemon:
                 if extra is _SHUTDOWN:
                     shutdown = True
                     break
+                extra.taken_at = loop.time()
                 batch.append(extra)
             self.diag.gauge("serve.queue_depth").set(self._queue.qsize())
             await self._dispatch_sem.acquire()
@@ -557,6 +718,9 @@ class ServeDaemon:
         if self.track_progress:
             job_id = PROGRESS.job_queued("serve", f"batch[{len(batch)}]")
             PROGRESS.job_running(job_id)
+        dispatched = loop.time()
+        for work in batch:
+            work.dispatched_at = dispatched
         try:
             outcomes = await loop.run_in_executor(
                 self._executor, self._execute_batch, batch
@@ -599,9 +763,14 @@ class ServeDaemon:
         for work in batch:
             record = None
             if self.cell_cache is not None:
+                lookup_started = time.perf_counter()
                 record = self.cell_cache.load(
                     work.digest, want_events=False
                 )
+                if work.trace_id is not None:
+                    work.stages["disk_lookup"] = (
+                        time.perf_counter() - lookup_started
+                    )
             if record is not None:
                 outcomes[work.digest] = (
                     _result_from_record(work.request.job, record),
@@ -620,11 +789,26 @@ class ServeDaemon:
                 batch_size=self.max_batch,
             )
             for work, result in zip(group, results):
+                if work.trace_id is not None:
+                    # Engine phase attribution (trace_expand/compile/
+                    # sim) becomes this request's execute stages.
+                    work.stages.update(result.phases)
+                if self._inject_delay is not None:
+                    bench, mech, delay = self._inject_delay
+                    job = work.request.job
+                    if job.benchmark == bench and job.mechanism == mech:
+                        time.sleep(delay)
+                        work.stages["inject_delay"] = delay
+                publish_started = time.perf_counter()
                 record = _make_cell_record(
                     work.digest, work.request.job, result, None
                 )
                 if self.cell_cache is not None:
                     self.cell_cache.store(record)
+                if work.trace_id is not None:
+                    work.stages["cache_publish"] = (
+                        time.perf_counter() - publish_started
+                    )
                 outcomes[work.digest] = (result, "executed", record)
         return outcomes
 
@@ -652,7 +836,9 @@ class ServeDaemon:
                 if parsed is None:
                     break
                 method, target, headers, body = parsed
-                await self._dispatch(writer, method, target, headers, body)
+                await self._dispatch(
+                    reader, writer, method, target, headers, body
+                )
                 if headers.get("connection", "").lower() == "close":
                     break
         except (ConnectionResetError, BrokenPipeError):
@@ -733,6 +919,7 @@ class ServeDaemon:
 
     async def _dispatch(
         self,
+        reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         method: str,
         target: str,
@@ -756,14 +943,26 @@ class ServeDaemon:
                 },
             )
         elif method == "GET" and path == "/metrics":
-            text = render_metrics_text()
+            openmetrics = wants_openmetrics(headers.get("accept"))
+            text = render_metrics_text(openmetrics=openmetrics)
             await self._send_raw(
-                writer, 200, PROMETHEUS_CONTENT_TYPE, text.encode("utf-8")
+                writer,
+                200,
+                OPENMETRICS_CONTENT_TYPE
+                if openmetrics
+                else PROMETHEUS_CONTENT_TYPE,
+                text.encode("utf-8"),
             )
         elif method == "GET" and path == "/stats":
             await self._send_json(writer, 200, self.stats_snapshot())
         elif method == "GET" and path == "/stats/stream":
-            await self._stream_stats(writer)
+            await self._stream_stats(reader, writer)
+        elif method == "GET" and (
+            path == "/trace" or path.startswith("/trace/")
+        ):
+            await self._handle_trace(writer, path, query)
+        elif method == "GET" and path == "/logs":
+            await self._handle_logs(writer, query)
         elif method == "GET" and path == "/progress":
             max_jobs = 256
             for pair in query.split("&"):
@@ -784,8 +983,10 @@ class ServeDaemon:
             "/metrics",
             "/stats",
             "/stats/stream",
+            "/trace",
+            "/logs",
             "/progress",
-        ):
+        ) or path.startswith("/trace/"):
             await self._send_json(writer, 405, {"error": "method not allowed"})
         else:
             await self._send_json(
@@ -799,12 +1000,82 @@ class ServeDaemon:
                         "GET /metrics",
                         "GET /stats",
                         "GET /stats/stream",
+                        "GET /trace",
+                        "GET /trace/<id>",
+                        "GET /logs",
                         "GET /progress",
                     ],
                 },
             )
 
-    async def _stream_stats(self, writer: asyncio.StreamWriter) -> None:
+    @staticmethod
+    def _query_param(query: str, name: str) -> Optional[str]:
+        prefix = f"{name}="
+        for pair in query.split("&"):
+            if pair.startswith(prefix):
+                return pair[len(prefix):]
+        return None
+
+    async def _handle_trace(
+        self, writer: asyncio.StreamWriter, path: str, query: str
+    ) -> None:
+        trace_id = (
+            path[len("/trace/"):] if path.startswith("/trace/") else ""
+        )
+        if trace_id:
+            document = TRACES.get(trace_id)
+            if document is None:
+                await self._send_json(
+                    writer,
+                    404,
+                    {"error": "unknown trace", "trace_id": trace_id},
+                )
+                return
+            await self._send_json(writer, 200, document)
+            return
+        raw_limit = self._query_param(query, "limit") or "32"
+        try:
+            limit = int(raw_limit)
+        except ValueError:
+            await self._send_json(
+                writer, 400, {"error": "limit must be an integer"}
+            )
+            return
+        await self._send_json(
+            writer,
+            200,
+            {
+                "schema": "repro.telemetry.trace-list/v1",
+                "count": len(TRACES),
+                "traces": TRACES.recent(limit=limit),
+            },
+        )
+
+    async def _handle_logs(
+        self, writer: asyncio.StreamWriter, query: str
+    ) -> None:
+        raw_limit = self._query_param(query, "limit") or "256"
+        try:
+            limit = int(raw_limit)
+        except ValueError:
+            await self._send_json(
+                writer, 400, {"error": "limit must be an integer"}
+            )
+            return
+        await self._send_json(
+            writer,
+            200,
+            LOG.document(
+                level=self._query_param(query, "level"),
+                trace_id=self._query_param(query, "trace"),
+                event=self._query_param(query, "event"),
+                limit=limit,
+            ),
+        )
+
+    async def _stream_stats(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
             b"Content-Type: text/event-stream\r\n"
@@ -812,17 +1083,34 @@ class ServeDaemon:
             b"Connection: close\r\n\r\n"
         )
         await writer.drain()
+        # SSE clients never send bytes after the request, so a
+        # completed read means EOF (dropped client) or a stray byte —
+        # either way the stream ends and this coroutine returns
+        # promptly instead of writing into a dead pipe.
+        eof_task = asyncio.ensure_future(reader.read(1))
         last = None
-        while not self._stopping:
-            payload = json.dumps(self.stats_snapshot(), sort_keys=True)
-            if payload != last:
-                frame = f"event: stats\ndata: {payload}\n\n"
-                last = payload
-            else:
-                frame = ": keep-alive\n\n"
-            writer.write(frame.encode("utf-8"))
-            await writer.drain()
-            await asyncio.sleep(SSE_INTERVAL_SECONDS)
+        try:
+            while not self._stopping:
+                payload = json.dumps(self.stats_snapshot(), sort_keys=True)
+                if payload != last:
+                    frame = f"event: stats\ndata: {payload}\n\n"
+                    last = payload
+                else:
+                    frame = ": keep-alive\n\n"
+                writer.write(frame.encode("utf-8"))
+                await writer.drain()
+                done, _ = await asyncio.wait(
+                    {eof_task}, timeout=SSE_INTERVAL_SECONDS
+                )
+                if done:
+                    break
+        finally:
+            if not eof_task.done():
+                eof_task.cancel()
+            try:
+                await eof_task
+            except (asyncio.CancelledError, Exception):
+                pass
 
     # ------------------------------------------------------------------
     # The simulate route
@@ -835,6 +1123,7 @@ class ServeDaemon:
     ) -> None:
         loop = asyncio.get_event_loop()
         start = loop.time()
+        trace_id = new_trace_id() if self.tracing else None
         try:
             request = parse_simulate(body, headers.get("x-tenant"))
         except RequestError as exc:
@@ -855,15 +1144,30 @@ class ServeDaemon:
             )
             return
         digest = cell_digest(request.job, request.config)
+        admitted_at = loop.time()
 
+        lookup_at = loop.time()
         record = self._memory_get(digest)
         if record is not None:
             result = _result_from_record(request.job, record)
-            await self._finish(writer, digest, result, "memory", start)
+            await self._finish(
+                writer,
+                digest,
+                result,
+                "memory",
+                start,
+                trace_id=trace_id,
+                request=request,
+                stages=[
+                    ("admission", admitted_at - start),
+                    ("memory_lookup", loop.time() - lookup_at),
+                ],
+            )
             return
 
         work = self._inflight.get(digest)
         if work is not None:
+            wait_started = loop.time()
             try:
                 result, _source = await work.future
             except ServiceStopped:
@@ -874,11 +1178,30 @@ class ServeDaemon:
                 return
             except Exception as exc:
                 self._count_request("error")
+                LOG.error(
+                    "request_failed",
+                    trace_id=trace_id,
+                    digest=digest,
+                    error=str(exc),
+                )
                 await self._send_json(
                     writer, 500, {"error": f"simulation failed: {exc}"}
                 )
                 return
-            await self._finish(writer, digest, result, "coalesced", start)
+            await self._finish(
+                writer,
+                digest,
+                result,
+                "coalesced",
+                start,
+                trace_id=trace_id,
+                request=request,
+                stages=[
+                    ("admission", admitted_at - start),
+                    ("coalesce_wait", loop.time() - wait_started),
+                ],
+                attrs={"coalesced_with": work.trace_id},
+            )
             return
 
         if len(self._inflight) >= self.max_pending:
@@ -894,7 +1217,10 @@ class ServeDaemon:
             )
             return
 
-        work = _CellWork(digest, request, loop.create_future())
+        work = _CellWork(
+            digest, request, loop.create_future(), trace_id=trace_id
+        )
+        work.enqueued_at = loop.time()
         self._inflight[digest] = work
         self._queue.put_nowait(work)
         self.diag.gauge("serve.queue_depth").set(self._queue.qsize())
@@ -907,11 +1233,34 @@ class ServeDaemon:
             return
         except Exception as exc:
             self._count_request("error")
+            LOG.error(
+                "request_failed",
+                trace_id=trace_id,
+                digest=digest,
+                error=str(exc),
+            )
             await self._send_json(
                 writer, 500, {"error": f"simulation failed: {exc}"}
             )
             return
-        await self._finish(writer, digest, result, source, start)
+        stages = [("admission", admitted_at - start)]
+        if work.taken_at and work.enqueued_at:
+            stages.append(("queue_wait", work.taken_at - work.enqueued_at))
+        if work.dispatched_at and work.taken_at:
+            stages.append(
+                ("batch_assembly", work.dispatched_at - work.taken_at)
+            )
+        stages.extend(work.stages.items())
+        await self._finish(
+            writer,
+            digest,
+            result,
+            source,
+            start,
+            trace_id=trace_id,
+            request=request,
+            stages=stages,
+        )
 
     async def _finish(
         self,
@@ -920,13 +1269,96 @@ class ServeDaemon:
         result: JobResult,
         source: str,
         start: float,
+        *,
+        trace_id: Optional[str] = None,
+        request: Optional[SimRequest] = None,
+        stages: Optional[List[Tuple[str, float]]] = None,
+        attrs: Optional[Dict[str, object]] = None,
     ) -> None:
         loop = asyncio.get_event_loop()
         elapsed = loop.time() - start
         self._count_request("ok")
-        self._count_response(source, elapsed)
+        self._count_response(source, elapsed, trace_id)
+        headers: Tuple[Tuple[str, str], ...] = (
+            ((TRACE_HEADER, trace_id),) if trace_id is not None else ()
+        )
+        serialize_started = loop.time()
         await self._send_json(
-            writer, 200, result_document(digest, result, source, elapsed)
+            writer,
+            200,
+            result_document(digest, result, source, elapsed),
+            extra_headers=headers,
+        )
+        if trace_id is None:
+            return
+        # Trace total covers through serialization: the waterfall's
+        # stage sum equals this figure by construction (finish() backs
+        # any gap into an `unattributed` stage).
+        total = loop.time() - start
+        all_stages = list(stages or [])
+        all_stages.append(("serialize", loop.time() - serialize_started))
+        job = result.job
+        trace_attrs = {
+            "source": source,
+            "digest": digest,
+            "benchmark": job.benchmark,
+            "mechanism": job.mechanism,
+            "tenant": request.tenant if request is not None else None,
+            "origin": "serve",
+        }
+        if attrs:
+            trace_attrs.update(attrs)
+        TRACES.record(
+            trace_id,
+            attrs=trace_attrs,
+            stages=all_stages,
+            total_seconds=total,
+        )
+        for name, seconds in all_stages:
+            self._observe_stage(name, seconds)
+        self._maybe_capture_slow(trace_id, source, digest, total)
+
+    def _slow_threshold_seconds(self) -> Optional[float]:
+        """Current slow-request bar, or None while unarmed.
+
+        In quantile mode the bar is recomputed every
+        :data:`_SLOW_REFRESH_EVERY` observations rather than per
+        request — walking the histogram buckets on every sub-ms cache
+        hit would cost a visible slice of the tracing budget for a
+        threshold that moves slowly anyway.
+        """
+        if self.slow_ms > 0:
+            return self.slow_ms / 1000.0
+        count = self._latency.count
+        if count < _SLOW_MIN_COUNT:
+            return None
+        cached_count, cached = self._slow_threshold_cache
+        if cached is None or count - cached_count >= _SLOW_REFRESH_EVERY:
+            cached = self._latency.quantile(self.slow_quantile)
+            self._slow_threshold_cache = (count, cached)
+        return cached
+
+    def _maybe_capture_slow(
+        self, trace_id: str, source: str, digest: str, total: float
+    ) -> None:
+        threshold = self._slow_threshold_seconds()
+        if threshold is None or total < threshold:
+            return
+        trace = TRACES.get(trace_id)
+        capture = {
+            "trace_id": trace_id,
+            "elapsed_ms": round(total * 1000.0, 3),
+            "threshold_ms": round(threshold * 1000.0, 3),
+            "source": source,
+            "digest": digest,
+            "ts_unix": round(time.time(), 3),
+        }
+        self._slow.append(capture)
+        self.diag.counter("serve.slow_requests").inc()
+        LOG.warning(
+            "slow_request",
+            **capture,
+            stages=trace["stages"] if trace is not None else None,
         )
 
 
@@ -954,6 +1386,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--tenant-rps",
         "--tenant-burst",
         "--memory-cells",
+        "--slow-ms",
+        "--slow-quantile",
     )
     index = 0
     while index < len(args):
@@ -966,13 +1400,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 2
             flag, value = arg, args[index + 1]
             index += 1
+        elif arg == "--no-tracing":
+            overrides["tracing"] = False
+            index += 1
+            continue
         elif arg in ("-h", "--help"):
             print(
                 "usage: repro serve [--port N] [--host H] [--cache DIR]\n"
                 "                   [--max-batch N] [--window-ms MS]\n"
                 "                   [--workers N] [--max-pending N]\n"
                 "                   [--tenant-rps R] [--tenant-burst B]\n"
-                "                   [--memory-cells N]"
+                "                   [--memory-cells N] [--no-tracing]\n"
+                "                   [--slow-ms MS] [--slow-quantile Q]"
             )
             return 0
         else:
@@ -1000,6 +1439,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 overrides["tenant_burst"] = float(value)
             elif flag == "--memory-cells":
                 overrides["memory_cells"] = int(value)
+            elif flag == "--slow-ms":
+                overrides["slow_ms"] = float(value)
+            elif flag == "--slow-quantile":
+                overrides["slow_quantile"] = float(value)
         except ValueError:
             print(
                 f"error: invalid value {value!r} for {flag}", file=sys.stderr
@@ -1037,11 +1480,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 __all__ = [
     "CACHE_ENV",
+    "INJECT_DELAY_ENV",
     "MAX_BATCH_ENV",
     "MAX_PENDING_ENV",
     "MEMORY_ENV",
+    "SLOW_MS_ENV",
+    "SLOW_QUANTILE_ENV",
     "TENANT_BURST_ENV",
     "TENANT_RPS_ENV",
+    "TRACING_ENV",
     "WINDOW_ENV",
     "WORKERS_ENV",
     "SSE_INTERVAL_SECONDS",

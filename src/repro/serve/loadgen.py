@@ -150,6 +150,10 @@ async def run_swarm(
     by_status: Dict[int, int] = {}
     by_source: Dict[str, int] = {}
     errors = 0
+    # (elapsed_seconds, trace_id) per 200, so the summary can name the
+    # slowest requests; trace ids of non-200s make failures debuggable.
+    traced: List[tuple] = []
+    failed_traces: List[Dict[str, object]] = []
 
     async def worker() -> None:
         nonlocal cursor, errors
@@ -181,9 +185,14 @@ async def run_swarm(
                     begin = time.perf_counter()
                     writer.write(payload)
                     await writer.drain()
-                    status, _headers, body = await _read_response(reader)
+                    status, headers, body = await _read_response(reader)
                     elapsed = time.perf_counter() - begin
-                    outcome = (status, body, elapsed)
+                    outcome = (
+                        status,
+                        body,
+                        elapsed,
+                        headers.get("x-repro-trace-id"),
+                    )
                     break
                 except (
                     OSError,
@@ -199,15 +208,21 @@ async def run_swarm(
             if outcome is None:
                 errors += 1
                 continue
-            status, body, elapsed = outcome
+            status, body, elapsed, trace_id = outcome
             by_status[status] = by_status.get(status, 0) + 1
             if status == 200:
                 latencies.append(elapsed)
+                if trace_id is not None:
+                    traced.append((elapsed, trace_id))
                 try:
                     source = json.loads(body.decode("utf-8")).get("source")
                 except ValueError:
                     source = "unparseable"
                 by_source[source] = by_source.get(source, 0) + 1
+            elif status not in (429,) and trace_id is not None:
+                failed_traces.append(
+                    {"status": status, "trace_id": trace_id}
+                )
         if writer is not None:
             try:
                 writer.close()
@@ -230,6 +245,11 @@ async def run_swarm(
     ok = by_status.get(200, 0)
     throttled = by_status.get(429, 0)
     answered = sum(by_status.values())
+    traced.sort(key=lambda pair: -pair[0])
+    slowest = [
+        {"elapsed_ms": round(elapsed * 1000.0, 3), "trace_id": trace_id}
+        for elapsed, trace_id in traced[:5]
+    ]
     return {
         "schema": "repro.serve-loadgen/v1",
         "requests": len(payloads),
@@ -247,6 +267,10 @@ async def run_swarm(
         "p99_ms": pct(0.99),
         "by_status": {str(k): v for k, v in sorted(by_status.items())},
         "by_source": dict(sorted(by_source.items())),
+        # Forensics: feed any of these to `repro trace show <id>` (or
+        # GET /trace/<id>) while the daemon is still up.
+        "slowest": slowest,
+        "failed": failed_traces,
     }
 
 
@@ -354,6 +378,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"p50={summary['p50_ms']}ms p99={summary['p99_ms']}ms "
             f"sources={summary['by_source']}"
         )
+        for entry in summary["slowest"]:
+            print(
+                f"loadgen: slow {entry['elapsed_ms']}ms "
+                f"trace={entry['trace_id']}"
+            )
+        for entry in summary["failed"]:
+            print(
+                f"loadgen: failed status={entry['status']} "
+                f"trace={entry['trace_id']}"
+            )
     return 0 if summary["errors"] == 0 and summary["dropped"] == 0 else 1
 
 

@@ -51,6 +51,13 @@ MAX_INSTRUCTIONS_PER_WARP = 1_000_000
 #: Tenant id used when the request names none.
 DEFAULT_TENANT = "anonymous"
 
+#: Response header carrying the request's trace id.  Header only,
+#: never the JSON body: the body is part of the byte-identical
+#: engine-equivalence contract, while headers are transport.  Curl it
+#: with ``-D-`` and feed the value to ``/trace/<id>`` or
+#: ``repro trace show``.
+TRACE_HEADER = "X-Repro-Trace-Id"
+
 #: Config override keys forwarded to ``dataclasses.replace`` on the
 #: default GpuConfig; ``l1``/``l2`` take nested CacheConfig overrides.
 _CONFIG_FIELDS = frozenset(
@@ -229,6 +236,7 @@ __all__ = [
     "MAX_WARPS",
     "MAX_INSTRUCTIONS_PER_WARP",
     "DEFAULT_TENANT",
+    "TRACE_HEADER",
     "RequestError",
     "SimRequest",
     "build_config",

@@ -61,8 +61,18 @@ from .report import (
     write_report,
     write_summary,
 )
+from .log import LOG, LOG_SCHEMA, StructuredLog
 from .server import SERVE_ENV, ObservabilityServer, port_from_env, start_server
 from .spans import Instant, LogicalClock, Span, Tracer, WallClock
+from .tracectx import (
+    TRACES,
+    TraceStore,
+    bind_trace,
+    current_trace_id,
+    new_trace_id,
+    record_job_trace,
+    reset_trace_ids,
+)
 
 __all__ = [
     "EventKind",
@@ -113,4 +123,14 @@ __all__ = [
     "ObservabilityServer",
     "port_from_env",
     "start_server",
+    "LOG",
+    "LOG_SCHEMA",
+    "StructuredLog",
+    "TRACES",
+    "TraceStore",
+    "bind_trace",
+    "current_trace_id",
+    "new_trace_id",
+    "record_job_trace",
+    "reset_trace_ids",
 ]

@@ -1,0 +1,170 @@
+"""Structured, trace-correlated JSONL logging.
+
+A bounded in-memory ring of schema-stamped records
+(``repro.telemetry.log/v1``), each carrying a level, an event name,
+free-form fields and — when one is bound or given — the originating
+request's trace id, so a ``/logs?trace=rtx-…`` query reconstructs one
+request's story across subsystems.
+
+The ring is diagnostics-only, like :data:`~.tracectx.TRACES`: records
+hold wall-clock timestamps and trace ids, neither of which may ever
+reach the byte-identical ``--metrics``/``--trace`` exports (the leak
+tests grep for the ``rtx-`` prefix).  Consumers are the serve
+daemon's and observability server's ``/logs`` endpoints and the
+slow-request forensics path, which dumps a full waterfall into the
+log when a request breaches the latency threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+from .tracectx import current_trace_id
+
+#: Schema tag stamped into every record (and the ``/logs`` body).
+LOG_SCHEMA = "repro.telemetry.log/v1"
+
+#: Records kept in the ring (oldest evicted first).
+DEFAULT_LOG_CAPACITY = 2048
+
+#: Recognised levels, in severity order.
+LEVELS = ("debug", "info", "warning", "error")
+
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LEVELS)}
+
+
+class StructuredLog:
+    """Thread-safe bounded ring of structured log records."""
+
+    def __init__(self, capacity: int = DEFAULT_LOG_CAPACITY) -> None:
+        self.capacity = max(1, capacity)
+        self._lock = threading.Lock()
+        self._records: "deque[Dict[str, object]]" = deque(
+            maxlen=self.capacity
+        )
+        self._seq = 0
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+
+    def log(
+        self,
+        level: str,
+        event: str,
+        *,
+        trace_id: Optional[str] = None,
+        **fields: object,
+    ) -> Dict[str, object]:
+        """Append one record; returns it.
+
+        *trace_id* defaults to the contextvar-bound id (None stays
+        None).  Unknown levels are coerced to ``info`` rather than
+        raised: a log call must never take down the caller.
+        """
+        if level not in _LEVEL_RANK:
+            level = "info"
+        if trace_id is None:
+            trace_id = current_trace_id()
+        record: Dict[str, object] = {
+            "schema": LOG_SCHEMA,
+            "ts_unix": round(time.time(), 3),
+            "level": level,
+            "event": event,
+        }
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        with self._lock:
+            self._seq += 1
+            record["seq"] = self._seq
+            if len(self._records) == self.capacity:
+                self._dropped += 1
+            self._records.append(record)
+        return record
+
+    def debug(self, event: str, **fields: object) -> Dict[str, object]:
+        return self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: object) -> Dict[str, object]:
+        return self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: object) -> Dict[str, object]:
+        return self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: object) -> Dict[str, object]:
+        return self.log("error", event, **fields)
+
+    # ------------------------------------------------------------------
+
+    def records(
+        self,
+        *,
+        level: Optional[str] = None,
+        trace_id: Optional[str] = None,
+        event: Optional[str] = None,
+        limit: int = 256,
+    ) -> List[Dict[str, object]]:
+        """Matching records, oldest first (bounded by *limit*, newest
+        kept).  *level* is a minimum severity, not an exact match."""
+        floor = _LEVEL_RANK.get(level, 0) if level else 0
+        with self._lock:
+            snapshot = list(self._records)
+        out = [
+            dict(record)
+            for record in snapshot
+            if _LEVEL_RANK.get(str(record.get("level")), 0) >= floor
+            and (trace_id is None or record.get("trace_id") == trace_id)
+            and (event is None or record.get("event") == event)
+        ]
+        if limit > 0:
+            out = out[-limit:]
+        return out
+
+    def document(self, **query) -> Dict[str, object]:
+        """The ``/logs`` response body."""
+        records = self.records(**query)
+        with self._lock:
+            dropped = self._dropped
+        return {
+            "schema": LOG_SCHEMA,
+            "count": len(records),
+            "dropped": dropped,
+            "records": records,
+        }
+
+    def dump_jsonl(self) -> str:
+        """Every held record as JSONL (one sorted-key object/line)."""
+        with self._lock:
+            snapshot = list(self._records)
+        return "".join(
+            json.dumps(record, sort_keys=True, default=str) + "\n"
+            for record in snapshot
+        )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._dropped = 0
+
+
+#: Process-global structured log (diagnostics only; never exported).
+LOG = StructuredLog()
+
+
+__all__ = [
+    "LOG_SCHEMA",
+    "DEFAULT_LOG_CAPACITY",
+    "LEVELS",
+    "StructuredLog",
+    "LOG",
+]

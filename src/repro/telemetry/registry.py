@@ -110,7 +110,9 @@ class Histogram:
     Prometheus ``le`` buckets)."""
 
     kind = "histogram"
-    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+    __slots__ = (
+        "name", "labels", "buckets", "counts", "sum", "count", "exemplars",
+    )
 
     def __init__(
         self,
@@ -127,12 +129,23 @@ class Histogram:
         self.counts: List[int] = [0] * len(bounds)
         self.sum: float = 0.0
         self.count: int = 0
+        #: Last exemplar per bucket index: ``{index: (value, trace_id)}``.
+        #: Rendered only by the OpenMetrics exposition — ``snapshot()``
+        #: and ``to_prometheus()`` never read it, so the deterministic
+        #: exports cannot carry trace ids.
+        self.exemplars: Dict[int, Tuple[float, str]] = {}
 
-    def observe(self, value: Number) -> None:
-        """Record one observation."""
-        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+    def observe(
+        self, value: Number, trace_id: Optional[str] = None
+    ) -> None:
+        """Record one observation (optionally tagged with the trace id
+        of the request that produced it — an OpenMetrics exemplar)."""
+        index = bisect.bisect_left(self.buckets, value)
+        self.counts[index] += 1
         self.sum += value
         self.count += 1
+        if trace_id is not None:
+            self.exemplars[index] = (float(value), trace_id)
 
     def cumulative(self) -> List[Tuple[float, int]]:
         """``(le, cumulative_count)`` pairs, Prometheus style."""
@@ -347,6 +360,65 @@ class MetricsRegistry:
                     f"{metric}_count{_prom_labels(inst.labels)} {inst.count}"
                 )
         return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_openmetrics(self, prefix: str = "repro") -> str:
+        """OpenMetrics text exposition **with exemplars**.
+
+        Same families as :meth:`to_prometheus`, in OpenMetrics
+        clothing: counters gain the ``_total`` sample suffix,
+        histogram bucket samples carry their last exemplar as
+        ``# {trace_id="rtx-…"} <value>``, and the document ends with
+        the mandatory ``# EOF``.  This is the only rendering that
+        reads :attr:`Histogram.exemplars` — trace ids appear on the
+        live, content-negotiated ``/metrics`` scrape and nowhere in
+        the deterministic exports.
+        """
+        lines: List[str] = []
+        seen_types: Dict[str, str] = {}
+        for inst in self:
+            metric = _prom_name(prefix, inst.name)
+            if metric not in seen_types:
+                seen_types[metric] = inst.kind
+                lines.append(f"# HELP {metric} {_prom_help(inst.name)}")
+                lines.append(f"# TYPE {metric} {inst.kind}")
+            if isinstance(inst, Counter):
+                lines.append(
+                    f"{metric}_total{_prom_labels(inst.labels)} "
+                    f"{_format_num(inst.value)}"
+                )
+            elif isinstance(inst, Gauge):
+                lines.append(
+                    f"{metric}{_prom_labels(inst.labels)} "
+                    f"{_format_num(inst.value)}"
+                )
+            else:
+                for index, (bound, cumulative) in enumerate(
+                    inst.cumulative()
+                ):
+                    le = "+Inf" if bound == float("inf") else _format_num(bound)
+                    extra = inst.labels + (("le", le),)
+                    sample = (
+                        f"{metric}_bucket{_prom_labels(extra)} {cumulative}"
+                    )
+                    exemplar = inst.exemplars.get(index)
+                    if exemplar is not None:
+                        value, trace_id = exemplar
+                        sample += (
+                            ' # {trace_id="'
+                            + _escape_label_value(trace_id)
+                            + '"} '
+                            + _format_num(value)
+                        )
+                    lines.append(sample)
+                lines.append(
+                    f"{metric}_sum{_prom_labels(inst.labels)} "
+                    f"{_format_num(inst.sum)}"
+                )
+                lines.append(
+                    f"{metric}_count{_prom_labels(inst.labels)} {inst.count}"
+                )
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
 
 
 def _format_num(value: Number) -> str:

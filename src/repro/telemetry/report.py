@@ -557,6 +557,42 @@ def _serve_section(ledger: RunLedger) -> List[str]:
         "cached request serving, from each series' most recent "
         "ledger record carrying a serve block.</p>"
     )
+    slow: List[Tuple[str, Dict[str, object]]] = []
+    for name, block in blocks.items():
+        captures = block.get("slow_requests")
+        if isinstance(captures, list):
+            slow.extend(
+                (name, capture)
+                for capture in captures
+                if isinstance(capture, dict)
+            )
+    if slow:
+        slow.sort(
+            key=lambda pair: -float(pair[1].get("elapsed_ms") or 0.0)
+        )
+        lines.append("<h2>Slow requests (forensics)</h2>")
+        lines.append("<table>")
+        lines.append(
+            "<tr><th class=k>series</th><th class=k>trace</th>"
+            "<th>elapsed ms</th><th>threshold ms</th>"
+            "<th class=k>source</th><th class=k>digest</th></tr>"
+        )
+        for name, capture in slow[:16]:
+            digest = str(capture.get("digest") or "")
+            lines.append(
+                f"<tr><td class=k>{_esc(name)}</td>"
+                f"<td class=k>{_esc(capture.get('trace_id'))}</td>"
+                f"<td>{_fmt(capture.get('elapsed_ms'))}</td>"
+                f"<td>{_fmt(capture.get('threshold_ms'))}</td>"
+                f"<td class=k>{_esc(capture.get('source'))}</td>"
+                f"<td class=k>{_esc(digest[:16])}</td></tr>"
+            )
+        lines.append("</table>")
+        lines.append(
+            "<p class=meta>requests the daemon captured above its slow "
+            "threshold; feed a trace id to <code>repro trace show</code> "
+            "against a live daemon for the per-stage waterfall.</p>"
+        )
     return lines
 
 

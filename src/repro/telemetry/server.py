@@ -21,7 +21,21 @@ fig12/fig13 grid (or a future ``repro.serve`` daemon) is observable
     Server-Sent Events: one ``event: progress`` per board version
     change, ``: keep-alive`` comments while idle.  ``repro top``
     could ride this; it polls the JSON endpoint instead so it also
-    works through one-shot proxies.
+    works through one-shot proxies.  Handlers poll the client socket
+    between frames (``select`` + ``MSG_PEEK``) so a dropped client
+    releases its handler thread within one keep-alive interval.
+``GET /trace/<id>`` and ``GET /trace``
+    One request waterfall from the process-global
+    :data:`~repro.telemetry.tracectx.TRACES` store, or the recent
+    list (``?limit=N``).
+``GET /logs``
+    The structured log ring (:data:`~repro.telemetry.log.LOG`) as
+    JSON; ``?level=``, ``?trace=`` and ``?limit=`` filter.
+
+``/metrics`` content-negotiates: an ``Accept`` header naming
+``application/openmetrics-text`` gets the OpenMetrics rendering with
+trace-id exemplars on histogram buckets; everything else gets the
+classic 0.0.4 text exposition, which never carries trace ids.
 
 The server is strictly **read-only** over telemetry state: it never
 emits events, never creates instruments, and therefore cannot perturb
@@ -42,15 +56,19 @@ from __future__ import annotations
 
 import json
 import os
+import select
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
+from .log import LOG
 from .progress import PROGRESS, ProgressBoard
 from .registry import DIAG_REGISTRIES
 from .runtime import TELEMETRY, Telemetry
+from .tracectx import TRACES
 
 #: Environment variable enabling the server (same port semantics as
 #: the ``--serve`` CLI flag; 0 = ephemeral).
@@ -59,8 +77,18 @@ SERVE_ENV = "REPRO_METRICS_PORT"
 #: Content type of the Prometheus exposition endpoint.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
+#: Content type of the OpenMetrics exposition (exemplar-bearing).
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
 #: SSE idle keep-alive cadence (seconds between comment frames).
 SSE_KEEPALIVE_SECONDS = 0.5
+
+
+def wants_openmetrics(accept: Optional[str]) -> bool:
+    """True when the ``Accept`` header asks for OpenMetrics."""
+    return bool(accept) and "application/openmetrics-text" in accept
 
 
 def port_from_env(environ=os.environ) -> Optional[int]:
@@ -83,7 +111,9 @@ def port_from_env(environ=os.environ) -> Optional[int]:
     return port
 
 
-def render_metrics_text(telemetry: Optional[Telemetry] = None) -> str:
+def render_metrics_text(
+    telemetry: Optional[Telemetry] = None, *, openmetrics: bool = False
+) -> str:
     """The live ``/metrics`` body: hub registry + diagnostic registries.
 
     One Prometheus text document rendered from *telemetry*'s registry
@@ -94,26 +124,39 @@ def render_metrics_text(telemetry: Optional[Telemetry] = None) -> str:
     exposition.  Each render is retried a few times: another thread
     may register a new instrument mid-iteration, and instruments are
     only ever added, never removed, so a retry always converges.
+
+    With *openmetrics* the parts come from
+    :meth:`~repro.telemetry.registry.MetricsRegistry.to_openmetrics`
+    (exemplar-bearing); the per-part ``# EOF`` terminators are
+    stripped and exactly one closes the composed document.
     """
     hub = telemetry if telemetry is not None else TELEMETRY
-    text = ""
-    for _ in range(5):
-        try:
-            text = hub.registry.to_prometheus()
-            break
-        except RuntimeError:
-            continue
-    for diag in DIAG_REGISTRIES:
+
+    def _render(registry) -> str:
         for _ in range(5):
             try:
-                extra = diag.to_prometheus()
-                break
+                if openmetrics:
+                    return registry.to_openmetrics()
+                return registry.to_prometheus()
             except RuntimeError:
                 continue
-        else:
-            extra = ""
-        if extra:
-            text += extra
+        return ""
+
+    parts = [_render(hub.registry)]
+    parts.extend(_render(diag) for diag in DIAG_REGISTRIES)
+    if openmetrics:
+        stripped = []
+        for part in parts:
+            lines = [
+                line
+                for line in part.splitlines()
+                if line.strip() != "# EOF"
+            ]
+            stripped.append("\n".join(lines) + "\n" if lines else "")
+        parts = stripped
+    text = "".join(part for part in parts if part)
+    if openmetrics:
+        text += "# EOF\n"
     return text
 
 
@@ -172,6 +215,10 @@ class _Handler(BaseHTTPRequestHandler):
                     self._get_progress(query)
             elif path == "/progress/stream":
                 self._stream_progress()
+            elif path == "/trace" or path.startswith("/trace/"):
+                self._get_trace(path, query)
+            elif path == "/logs":
+                self._get_logs(query)
             else:
                 self._send_json(
                     404,
@@ -182,6 +229,9 @@ class _Handler(BaseHTTPRequestHandler):
                             "/healthz",
                             "/progress",
                             "/progress/stream",
+                            "/trace",
+                            "/trace/<id>",
+                            "/logs",
                         ],
                     },
                 )
@@ -192,8 +242,57 @@ class _Handler(BaseHTTPRequestHandler):
         # Diagnostic registries (fabric cache/steal counters, serve
         # queue stats) ride only the live exposition — they are
         # operational, not part of the deterministic exports.
-        text = render_metrics_text(self.server.telemetry)
-        self._send(200, PROMETHEUS_CONTENT_TYPE, text.encode("utf-8"))
+        openmetrics = wants_openmetrics(self.headers.get("Accept"))
+        text = render_metrics_text(
+            self.server.telemetry, openmetrics=openmetrics
+        )
+        content_type = (
+            OPENMETRICS_CONTENT_TYPE
+            if openmetrics
+            else PROMETHEUS_CONTENT_TYPE
+        )
+        self._send(200, content_type, text.encode("utf-8"))
+
+    def _get_trace(self, path: str, query) -> None:
+        trace_id = path[len("/trace/"):] if path.startswith("/trace/") else ""
+        if trace_id:
+            document = TRACES.get(trace_id)
+            if document is None:
+                self._send_json(
+                    404, {"error": "unknown trace", "trace_id": trace_id}
+                )
+                return
+            self._send_json(200, document)
+            return
+        try:
+            limit = int(query.get("limit", ["32"])[0])
+        except ValueError:
+            self._send_json(400, {"error": "limit must be an integer"})
+            return
+        self._send_json(
+            200,
+            {
+                "schema": "repro.telemetry.trace-list/v1",
+                "count": len(TRACES),
+                "traces": TRACES.recent(limit=limit),
+            },
+        )
+
+    def _get_logs(self, query) -> None:
+        try:
+            limit = int(query.get("limit", ["256"])[0])
+        except ValueError:
+            self._send_json(400, {"error": "limit must be an integer"})
+            return
+        self._send_json(
+            200,
+            LOG.document(
+                level=query.get("level", [None])[0],
+                trace_id=query.get("trace", [None])[0],
+                event=query.get("event", [None])[0],
+                limit=limit,
+            ),
+        )
 
     def _get_healthz(self) -> None:
         board = self.server.board
@@ -226,6 +325,22 @@ class _Handler(BaseHTTPRequestHandler):
         board = self.server.board
         self._send_json(200, board.snapshot(max_jobs=max_jobs))
 
+    def _client_disconnected(self) -> bool:
+        """True when the client hung up (readable socket + EOF peek).
+
+        SSE clients never send bytes after the request, so a readable
+        connection means either EOF (dropped client) or a stray byte —
+        both reasons to release this handler thread promptly rather
+        than write frames into a dead pipe until keep-alive fails.
+        """
+        try:
+            readable, _, _ = select.select([self.connection], [], [], 0)
+            if not readable:
+                return False
+            return self.connection.recv(1, socket.MSG_PEEK) == b""
+        except OSError:
+            return True
+
     def _stream_progress(self) -> None:
         board = self.server.board
         self.send_response(200)
@@ -237,7 +352,7 @@ class _Handler(BaseHTTPRequestHandler):
             version, changed = board.wait_for_change(
                 version, timeout=SSE_KEEPALIVE_SECONDS
             )
-            if self.server.stopping:
+            if self.server.stopping or self._client_disconnected():
                 break
             if changed:
                 payload = json.dumps(
@@ -350,8 +465,10 @@ def start_server(
 __all__ = [
     "SERVE_ENV",
     "PROMETHEUS_CONTENT_TYPE",
+    "OPENMETRICS_CONTENT_TYPE",
     "port_from_env",
     "render_metrics_text",
+    "wants_openmetrics",
     "ObservabilityServer",
     "start_server",
 ]

@@ -264,6 +264,99 @@ class TestEndpoints:
 
 
 # ----------------------------------------------------------------------
+# Forensics endpoints: /trace, /logs, OpenMetrics negotiation
+
+
+class TestForensicsEndpoints:
+    @pytest.fixture(autouse=True)
+    def _fresh_diagnostics(self):
+        from repro.telemetry.log import LOG
+        from repro.telemetry.tracectx import TRACES
+
+        TRACES.clear()
+        LOG.clear()
+        yield
+        TRACES.clear()
+        LOG.clear()
+
+    def test_trace_endpoints(self, server):
+        from repro.telemetry.tracectx import TRACES
+
+        TRACES.begin("rtx-" + "5" * 16, source="executed")
+        TRACES.stage("rtx-" + "5" * 16, "sim", 0.010)
+        TRACES.finish("rtx-" + "5" * 16, 0.012)
+        status, content_type, body = _get(
+            server.url + "/trace/rtx-" + "5" * 16
+        )
+        assert status == 200
+        assert content_type.startswith("application/json")
+        doc = json.loads(body)
+        assert doc["complete"] is True
+        assert [s["stage"] for s in doc["stages"]] == [
+            "sim", "unattributed",
+        ]
+        status, _, body = _get(server.url + "/trace")
+        listing = json.loads(body)
+        assert listing["schema"] == "repro.telemetry.trace-list/v1"
+        assert listing["count"] == 1
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/trace/rtx-" + "6" * 16)
+        assert excinfo.value.code == 404
+
+    def test_logs_endpoint_filters(self, server):
+        from repro.telemetry.log import LOG
+
+        LOG.info("boring")
+        LOG.warning("spicy", trace_id="rtx-" + "7" * 16)
+        status, _, body = _get(server.url + "/logs?level=warning")
+        doc = json.loads(body)
+        assert status == 200
+        assert [r["event"] for r in doc["records"]] == ["spicy"]
+        status, _, body = _get(
+            server.url + "/logs?trace=rtx-" + "7" * 16
+        )
+        assert json.loads(body)["count"] == 1
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/logs?limit=many")
+        assert excinfo.value.code == 400
+
+    def test_404_directory_lists_forensics_endpoints(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/nope")
+        doc = json.loads(excinfo.value.read())
+        assert "/trace/<id>" in doc["endpoints"]
+        assert "/logs" in doc["endpoints"]
+
+    def test_openmetrics_negotiation_carries_exemplars(self):
+        from repro.telemetry.server import OPENMETRICS_CONTENT_TYPE
+
+        board = ProgressBoard()
+        with capture() as t:
+            hist = t.registry.histogram(
+                "serve.latency_seconds", plane="unit"
+            )
+            hist.observe(0.25, trace_id="rtx-" + "8" * 16)
+            with ObservabilityServer(0, telemetry=t, board=board) as srv:
+                request = urllib.request.Request(
+                    srv.url + "/metrics",
+                    headers={"Accept": "application/openmetrics-text"},
+                )
+                with urllib.request.urlopen(request, timeout=5) as resp:
+                    assert (
+                        resp.headers.get("Content-Type")
+                        == OPENMETRICS_CONTENT_TYPE
+                    )
+                    text = resp.read().decode("utf-8")
+                assert '# {trace_id="rtx-' in text
+                assert text.endswith("# EOF\n")
+                assert text.count("# EOF") == 1
+                # The classic exposition stays trace-free.
+                _, content_type, body = _get(srv.url + "/metrics")
+                assert content_type == PROMETHEUS_CONTENT_TYPE
+                assert "rtx-" not in body.decode("utf-8")
+
+
+# ----------------------------------------------------------------------
 # SSE stream
 
 
@@ -423,6 +516,41 @@ class TestShutdown:
         srv.stop()
         srv.stop()  # second stop is a no-op
         assert not srv.running
+
+    def test_dropped_sse_client_releases_handler_thread(self):
+        """A client that vanishes mid-stream must free its handler
+        within about one keep-alive interval — the MSG_PEEK disconnect
+        probe, not a failed write several frames later."""
+        import socket
+        import time as time_module
+
+        board = ProgressBoard()
+        srv = start_server(0, board=board)
+        try:
+            baseline = set(threading.enumerate())
+            sock = socket.create_connection(
+                ("127.0.0.1", srv.port), timeout=5
+            )
+            sock.sendall(
+                b"GET /progress/stream HTTP/1.1\r\n"
+                b"Host: localhost\r\n\r\n"
+            )
+            assert sock.recv(4096)  # headers (+ first frame) arrived
+            handler_threads = [
+                t for t in threading.enumerate() if t not in baseline
+            ]
+            assert handler_threads  # a handler is parked on the stream
+            sock.close()
+            deadline = time_module.monotonic() + 5.0
+            while time_module.monotonic() < deadline:
+                if not any(t.is_alive() for t in handler_threads):
+                    break
+                time_module.sleep(0.05)
+            assert not any(t.is_alive() for t in handler_threads), (
+                "SSE handler thread survived its client"
+            )
+        finally:
+            srv.stop()
 
 
 # ----------------------------------------------------------------------

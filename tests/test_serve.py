@@ -1,8 +1,11 @@
 """Serving-plane tests: protocol validation, daemon equivalence with
-the engine, coalescing, admission control and cache sharing."""
+the engine, coalescing, admission control, cache sharing, and
+per-request forensics (trace header, waterfalls, structured logs,
+slow-request capture)."""
 
 import dataclasses
 import json
+import re
 import tempfile
 import urllib.error
 import urllib.request
@@ -18,6 +21,9 @@ from repro.serve import (
     parse_simulate,
 )
 from repro.serve.loadgen import build_cells, run_swarm_sync, zipf_schedule
+from repro.serve.protocol import TRACE_HEADER
+
+_TRACE_ID_RE = re.compile(r"^rtx-[0-9a-f]{16}$")
 
 
 def _body(**overrides) -> bytes:
@@ -275,6 +281,203 @@ class TestDaemon:
             if t.name.startswith("repro-serve")
         } - before
         assert not leftover
+
+
+# ----------------------------------------------------------------------
+# Request forensics: trace header, waterfalls, logs, slow capture
+
+
+def _post_traced(url: str, body: bytes, headers=None):
+    """(status, body document, trace-id header) for one simulate."""
+    request = urllib.request.Request(
+        url + "/v1/simulate", data=body, headers=headers or {}
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return (
+            response.status,
+            json.loads(response.read()),
+            response.headers.get(TRACE_HEADER),
+        )
+
+
+class TestRequestForensics:
+    @pytest.fixture(autouse=True)
+    def _fresh_diagnostics(self):
+        """Empty global trace/log stores so cross-test records from the
+        process-wide singletons never bleed into assertions."""
+        from repro.telemetry.log import LOG
+        from repro.telemetry.tracectx import TRACES
+
+        TRACES.clear()
+        LOG.clear()
+        yield
+        TRACES.clear()
+        LOG.clear()
+
+    def test_every_response_carries_a_trace_header(self, daemon):
+        seen = set()
+        for salt in range(3):
+            status, doc, trace_id = _post_traced(
+                daemon.url, _body(seed_salt=salt)
+            )
+            assert status == 200
+            assert trace_id and _TRACE_ID_RE.match(trace_id)
+            seen.add(trace_id)
+            # Header only — the body stays on the engine-equivalence
+            # contract, no trace id inside.
+            assert "rtx-" not in json.dumps(doc)
+        assert len(seen) == 3
+        # Cache hits are traced too (memory path).
+        _, doc, hit_id = _post_traced(daemon.url, _body(seed_salt=0))
+        assert doc["source"] == "memory"
+        assert hit_id and hit_id not in seen
+
+    def test_waterfall_sums_to_total_within_tolerance(self, daemon):
+        _, doc, trace_id = _post_traced(daemon.url, _body())
+        status, raw = _get(daemon.url, f"/trace/{trace_id}")
+        assert status == 200
+        trace = json.loads(raw)
+        assert trace["trace_id"] == trace_id
+        assert trace["complete"] is True
+        stages = {s["stage"]: s["duration_ms"] for s in trace["stages"]}
+        for expected in ("admission", "queue_wait", "sim", "serialize"):
+            assert expected in stages, sorted(stages)
+        total = trace["total_ms"]
+        stage_sum = sum(stages.values())
+        # Headline criterion is 10%; the synthetic unattributed stage
+        # makes it exact by construction.
+        assert abs(stage_sum - total) <= 0.10 * total
+        assert stage_sum == pytest.approx(total, abs=0.01)
+        # The trace covers through serialization, so it can only be
+        # longer than the pre-serialize elapsed_ms in the body.
+        assert total >= doc["elapsed_ms"] * 0.5
+
+    def test_trace_list_and_unknown_trace_404(self, daemon):
+        _, _, trace_id = _post_traced(daemon.url, _body())
+        status, raw = _get(daemon.url, "/trace")
+        listing = json.loads(raw)
+        assert status == 200
+        assert listing["schema"] == "repro.telemetry.trace-list/v1"
+        assert any(
+            t["trace_id"] == trace_id for t in listing["traces"]
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            _get(daemon.url, "/trace/rtx-0000000000000000")
+        assert info.value.code == 404
+
+    def test_coalesced_request_gets_its_own_trace(self, monkeypatch):
+        import threading
+
+        # Pin the executed cell for ~80ms so the followers reliably
+        # find it in flight and coalesce rather than hit the cache.
+        monkeypatch.setenv(
+            "REPRO_SERVE_INJECT_DELAY", "gaussian:lmi:80"
+        )
+        with ServeDaemon(0) as daemon:
+            results = []
+
+            def fire():
+                results.append(_post_traced(daemon.url, _body()))
+
+            threads = [
+                threading.Thread(target=fire) for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            sources = [doc["source"] for _, doc, _ in results]
+            assert sources.count("executed") == 1
+            assert sources.count("coalesced") >= 1
+            ids = [tid for _, _, tid in results]
+            assert len(set(ids)) == 4  # followers get their own ids
+            primary_id = next(
+                tid for _, doc, tid in results
+                if doc["source"] == "executed"
+            )
+            follower = next(
+                (doc, tid) for _, doc, tid in results
+                if doc["source"] == "coalesced"
+            )
+            _, raw = _get(daemon.url, f"/trace/{follower[1]}")
+            trace = json.loads(raw)
+            stage_names = [s["stage"] for s in trace["stages"]]
+            assert "coalesce_wait" in stage_names
+            assert trace["attrs"]["coalesced_with"] == primary_id
+
+    def test_logs_endpoint_and_slow_capture(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_SERVE_INJECT_DELAY", "gaussian:lmi:30"
+        )
+        with ServeDaemon(0, slow_ms=5.0) as daemon:
+            _, doc, trace_id = _post_traced(daemon.url, _body())
+            assert doc["source"] == "executed"
+            status, raw = _get(daemon.url, "/logs?level=warning")
+            body = json.loads(raw)
+            assert status == 200
+            slow = [
+                r for r in body["records"]
+                if r["event"] == "slow_request"
+            ]
+            assert slow, body
+            assert slow[-1]["trace_id"] == trace_id
+            assert slow[-1]["elapsed_ms"] >= 30.0
+            # The injected delay shows up as its own waterfall stage.
+            _, raw = _get(daemon.url, f"/trace/{trace_id}")
+            stages = {
+                s["stage"]: s["duration_ms"]
+                for s in json.loads(raw)["stages"]
+            }
+            assert stages.get("inject_delay", 0.0) >= 25.0
+            # ...and the capture reaches /stats for repro report.
+            snapshot = daemon.stats_snapshot()
+            captured = snapshot["slow_requests"]
+            assert captured and captured[-1]["trace_id"] == trace_id
+            # Filtering by trace reconstructs this request's story.
+            _, raw = _get(daemon.url, f"/logs?trace={trace_id}")
+            assert json.loads(raw)["count"] >= 1
+
+    def test_stats_carry_per_stage_quantiles(self, daemon):
+        _post(daemon.url, _body())
+        snapshot = daemon.stats_snapshot()
+        stages = snapshot["stages"]
+        for expected in ("admission", "sim", "serialize"):
+            assert expected in stages
+            block = stages[expected]
+            assert block["count"] >= 1
+            assert block["p99"] >= block["p50"] >= 0.0
+
+    def test_loadgen_reports_slowest_trace_ids(self):
+        with ServeDaemon(0) as daemon:
+            summary = run_swarm_sync(
+                "127.0.0.1", daemon.port,
+                requests=12, concurrency=4,
+                cells=build_cells(3, seed=5),
+            )
+            slowest = summary["slowest"]
+            assert slowest, summary
+            assert all(
+                _TRACE_ID_RE.match(entry["trace_id"])
+                for entry in slowest
+            )
+            # Sorted slowest-first, and every id names a real trace.
+            elapsed = [entry["elapsed_ms"] for entry in slowest]
+            assert elapsed == sorted(elapsed, reverse=True)
+            _, raw = _get(
+                daemon.url, f"/trace/{slowest[0]['trace_id']}"
+            )
+            assert json.loads(raw)["complete"] is True
+            assert summary["failed"] == []
+
+    def test_no_tracing_disables_header_and_trace_store(self):
+        with ServeDaemon(0, tracing=False) as daemon:
+            status, doc, trace_id = _post_traced(daemon.url, _body())
+            assert status == 200
+            assert trace_id is None
+            status, raw = _get(daemon.url, "/trace")
+            assert json.loads(raw)["count"] == 0
+            # Still serves results identically.
+            assert doc["source"] == "executed"
 
 
 # ----------------------------------------------------------------------
